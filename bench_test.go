@@ -1,0 +1,379 @@
+package prox_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation chapter (Ch. 6). Each benchmark regenerates the figure's
+// series on a reduced grid (the full grids run via cmd/prox-experiments)
+// and reports the headline measurement as a custom metric, so
+// `go test -bench=. -benchmem` both times the pipeline and reproduces the
+// qualitative results. Micro-benchmarks for the core operations
+// (evaluation, distance estimation, candidate step, HAC, equivalence
+// classes) follow.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+	"repro/internal/provenance"
+)
+
+func benchOpts(dataset string, class datasets.ClassKind) experiments.Options {
+	return experiments.Options{
+		Dataset: dataset,
+		Class:   class,
+		Runs:    1,
+		Seed:    1,
+		Scale:   0.5,
+	}
+}
+
+var benchWGrid = []float64{0, 0.5, 1}
+
+// --- Figures 6.1a / 6.2a: MovieLens wDist sweep (distance and size) ---
+
+func BenchmarkFig61aWDistDistanceMovieLens(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WDist(o, 10, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Distance.Rows[len(benchWGrid)-1].Values[0], "dist@wDist=1")
+	}
+}
+
+func BenchmarkFig62aWDistSizeMovieLens(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WDist(o, 10, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Size.Rows[0].Values[0], "size@wDist=0")
+	}
+}
+
+// --- Figure 6.1b: MovieLens TARGET-SIZE sweep ---
+
+func BenchmarkFig61bTargetSizeMovieLens(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	w, err := o.Workload(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := []int{w.Prov.Size() / 2, w.Prov.Size() * 3 / 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TargetSize(o, targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[0].Values[0], "dist@half-size")
+	}
+}
+
+// --- Figure 6.2b: MovieLens TARGET-DIST sweep ---
+
+func BenchmarkFig62bTargetDistMovieLens(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TargetDist(o, []float64{0.05, 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[1].Values[0], "size@dist=0.2")
+	}
+}
+
+// --- Figures 6.3a/6.3b: varying number of algorithm steps ---
+
+func BenchmarkFig63VaryingStepsMovieLens(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.VaryingSteps(o, []int{5, 10}, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Size.Rows[0].Values[1], "size@10steps")
+	}
+}
+
+// --- Figures 6.4a/6.4b: usage time ratio ---
+
+func BenchmarkFig64UsageTimeMovieLens(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.UsageTime(o, 10, 5, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[0].Values[0], "ratio@wDist=0")
+	}
+}
+
+// --- Figures 6.5a/6.5b: candidate computation and summarization time ---
+
+func BenchmarkFig65TimingMovieLens(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Timing(o, []float64{0.4, 0.8}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CandidateTime.Rows[1].Values[0], "µs/candidate")
+	}
+}
+
+// --- Figures 6.6a/6.7a: Wikipedia wDist sweep ---
+
+func BenchmarkFig66aWDistDistanceWikipedia(b *testing.B) {
+	o := benchOpts("wikipedia", datasets.CancelSingleAnnotation)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WDist(o, 10, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Distance.Rows[len(benchWGrid)-1].Values[0], "dist@wDist=1")
+	}
+}
+
+func BenchmarkFig67aWDistSizeWikipedia(b *testing.B) {
+	o := benchOpts("wikipedia", datasets.CancelSingleAnnotation)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WDist(o, 10, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Size.Rows[0].Values[0], "size@wDist=0")
+	}
+}
+
+// --- Figures 6.6b/6.7b: Wikipedia bound sweeps ---
+
+func BenchmarkFig66bTargetSizeWikipedia(b *testing.B) {
+	o := benchOpts("wikipedia", datasets.CancelSingleAnnotation)
+	w, err := o.Workload(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := []int{w.Prov.Size() / 2, w.Prov.Size() * 3 / 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TargetSize(o, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig67bTargetDistWikipedia(b *testing.B) {
+	o := benchOpts("wikipedia", datasets.CancelSingleAnnotation)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TargetDist(o, []float64{0.05, 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 6.8a/6.9a: DDP wDist sweep (10-step budget per paper) ---
+
+func BenchmarkFig68aWDistDistanceDDP(b *testing.B) {
+	o := benchOpts("ddp", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WDist(o, 10, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Distance.Rows[len(benchWGrid)-1].Values[0], "dist@wDist=1")
+	}
+}
+
+func BenchmarkFig69aWDistSizeDDP(b *testing.B) {
+	o := benchOpts("ddp", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WDist(o, 10, benchWGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Size.Rows[0].Values[0], "size@wDist=0")
+	}
+}
+
+// --- Figures 6.8b/6.9b: DDP bound sweeps ---
+
+func BenchmarkFig68bTargetSizeDDP(b *testing.B) {
+	o := benchOpts("ddp", datasets.CancelSingleAttribute)
+	w, err := o.Workload(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := []int{w.Prov.Size() / 2, w.Prov.Size() * 3 / 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TargetSize(o, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig69bTargetDistDDP(b *testing.B) {
+	o := benchOpts("ddp", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TargetDist(o, []float64{0.05, 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (design-choice studies beyond the paper) ---
+
+// BenchmarkAblationMergeArity compares pairwise merging with the Ch. 9
+// k-ary generalization at the same TARGET-SIZE.
+func BenchmarkAblationMergeArity(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAttribute)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MergeArity(o, []int{2, 4}, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Steps.Rows[1].Values[0], "steps@arity=4")
+	}
+}
+
+// BenchmarkAblationSampling measures the Prop. 4.1.2 sampling estimator's
+// error at a 200-sample budget.
+func BenchmarkAblationSampling(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAnnotation)
+	o.Runs = 1
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SamplingAccuracy(o, []int{200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Error.Rows[0].Values[0], "abs-error@200")
+	}
+}
+
+// BenchmarkAblationParallelism measures parallel candidate evaluation.
+func BenchmarkAblationParallelism(b *testing.B) {
+	o := benchOpts("movielens", datasets.CancelSingleAnnotation)
+	o.Runs = 1
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.ParallelSpeedup(o, []int{1, 4}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tbl.Rows[0].Values[0]/tbl.Rows[1].Values[0], "speedup@4")
+	}
+}
+
+// --- micro-benchmarks for the core operations ---
+
+func benchWorkload(b *testing.B) *datasets.Workload {
+	b.Helper()
+	return datasets.MovieLens(datasets.DefaultMovieLensConfig(), rand.New(rand.NewSource(1)))
+}
+
+// BenchmarkEvalOriginal measures evaluating the full MovieLens provenance
+// under one cancellation valuation.
+func BenchmarkEvalOriginal(b *testing.B) {
+	w := benchWorkload(b)
+	v := provenance.CancelAnnotation(w.Prov.Annotations()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Prov.Eval(v)
+	}
+}
+
+// BenchmarkDistanceEstimation measures one candidate distance computation
+// (the inner loop of Algorithm 1).
+func BenchmarkDistanceEstimation(b *testing.B) {
+	w := benchWorkload(b)
+	est := w.Estimator(datasets.CancelSingleAnnotation)
+	anns := w.Prov.Annotations()
+	h := provenance.MergeMapping("Z", anns[0], anns[1])
+	pc := w.Prov.Apply(h)
+	groups := provenance.GroupsOf(anns, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Distance(w.Prov, pc, h, groups)
+	}
+}
+
+// BenchmarkSummarizeStep measures one full greedy step (all candidate
+// evaluations) on the MovieLens workload.
+func BenchmarkSummarizeStep(b *testing.B) {
+	w := benchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(core.Config{
+			Policy:    w.Policy,
+			Estimator: w.Estimator(datasets.CancelSingleAnnotation),
+			WDist:     1,
+			MaxSteps:  1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Summarize(w.Prov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyMapping measures homomorphism application + simplify.
+func BenchmarkApplyMapping(b *testing.B) {
+	w := benchWorkload(b)
+	anns := w.Prov.Annotations()
+	h := provenance.MergeMapping("Z", anns[0], anns[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Prov.Apply(h)
+	}
+}
+
+// BenchmarkHAC measures constraint-free single-linkage clustering of 64
+// items.
+func BenchmarkHAC(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	pts := make([]float64, 64)
+	for i := range pts {
+		pts[i] = r.Float64() * 100
+	}
+	d := func(i, j int) float64 {
+		v := pts[i] - pts[j]
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prox.HAC(len(pts), d, prox.SingleLinkage, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEquivalenceClasses measures the Prop. 4.2.1 partition
+// refinement pre-step.
+func BenchmarkEquivalenceClasses(b *testing.B) {
+	w := benchWorkload(b)
+	anns := w.Prov.Annotations()
+	class := w.Class(datasets.CancelSingleAttribute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EquivalenceClasses(anns, class)
+	}
+}
+
+// BenchmarkDDPEval measures DDP expression evaluation.
+func BenchmarkDDPEval(b *testing.B) {
+	w := datasets.DDP(datasets.DefaultDDPConfig(), rand.New(rand.NewSource(3)))
+	v := provenance.CancelAnnotation(w.Prov.Annotations()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Prov.Eval(v)
+	}
+}

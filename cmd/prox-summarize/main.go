@@ -1,0 +1,247 @@
+// Command prox-summarize generates a dataset workload, runs the PROX
+// summarization algorithm on it, and prints the original expression, the
+// merge trace, and the resulting summary with its groups.
+//
+// Usage:
+//
+//	prox-summarize [-dataset movielens] [-class annotation|attribute]
+//	               [-wdist 0.5] [-wsize 0.5] [-steps 10]
+//	               [-target-size 1] [-target-dist 1]
+//	               [-scale 1] [-seed 1] [-v]
+//	               [-arity 2] [-parallel 1]
+//	               [-save bundle.json] [-load bundle.json] [-json out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/constraints"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/ddp"
+	"repro/internal/distance"
+	"repro/internal/provenance"
+)
+
+func main() {
+	dataset := flag.String("dataset", "movielens", "movielens | wikipedia | ddp")
+	class := flag.String("class", "annotation", "valuation class: annotation | attribute")
+	wdist := flag.Float64("wdist", 0.5, "distance weight")
+	wsize := flag.Float64("wsize", 0.5, "size weight")
+	steps := flag.Int("steps", 10, "maximum algorithm steps (0 = unlimited)")
+	targetSize := flag.Int("target-size", 1, "size bound (1 disables)")
+	targetDist := flag.Float64("target-dist", 1, "distance bound (1 disables)")
+	scale := flag.Float64("scale", 1, "dataset size multiplier")
+	seed := flag.Int64("seed", 1, "generation seed")
+	verbose := flag.Bool("v", false, "print full expressions")
+	arity := flag.Int("arity", 2, "merge arity (>= 2; the Ch. 9 k-ary generalization)")
+	parallel := flag.Int("parallel", 1, "candidate-evaluation goroutines")
+	saveBundle := flag.String("save", "", "write the generated workload as a JSON bundle to this file")
+	loadBundle := flag.String("load", "", "summarize a saved JSON bundle instead of generating a dataset")
+	jsonOut := flag.String("json", "", "write the summary trace as JSON to this file (- for stdout)")
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+	var w *datasets.Workload
+	switch {
+	case *loadBundle != "":
+		var err error
+		w, err = workloadFromBundle(*loadBundle)
+		if err != nil {
+			fatal("load: %v", err)
+		}
+	case *dataset == "movielens":
+		cfg := datasets.DefaultMovieLensConfig()
+		cfg.Users = scaleInt(cfg.Users, *scale)
+		cfg.Movies = scaleInt(cfg.Movies, *scale)
+		w = datasets.MovieLens(cfg, r)
+	case *dataset == "wikipedia":
+		cfg := datasets.DefaultWikipediaConfig()
+		cfg.Users = scaleInt(cfg.Users, *scale)
+		cfg.Pages = scaleInt(cfg.Pages, *scale)
+		w = datasets.Wikipedia(cfg, r)
+	case *dataset == "ddp":
+		cfg := datasets.DefaultDDPConfig()
+		cfg.Executions = scaleInt(cfg.Executions, *scale)
+		w = datasets.DDP(cfg, r)
+	default:
+		fatal("unknown dataset %q", *dataset)
+	}
+
+	kind := datasets.CancelSingleAnnotation
+	if *class == "attribute" {
+		kind = datasets.CancelSingleAttribute
+	}
+
+	fmt.Printf("dataset   : %s (seed %d)\n", w.Name, *seed)
+	fmt.Printf("size      : %d annotations occurrences, %d distinct annotations\n",
+		w.Prov.Size(), len(w.Prov.Annotations()))
+	fmt.Printf("class     : %s\n", kind)
+	if *verbose {
+		fmt.Printf("provenance:\n%s\n", w.Prov)
+	}
+
+	if *saveBundle != "" {
+		b := &codec.Bundle{Name: w.Name, Universe: w.Universe, Taxonomy: w.Tax}
+		switch e := w.Prov.(type) {
+		case *provenance.Agg:
+			b.Agg = e
+		case *ddp.Expr:
+			b.DDP = e
+		}
+		f, err := os.Create(*saveBundle)
+		if err != nil {
+			fatal("save: %v", err)
+		}
+		if err := codec.Save(f, b); err != nil {
+			f.Close()
+			fatal("save: %v", err)
+		}
+		f.Close()
+		fmt.Printf("workload bundle written to %s\n", *saveBundle)
+	}
+
+	s, err := core.New(core.Config{
+		Policy:      w.Policy,
+		Estimator:   w.Estimator(kind),
+		WDist:       *wdist,
+		WSize:       *wsize,
+		TargetSize:  *targetSize,
+		TargetDist:  *targetDist,
+		MaxSteps:    *steps,
+		MergeArity:  *arity,
+		Parallelism: *parallel,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	sum, err := s.Summarize(w.Prov)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal("json: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := codec.WriteSummary(out, sum); err != nil {
+			fatal("json: %v", err)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("summary JSON written to %s\n", *jsonOut)
+		}
+	}
+
+	fmt.Printf("\n--- merge trace (%d steps, stop: %s, %.1f ms) ---\n",
+		len(sum.Steps), sum.StopReason, float64(sum.Elapsed.Microseconds())/1000)
+	for i, st := range sum.Steps {
+		parts := make([]string, len(st.Members))
+		for j, m := range st.Members {
+			parts[j] = string(m)
+		}
+		fmt.Printf("%3d. %s -> %s   (dist %.4f, size %d)\n",
+			i+1, strings.Join(parts, " + "), st.New, st.Dist, st.Size)
+	}
+
+	fmt.Printf("\n--- summary ---\n")
+	fmt.Printf("size %d (%.0f%% of original), distance %.4f\n",
+		sum.Expr.Size(), 100*float64(sum.Expr.Size())/float64(w.Prov.Size()), sum.Dist)
+	fmt.Printf("groups:\n")
+	for name, members := range sum.Groups {
+		if len(members) < 2 {
+			continue
+		}
+		fmt.Printf("  %s = %v\n", name, members)
+	}
+	if *verbose {
+		fmt.Printf("\nexpression:\n%s\n", sum.Expr)
+	}
+}
+
+// workloadFromBundle builds a summarizable workload from a saved bundle:
+// the expression and universe come from the file; constraints default to
+// same-table plus any-shared-attribute; distances use the Euclidean
+// VAL-FUNC (aggregated expressions) or the DDP cost difference.
+func workloadFromBundle(path string) (*datasets.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := codec.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	u := b.Universe
+	if u == nil {
+		u = provenance.NewUniverse()
+	}
+	w := &datasets.Workload{
+		Name:     b.Name,
+		Universe: u,
+		Tax:      b.Taxonomy,
+	}
+	if w.Name == "" {
+		w.Name = "bundle:" + path
+	}
+	pol := constraints.NewPolicy(u, constraints.SameTable(), constraints.SharedAttr())
+	if b.Taxonomy != nil {
+		pol = pol.WithTaxonomy(b.Taxonomy)
+	}
+	w.Policy = pol
+	if b.Agg != nil {
+		w.Prov = b.Agg
+		w.VF = distance.Euclidean()
+		if vec, ok := b.Agg.Eval(provenance.AllTrue).(provenance.Vector); ok {
+			total := 0.0
+			for _, v := range vec {
+				total += v * v
+			}
+			if total > 0 {
+				w.MaxError = math.Sqrt(total)
+			}
+		}
+	} else {
+		w.Prov = b.DDP
+		w.VF = ddp.ValFunc(b.DDP.Penalty())
+		w.MaxError = b.DDP.Penalty()
+	}
+	// collect every attribute name for the attribute-cancelling class
+	attrs := map[string]bool{}
+	for _, a := range u.Annotations() {
+		for k := range u.AttrsOf(a) {
+			attrs[k] = true
+		}
+	}
+	for k := range attrs {
+		w.AttrNames = append(w.AttrNames, k)
+	}
+	sort.Strings(w.AttrNames)
+	return w, nil
+}
+
+func scaleInt(base int, scale float64) int {
+	v := int(float64(base) * scale)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prox-summarize: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Quickstart: build the thesis's running "Match Point" provenance by
+// hand, summarize it with Algorithm 1, and provision a hypothetical
+// scenario on the summary.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The simplified Match Point provenance of Example 3.1.1:
+	// P_s = U1⊗(3,1) ⊕ U2⊗(5,1) ⊕ U3⊗(3,1), MAX aggregation, plus U2's
+	// Blue Jasmine review from Example 4.2.3.
+	p := prox.NewAgg(prox.AggMax,
+		prox.Tensor{Prov: prox.V("U1"), Value: 3, Count: 1, Group: "MatchPoint"},
+		prox.Tensor{Prov: prox.V("U2"), Value: 5, Count: 1, Group: "MatchPoint"},
+		prox.Tensor{Prov: prox.V("U3"), Value: 3, Count: 1, Group: "MatchPoint"},
+		prox.Tensor{Prov: prox.V("U2"), Value: 4, Count: 1, Group: "BlueJasmine"},
+	)
+	fmt.Println("original provenance:")
+	fmt.Println(" ", p)
+	fmt.Println("  size:", p.Size())
+
+	// Annotation semantics: U1 and U2 are female; U1 and U3 are audience
+	// members (the two competing merges of Example 3.1.1).
+	u := prox.NewUniverse()
+	u.Add("U1", "users", prox.Attrs{"gender": "F", "role": "audience"})
+	u.Add("U2", "users", prox.Attrs{"gender": "F", "role": "critic"})
+	u.Add("U3", "users", prox.Attrs{"gender": "M", "role": "audience"})
+	u.Add("MatchPoint", "movies", prox.Attrs{"genre": "drama"})
+	u.Add("BlueJasmine", "movies", prox.Attrs{"genre": "drama"})
+
+	// Summarize with distance weight 1: the algorithm must pick the
+	// Audience merge (distance 0) over the Female merge (Example 4.2.3).
+	sum, err := prox.Summarize(p, prox.Options{
+		Universe: u,
+		Rules: []prox.Rule{
+			prox.SameTable(),
+			prox.TableScoped("users", prox.SharedAttr("gender", "role")),
+			prox.TableScoped("movies", prox.NeverRule()), // keep per-movie coordinates
+		},
+		Class:    prox.NewCancelSingleAnnotation([]prox.Annotation{"U1", "U2", "U3"}),
+		WDist:    1,
+		MaxSteps: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsummary after one step:")
+	fmt.Println(" ", sum.Expr)
+	fmt.Printf("  size: %d, distance: %g\n", sum.Expr.Size(), sum.Dist)
+	for _, st := range sum.Steps {
+		fmt.Printf("  merged %s + %s -> %s\n", st.A, st.B, st.New)
+	}
+
+	// Provisioning: what do the ratings become if U2 turns out to be a
+	// spammer? Evaluate both expressions without re-running anything.
+	cancel := prox.CancelAnnotation("U2")
+	orig := p.Eval(cancel)
+	ext := prox.ExtendValuation(cancel, sum.Groups, prox.CombineOr)
+	approx := sum.Expr.Eval(ext)
+	fmt.Println("\nprovisioning 'U2 is a spammer':")
+	fmt.Println("  original :", orig.ResultString())
+	fmt.Println("  summary  :", approx.ResultString())
+}

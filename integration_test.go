@@ -1,0 +1,221 @@
+package prox_test
+
+// Integration tests exercising whole-system chains across module
+// boundaries: workflow → K-relations → provenance → summarization →
+// provisioning → persistence, and dataset → all three algorithms →
+// distance accounting.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/workflow"
+)
+
+// TestWorkflowToSummaryChain runs the Fig. 2.1 workflow over the
+// K-relation engine, summarizes the captured provenance, and verifies
+// that provisioning on the summary agrees with provisioning on the
+// original for the chosen distance-0 merge.
+func TestWorkflowToSummaryChain(t *testing.T) {
+	db := prox.NewWorkflowDB()
+
+	users := prox.NewRelation(workflow.RelUsers, "user", "gender", "role")
+	users.MustInsert("U_ana", "ana", "F", "audience")
+	users.MustInsert("U_bob", "bob", "M", "audience")
+	users.MustInsert("U_eve", "eve", "F", "critic")
+	db.Put(users)
+
+	imdb := prox.NewRelation(workflow.ReviewsRel("imdb"), "user", "movie", "rating")
+	imdb.MustInsert("R1", "ana", "M1", "3")
+	imdb.MustInsert("R2", "ana", "M2", "4")
+	imdb.MustInsert("R3", "ana", "M3", "5")
+	imdb.MustInsert("R4", "bob", "M1", "2")
+	imdb.MustInsert("R5", "bob", "M2", "2")
+	imdb.MustInsert("R6", "bob", "M3", "4")
+	db.Put(imdb)
+
+	press := prox.NewRelation(workflow.ReviewsRel("press"), "user", "movie", "rating")
+	press.MustInsert("R7", "eve", "M1", "5")
+	press.MustInsert("R8", "eve", "M2", "1")
+	press.MustInsert("R9", "eve", "M3", "3")
+	db.Put(press)
+
+	spec, err := prox.NewMovieWorkflow(prox.AggMax, map[string]string{
+		"imdb": "audience", "press": "critic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Run(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Output == nil {
+		t.Fatal("workflow produced no provenance")
+	}
+
+	// The provenance must support exact provisioning (semiring model).
+	base := db.Output.Eval(prox.AllTrue).(prox.Vector)
+	if base.At("M1") != 5 || base.At("M3") != 5 {
+		t.Fatalf("base ratings = %s", base.ResultString())
+	}
+
+	// Summarize over user annotations only.
+	u := prox.NewUniverse()
+	u.Add("U_ana", "users", prox.Attrs{"role": "audience"})
+	u.Add("U_bob", "users", prox.Attrs{"role": "audience"})
+	u.Add("U_eve", "users", prox.Attrs{"role": "critic"})
+	sum, err := prox.Summarize(db.Output, prox.Options{
+		Universe: u,
+		Rules:    []prox.Rule{prox.SameTable(), prox.SharedAttr("role")},
+		Class: prox.NewCancelSingleAnnotation(
+			[]prox.Annotation{"U_ana", "U_bob", "U_eve"}),
+		WDist:    1,
+		MaxSteps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) != 1 {
+		t.Fatalf("steps = %d", len(sum.Steps))
+	}
+	// Merging users inside guarded tensors does not collapse tensors (each
+	// still carries its own review/stats annotations), so the occurrence
+	// count is unchanged; the distinct annotation count must shrink.
+	if sum.Expr.Size() > db.Output.Size() {
+		t.Fatal("summary grew")
+	}
+	if len(sum.Expr.Annotations()) >= len(db.Output.Annotations()) {
+		t.Fatal("summary did not reduce the annotation vocabulary")
+	}
+
+	// Provision every single-user cancellation on both expressions and
+	// compare through alignment.
+	for _, a := range []prox.Annotation{"U_ana", "U_bob", "U_eve"} {
+		v := prox.CancelAnnotation(a)
+		orig := sum.Expr.AlignResult(db.Output.Eval(v), sum.Mapping).(prox.Vector)
+		appr := sum.Expr.Eval(prox.ExtendValuation(v, sum.Groups, prox.CombineOr)).(prox.Vector)
+		for movie, ov := range orig {
+			if av := appr.At(movie); av < ov {
+				// φ=OR with MAX aggregation can only over-approximate
+				t.Fatalf("cancel %s: summary %g under-approximates %g at %s",
+					a, av, ov, movie)
+			}
+		}
+	}
+}
+
+// TestDatasetPersistSummarizeRoundTrip saves a generated workload as a
+// JSON bundle, loads it back, summarizes the loaded expression, and
+// checks the result matches summarizing the original.
+func TestDatasetPersistSummarizeRoundTrip(t *testing.T) {
+	cfg := prox.DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies = 10, 4
+	w := prox.NewMovieLensWorkload(cfg, rand.New(rand.NewSource(8)))
+
+	var buf bytes.Buffer
+	if err := prox.SaveBundle(&buf, &prox.Bundle{
+		Name:     w.Name,
+		Agg:      w.Prov.(*prox.Agg),
+		Universe: w.Universe,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := prox.LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	summarize := func(p prox.Expression, u *prox.Universe) *prox.Summary {
+		sum, err := prox.Summarize(p, prox.Options{
+			Universe: u,
+			Rules: []prox.Rule{
+				prox.SameTable(),
+				prox.TableScoped("users", prox.SharedAttr("gender", "age", "occupation", "zip")),
+				prox.TableScoped("movies", prox.NeverRule()),
+				prox.TableScoped("years", prox.NeverRule()),
+			},
+			WDist:    1,
+			MaxSteps: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	s1 := summarize(w.Prov, w.Universe)
+	s2 := summarize(loaded.Agg, loaded.Universe)
+	if len(s1.Steps) != len(s2.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(s1.Steps), len(s2.Steps))
+	}
+	for i := range s1.Steps {
+		if s1.Steps[i].A != s2.Steps[i].A || s1.Steps[i].B != s2.Steps[i].B {
+			t.Fatalf("step %d differs after round trip", i)
+		}
+	}
+	if s1.Expr.String() != s2.Expr.String() {
+		t.Fatal("summaries differ after round trip")
+	}
+}
+
+// TestAllAlgorithmsSameStopContract runs Prov-Approx, Clustering and
+// Random on the same workload with the same TARGET-SIZE and verifies all
+// respect the bound — the Sec. 6.1 contract.
+func TestAllAlgorithmsSameStopContract(t *testing.T) {
+	cfg := prox.DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies = 12, 5
+	w := prox.NewMovieLensWorkload(cfg, rand.New(rand.NewSource(21)))
+	target := w.Prov.Size() * 3 / 4
+
+	s, err := prox.NewSummarizer(prox.SummarizerConfig{
+		Policy:     w.Policy,
+		Estimator:  w.Estimator(prox.ClassCancelSingleAnnotation),
+		WDist:      1,
+		TargetSize: target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := s.Summarize(w.Prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bcfg := prox.BaselineConfig{
+		Policy:     w.Policy,
+		Estimator:  w.Estimator(prox.ClassCancelSingleAnnotation),
+		TargetSize: target,
+	}
+	cb, err := prox.NewClusteringBaseline(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cb.Summarize(w.Prov, w.ClusterSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := prox.NewRandomBaseline(bcfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rb.Summarize(w.Prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, sum := range map[string]*prox.Summary{
+		"prox": ps, "clustering": cs, "random": rs,
+	} {
+		if sum.StopReason == "target-size" && sum.Expr.Size() > target {
+			t.Errorf("%s: size %d exceeds target %d", name, sum.Expr.Size(), target)
+		}
+		if sum.Expr.Size() > w.Prov.Size() {
+			t.Errorf("%s: summary grew", name)
+		}
+	}
+	// Prov-Approx with wDist=1 must not be beaten by Random on distance.
+	if ps.Dist > rs.Dist+1e-9 {
+		t.Errorf("prox distance %g worse than random %g", ps.Dist, rs.Dist)
+	}
+}

@@ -1,0 +1,301 @@
+// Package cluster is a from-scratch hierarchical agglomerative clustering
+// (HAC) implementation — the "Clustering" competitor of Sec. 6.2. It
+// supports the seven linkage criteria of the HAC library the paper used
+// (single, complete, average, weighted average, centroid, median, Ward)
+// via Lance–Williams dissimilarity updates, a Pearson-correlation
+// dissimilarity for sparse rating vectors, and constraint-aware merging
+// (the paper's modification that refuses to merge clusters whose members
+// have nothing in common).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Linkage selects the criterion determining the dissimilarity between
+// clusters as a function of pairwise dissimilarities.
+type Linkage int
+
+// The supported linkage criteria. For Centroid, Median and Ward the
+// input dissimilarity should be squared Euclidean for the textbook
+// geometric interpretation; the Lance–Williams updates are applied to
+// whatever dissimilarity is provided.
+const (
+	Single Linkage = iota
+	Complete
+	Average
+	WeightedAverage
+	Centroid
+	Median
+	Ward
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	case WeightedAverage:
+		return "weighted-average"
+	case Centroid:
+		return "centroid"
+	case Median:
+		return "median"
+	case Ward:
+		return "ward"
+	}
+	return "?"
+}
+
+// Linkages lists all supported criteria.
+func Linkages() []Linkage {
+	return []Linkage{Single, Complete, Average, WeightedAverage, Centroid, Median, Ward}
+}
+
+// coefficients returns the Lance–Williams coefficients (αi, αj, β, γ)
+// for merging clusters i and j (sizes ni, nj) as seen from cluster k
+// (size nk).
+func (l Linkage) coefficients(ni, nj, nk float64) (ai, aj, b, g float64) {
+	switch l {
+	case Single:
+		return 0.5, 0.5, 0, -0.5
+	case Complete:
+		return 0.5, 0.5, 0, 0.5
+	case Average:
+		s := ni + nj
+		return ni / s, nj / s, 0, 0
+	case WeightedAverage:
+		return 0.5, 0.5, 0, 0
+	case Centroid:
+		s := ni + nj
+		return ni / s, nj / s, -(ni * nj) / (s * s), 0
+	case Median:
+		return 0.5, 0.5, -0.25, 0
+	case Ward:
+		s := ni + nj + nk
+		return (ni + nk) / s, (nj + nk) / s, -nk / s, 0
+	}
+	return 0.5, 0.5, 0, 0
+}
+
+// Merge records one agglomeration step: clusters A and B (by cluster id)
+// were fused into New at the given dissimilarity. MembersA and MembersB
+// are the item indices each side contained before the merge.
+type Merge struct {
+	A, B, New          int
+	Dissimilarity      float64
+	MembersA, MembersB []int
+}
+
+// CanMerge decides whether two clusters (given as item-index sets) may be
+// fused — the hook through which the paper's semantic constraints enter
+// the clustering competitor. A nil CanMerge allows everything.
+type CanMerge func(membersA, membersB []int) bool
+
+// Dendrogram is the merge history of a clustering run.
+type Dendrogram struct {
+	// N is the number of initial singleton clusters (items 0..N-1);
+	// merged clusters receive ids N, N+1, ... in merge order.
+	N      int
+	Merges []Merge
+}
+
+// Run performs bottom-up agglomerative clustering over n items with the
+// given initial pairwise dissimilarity, linkage criterion, and optional
+// merge constraint. It merges the closest allowed pair until no allowed
+// pair remains (or a single cluster is left) and returns the dendrogram.
+func Run(n int, dissim func(i, j int) float64, linkage Linkage, can CanMerge) (*Dendrogram, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cluster: negative item count %d", n)
+	}
+	d := &Dendrogram{N: n}
+	if n < 2 {
+		return d, nil
+	}
+
+	// active cluster state
+	type clusterState struct {
+		id      int
+		members []int
+	}
+	active := make(map[int]*clusterState, n)
+	order := make([]int, 0, n) // deterministic iteration
+	for i := 0; i < n; i++ {
+		active[i] = &clusterState{id: i, members: []int{i}}
+		order = append(order, i)
+	}
+
+	// pairwise dissimilarity matrix, keyed by cluster id pairs
+	dist := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist[key(i, j)] = dissim(i, j)
+		}
+	}
+
+	nextID := n
+	for len(active) > 1 {
+		// find the minimal-dissimilarity allowed pair (deterministic scan)
+		bestI, bestJ := -1, -1
+		bestD := math.Inf(1)
+		for x := 0; x < len(order); x++ {
+			ci, ok := active[order[x]]
+			if !ok {
+				continue
+			}
+			for y := x + 1; y < len(order); y++ {
+				cj, ok := active[order[y]]
+				if !ok {
+					continue
+				}
+				dd := dist[key(ci.id, cj.id)]
+				if dd < bestD {
+					if can != nil && !can(ci.members, cj.members) {
+						continue
+					}
+					bestD = dd
+					bestI, bestJ = ci.id, cj.id
+				}
+			}
+		}
+		if bestI < 0 {
+			break // no allowed merges remain
+		}
+
+		ci, cj := active[bestI], active[bestJ]
+		merged := &clusterState{
+			id:      nextID,
+			members: append(append([]int(nil), ci.members...), cj.members...),
+		}
+		sort.Ints(merged.members)
+		d.Merges = append(d.Merges, Merge{
+			A: bestI, B: bestJ, New: nextID,
+			Dissimilarity: bestD,
+			MembersA:      append([]int(nil), ci.members...),
+			MembersB:      append([]int(nil), cj.members...),
+		})
+
+		// Lance–Williams update of distances to every other cluster.
+		ni, nj := float64(len(ci.members)), float64(len(cj.members))
+		dij := dist[key(bestI, bestJ)]
+		for _, id := range order {
+			ck, ok := active[id]
+			if !ok || ck.id == bestI || ck.id == bestJ {
+				continue
+			}
+			nk := float64(len(ck.members))
+			ai, aj, b, g := linkage.coefficients(ni, nj, nk)
+			dik := dist[key(bestI, ck.id)]
+			djk := dist[key(bestJ, ck.id)]
+			dist[key(nextID, ck.id)] = ai*dik + aj*djk + b*dij + g*math.Abs(dik-djk)
+		}
+
+		delete(active, bestI)
+		delete(active, bestJ)
+		active[nextID] = merged
+		order = append(order, nextID)
+		nextID++
+	}
+	return d, nil
+}
+
+// Clusters reconstructs the item partition after the first k merges of
+// the dendrogram (k ≤ len(Merges)); k = len(Merges) yields the final
+// partition. Clusters are returned sorted by their smallest member.
+func (d *Dendrogram) Clusters(k int) [][]int {
+	if k > len(d.Merges) {
+		k = len(d.Merges)
+	}
+	parent := make(map[int]int)
+	var find func(int) int
+	find = func(x int) int {
+		for {
+			p, ok := parent[x]
+			if !ok {
+				return x
+			}
+			x = p
+		}
+	}
+	for i := 0; i < k; i++ {
+		m := d.Merges[i]
+		parent[find(m.A)] = m.New
+		parent[find(m.B)] = m.New
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < d.N; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// PearsonDissimilarity computes 1 − r over the keys common to two sparse
+// vectors, where r is the Pearson correlation coefficient — the
+// dissimilarity the paper uses between users' rating vectors. Pairs with
+// fewer than two common keys or zero variance get the maximal
+// dissimilarity 2 (corresponding to r = −1); the result lies in [0, 2].
+func PearsonDissimilarity(a, b map[string]float64) float64 {
+	var common []string
+	for k := range a {
+		if _, ok := b[k]; ok {
+			common = append(common, k)
+		}
+	}
+	if len(common) < 2 {
+		return 2
+	}
+	n := float64(len(common))
+	var sa, sb float64
+	for _, k := range common {
+		sa += a[k]
+		sb += b[k]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for _, k := range common {
+		da, db := a[k]-ma, b[k]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 2
+	}
+	r := cov / math.Sqrt(va*vb)
+	return 1 - r
+}
+
+// EuclideanDissimilarity computes the squared Euclidean distance over the
+// union of keys of two sparse vectors (missing keys count as 0) — the
+// canonical input for the centroid/median/Ward linkages.
+func EuclideanDissimilarity(a, b map[string]float64) float64 {
+	total := 0.0
+	for k, av := range a {
+		dv := av - b[k]
+		total += dv * dv
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			total += bv * bv
+		}
+	}
+	return total
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pointsDissim builds a dissimilarity over 1-D points.
+func pointsDissim(pts []float64) func(i, j int) float64 {
+	return func(i, j int) float64 { return math.Abs(pts[i] - pts[j]) }
+}
+
+func TestRunSingleLinkage(t *testing.T) {
+	// Two tight groups far apart: {0,1,2} near 0 and {3,4} near 100.
+	pts := []float64{0, 1, 2, 100, 101}
+	d, err := Run(len(pts), pointsDissim(pts), Single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges) != 4 {
+		t.Fatalf("merges = %d, want 4 (full dendrogram)", len(d.Merges))
+	}
+	// After 3 merges the partition must be the two groups.
+	cl := d.Clusters(3)
+	if len(cl) != 2 {
+		t.Fatalf("clusters after 3 merges = %v", cl)
+	}
+	if len(cl[0]) != 3 || len(cl[1]) != 2 {
+		t.Fatalf("cluster sizes = %v", cl)
+	}
+	// The first merge must fuse the closest pair at distance 1.
+	if d.Merges[0].Dissimilarity != 1 {
+		t.Fatalf("first merge dissimilarity = %g", d.Merges[0].Dissimilarity)
+	}
+	// The final merge bridges the two groups: single linkage distance 98.
+	last := d.Merges[3]
+	if last.Dissimilarity != 98 {
+		t.Fatalf("single-linkage bridge = %g, want 98", last.Dissimilarity)
+	}
+}
+
+func TestCompleteLinkageBridge(t *testing.T) {
+	pts := []float64{0, 1, 2, 100, 101}
+	d, err := Run(len(pts), pointsDissim(pts), Complete, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete linkage bridge distance = farthest pair = 101.
+	last := d.Merges[len(d.Merges)-1]
+	if last.Dissimilarity != 101 {
+		t.Fatalf("complete-linkage bridge = %g, want 101", last.Dissimilarity)
+	}
+}
+
+func TestAverageLinkage(t *testing.T) {
+	pts := []float64{0, 2, 10}
+	d, err := Run(len(pts), pointsDissim(pts), Average, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First merge {0,1} at 2; then UPGMA distance to item 2 is (10+8)/2 = 9.
+	if d.Merges[1].Dissimilarity != 9 {
+		t.Fatalf("UPGMA = %g, want 9", d.Merges[1].Dissimilarity)
+	}
+}
+
+func TestWardOnSquaredEuclidean(t *testing.T) {
+	pts := []float64{0, 1, 10}
+	sq := func(i, j int) float64 { v := pts[i] - pts[j]; return v * v }
+	d, err := Run(len(pts), sq, Ward, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ward merges the tight pair first.
+	m0 := d.Merges[0]
+	if !(contains(m0.MembersA, 0) && contains(m0.MembersB, 1) ||
+		contains(m0.MembersA, 1) && contains(m0.MembersB, 0)) {
+		t.Fatalf("ward first merge = %v", m0)
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConstraintStopsMerging(t *testing.T) {
+	pts := []float64{0, 1, 2, 3}
+	// Items 0,1 are "red"; 2,3 are "blue"; only same-color merges allowed.
+	color := []int{0, 0, 1, 1}
+	can := func(a, b []int) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if color[x] != color[y] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	d, err := Run(len(pts), pointsDissim(pts), Single, can)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges) != 2 {
+		t.Fatalf("merges = %d, want 2 (constraint blocks the bridge)", len(d.Merges))
+	}
+	cl := d.Clusters(len(d.Merges))
+	if len(cl) != 2 {
+		t.Fatalf("final clusters = %v", cl)
+	}
+}
+
+func TestRunDegenerate(t *testing.T) {
+	if d, err := Run(0, nil, Single, nil); err != nil || len(d.Merges) != 0 {
+		t.Fatal("empty input must yield empty dendrogram")
+	}
+	if d, err := Run(1, nil, Single, nil); err != nil || len(d.Merges) != 0 {
+		t.Fatal("singleton input must yield empty dendrogram")
+	}
+	if _, err := Run(-1, nil, Single, nil); err == nil {
+		t.Fatal("negative n must fail")
+	}
+}
+
+func TestClustersZeroMerges(t *testing.T) {
+	d := &Dendrogram{N: 3}
+	cl := d.Clusters(0)
+	if len(cl) != 3 {
+		t.Fatalf("initial partition = %v", cl)
+	}
+}
+
+func TestAllLinkagesProduceFullDendrogram(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := make([]float64, 12)
+	for i := range pts {
+		pts[i] = r.Float64() * 100
+	}
+	for _, l := range Linkages() {
+		d, err := Run(len(pts), pointsDissim(pts), l, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", l, err)
+		}
+		if len(d.Merges) != len(pts)-1 {
+			t.Fatalf("%s: merges = %d, want %d", l, len(d.Merges), len(pts)-1)
+		}
+		// every item ends in exactly one cluster
+		final := d.Clusters(len(d.Merges))
+		if len(final) != 1 || len(final[0]) != len(pts) {
+			t.Fatalf("%s: final partition = %v", l, final)
+		}
+		if l.String() == "?" {
+			t.Fatalf("missing String for %d", l)
+		}
+	}
+}
+
+// Property: dendrogram merge dissimilarities are monotone non-decreasing
+// for single, complete, average and weighted-average linkage (the
+// reducible linkages; centroid/median can produce inversions).
+func TestMonotoneDendrogram(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(8)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = r.Float64() * 50
+		}
+		for _, l := range []Linkage{Single, Complete, Average, WeightedAverage} {
+			d, err := Run(n, pointsDissim(pts), l, nil)
+			if err != nil {
+				return false
+			}
+			last := math.Inf(-1)
+			for _, m := range d.Merges {
+				if m.Dissimilarity < last-1e-9 {
+					return false
+				}
+				last = m.Dissimilarity
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonDissimilarity(t *testing.T) {
+	a := map[string]float64{"m1": 1, "m2": 2, "m3": 3}
+	b := map[string]float64{"m1": 2, "m2": 4, "m3": 6} // perfectly correlated
+	if got := PearsonDissimilarity(a, b); math.Abs(got) > 1e-12 {
+		t.Fatalf("correlated dissimilarity = %g, want 0", got)
+	}
+	c := map[string]float64{"m1": 3, "m2": 2, "m3": 1} // anti-correlated
+	if got := PearsonDissimilarity(a, c); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("anti-correlated dissimilarity = %g, want 2", got)
+	}
+	// insufficient overlap
+	d := map[string]float64{"m9": 1}
+	if got := PearsonDissimilarity(a, d); got != 2 {
+		t.Fatalf("no-overlap dissimilarity = %g, want 2", got)
+	}
+	// zero variance
+	e := map[string]float64{"m1": 1, "m2": 1, "m3": 1}
+	if got := PearsonDissimilarity(a, e); got != 2 {
+		t.Fatalf("zero-variance dissimilarity = %g, want 2", got)
+	}
+}
+
+func TestEuclideanDissimilarity(t *testing.T) {
+	a := map[string]float64{"x": 3}
+	b := map[string]float64{"y": 4}
+	if got := EuclideanDissimilarity(a, b); got != 25 {
+		t.Fatalf("squared euclidean = %g, want 25", got)
+	}
+	if got := EuclideanDissimilarity(a, a); got != 0 {
+		t.Fatalf("self dissimilarity = %g", got)
+	}
+}
+
+// Property: Pearson dissimilarity is symmetric and within [0,2].
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		keys := []string{"a", "b", "c", "d", "e"}
+		mk := func() map[string]float64 {
+			m := make(map[string]float64)
+			for _, k := range keys {
+				if r.Intn(3) > 0 {
+					m[k] = float64(r.Intn(5) + 1)
+				}
+			}
+			return m
+		}
+		x, y := mk(), mk()
+		dxy := PearsonDissimilarity(x, y)
+		dyx := PearsonDissimilarity(y, x)
+		return math.Abs(dxy-dyx) < 1e-12 && dxy >= -1e-12 && dxy <= 2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad exercises the bundle decoder against arbitrary JSON: it must
+// either fail cleanly or produce a bundle that re-encodes without
+// panicking.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"version":1,"agg":{"agg":"MAX","tensors":[{"prov":{"var":"U1"},"value":3,"count":1,"group":"MP"}]}}`)
+	f.Add(`{"version":1,"ddp":{"executions":[[{"costVar":"c1","cost":3},{"d1":"d1","d2":"d2","nonZero":true}]]}}`)
+	f.Add(`{"version":1,"agg":{"agg":"SUM","tensors":[{"prov":{"cmp":{"inner":{"prod":[{"var":"a"},{"var":"b"}]},"value":5,"op":">","bound":2}},"value":1,"count":1}]},"universe":[{"ann":"a","table":"t","attrs":{"k":"v"}}],"taxonomy":{"root":"r","edges":[["x","r"]]}}`)
+	f.Add(`{"version":1}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		b, err := Load(strings.NewReader(input))
+		if err != nil {
+			return // clean failure
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, b); err != nil {
+			t.Fatalf("loaded bundle failed to save: %v", err)
+		}
+		// a successfully saved bundle must load again
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("re-load failed: %v\n%s", err, buf.String())
+		}
+	})
+}

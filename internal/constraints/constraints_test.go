@@ -1,0 +1,170 @@
+package constraints
+
+import (
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/taxonomy"
+)
+
+func testUniverse() *provenance.Universe {
+	u := provenance.NewUniverse()
+	u.Add("U1", "users", provenance.Attrs{"gender": "F", "age": "18-24"})
+	u.Add("U2", "users", provenance.Attrs{"gender": "F", "age": "25-34"})
+	u.Add("U3", "users", provenance.Attrs{"gender": "M", "age": "25-34"})
+	u.Add("U4", "users", provenance.Attrs{"gender": "M", "age": "18-24"})
+	u.Add("M1", "movies", provenance.Attrs{"year": "1995"})
+	u.Add("M2", "movies", provenance.Attrs{"year": "1995"})
+	return u
+}
+
+func TestSameTable(t *testing.T) {
+	u := testUniverse()
+	p := NewPolicy(u, SameTable())
+	if !p.CanMerge("U1", "U2") {
+		t.Fatal("same-table users must merge")
+	}
+	if p.CanMerge("U1", "M1") {
+		t.Fatal("cross-table merge must be rejected")
+	}
+	if p.CanMerge("U1", "ghost") {
+		t.Fatal("unregistered annotation must be rejected")
+	}
+	if p.CanMerge("U1", "U1") {
+		t.Fatal("self-merge must be rejected")
+	}
+}
+
+func TestSharedAttr(t *testing.T) {
+	u := testUniverse()
+	p := NewPolicy(u, SharedAttr("gender", "age"))
+	if !p.CanMerge("U1", "U2") { // share gender=F
+		t.Fatal("gender match must merge")
+	}
+	if !p.CanMerge("U2", "U3") { // share age=25-34
+		t.Fatal("age match must merge")
+	}
+	if p.CanMerge("U1", "U3") { // share nothing among the listed attrs
+		t.Fatal("no shared attribute must be rejected")
+	}
+	anyAttr := NewPolicy(u, SharedAttr())
+	if !anyAttr.CanMerge("M1", "M2") { // share year
+		t.Fatal("any-attribute mode must accept year match")
+	}
+}
+
+func TestSharedAttrExtendsToGroups(t *testing.T) {
+	// After merging U1,U2 into gender:F, the summary annotation carries
+	// only the shared attributes; merging it with U3 must fail (U3 is M),
+	// while merging with U4... U4 is M too. Use age instead:
+	u := testUniverse()
+	p := NewPolicy(u, SharedAttr("gender", "age"))
+	g := p.MergeName([]provenance.Annotation{"U1", "U2"})
+	if g != "gender:F" {
+		t.Fatalf("merge name = %s", g)
+	}
+	if p.CanMerge(g, "U3") {
+		t.Fatal("group {U1,U2} shares only gender=F; cannot absorb a male user")
+	}
+}
+
+func TestTableScoped(t *testing.T) {
+	u := testUniverse()
+	p := NewPolicy(u, SameTable(), TableScoped("users", SharedAttr("gender")))
+	if !p.CanMerge("M1", "M2") {
+		t.Fatal("movie merges must bypass the users rule")
+	}
+	if p.CanMerge("U1", "U3") {
+		t.Fatal("user merges must respect the scoped rule")
+	}
+}
+
+func TestCommonAncestorRule(t *testing.T) {
+	tree := taxonomy.New("root")
+	tree.MustAdd("music", "root")
+	tree.MustAdd("sport", "root")
+	tree.MustAdd("singer", "music")
+	tree.MustAdd("guitarist", "music")
+	u := provenance.NewUniverse()
+	u.Add("singer", "pages", nil)
+	u.Add("guitarist", "pages", nil)
+	u.Add("sport", "pages", nil)
+	p := NewPolicy(u, CommonAncestor(tree)).WithTaxonomy(tree)
+	if !p.CanMerge("singer", "guitarist") {
+		t.Fatal("concepts under music must merge")
+	}
+	if p.CanMerge("singer", "sport") {
+		t.Fatal("concepts sharing only the root must not merge")
+	}
+}
+
+func TestMergeNameLCA(t *testing.T) {
+	tree := taxonomy.New("root")
+	tree.MustAdd("music", "root")
+	tree.MustAdd("singer", "music")
+	tree.MustAdd("guitarist", "music")
+	u := provenance.NewUniverse()
+	u.Add("singer", "pages", nil)
+	u.Add("guitarist", "pages", nil)
+	p := NewPolicy(u).WithTaxonomy(tree)
+	name := p.MergeName([]provenance.Annotation{"singer", "guitarist"})
+	if name != "music" {
+		t.Fatalf("LCA merge name = %s, want music", name)
+	}
+	if !u.Known("music") || u.Table("music") != "pages" {
+		t.Fatal("LCA summary annotation must be registered")
+	}
+}
+
+func TestMergeNameFallsBackOutsideTaxonomy(t *testing.T) {
+	tree := taxonomy.New("root")
+	u := testUniverse()
+	p := NewPolicy(u).WithTaxonomy(tree)
+	name := p.MergeName([]provenance.Annotation{"U1", "U2"})
+	if name != "gender:F" {
+		t.Fatalf("non-taxonomy merge name = %s", name)
+	}
+}
+
+func TestNumericWithin(t *testing.T) {
+	u := provenance.NewUniverse()
+	u.Add("c1", "cost", provenance.Attrs{"cost": "3"})
+	u.Add("c2", "cost", provenance.Attrs{"cost": "4"})
+	u.Add("c3", "cost", provenance.Attrs{"cost": "9"})
+	u.Add("d1", "db", provenance.Attrs{})
+	p := NewPolicy(u, NumericWithin("cost", 2))
+	if !p.CanMerge("c1", "c2") {
+		t.Fatal("costs within tolerance must merge")
+	}
+	if p.CanMerge("c1", "c3") {
+		t.Fatal("costs outside tolerance must be rejected")
+	}
+	if p.CanMerge("c1", "d1") {
+		t.Fatal("missing numeric attribute must be rejected")
+	}
+}
+
+func TestAnyRule(t *testing.T) {
+	u := testUniverse()
+	p := NewPolicy(u, Any())
+	if !p.CanMerge("U1", "M1") {
+		t.Fatal("Any must allow everything (except self)")
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	names := []string{
+		SameTable().Name(),
+		SharedAttr("x").Name(),
+		TableScoped("t", Any()).Name(),
+		NumericWithin("cost", 1).Name(),
+		Any().Name(),
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("duplicate or empty rule name %q", n)
+		}
+		seen[n] = true
+	}
+}

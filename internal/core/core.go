@@ -1,0 +1,542 @@
+// Package core implements the PROX provenance summarization algorithm
+// (Algorithm 1 of Ch. 4): a greedy A*-like search that repeatedly maps a
+// pair of annotations to a fresh summary annotation, choosing at each
+// step the candidate minimizing
+//
+//	CandidateScore = wDist·rDist + wSize·rSize,
+//
+// where rDist is the (approximated, normalized) distance of the candidate
+// summary from the original provenance and rSize its normalized size.
+// The search starts by grouping annotations that are equivalent with
+// respect to the valuation class (Prop. 4.2.1, a free first step), and
+// stops when the summary reaches the TARGET-SIZE or TARGET-DIST bound,
+// when the step budget is exhausted, or when no constraint-satisfying
+// candidate pair remains. Ties between minimal-score candidates are
+// broken by taxonomy distance (MAX or SUM of member-to-summary Wu–Palmer
+// distances) when a taxonomy is available.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/constraints"
+	"repro/internal/distance"
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// Config parameterizes the summarizer. WDist and WSize are the candidate
+// score weights (the paper requires WDist+WSize = 1); TargetSize and
+// TargetDist are the stop bounds (use TargetSize = 1 and TargetDist = 1
+// to disable the respective bound); MaxSteps caps the number of merge
+// steps (0 means unlimited).
+type Config struct {
+	// Policy decides mergeability and names summary annotations.
+	Policy *constraints.Policy
+	// Estimator computes candidate distances (it fixes the valuation
+	// class, φ and VAL-FUNC).
+	Estimator *distance.Estimator
+
+	WDist, WSize float64
+	TargetSize   int
+	TargetDist   float64
+	MaxSteps     int
+
+	// TieBreakSum switches taxonomy tie-breaking from MAX to SUM of
+	// member distances.
+	TieBreakSum bool
+
+	// CandidateCap, when positive, examines at most this many randomly
+	// chosen candidate pairs per step instead of all pairs; Rand must be
+	// set. This bounds per-step cost on large inputs without changing the
+	// algorithm's structure.
+	CandidateCap int
+	// Rand drives candidate sampling (and nothing else in this package).
+	Rand *rand.Rand
+
+	// Parallelism, when > 1, evaluates candidate merges on that many
+	// goroutines. Results are reduced in deterministic pair order, so the
+	// chosen summaries are identical to a sequential run; only wall time
+	// changes. The estimator's evaluation cache is prewarmed before
+	// workers start so they only read it; sampling-mode estimators
+	// (Samples > 0) cannot be parallelized and are rejected by New.
+	Parallelism int
+
+	// MergeArity generalizes the algorithm to map k annotations to a new
+	// annotation per step instead of 2 (the thesis's future-work
+	// extension, Ch. 9). 0 and 2 give the paper's pairwise algorithm;
+	// with k > 2, after the best pair is found the group is grown
+	// greedily — at each growth step the constraint-compatible annotation
+	// whose absorption yields the lowest candidate score is added — until
+	// the group has k members or no compatible annotation remains. Larger
+	// arity does more work per step so fewer steps are needed to reach
+	// the stop condition — the tradeoff the thesis proposes to study.
+	MergeArity int
+}
+
+// Step records one merge performed by the algorithm.
+type Step struct {
+	// A and B are the first two annotations merged at this step (the
+	// full set, for k-ary merges, is in Members).
+	A, B provenance.Annotation
+	// Members is the complete set of annotations merged at this step.
+	Members []provenance.Annotation
+	// New is the summary annotation they were mapped to.
+	New provenance.Annotation
+	// Score is the winning candidate score; Dist and Size the candidate's
+	// distance and size after the merge.
+	Score, Dist float64
+	Size        int
+}
+
+// Summary is the result of a summarization run.
+type Summary struct {
+	// Original is the input expression p0.
+	Original provenance.Expression
+	// Expr is the final summary expression.
+	Expr provenance.Expression
+	// Mapping is the cumulative homomorphism with Expr = Mapping(Original).
+	Mapping provenance.Mapping
+	// Groups is the inverse view of Mapping over the original annotations.
+	Groups provenance.Groups
+	// Steps is the merge trace, in order.
+	Steps []Step
+	// Dist is the final (approximated, normalized) distance from Original.
+	Dist float64
+	// StopReason explains termination: "target-size", "target-dist",
+	// "max-steps", "no-candidates".
+	StopReason string
+
+	// CandidatesEvaluated counts candidate (pair, distance) evaluations;
+	// CandidateTime is the total time spent evaluating them. Both feed
+	// the Sec. 6.9 timing experiment.
+	CandidatesEvaluated int
+	CandidateTime       time.Duration
+	// Elapsed is the total summarization wall time.
+	Elapsed time.Duration
+}
+
+// Summarizer runs Algorithm 1.
+type Summarizer struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a Summarizer. The defaults
+// are TargetSize 1 and TargetDist 1 (bounds disabled).
+func New(cfg Config) (*Summarizer, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("core: Config.Policy is required")
+	}
+	if cfg.Estimator == nil {
+		return nil, errors.New("core: Config.Estimator is required")
+	}
+	if cfg.WDist < 0 || cfg.WSize < 0 || cfg.WDist+cfg.WSize == 0 {
+		return nil, fmt.Errorf("core: invalid weights wDist=%g wSize=%g", cfg.WDist, cfg.WSize)
+	}
+	if cfg.TargetSize <= 0 {
+		cfg.TargetSize = 1
+	}
+	if cfg.TargetDist <= 0 {
+		cfg.TargetDist = 1
+	}
+	if cfg.CandidateCap > 0 && cfg.Rand == nil {
+		return nil, errors.New("core: CandidateCap requires Rand")
+	}
+	if cfg.MergeArity == 1 || cfg.MergeArity < 0 {
+		return nil, fmt.Errorf("core: invalid MergeArity %d (want 0 or >= 2)", cfg.MergeArity)
+	}
+	if cfg.MergeArity == 0 {
+		cfg.MergeArity = 2
+	}
+	if cfg.Parallelism > 1 && cfg.Estimator.Samples > 0 {
+		return nil, errors.New("core: Parallelism requires an enumerating estimator (Samples = 0)")
+	}
+	return &Summarizer{cfg: cfg}, nil
+}
+
+// Summarize runs Algorithm 1 on p0 and returns the summary.
+func (s *Summarizer) Summarize(p0 provenance.Expression) (*Summary, error) {
+	start := time.Now()
+	cfg := s.cfg
+	cfg.Estimator.ResetCache()
+
+	res := &Summary{Original: p0}
+	cur := p0
+	cum := provenance.NewMapping()
+	origAnns := p0.Annotations()
+	origSize := p0.Size()
+	if origSize == 0 {
+		res.Expr = p0
+		res.Mapping = cum
+		res.Groups = provenance.GroupsOf(origAnns, cum)
+		res.StopReason = "no-candidates"
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Free pre-step: group annotations equivalent under every valuation
+	// of the class (Prop. 4.2.1). Distance is unchanged (0-cost merges).
+	cur, cum = s.groupEquivalent(cur, cum)
+
+	curDist := s.timedDistance(p0, cur, cum, origAnns, res)
+
+	// prev tracks the state before the latest merge, for the post-loop
+	// TARGET-DIST rollback (lines 11–13 of Algorithm 1).
+	prev, prevCum, prevDist := cur, cum, curDist
+
+	steps := 0
+	res.StopReason = "no-candidates"
+	for {
+		if cur.Size() <= cfg.TargetSize {
+			res.StopReason = "target-size"
+			break
+		}
+		if cfg.TargetDist < 1 && curDist >= cfg.TargetDist {
+			res.StopReason = "target-dist"
+			break
+		}
+		if cfg.MaxSteps > 0 && steps >= cfg.MaxSteps {
+			res.StopReason = "max-steps"
+			break
+		}
+
+		best, ok := s.bestCandidate(p0, cur, cum, origAnns, origSize, res)
+		if !ok {
+			res.StopReason = "no-candidates"
+			break
+		}
+
+		prev, prevCum, prevDist = cur, cum, curDist
+		cur, cum, curDist = best.expr, best.cum, best.dist
+		res.Steps = append(res.Steps, Step{
+			A: best.members[0], B: best.members[1], Members: best.members,
+			New:   best.newAnn,
+			Score: best.score, Dist: best.dist, Size: best.expr.Size(),
+		})
+		steps++
+	}
+
+	// Post-loop rollback: if a distance bound is in force and the final
+	// expression exceeds it, return the previous expression (the last one
+	// within the bound).
+	if cfg.TargetDist < 1 && curDist >= cfg.TargetDist && len(res.Steps) > 0 {
+		cur, cum, curDist = prev, prevCum, prevDist
+		res.Steps = res.Steps[:len(res.Steps)-1]
+	}
+
+	res.Expr = cur
+	res.Mapping = cum
+	res.Groups = provenance.GroupsOf(origAnns, cum)
+	res.Dist = curDist
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// candidate is one examined single-step mapping of a member set to a
+// fresh summary annotation.
+type candidate struct {
+	members []provenance.Annotation
+	newAnn  provenance.Annotation
+	expr    provenance.Expression
+	cum     provenance.Mapping
+	dist    float64
+	score   float64
+}
+
+// probeAnn is the scratch summary annotation used while scoring
+// candidates. Scores do not depend on the summary annotation's name, so
+// candidates are evaluated under this reserved name and only the winning
+// merge is registered (named) in the Universe — otherwise every examined
+// pair would pollute the annotation registry.
+const probeAnn provenance.Annotation = "\x00probe"
+
+// bestCandidate enumerates (or samples) the constraint-satisfying pairs
+// of current annotations, scores each, and returns the minimal-score
+// candidate, breaking ties by taxonomy distance when available.
+func (s *Summarizer) bestCandidate(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, res *Summary) (candidate, bool) {
+	cfg := s.cfg
+	anns := cur.Annotations()
+	var pairs [][2]provenance.Annotation
+	for i := 0; i < len(anns); i++ {
+		for j := i + 1; j < len(anns); j++ {
+			if cfg.Policy.CanMerge(anns[i], anns[j]) {
+				pairs = append(pairs, [2]provenance.Annotation{anns[i], anns[j]})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return candidate{}, false
+	}
+	if cfg.CandidateCap > 0 && len(pairs) > cfg.CandidateCap {
+		cfg.Rand.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		pairs = pairs[:cfg.CandidateCap]
+	}
+
+	cands := s.probeAll(p0, cur, cum, origAnns, origSize, pairs, res)
+
+	var best candidate
+	var ties []candidate
+	found := false
+	for _, cand := range cands {
+		switch {
+		case !found || cand.score < best.score-1e-12:
+			best = cand
+			ties = ties[:0]
+			found = true
+		case cand.score <= best.score+1e-12:
+			ties = append(ties, cand)
+		}
+	}
+	if !found {
+		return candidate{}, false
+	}
+	if len(ties) > 0 && cfg.Policy.Tax != nil {
+		best = s.breakTies(append(ties, best))
+	}
+	if cfg.MergeArity > 2 {
+		best = s.growCandidate(p0, cur, cum, origAnns, origSize, anns, best, res)
+	}
+	return s.commitCandidate(cur, cum, best), true
+}
+
+// probeAll scores every pair, sequentially or on Config.Parallelism
+// goroutines. The result order matches the pair order, so the downstream
+// reduction is deterministic either way.
+func (s *Summarizer) probeAll(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, pairs [][2]provenance.Annotation, res *Summary) []candidate {
+	cands := make([]candidate, len(pairs))
+	if s.cfg.Parallelism <= 1 || len(pairs) < 2 {
+		for i, pr := range pairs {
+			t0 := time.Now()
+			cands[i] = s.probeCandidate(p0, cur, cum, origAnns, origSize, pr[0], pr[1])
+			res.CandidateTime += time.Since(t0)
+			res.CandidatesEvaluated++
+		}
+		return cands
+	}
+
+	// Fill the shared evaluation cache up front so workers only read it.
+	s.cfg.Estimator.Prewarm(p0)
+	workers := s.cfg.Parallelism
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	elapsed := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			for i := range next {
+				pr := pairs[i]
+				cands[i] = s.probeCandidate(p0, cur, cum, origAnns, origSize, pr[0], pr[1])
+			}
+			elapsed[w] = time.Since(start)
+		}(w)
+	}
+	for i := range pairs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, d := range elapsed {
+		res.CandidateTime += d
+	}
+	res.CandidatesEvaluated += len(pairs)
+	return cands
+}
+
+// probeCandidate scores the candidate mapping members ↦ probeAnn without
+// registering a summary annotation. The distance and size are invariant
+// under the summary annotation's name, so the probe score equals the
+// committed candidate's score.
+func (s *Summarizer) probeCandidate(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, members ...provenance.Annotation) candidate {
+	cfg := s.cfg
+	step := provenance.MergeMapping(probeAnn, members...)
+	nextCum := cum.Compose(step)
+	next := cur.Apply(step)
+
+	d := s.distanceFor(p0, next, nextCum, origAnns)
+	rSize := float64(next.Size()) / float64(origSize)
+	score := cfg.WDist*d + cfg.WSize*rSize
+	return candidate{members: members, expr: next, cum: nextCum, dist: d, score: score}
+}
+
+// growCandidate extends the winning pair towards MergeArity members: at
+// each growth step the constraint-compatible annotation whose absorption
+// yields the lowest candidate score joins the group.
+func (s *Summarizer) growCandidate(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, anns []provenance.Annotation, best candidate, res *Summary) candidate {
+	cfg := s.cfg
+	for len(best.members) < cfg.MergeArity {
+		var grown candidate
+		found := false
+		for _, a := range anns {
+			if contains(best.members, a) || !s.compatibleWithAll(a, best.members) {
+				continue
+			}
+			t0 := time.Now()
+			cand := s.probeCandidate(p0, cur, cum, origAnns, origSize, append(append([]provenance.Annotation(nil), best.members...), a)...)
+			res.CandidateTime += time.Since(t0)
+			res.CandidatesEvaluated++
+			if !found || cand.score < grown.score-1e-12 {
+				grown = cand
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		best = grown
+	}
+	return best
+}
+
+func (s *Summarizer) compatibleWithAll(a provenance.Annotation, members []provenance.Annotation) bool {
+	for _, m := range members {
+		if !s.cfg.Policy.CanMerge(a, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(list []provenance.Annotation, a provenance.Annotation) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// commitCandidate registers the winning merge's summary annotation and
+// rebuilds the expression and cumulative mapping under its real name.
+func (s *Summarizer) commitCandidate(cur provenance.Expression, cum provenance.Mapping, c candidate) candidate {
+	c.newAnn = s.cfg.Policy.MergeName(c.members)
+	step := provenance.MergeMapping(c.newAnn, c.members...)
+	c.cum = cum.Compose(step)
+	c.expr = cur.Apply(step)
+	return c
+}
+
+// breakTies picks among equal-score candidates the one whose members are
+// taxonomically closest to the summary annotation they would be mapped to
+// (their LCA; MAX or SUM of distances per Config.TieBreakSum). Ties on
+// taxonomy distance resolve to the lexicographically first pair, keeping
+// runs deterministic.
+func (s *Summarizer) breakTies(cands []candidate) candidate {
+	best := cands[0]
+	bestD := s.taxDistance(best)
+	for _, c := range cands[1:] {
+		d := s.taxDistance(c)
+		if d < bestD || (d == bestD && pairLess(c, best)) {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// taxDistance is the tie-breaking score of a candidate: the taxonomy
+// distance of its members from their LCA (the concept the merge would be
+// named after). Members outside the taxonomy score the maximal distance.
+func (s *Summarizer) taxDistance(c candidate) float64 {
+	tax := s.cfg.Policy.Tax
+	lca, ok := tax.LCA(c.members[0], c.members[1])
+	if !ok {
+		return float64(len(c.members)) // MAX and SUM folds cap here
+	}
+	for _, m := range c.members[2:] {
+		lca2, ok := tax.LCA(lca, m)
+		if !ok {
+			return float64(len(c.members))
+		}
+		lca = lca2
+	}
+	return tax.MappingDistance(lca, c.members, s.cfg.TieBreakSum)
+}
+
+func pairLess(x, y candidate) bool {
+	if x.members[0] != y.members[0] {
+		return x.members[0] < y.members[0]
+	}
+	return x.members[1] < y.members[1]
+}
+
+// timedDistance measures cur against p0, counting the work in res.
+func (s *Summarizer) timedDistance(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, res *Summary) float64 {
+	t0 := time.Now()
+	d := s.distanceFor(p0, cur, cum, origAnns)
+	res.CandidateTime += time.Since(t0)
+	return d
+}
+
+func (s *Summarizer) distanceFor(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation) float64 {
+	groups := provenance.GroupsOf(origAnns, cum)
+	return s.cfg.Estimator.Distance(p0, cur, cum, groups)
+}
+
+// groupEquivalent performs the Prop. 4.2.1 pre-step: annotations that
+// receive the same truth value under every valuation of the class are
+// merged (a free simplification — their evaluations can never be told
+// apart). Only groups whose members the policy allows to merge pairwise
+// are collapsed, so semantic constraints are never violated.
+func (s *Summarizer) groupEquivalent(cur provenance.Expression, cum provenance.Mapping) (provenance.Expression, provenance.Mapping) {
+	classes := EquivalenceClasses(cur.Annotations(), s.cfg.Estimator.Class)
+	for _, cls := range classes {
+		if len(cls) < 2 || !s.allMergeable(cls) {
+			continue
+		}
+		newAnn := s.cfg.Policy.MergeName(cls)
+		step := provenance.MergeMapping(newAnn, cls...)
+		cur = cur.Apply(step)
+		cum = cum.Compose(step)
+	}
+	return cur, cum
+}
+
+func (s *Summarizer) allMergeable(cls []provenance.Annotation) bool {
+	for i := 0; i < len(cls); i++ {
+		for j := i + 1; j < len(cls); j++ {
+			if !s.cfg.Policy.CanMerge(cls[i], cls[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EquivalenceClasses partitions anns into classes of annotations that
+// agree under every valuation of the class, by the partition-refinement
+// procedure of Prop. 4.2.1 (polynomial in |anns| and |class|). Classes
+// are returned in deterministic order with sorted members (the input
+// order of anns is preserved within classes; callers pass sorted
+// annotation sets).
+func EquivalenceClasses(anns []provenance.Annotation, class valuation.Class) [][]provenance.Annotation {
+	classes := [][]provenance.Annotation{append([]provenance.Annotation(nil), anns...)}
+	for _, v := range class.Valuations() {
+		next := make([][]provenance.Annotation, 0, len(classes))
+		for _, c := range classes {
+			var trues, falses []provenance.Annotation
+			for _, a := range c {
+				if v.Truth(a) {
+					trues = append(trues, a)
+				} else {
+					falses = append(falses, a)
+				}
+			}
+			if len(trues) > 0 {
+				next = append(next, trues)
+			}
+			if len(falses) > 0 {
+				next = append(next, falses)
+			}
+		}
+		classes = next
+	}
+	return classes
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraints"
+	"repro/internal/distance"
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// example423 builds the running-example provenance P0 of Example 4.2.3
+// (Match Point + Blue Jasmine, MAX aggregation) together with a universe
+// where U1,U2 are female, U1,U3 are audience members.
+func example423() (*provenance.Agg, *provenance.Universe) {
+	p0 := provenance.NewAgg(provenance.AggMax,
+		provenance.Tensor{Prov: provenance.V("U1"), Value: 3, Count: 1, Group: "MP"},
+		provenance.Tensor{Prov: provenance.V("U2"), Value: 5, Count: 1, Group: "MP"},
+		provenance.Tensor{Prov: provenance.V("U3"), Value: 3, Count: 1, Group: "MP"},
+		provenance.Tensor{Prov: provenance.V("U2"), Value: 4, Count: 1, Group: "BJ"},
+	)
+	u := provenance.NewUniverse()
+	u.Add("U1", "users", provenance.Attrs{"gender": "F", "role": "audience"})
+	u.Add("U2", "users", provenance.Attrs{"gender": "F", "role": "critic"})
+	u.Add("U3", "users", provenance.Attrs{"gender": "M", "role": "audience"})
+	u.Add("MP", "movies", provenance.Attrs{"genre": "drama"})
+	u.Add("BJ", "movies", provenance.Attrs{"genre": "drama"})
+	return p0, u
+}
+
+func newEstimator(anns []provenance.Annotation) *distance.Estimator {
+	return &distance.Estimator{
+		Class: valuation.NewCancelSingleAnnotation(anns),
+		Phi:   provenance.CombineOr,
+		VF:    distance.Euclidean(),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u, constraints.SameTable())
+	est := newEstimator(p0.Annotations())
+	if _, err := New(Config{Estimator: est, WDist: 1}); err == nil {
+		t.Fatal("missing policy must fail")
+	}
+	if _, err := New(Config{Policy: pol, WDist: 1}); err == nil {
+		t.Fatal("missing estimator must fail")
+	}
+	if _, err := New(Config{Policy: pol, Estimator: est}); err == nil {
+		t.Fatal("zero weights must fail")
+	}
+	if _, err := New(Config{Policy: pol, Estimator: est, WDist: -1, WSize: 2}); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	if _, err := New(Config{Policy: pol, Estimator: est, WDist: 1, CandidateCap: 5}); err == nil {
+		t.Fatal("candidate cap without Rand must fail")
+	}
+	if _, err := New(Config{Policy: pol, Estimator: est, WDist: 1}); err != nil {
+		t.Fatalf("valid config failed: %v", err)
+	}
+}
+
+// TestChoosesAudienceOverFemale reproduces the algorithm-flow example of
+// Sec. 4.2.3: with wDist=1 the first merge must be the distance-0
+// Audience grouping (U1,U3), not the Female grouping (U1,U2).
+func TestChoosesAudienceOverFemale(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.TableScoped("users", constraints.SharedAttr("gender", "role")),
+		// keep movies unmergeable in this test for clarity
+		constraints.TableScoped("movies", constraints.SharedAttr("none")),
+	)
+	est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+	s, err := New(Config{Policy: pol, Estimator: est, WDist: 1, MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) != 1 {
+		t.Fatalf("steps = %d, want 1", len(sum.Steps))
+	}
+	st := sum.Steps[0]
+	merged := map[provenance.Annotation]bool{st.A: true, st.B: true}
+	if !merged["U1"] || !merged["U3"] {
+		t.Fatalf("first merge = (%s,%s), want (U1,U3)", st.A, st.B)
+	}
+	if st.New != "role:audience" {
+		t.Fatalf("summary annotation = %s, want role:audience", st.New)
+	}
+	if st.Dist != 0 {
+		t.Fatalf("audience merge distance = %g, want 0", st.Dist)
+	}
+	if sum.StopReason != "max-steps" {
+		t.Fatalf("stop reason = %s", sum.StopReason)
+	}
+	// cumulative mapping and groups must reflect the merge
+	if sum.Mapping.Rename("U1") != "role:audience" || sum.Mapping.Rename("U3") != "role:audience" {
+		t.Fatal("cumulative mapping wrong")
+	}
+	g := sum.Groups["role:audience"]
+	if len(g) != 2 {
+		t.Fatalf("groups = %v", sum.Groups)
+	}
+}
+
+func TestTargetSizeStops(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.SharedAttr("gender", "role", "genre"),
+	)
+	est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+	s, err := New(Config{Policy: pol, Estimator: est, WDist: 1, TargetSize: p0.Size() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Expr.Size() > p0.Size()-1 {
+		t.Fatalf("final size %d exceeds target %d", sum.Expr.Size(), p0.Size()-1)
+	}
+	if sum.StopReason != "target-size" {
+		t.Fatalf("stop reason = %s", sum.StopReason)
+	}
+}
+
+func TestTargetDistRollback(t *testing.T) {
+	// With a tiny distance bound, the algorithm must return an expression
+	// whose distance is strictly below the bound (post-loop rollback).
+	p0, u := example423()
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.TableScoped("users", constraints.SharedAttr("gender", "role")),
+		constraints.TableScoped("movies", constraints.SharedAttr("none")),
+	)
+	est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+	est.MaxError = 10 // normalize
+	s, err := New(Config{Policy: pol, Estimator: est, WSize: 1, TargetDist: 0.01, MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Dist >= 0.01 {
+		t.Fatalf("returned distance %g >= bound 0.01 after rollback", sum.Dist)
+	}
+}
+
+func TestNoCandidatesStop(t *testing.T) {
+	p0, u := example423()
+	// Policy that forbids everything.
+	pol := constraints.NewPolicy(u, constraints.SharedAttr("nonexistent"))
+	est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+	s, err := New(Config{Policy: pol, Estimator: est, WDist: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.StopReason != "no-candidates" {
+		t.Fatalf("stop reason = %s", sum.StopReason)
+	}
+	if len(sum.Steps) != 0 || sum.Expr.Size() != p0.Size() {
+		t.Fatal("expression must be unchanged")
+	}
+}
+
+func TestEmptyExpression(t *testing.T) {
+	u := provenance.NewUniverse()
+	pol := constraints.NewPolicy(u, constraints.Any())
+	est := newEstimator(nil)
+	s, err := New(Config{Policy: pol, Estimator: est, WDist: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(provenance.NewAgg(provenance.AggMax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Expr.Size() != 0 || len(sum.Steps) != 0 {
+		t.Fatal("empty expression must be a fixpoint")
+	}
+}
+
+func TestSummaryEvaluatesConsistently(t *testing.T) {
+	// End-to-end: after summarization, the summary under extended
+	// valuations must stay close to the original under base valuations.
+	p0, u := example423()
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.TableScoped("users", constraints.SharedAttr("gender", "role")),
+		constraints.TableScoped("movies", constraints.SharedAttr("none")),
+	)
+	est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+	s, _ := New(Config{Policy: pol, Estimator: est, WDist: 1, MaxSteps: 1})
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the chosen merge has distance 0: verify by direct evaluation
+	for _, a := range []provenance.Annotation{"U1", "U2", "U3"} {
+		v := provenance.CancelAnnotation(a)
+		orig := sum.Expr.AlignResult(p0.Eval(v), sum.Mapping).(provenance.Vector)
+		summ := sum.Expr.Eval(provenance.ExtendValuation(v, sum.Groups, provenance.CombineOr)).(provenance.Vector)
+		for k, ov := range orig {
+			if summ[k] != ov {
+				t.Fatalf("cancel %s: coordinate %s orig %g vs summary %g", a, k, ov, summ[k])
+			}
+		}
+	}
+}
+
+func TestCandidateCapSampling(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.SharedAttr("gender", "role", "genre"),
+	)
+	est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+	s, err := New(Config{
+		Policy: pol, Estimator: est, WDist: 1, MaxSteps: 1,
+		CandidateCap: 1, Rand: rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CandidatesEvaluated > 1+1 { // 1 candidate + initial distance not counted here
+		t.Fatalf("candidate cap ignored: %d evaluations", sum.CandidatesEvaluated)
+	}
+}
+
+func TestEquivalenceClasses(t *testing.T) {
+	anns := []provenance.Annotation{"a", "b", "c", "d"}
+	// Valuations distinguishing {a,b} from {c,d}: cancel a&b together.
+	class := &valuation.Explicit{Vals: []provenance.Valuation{
+		provenance.CancelSet("cancel ab", "a", "b"),
+	}}
+	classes := EquivalenceClasses(anns, class)
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+	sizes := map[int]int{}
+	for _, c := range classes {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 2 {
+		t.Fatalf("want two classes of size 2, got %v", classes)
+	}
+
+	// Cancel-single-annotation distinguishes everything: all singletons.
+	single := valuation.NewCancelSingleAnnotation(anns)
+	classes = EquivalenceClasses(anns, single)
+	if len(classes) != 4 {
+		t.Fatalf("cancel-single classes = %v", classes)
+	}
+}
+
+func TestGroupEquivalentPreStep(t *testing.T) {
+	// Two annotations always cancelled together under "Cancel Single
+	// Attribute" (same full attribute profile) must be merged for free.
+	u := provenance.NewUniverse()
+	u.Add("U1", "users", provenance.Attrs{"gender": "F"})
+	u.Add("U2", "users", provenance.Attrs{"gender": "F"})
+	u.Add("U3", "users", provenance.Attrs{"gender": "M"})
+	p0 := provenance.NewAgg(provenance.AggSum,
+		provenance.Tensor{Prov: provenance.V("U1"), Value: 1, Count: 1, Group: ""},
+		provenance.Tensor{Prov: provenance.V("U2"), Value: 2, Count: 1, Group: ""},
+		provenance.Tensor{Prov: provenance.V("U3"), Value: 3, Count: 1, Group: ""},
+	)
+	class := valuation.NewCancelSingleAttribute(u, []provenance.Annotation{"U1", "U2", "U3"}, "gender")
+	est := &distance.Estimator{Class: class, Phi: provenance.CombineOr, VF: distance.Euclidean()}
+	pol := constraints.NewPolicy(u, constraints.SameTable(), constraints.SharedAttr("gender"))
+	s, _ := New(Config{Policy: pol, Estimator: est, WDist: 1, MaxSteps: 0, TargetSize: p0.Size()})
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U1,U2 are equivalent (both cancelled only by gender=F) and share
+	// gender, so the pre-step merges them before any scored step.
+	if sum.Mapping.Rename("U1") != sum.Mapping.Rename("U2") {
+		t.Fatalf("equivalent annotations not merged: %v", sum.Mapping.Pairs())
+	}
+	if sum.Mapping.Rename("U1") == "U1" {
+		t.Fatal("U1 must be renamed")
+	}
+	if sum.Dist != 0 {
+		t.Fatalf("group-equivalent merge distance = %g, want 0", sum.Dist)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.SharedAttr("gender", "role", "genre"),
+	)
+	run := func() []Step {
+		est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+		s, _ := New(Config{Policy: pol, Estimator: est, WDist: 0.5, WSize: 0.5, MaxSteps: 3})
+		sum, err := s.Summarize(p0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.Steps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic step counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].A != b[i].A || a[i].B != b[i].B {
+			t.Fatalf("non-deterministic step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMonotoneTrace verifies Prop. 4.2.2 on a real run: sizes are
+// non-increasing and distances non-decreasing along the merge trace.
+func TestMonotoneTrace(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.SharedAttr("gender", "role", "genre"),
+	)
+	est := newEstimator([]provenance.Annotation{"U1", "U2", "U3"})
+	s, _ := New(Config{Policy: pol, Estimator: est, WDist: 1, MaxSteps: 10})
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) == 0 {
+		t.Fatal("expected at least one step")
+	}
+	lastSize := p0.Size()
+	lastDist := -1.0
+	for i, st := range sum.Steps {
+		if st.Size > lastSize {
+			t.Fatalf("step %d size %d > previous %d", i, st.Size, lastSize)
+		}
+		if st.Dist < lastDist-1e-12 {
+			t.Fatalf("step %d dist %g < previous %g", i, st.Dist, lastDist)
+		}
+		lastSize, lastDist = st.Size, st.Dist
+	}
+}

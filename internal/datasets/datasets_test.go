@@ -1,0 +1,226 @@
+package datasets
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/provenance"
+)
+
+func TestMovieLensGeneration(t *testing.T) {
+	w := MovieLens(DefaultMovieLensConfig(), rand.New(rand.NewSource(1)))
+	if w.Name != "movielens" || w.Prov.Size() == 0 {
+		t.Fatal("empty workload")
+	}
+	// every annotation must be registered with a table
+	for _, a := range w.Prov.Annotations() {
+		if !w.Universe.Known(a) {
+			t.Fatalf("annotation %s unregistered", a)
+		}
+		switch w.Universe.Table(a) {
+		case MLUsersTable, MLMoviesTable, MLYearsTable:
+		default:
+			t.Fatalf("annotation %s in unexpected table %q", a, w.Universe.Table(a))
+		}
+	}
+	// users carry all four constraint attributes
+	for _, a := range w.Universe.InTable(MLUsersTable) {
+		for _, attr := range []string{"gender", "age", "occupation", "zip"} {
+			if w.Universe.Attr(a, attr) == "" {
+				t.Fatalf("user %s lacks %s", a, attr)
+			}
+		}
+	}
+	if w.MaxError <= 0 {
+		t.Fatal("MaxError must be positive")
+	}
+	if len(w.ClusterSteps) == 0 {
+		t.Fatal("clustering competitor steps missing")
+	}
+	// tensor structure: (UserID·MovieTitle·MovieYear) products
+	s := w.Prov.String()
+	if !strings.Contains(s, "UID") || !strings.Contains(s, "Movie") || !strings.Contains(s, "Y19") && !strings.Contains(s, "Y20") {
+		t.Fatalf("unexpected provenance shape: %.200s", s)
+	}
+}
+
+func TestMovieLensDeterminism(t *testing.T) {
+	a := MovieLens(DefaultMovieLensConfig(), rand.New(rand.NewSource(7)))
+	b := MovieLens(DefaultMovieLensConfig(), rand.New(rand.NewSource(7)))
+	if a.Prov.String() != b.Prov.String() {
+		t.Fatal("generator must be deterministic per seed")
+	}
+	c := MovieLens(DefaultMovieLensConfig(), rand.New(rand.NewSource(8)))
+	if a.Prov.String() == c.Prov.String() {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestMovieLensClasses(t *testing.T) {
+	w := MovieLens(DefaultMovieLensConfig(), rand.New(rand.NewSource(2)))
+	single := w.Class(CancelSingleAnnotation)
+	if single.Len() != len(w.Prov.Annotations()) {
+		t.Fatalf("cancel-single-annotation size = %d", single.Len())
+	}
+	attr := w.Class(CancelSingleAttribute)
+	if attr.Len() == 0 {
+		t.Fatal("cancel-single-attribute empty")
+	}
+	// estimator over either class must give 0 for the identity mapping
+	for _, kind := range []ClassKind{CancelSingleAnnotation, CancelSingleAttribute} {
+		est := w.Estimator(kind)
+		id := provenance.NewMapping()
+		d := est.Distance(w.Prov, w.Prov, id, provenance.GroupsOf(w.Prov.Annotations(), id))
+		if d != 0 {
+			t.Fatalf("identity distance under %s = %g", kind, d)
+		}
+	}
+}
+
+func TestMovieLensSummarizeEndToEnd(t *testing.T) {
+	cfg := DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies = 10, 4
+	w := MovieLens(cfg, rand.New(rand.NewSource(3)))
+	s, err := core.New(core.Config{
+		Policy:    w.Policy,
+		Estimator: w.Estimator(CancelSingleAnnotation),
+		WDist:     0.5, WSize: 0.5,
+		MaxSteps: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(w.Prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) == 0 {
+		t.Fatal("no merges performed")
+	}
+	if sum.Expr.Size() >= w.Prov.Size() {
+		t.Fatal("summary must shrink")
+	}
+	// constraint check: merged users share an attribute
+	for _, members := range sum.Groups {
+		if len(members) < 2 || w.Universe.Table(members[0]) != MLUsersTable {
+			continue
+		}
+		shared := provenance.Shared([]provenance.Attrs{
+			w.Universe.AttrsOf(members[0]), w.Universe.AttrsOf(members[1]),
+		})
+		if len(shared) == 0 {
+			t.Fatalf("merged users share nothing: %v", members)
+		}
+	}
+}
+
+func TestWikipediaGeneration(t *testing.T) {
+	w := Wikipedia(DefaultWikipediaConfig(), rand.New(rand.NewSource(4)))
+	if w.Tax == nil {
+		t.Fatal("taxonomy missing")
+	}
+	// pages hang in the taxonomy
+	for _, p := range w.Universe.InTable(WikiPagesTable) {
+		if !w.Tax.Contains(p) {
+			t.Fatalf("page %s not in taxonomy", p)
+		}
+		if w.Universe.Attr(p, "concept") == "" {
+			t.Fatalf("page %s lacks concept attribute", p)
+		}
+	}
+	if w.Prov.Size() == 0 || len(w.ClusterSteps) == 0 {
+		t.Fatal("workload incomplete")
+	}
+	// valuation classes must be taxonomy-consistent wrappers
+	if !strings.Contains(w.Class(CancelSingleAnnotation).Name(), "consistent") {
+		t.Fatal("class must be taxonomy-consistent")
+	}
+}
+
+func TestWikipediaPageMergesUseLCA(t *testing.T) {
+	w := Wikipedia(DefaultWikipediaConfig(), rand.New(rand.NewSource(4)))
+	pages := w.Universe.InTable(WikiPagesTable)
+	// find a mergeable page pair and check LCA naming
+	for i := 0; i < len(pages); i++ {
+		for j := i + 1; j < len(pages); j++ {
+			if !w.Policy.CanMerge(pages[i], pages[j]) {
+				continue
+			}
+			name := w.Policy.MergeName([]provenance.Annotation{pages[i], pages[j]})
+			if !w.Tax.Contains(name) {
+				t.Fatalf("merge name %s not a taxonomy concept", name)
+			}
+			if !w.Tax.IsAncestor(name, pages[i]) || !w.Tax.IsAncestor(name, pages[j]) {
+				t.Fatalf("merge name %s is not a common ancestor", name)
+			}
+			return
+		}
+	}
+	t.Skip("no mergeable page pair in this seed")
+}
+
+func TestWikipediaSummarizeEndToEnd(t *testing.T) {
+	cfg := DefaultWikipediaConfig()
+	cfg.Users, cfg.Pages = 8, 6
+	w := Wikipedia(cfg, rand.New(rand.NewSource(6)))
+	s, err := core.New(core.Config{
+		Policy:    w.Policy,
+		Estimator: w.Estimator(CancelSingleAnnotation),
+		WDist:     1,
+		MaxSteps:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(w.Prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Expr.Size() > w.Prov.Size() {
+		t.Fatal("summary grew")
+	}
+	if sum.Dist < 0 || sum.Dist > 1 {
+		t.Fatalf("normalized distance = %g", sum.Dist)
+	}
+}
+
+func TestDDPWorkload(t *testing.T) {
+	w := DDP(DefaultDDPConfig(), rand.New(rand.NewSource(11)))
+	if w.ClusterSteps != nil {
+		t.Fatal("DDP must have no clustering competitor")
+	}
+	if w.MaxError != 50 {
+		t.Fatalf("penalty = %g, want 50", w.MaxError)
+	}
+	attr := w.Class(CancelSingleAttribute)
+	if attr.Len() == 0 {
+		t.Fatal("empty attribute class")
+	}
+	est := w.Estimator(CancelSingleAttribute)
+	id := provenance.NewMapping()
+	if d := est.Distance(w.Prov, w.Prov, id, provenance.GroupsOf(w.Prov.Annotations(), id)); d != 0 {
+		t.Fatalf("identity distance = %g", d)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	counts := make([]int, 10)
+	for i := 0; i < 5000; i++ {
+		counts[zipf(r, 10)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("zipf not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+	if zipf(r, 1) != 0 || zipf(r, 0) != 0 {
+		t.Fatal("degenerate zipf")
+	}
+}
+
+func TestClassKindString(t *testing.T) {
+	if CancelSingleAnnotation.String() == CancelSingleAttribute.String() {
+		t.Fatal("class kind strings must differ")
+	}
+}

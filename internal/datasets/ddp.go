@@ -1,0 +1,45 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"repro/internal/constraints"
+	"repro/internal/ddp"
+)
+
+// DDPConfig re-exports the DDP generator configuration.
+type DDPConfig = ddp.GenConfig
+
+// DefaultDDPConfig mirrors the paper's DDP dataset parameters.
+func DefaultDDPConfig() DDPConfig { return ddp.DefaultGenConfig() }
+
+// DDP generates the DDP workload of Table 5.1: generated data-dependent
+// process provenance (executions of user- and database-dependent
+// transitions over the tropical semiring), with cost variables mergeable
+// when they carry the same cost and database variables mergeable within
+// the same relation, the cost-difference VAL-FUNC with penalty
+// MaxCost·MaxTransitions, and no clustering competitor ("it is not clear
+// how to construct feature vectors" for this structure). Deterministic
+// in r.
+func DDP(cfg DDPConfig, r *rand.Rand) *Workload {
+	expr, u := ddp.Generate(cfg, r)
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		// "user transitions have more or less the same cost": a numeric
+		// tolerance, strictly coarser than the class's exact-cost
+		// cancellation, so the algorithm faces real tradeoffs.
+		constraints.TableScoped(ddp.TableCost, constraints.NumericWithin("cost", ddp.CostTolerance)),
+		constraints.TableScoped(ddp.TableDB, constraints.SharedAttr("relation")),
+	)
+	return &Workload{
+		Name:     "ddp",
+		Prov:     expr,
+		Universe: u,
+		Policy:   pol,
+		VF:       ddp.ValFunc(expr.Penalty()),
+		MaxError: expr.Penalty(),
+		// "tuple" lets Cancel Single Attribute cancel database facts
+		// individually, alongside per-cost and per-relation cancellation.
+		AttrNames: []string{"cost", "relation", "tuple"},
+	}
+}

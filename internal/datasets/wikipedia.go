@@ -1,0 +1,169 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/constraints"
+	"repro/internal/distance"
+	"repro/internal/provenance"
+	"repro/internal/taxonomy"
+)
+
+// Tables of the Wikipedia universe.
+const (
+	WikiUsersTable = "wikiusers"
+	WikiPagesTable = "wikipages"
+)
+
+// WikipediaConfig sizes the synthetic Wikipedia workload.
+type WikipediaConfig struct {
+	// Users and Pages size the object pools.
+	Users, Pages int
+	// MaxEditsPerUser bounds the per-user edit count (≥1).
+	MaxEditsPerUser int
+	// TaxBranching and TaxDepth shape the generated WordNet-style concept
+	// tree under which page titles hang.
+	TaxBranching, TaxDepth int
+	// Linkage selects the HAC competitor's linkage criterion.
+	Linkage cluster.Linkage
+}
+
+// DefaultWikipediaConfig mirrors the paper's scale.
+func DefaultWikipediaConfig() WikipediaConfig {
+	return WikipediaConfig{
+		Users:           18,
+		Pages:           10,
+		MaxEditsPerUser: 4,
+		TaxBranching:    3,
+		TaxDepth:        2,
+		Linkage:         cluster.Single,
+	}
+}
+
+// Wikipedia generates the synthetic Wikipedia workload of Table 5.1:
+// user edits of pages,
+//
+//	(Username·PageTitle) ⊗ (EditType, 1) ⊕ …
+//
+// with SUM aggregation (counting major edits per page), users carrying
+// isRegistered / gender / contribution-level attributes, and page titles
+// hanging as leaves of a generated WordNet-style taxonomy that both
+// constrains page merges (common non-root ancestor, LCA naming) and
+// restricts valuations to taxonomy-consistent ones. The generator is
+// deterministic in r.
+func Wikipedia(cfg WikipediaConfig, r *rand.Rand) *Workload {
+	u := provenance.NewUniverse()
+
+	// taxonomy of concepts, pages attached to random leaf concepts
+	tax := taxonomy.Generate("wordnet_entity", cfg.TaxBranching, cfg.TaxDepth, r)
+	concepts := tax.Leaves()
+	pages := make([]provenance.Annotation, cfg.Pages)
+	for i := range pages {
+		pages[i] = provenance.Annotation(fmt.Sprintf("Page%02d", i+1))
+		concept := concepts[r.Intn(len(concepts))]
+		tax.MustAdd(pages[i], concept)
+		u.Add(pages[i], WikiPagesTable, provenance.Attrs{
+			"concept": string(concept),
+		})
+	}
+
+	// users: registration, gender, contribution level
+	levels := []string{"TopContributor", "Reviewer", "Novice"}
+	users := make([]provenance.Annotation, cfg.Users)
+	for i := range users {
+		users[i] = provenance.Annotation(fmt.Sprintf("Editor%02d", i+1))
+		gender := "M"
+		if r.Intn(2) == 0 {
+			gender = "F"
+		}
+		registered := "true"
+		if r.Intn(4) == 0 {
+			registered = "false"
+		}
+		u.Add(users[i], WikiUsersTable, provenance.Attrs{
+			"gender":       gender,
+			"isRegistered": registered,
+			"contribLevel": levels[r.Intn(len(levels))],
+		})
+	}
+
+	// edits: EditType 1 = major, 0 = minor; SUM counts major edits
+	var tensors []provenance.Tensor
+	userVecs := make([]map[string]float64, cfg.Users)
+	pageVecs := make([]map[string]float64, cfg.Pages)
+	for i := range pageVecs {
+		pageVecs[i] = make(map[string]float64)
+	}
+	for i, user := range users {
+		userVecs[i] = make(map[string]float64)
+		n := 1 + r.Intn(cfg.MaxEditsPerUser)
+		seen := make(map[int]bool)
+		for k := 0; k < n; k++ {
+			p := zipf(r, cfg.Pages)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			editType := float64(r.Intn(2))
+			tensors = append(tensors, provenance.Tensor{
+				Prov:  provenance.P(user, pages[p]),
+				Value: editType,
+				Count: 1,
+				Group: pages[p],
+			})
+			userVecs[i][string(pages[p])] = editType + 1 // shift so minor edits correlate too
+			pageVecs[p][string(user)] = editType + 1
+		}
+	}
+	prov := provenance.NewAgg(provenance.AggSum, tensors...)
+
+	pol := constraints.NewPolicy(u,
+		constraints.SameTable(),
+		constraints.TableScoped(WikiUsersTable, constraints.SharedAttr("gender", "isRegistered", "contribLevel")),
+		constraints.TableScoped(WikiPagesTable, constraints.CommonAncestor(tax)),
+	).WithTaxonomy(tax)
+
+	w := &Workload{
+		Name:      "wikipedia",
+		Prov:      prov,
+		Universe:  u,
+		Policy:    pol,
+		Tax:       tax,
+		VF:        distance.Euclidean(),
+		MaxError:  wikiMaxError(prov),
+		AttrNames: []string{"gender", "isRegistered", "contribLevel", "concept"},
+	}
+	// The clustering competitor runs separately over users and pages
+	// (Sec. 6.2); its merge sequences are concatenated users-first.
+	w.ClusterSteps = append(
+		clusterStepsFor(users, userVecs, pol, cfg.Linkage),
+		clusterStepsFor(pages, pageVecs, pol, cfg.Linkage)...,
+	)
+	return w
+}
+
+// wikiMaxError bounds the Euclidean error for SUM-aggregated 0/1 edits:
+// since minor edits contribute 0, the all-true evaluation can be zero
+// even though cancellations can change sums by the number of edits per
+// page; bound by the per-page edit counts instead.
+func wikiMaxError(p provenance.Expression) float64 {
+	agg, ok := p.(*provenance.Agg)
+	if !ok {
+		return normalizationBound(p)
+	}
+	perGroup := make(map[provenance.Annotation]float64)
+	for _, t := range agg.Tensors {
+		perGroup[t.Group] += float64(t.Count)
+	}
+	total := 0.0
+	for _, c := range perGroup {
+		total += c * c
+	}
+	if total == 0 {
+		return 1
+	}
+	return math.Sqrt(total)
+}

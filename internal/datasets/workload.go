@@ -1,0 +1,172 @@
+// Package datasets builds the three provenance workloads of Ch. 5 —
+// MovieLens, Wikipedia and DDP — as synthetic generators (see DESIGN.md
+// for the substitution rationale). Each generator returns a Workload: the
+// provenance expression, the annotation universe with the attributes of
+// Table 5.1, the merge policy encoding the dataset's semantic
+// constraints, the dataset's VAL-FUNC and normalization bound, and
+// (where applicable) the taxonomy and precomputed clustering merges for
+// the HAC competitor.
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/constraints"
+	"repro/internal/distance"
+	"repro/internal/provenance"
+	"repro/internal/taxonomy"
+	"repro/internal/valuation"
+)
+
+// ClassKind selects one of the paper's valuation classes (Table 5.1).
+type ClassKind int
+
+// The valuation classes used in the experiments.
+const (
+	// CancelSingleAnnotation cancels one annotation per valuation.
+	CancelSingleAnnotation ClassKind = iota
+	// CancelSingleAttribute cancels all annotations sharing one
+	// attribute=value pair per valuation.
+	CancelSingleAttribute
+)
+
+func (k ClassKind) String() string {
+	switch k {
+	case CancelSingleAnnotation:
+		return "Cancel Single Annotation"
+	case CancelSingleAttribute:
+		return "Cancel Single Attribute"
+	}
+	return "?"
+}
+
+// Workload is a ready-to-summarize dataset instance.
+type Workload struct {
+	// Name identifies the dataset ("movielens", "wikipedia", "ddp").
+	Name string
+	// Prov is the provenance expression to summarize.
+	Prov provenance.Expression
+	// Universe registers every annotation with its attributes.
+	Universe *provenance.Universe
+	// Policy encodes the dataset's semantic constraints (Table 5.1).
+	Policy *constraints.Policy
+	// Tax is the concept taxonomy (Wikipedia only; nil otherwise).
+	Tax *taxonomy.Tree
+	// VF is the dataset's VAL-FUNC.
+	VF distance.ValFunc
+	// MaxError normalizes distances into [0,1] (Sec. 6.3).
+	MaxError float64
+	// AttrNames are the attributes driving "Cancel Single Attribute".
+	AttrNames []string
+	// ClusterSteps are the HAC competitor's merges translated to
+	// annotation sets (nil for DDP, which has no clustering competitor).
+	ClusterSteps []baseline.MergeStep
+}
+
+// Class builds the requested valuation class over the workload's
+// annotations, taxonomy-consistent when a taxonomy is present.
+func (w *Workload) Class(kind ClassKind) valuation.Class {
+	var c valuation.Class
+	switch kind {
+	case CancelSingleAttribute:
+		c = valuation.NewCancelSingleAttribute(w.Universe, w.Prov.Annotations(), w.AttrNames...)
+	default:
+		c = valuation.NewCancelSingleAnnotation(w.Prov.Annotations())
+	}
+	if w.Tax != nil {
+		c = taxonomy.Consistent(c, w.Tax)
+	}
+	return c
+}
+
+// Estimator builds a distance estimator for the workload under the given
+// valuation class (exact enumeration; both paper classes are linear in
+// the annotation count).
+func (w *Workload) Estimator(kind ClassKind) *distance.Estimator {
+	return &distance.Estimator{
+		Class:    w.Class(kind),
+		Phi:      provenance.CombineOr,
+		VF:       w.VF,
+		MaxError: w.MaxError,
+	}
+}
+
+// normalizationBound bounds the maximal Euclidean error for an aggregated
+// expression with non-negative contributions: the distance between the
+// all-true evaluation and the empty evaluation.
+func normalizationBound(p provenance.Expression) float64 {
+	vec, ok := p.Eval(provenance.AllTrue).(provenance.Vector)
+	if !ok {
+		return 1
+	}
+	total := 0.0
+	for _, v := range vec {
+		total += v * v
+	}
+	if total == 0 {
+		return 1
+	}
+	return math.Sqrt(total)
+}
+
+// clusterStepsFor runs constraint-aware single-linkage HAC over items
+// with the given sparse feature vectors and translates the dendrogram to
+// baseline merge steps. Items are identified by their annotations.
+func clusterStepsFor(anns []provenance.Annotation, vectors []map[string]float64, pol *constraints.Policy, linkage cluster.Linkage) []baseline.MergeStep {
+	if len(anns) < 2 {
+		return nil
+	}
+	can := func(a, b []int) bool {
+		for _, x := range a {
+			for _, y := range b {
+				if !pol.CanMerge(anns[x], anns[y]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	dend, err := cluster.Run(len(anns), func(i, j int) float64 {
+		return cluster.PearsonDissimilarity(vectors[i], vectors[j])
+	}, linkage, can)
+	if err != nil {
+		return nil
+	}
+	steps := make([]baseline.MergeStep, 0, len(dend.Merges))
+	for _, m := range dend.Merges {
+		st := baseline.MergeStep{}
+		for _, i := range m.MembersA {
+			st.A = append(st.A, anns[i])
+		}
+		for _, i := range m.MembersB {
+			st.B = append(st.B, anns[i])
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// zipf draws an index in [0,n) with a Zipf-like skew (smaller indices are
+// more likely), matching the popularity skew of real rating data.
+func zipf(r *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// inverse-CDF sampling over p(i) ∝ 1/(i+1)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / float64(i+1)
+		if x <= acc {
+			return i
+		}
+	}
+	return n - 1
+}

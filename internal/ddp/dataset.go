@@ -1,0 +1,196 @@
+package ddp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/distance"
+	"repro/internal/provenance"
+)
+
+// ValFunc is the DDP difference function of Example 5.2.2: given
+// evaluation results ⟨C_p, T_p⟩ and ⟨C'_p, T'_p⟩, it returns |C_p − C'_p|
+// when both are satisfiable, 0 when both are unsatisfiable, and the
+// maximal possible cost difference (penalty) when the truth values
+// disagree.
+func ValFunc(penalty float64) distance.ValFunc {
+	return distance.ValFunc{
+		Name: "DDP Cost Difference",
+		F: func(_ provenance.Valuation, orig, summ provenance.Result) float64 {
+			o, ook := orig.(CostTruth)
+			s, sok := summ.(CostTruth)
+			if !ook || !sok {
+				return penalty
+			}
+			switch {
+			case o.Truth && s.Truth:
+				d := o.Cost - s.Cost
+				if d < 0 {
+					d = -d
+				}
+				return d
+			case !o.Truth && !s.Truth:
+				return 0
+			default:
+				return penalty
+			}
+		},
+	}
+}
+
+// Tables used to register DDP variables in a Universe.
+const (
+	TableCost = "costvars"
+	TableDB   = "dbvars"
+)
+
+// GenConfig parameterizes the synthetic DDP dataset generator (the
+// paper's DDP provenance was likewise generated from the structure of
+// [17]).
+type GenConfig struct {
+	// Executions is the number of executions in the expression.
+	Executions int
+	// TransitionsPerExec is the number of transitions per execution
+	// (≤ DefaultMaxTransitions in the paper's setup).
+	TransitionsPerExec int
+	// DBVars and CostVars size the variable pools.
+	DBVars, CostVars int
+	// Relations is the number of simulated database relations; DB
+	// variables are spread across them (the "relation" attribute that
+	// constrains and drives attribute-cancelling valuations).
+	Relations int
+	// CostLevels quantizes transition costs into this many distinct
+	// values in [1, DefaultMaxCost]. High values give quasi-continuous
+	// costs: cost variables then rarely share an exact cost, so the
+	// "more or less the same cost" merge constraint (a numeric
+	// tolerance) is strictly coarser than exact-cost cancellation and the
+	// summarizer faces real distance/size tradeoffs, as in the paper's
+	// generated DDP data.
+	CostLevels int
+}
+
+// DefaultGenConfig mirrors the paper's dataset description. The variable
+// pools are sized so that the number of constraint-satisfying merges
+// comfortably exceeds the experiments' 10-step budget — otherwise every
+// strategy exhausts the merge space and the figures flatten out.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Executions:         12,
+		TransitionsPerExec: DefaultMaxTransitions,
+		DBVars:             16,
+		CostVars:           16,
+		Relations:          4,
+		CostLevels:         20,
+	}
+}
+
+// CostTolerance is the default "more or less the same cost" merge
+// tolerance used by the DDP workload's constraint policy.
+const CostTolerance = 2.5
+
+// Generate builds a random DDP provenance expression and the Universe
+// registering its variables: cost variables carry a "cost" attribute
+// (their quantized cost value) and database variables a "relation"
+// attribute. The generator is deterministic in r.
+func Generate(cfg GenConfig, r *rand.Rand) (*Expr, *provenance.Universe) {
+	u := provenance.NewUniverse()
+
+	costs := make([]float64, cfg.CostVars)
+	costVars := make([]provenance.Annotation, cfg.CostVars)
+	for i := range costVars {
+		level := 1 + r.Intn(cfg.CostLevels)
+		cost := float64(level) * DefaultMaxCost / float64(cfg.CostLevels)
+		costs[i] = cost
+		costVars[i] = provenance.Annotation(fmt.Sprintf("c%d", i+1))
+		u.Add(costVars[i], TableCost, provenance.Attrs{"cost": fmt.Sprintf("%g", cost)})
+	}
+	dbVars := make([]provenance.Annotation, cfg.DBVars)
+	for i := range dbVars {
+		dbVars[i] = provenance.Annotation(fmt.Sprintf("d%d", i+1))
+		rel := fmt.Sprintf("R%d", r.Intn(cfg.Relations)+1)
+		// "tuple" identifies the individual database fact, so that the
+		// Cancel Single Attribute class can cancel facts one at a time
+		// (same-relation variables must stay distinguishable, otherwise
+		// the group-equivalent pre-step would collapse them for free).
+		u.Add(dbVars[i], TableDB, provenance.Attrs{
+			"relation": rel,
+			"tuple":    string(dbVars[i]),
+		})
+	}
+
+	// Half of the executions are fresh; the other half are near-clones of
+	// earlier ones with each variable replaced by a "sibling" (a cost
+	// variable of similar cost, a database variable of the same
+	// relation). Clones are exactly the executions that collapse when the
+	// summarizer merges sibling variables — the paper's Example 5.2.2
+	// rewrite of two executions into one — so summaries can actually
+	// shrink the expression.
+	var execs []Execution
+	fresh := func() Execution {
+		ex := make(Execution, 0, cfg.TransitionsPerExec)
+		for t := 0; t < cfg.TransitionsPerExec; t++ {
+			if r.Intn(2) == 0 {
+				j := r.Intn(cfg.CostVars)
+				ex = append(ex, User(costVars[j], costs[j]))
+			} else {
+				d1 := dbVars[r.Intn(cfg.DBVars)]
+				d2 := dbVars[r.Intn(cfg.DBVars)]
+				ex = append(ex, Cond(d1, d2, r.Intn(4) != 0)) // mostly ≠ 0
+			}
+		}
+		return ex
+	}
+	siblingCost := func(j int) int {
+		best, bestDiff := j, math.Inf(1)
+		for k := range costs {
+			if k == j {
+				continue
+			}
+			diff := math.Abs(costs[k] - costs[j])
+			if diff <= CostTolerance && diff < bestDiff {
+				best, bestDiff = k, diff
+			}
+		}
+		return best
+	}
+	siblingDB := func(d provenance.Annotation) provenance.Annotation {
+		rel := u.Attr(d, "relation")
+		var options []provenance.Annotation
+		for _, x := range dbVars {
+			if x != d && u.Attr(x, "relation") == rel {
+				options = append(options, x)
+			}
+		}
+		if len(options) == 0 {
+			return d
+		}
+		return options[r.Intn(len(options))]
+	}
+	clone := func(ex Execution) Execution {
+		out := make(Execution, len(ex))
+		for i, t := range ex {
+			if t.IsUser() {
+				// find the index of the cost var to pick its sibling
+				for j, cv := range costVars {
+					if cv == t.CostVar {
+						k := siblingCost(j)
+						out[i] = User(costVars[k], costs[k])
+						break
+					}
+				}
+			} else {
+				out[i] = Cond(siblingDB(t.D1), siblingDB(t.D2), t.NonZero)
+			}
+		}
+		return out
+	}
+	for i := 0; i < cfg.Executions; i++ {
+		if i%2 == 1 && len(execs) > 0 {
+			execs = append(execs, clone(execs[r.Intn(len(execs))]))
+		} else {
+			execs = append(execs, fresh())
+		}
+	}
+	return NewExpr(execs...), u
+}

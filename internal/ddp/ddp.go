@@ -1,0 +1,308 @@
+// Package ddp implements the Data-Dependent Process provenance of
+// Deutch et al. [17], the third dataset of Ch. 5/6: provenance
+// expressions summarizing the executions of an application whose control
+// flow is guided by a finite state machine and by the state of an
+// underlying database.
+//
+// A DDP provenance expression is a sum of executions; an execution is a
+// product of transitions; a transition is either user-dependent —
+// ⟨c_k, 1⟩, where c_k is the cost (user effort) of the transition — or
+// database-dependent — ⟨0, [d_i·d_j] ≠ 0⟩ or ⟨0, [d_i·d_j] = 0⟩, an
+// abstract condition over database tuple variables. The aggregation is
+// over the tropical semiring (N^∞, min, +, ∞, 0) on costs paired with the
+// boolean semiring on conditions: the value of the expression under a
+// valuation is ⟨C, true⟩ where C is the least total effort of a satisfied
+// execution, or ⟨·, false⟩ when no execution's condition holds.
+//
+// The type implements provenance.Expression, so Algorithm 1 summarizes
+// DDP provenance unchanged: mappings rename cost variables to new cost
+// variables and database variables to new database variables, and the
+// tropical congruences merge executions that become identical.
+package ddp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/provenance"
+)
+
+// Transition is one step of an execution.
+type Transition struct {
+	// User-dependent transitions: CostVar names the cost variable and
+	// Cost its value (the user's effort). DB fields are unused.
+	CostVar provenance.Annotation
+	Cost    float64
+
+	// Database-dependent transitions: the condition [D1·D2 op 0] with op
+	// "≠ 0" when NonZero is true and "= 0" otherwise. Cost fields unused.
+	D1, D2  provenance.Annotation
+	NonZero bool
+}
+
+// IsUser reports whether t is a user-dependent transition.
+func (t Transition) IsUser() bool { return t.CostVar != "" }
+
+// User builds a user-dependent transition ⟨cost, 1⟩.
+func User(costVar provenance.Annotation, cost float64) Transition {
+	return Transition{CostVar: costVar, Cost: cost}
+}
+
+// Cond builds a database-dependent transition ⟨0, [d1·d2 ≠ 0]⟩ (nonZero
+// true) or ⟨0, [d1·d2 = 0]⟩.
+func Cond(d1, d2 provenance.Annotation, nonZero bool) Transition {
+	return Transition{D1: d1, D2: d2, NonZero: nonZero}
+}
+
+func (t Transition) String() string {
+	if t.IsUser() {
+		return fmt.Sprintf("⟨%s:%g,1⟩", t.CostVar, t.Cost)
+	}
+	op := "="
+	if t.NonZero {
+		op = "≠"
+	}
+	return fmt.Sprintf("⟨0,[%s·%s]%s0⟩", t.D1, t.D2, op)
+}
+
+// key is a canonical form for congruence detection. DB variables within a
+// condition commute.
+func (t Transition) key() string {
+	if t.IsUser() {
+		return fmt.Sprintf("u:%s:%g", t.CostVar, t.Cost)
+	}
+	a, b := string(t.D1), string(t.D2)
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("d:%s:%s:%v", a, b, t.NonZero)
+}
+
+// Execution is a product of transitions (one run of the DDP).
+type Execution []Transition
+
+func (e Execution) String() string {
+	parts := make([]string, len(e))
+	for i, t := range e {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "·")
+}
+
+// key is the canonical form of the execution: transitions commute, and
+// duplicate condition transitions are idempotent (AND), while duplicate
+// user transitions accumulate cost and must be kept.
+func (e Execution) key() string {
+	keys := make([]string, 0, len(e))
+	seen := make(map[string]bool)
+	for _, t := range e {
+		k := t.key()
+		if !t.IsUser() {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "*")
+}
+
+// CostTruth is the value of a DDP expression under a valuation: the least
+// user effort of a satisfied execution, and whether any execution is
+// satisfied.
+type CostTruth struct {
+	Cost  float64
+	Truth bool
+}
+
+// ResultString implements provenance.Result.
+func (c CostTruth) ResultString() string { return fmt.Sprintf("⟨%g,%v⟩", c.Cost, c.Truth) }
+
+// Expr is a DDP provenance expression: a sum of executions. It implements
+// provenance.Expression. MaxCost and MaxTransitions bound the dataset
+// (cost ≤ MaxCost per transition, ≤ MaxTransitions transitions per
+// execution) and determine the disagreement penalty of the VAL-FUNC.
+type Expr struct {
+	Execs          []Execution
+	MaxCost        float64
+	MaxTransitions int
+}
+
+// DefaultMaxCost and DefaultMaxTransitions are the paper's dataset
+// parameters ("the maximum cost per single transition (10) multiplied by
+// the number of transitions per execution (5)").
+const (
+	DefaultMaxCost        = 10
+	DefaultMaxTransitions = 5
+)
+
+// NewExpr builds a DDP expression with the paper's bounds and simplifies
+// it.
+func NewExpr(execs ...Execution) *Expr {
+	e := &Expr{Execs: execs, MaxCost: DefaultMaxCost, MaxTransitions: DefaultMaxTransitions}
+	return e.Simplify()
+}
+
+// Penalty is the VAL-FUNC value when the original and summary disagree on
+// satisfiability: the maximal possible cost difference.
+func (e *Expr) Penalty() float64 { return e.MaxCost * float64(e.MaxTransitions) }
+
+// Simplify applies the tropical congruences: duplicate condition
+// transitions inside an execution collapse (AND-idempotence) and
+// executions with identical canonical form merge (min-idempotence). The
+// receiver is unchanged.
+func (e *Expr) Simplify() *Expr {
+	out := &Expr{MaxCost: e.MaxCost, MaxTransitions: e.MaxTransitions}
+	seen := make(map[string]bool)
+	for _, ex := range e.Execs {
+		// drop duplicate condition transitions within the execution
+		var slim Execution
+		dup := make(map[string]bool)
+		for _, t := range ex {
+			k := t.key()
+			if !t.IsUser() {
+				if dup[k] {
+					continue
+				}
+				dup[k] = true
+			}
+			slim = append(slim, t)
+		}
+		k := Execution(slim).key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Execs = append(out.Execs, slim)
+	}
+	sort.Slice(out.Execs, func(i, j int) bool { return out.Execs[i].key() < out.Execs[j].key() })
+	return out
+}
+
+// Size implements provenance.Expression: the number of variable
+// occurrences (1 per user transition, 2 per condition transition).
+func (e *Expr) Size() int {
+	n := 0
+	for _, ex := range e.Execs {
+		for _, t := range ex {
+			if t.IsUser() {
+				n++
+			} else {
+				n += 2
+			}
+		}
+	}
+	return n
+}
+
+// Annotations implements provenance.Expression.
+func (e *Expr) Annotations() []provenance.Annotation {
+	set := make(map[provenance.Annotation]struct{})
+	for _, ex := range e.Execs {
+		for _, t := range ex {
+			if t.IsUser() {
+				set[t.CostVar] = struct{}{}
+			} else {
+				set[t.D1] = struct{}{}
+				set[t.D2] = struct{}{}
+			}
+		}
+	}
+	out := make([]provenance.Annotation, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Apply implements provenance.Expression: rename cost and database
+// variables through the mapping and re-apply the congruences. Renaming a
+// variable to provenance.Zero cancels it (a condition over a Zero
+// variable can never be non-zero; a Zero cost variable contributes no
+// cost); renaming to provenance.One fixes it as present.
+func (e *Expr) Apply(m provenance.Mapping) provenance.Expression {
+	out := &Expr{MaxCost: e.MaxCost, MaxTransitions: e.MaxTransitions}
+	for _, ex := range e.Execs {
+		nex := make(Execution, len(ex))
+		for i, t := range ex {
+			if t.IsUser() {
+				t.CostVar = m.Rename(t.CostVar)
+			} else {
+				t.D1 = m.Rename(t.D1)
+				t.D2 = m.Rename(t.D2)
+			}
+			nex[i] = t
+		}
+		out.Execs = append(out.Execs, nex)
+	}
+	return out.Simplify()
+}
+
+// truthOf interprets the reserved constants for a valuation.
+func truthOf(v provenance.Valuation, a provenance.Annotation) bool {
+	switch a {
+	case provenance.Zero:
+		return false
+	case provenance.One:
+		return true
+	default:
+		return v.Truth(a)
+	}
+}
+
+// Eval implements provenance.Expression. A valuation assigns booleans to
+// database variables and 0/1 multipliers to cost variables (false = the
+// cost is cancelled). The value is the minimal total cost among satisfied
+// executions.
+func (e *Expr) Eval(v provenance.Valuation) provenance.Result {
+	best := CostTruth{Cost: 0, Truth: false}
+	for _, ex := range e.Execs {
+		cost := 0.0
+		ok := true
+		for _, t := range ex {
+			if t.IsUser() {
+				if truthOf(v, t.CostVar) {
+					cost += t.Cost
+				}
+				continue
+			}
+			holds := truthOf(v, t.D1) && truthOf(v, t.D2)
+			if !t.NonZero {
+				holds = !holds
+			}
+			if !holds {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !best.Truth || cost < best.Cost {
+			best = CostTruth{Cost: cost, Truth: true}
+		}
+	}
+	return best
+}
+
+// AlignResult implements provenance.Expression; DDP results are scalar
+// cost/truth pairs, so no re-keying is needed.
+func (e *Expr) AlignResult(orig provenance.Result, _ provenance.Mapping) provenance.Result {
+	return orig
+}
+
+// String implements provenance.Expression.
+func (e *Expr) String() string {
+	if len(e.Execs) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(e.Execs))
+	for i, ex := range e.Execs {
+		parts[i] = ex.String()
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,129 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// Estimator computes the distance dist^{h,φ}(p0, pc) of Definition 3.2.2:
+// the average VAL-FUNC value over the valuation class, either by exact
+// enumeration of the class or by Monte-Carlo sampling (Prop. 4.1.2).
+//
+// For every valuation v, the original expression is evaluated under v,
+// the result is aligned into the summary's result space (merged group
+// keys are re-aggregated), the summary is evaluated under the extended
+// valuation v^{h,φ}, and the VAL-FUNC is applied to the pair.
+//
+// The estimator caches original-expression evaluations keyed by valuation
+// name, because during summarization the same p0 is compared against many
+// candidates under the same class.
+type Estimator struct {
+	Class valuation.Class
+	Phi   provenance.Combiner
+	VF    ValFunc
+
+	// Samples > 0 switches to Monte-Carlo sampling with that many draws;
+	// 0 enumerates the whole class.
+	Samples int
+	// Rand drives sampling; required when Samples > 0.
+	Rand *rand.Rand
+	// MaxError, when positive, normalizes distances into [0,1] by
+	// dividing by the maximum possible error (Sec. 6.3).
+	MaxError float64
+
+	origCache map[string]provenance.Result
+	cachedFor provenance.Expression
+}
+
+// Distance computes the (possibly normalized) distance between the
+// original expression p0 and the candidate summary pc, where cumulative
+// is the mapping with h(p0) = pc and groups is its inverse view.
+func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance.Mapping, groups provenance.Groups) float64 {
+	var total float64
+	var n int
+	if e.Samples > 0 {
+		for i := 0; i < e.Samples; i++ {
+			v := e.Class.Sample(e.Rand)
+			total += e.valFuncAt(v, p0, pc, cumulative, groups)
+			n++
+		}
+	} else {
+		for _, v := range e.Class.Valuations() {
+			total += e.valFuncAt(v, p0, pc, cumulative, groups)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	d := total / float64(n)
+	if e.MaxError > 0 {
+		d /= e.MaxError
+		if d > 1 {
+			d = 1
+		}
+	}
+	return d
+}
+
+// valFuncAt evaluates one summand of Definition 3.2.2.
+func (e *Estimator) valFuncAt(v provenance.Valuation, p0, pc provenance.Expression, cumulative provenance.Mapping, groups provenance.Groups) float64 {
+	orig := e.evalOriginal(v, p0)
+	aligned := pc.AlignResult(orig, cumulative)
+	ext := provenance.ExtendValuation(v, groups, e.Phi)
+	summ := pc.Eval(ext)
+	return e.VF.F(v, aligned, summ)
+}
+
+// evalOriginal evaluates p0 under v with memoization.
+func (e *Estimator) evalOriginal(v provenance.Valuation, p0 provenance.Expression) provenance.Result {
+	if e.cachedFor != p0 {
+		e.origCache = make(map[string]provenance.Result)
+		e.cachedFor = p0
+	}
+	key := v.Name()
+	if r, ok := e.origCache[key]; ok {
+		return r
+	}
+	r := p0.Eval(v)
+	e.origCache[key] = r
+	return r
+}
+
+// ResetCache drops the original-expression evaluation cache. Call it when
+// the estimator is reused with a different original expression identity
+// that may collide on valuation names.
+func (e *Estimator) ResetCache() {
+	e.origCache = nil
+	e.cachedFor = nil
+}
+
+// Prewarm fills the original-expression cache with the evaluation of p0
+// under every valuation of the class. After a prewarm, enumeration-mode
+// Distance calls only read the cache, which makes the estimator safe for
+// concurrent use by parallel candidate evaluation (sampling mode draws
+// fresh valuations and must not be shared across goroutines).
+func (e *Estimator) Prewarm(p0 provenance.Expression) {
+	for _, v := range e.Class.Valuations() {
+		e.evalOriginal(v, p0)
+	}
+}
+
+// SampleSize returns a number of Monte-Carlo samples sufficient for
+// Prob(|d' − dist| > eps) < 1 − delta via Chebyshev's inequality, given
+// an upper bound on the per-sample variance (for a VAL-FUNC bounded in
+// [0,B], varBound = B²/4 always suffices). This makes the polynomial
+// convergence guarantee of Prop. 4.1.2 concrete.
+func SampleSize(eps, delta, varBound float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	n := varBound / (eps * eps * (1 - delta))
+	if n < 1 {
+		return 1
+	}
+	return int(math.Ceil(n))
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func TestMergeArityAblation(t *testing.T) {
+	o := quickOpts("movielens")
+	res, err := MergeArity(o, []int{2, 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Steps.Rows))
+	}
+	// Larger arity must reach the same size bound in no more steps.
+	if res.Steps.Rows[1].Values[0] > res.Steps.Rows[0].Values[0]+1e-9 {
+		t.Fatalf("arity 4 used more steps than arity 2: %v vs %v",
+			res.Steps.Rows[1].Values, res.Steps.Rows[0].Values)
+	}
+	// Both must reach the bound.
+	if res.Size.Rows[0].Values[0] <= 0 || res.Size.Rows[1].Values[0] <= 0 {
+		t.Fatal("sizes must be positive")
+	}
+}
+
+func TestSamplingAccuracyAblation(t *testing.T) {
+	o := quickOpts("movielens")
+	o.Runs = 1
+	res, err := SamplingAccuracy(o, []int{0, 20, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Error.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Error.Rows))
+	}
+	// Exact mode has zero error.
+	if res.Error.Rows[0].Values[0] != 0 {
+		t.Fatalf("exact error = %g", res.Error.Rows[0].Values[0])
+	}
+	// More samples must not hurt much: 500-sample error below 0.1
+	// normalized (the distances themselves are small).
+	if res.Error.Rows[2].Values[0] > 0.1 {
+		t.Fatalf("500-sample error = %g", res.Error.Rows[2].Values[0])
+	}
+}
+
+func TestParallelSpeedupAblation(t *testing.T) {
+	o := quickOpts("movielens")
+	o.Runs = 1
+	tbl, err := ParallelSpeedup(o, []int{1, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.Values[0] <= 0 {
+			t.Fatalf("non-positive time: %v", r)
+		}
+	}
+}
+
+func TestAblationsOnDDP(t *testing.T) {
+	o := quickOpts("ddp")
+	o.Class = datasets.CancelSingleAttribute
+	if _, err := MergeArity(o, []int{2, 3}, 0.6); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotMarks are the per-series marks of ASCII plots, in series order.
+var plotMarks = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the table as an ASCII chart: one column of marks per data
+// point, y-scaled across all series, with an axis legend. It is meant for
+// quick visual inspection of the experiment shapes in a terminal (the
+// figures proper are the CSV exports).
+func (t *Table) Plot(height int) string {
+	if height < 4 {
+		height = 12
+	}
+	if len(t.Rows) == 0 || len(t.Series) == 0 {
+		return t.Title + "\n(no data)\n"
+	}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return t.Title + "\n(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	const colWidth = 6
+	width := len(t.Rows) * colWidth
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+
+	rowFor := func(v float64) int {
+		frac := (v - minY) / (maxY - minY)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for xi, r := range t.Rows {
+		col := xi*colWidth + colWidth/2
+		for si, v := range r.Values {
+			if math.IsNaN(v) || si >= len(plotMarks) {
+				continue
+			}
+			y := rowFor(v)
+			if grid[y][col] == ' ' {
+				grid[y][col] = plotMarks[si]
+			} else {
+				grid[y][col] = '&' // overlapping series
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7s ", trimFloat(maxY))
+		case height - 1:
+			label = fmt.Sprintf("%7s ", trimFloat(minY))
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	// x labels
+	b.WriteString("         ")
+	for _, r := range t.Rows {
+		b.WriteString(fmt.Sprintf("%-*s", colWidth, trimFloat(r.X)))
+	}
+	b.WriteString("  (" + t.XLabel + ")\n")
+	// legend
+	for si, s := range t.Series {
+		if si >= len(plotMarks) {
+			break
+		}
+		fmt.Fprintf(&b, "        %c %s\n", plotMarks[si], s)
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+// Package experiments implements the evaluation harness of Ch. 6: one
+// runner per figure group, each regenerating the corresponding series
+// (averaged over several generated provenance expressions) as a Table
+// that can be printed as aligned text or exported as CSV. The absolute
+// numbers depend on the synthetic data and the machine; the shapes — the
+// ordering of Prov-Approx vs Clustering vs Random, the monotone trends in
+// wDist / TARGET-SIZE / TARGET-DIST, the usage-time ratios below 1 — are
+// the reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a generic experiment result: one x-column and one value column
+// per series.
+type Table struct {
+	// Title names the experiment, typically with the paper figure number.
+	Title string
+	// XLabel names the x-axis (e.g. "wDist", "TARGET-SIZE").
+	XLabel string
+	// Series names the value columns.
+	Series []string
+	// Rows holds the data points in x order.
+	Rows []Row
+}
+
+// Row is one data point: an x value and one value per series (NaN marks a
+// missing point).
+type Row struct {
+	X      float64
+	Values []float64
+}
+
+// AddRow appends a data point.
+func (t *Table) AddRow(x float64, values ...float64) {
+	t.Rows = append(t.Rows, Row{X: x, Values: values})
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	headers := append([]string{t.XLabel}, t.Series...)
+	widths := make([]int, len(headers))
+	cells := make([][]string, 0, len(t.Rows)+1)
+	cells = append(cells, headers)
+	for _, r := range t.Rows {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(r.X))
+		for _, v := range r.Values {
+			row = append(row, trimFloat(v))
+		}
+		cells = append(cells, row)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for i, row := range cells {
+		for j, c := range row {
+			if j < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[j], c)
+			}
+		}
+		b.WriteString("\n")
+		if i == 0 {
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// CSV writes the table in CSV form.
+func (t *Table) CSV(w io.Writer) error {
+	headers := append([]string{t.XLabel}, t.Series...)
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		fields := make([]string, 0, len(headers))
+		fields = append(fields, trimFloat(r.X))
+		for _, v := range r.Values {
+			fields = append(fields, trimFloat(v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package krel
+
+import (
+	"fmt"
+
+	"repro/internal/provenance"
+)
+
+// Rename returns a copy of the relation with column renamed; tuples and
+// annotations are shared structurally (rows are copied, provenance
+// expressions are immutable).
+func (r *Relation) Rename(oldCol, newCol string) (*Relation, error) {
+	if r.Col(oldCol) < 0 {
+		return nil, fmt.Errorf("krel: %s has no column %q", r.Name, oldCol)
+	}
+	if r.Col(newCol) >= 0 {
+		return nil, fmt.Errorf("krel: %s already has column %q", r.Name, newCol)
+	}
+	cols := append([]string(nil), r.Cols...)
+	cols[r.Col(oldCol)] = newCol
+	out := NewRelation(r.Name+"_ren", cols...)
+	out.Rows = append(out.Rows, r.Rows...)
+	return out, nil
+}
+
+// ThetaJoin joins r and s under an arbitrary predicate over the combined
+// tuple, multiplying annotations. Unlike Join it does not equate shared
+// columns; the result schema prefixes each column with its relation name
+// ("rel.col") to avoid collisions.
+func (r *Relation) ThetaJoin(s *Relation, theta func(get func(col string) string) bool) *Relation {
+	cols := make([]string, 0, len(r.Cols)+len(s.Cols))
+	for _, c := range r.Cols {
+		cols = append(cols, r.Name+"."+c)
+	}
+	for _, c := range s.Cols {
+		cols = append(cols, s.Name+"."+c)
+	}
+	out := NewRelation(r.Name+"_x_"+s.Name, cols...)
+	for _, a := range r.Rows {
+		for _, b := range s.Rows {
+			vals := append(append([]string(nil), a.Values...), b.Values...)
+			get := func(col string) string {
+				if i := out.Col(col); i >= 0 {
+					return vals[i]
+				}
+				return ""
+			}
+			if !theta(get) {
+				continue
+			}
+			prov := provenance.SimplifyExpr(provenance.Prod{
+				Factors: []provenance.Expr{a.Prov, b.Prov},
+			})
+			out.Rows = append(out.Rows, Row{Values: vals, Prov: prov})
+		}
+	}
+	return out
+}
+
+// Distinct merges tuples with equal values, summing their annotations
+// (projection onto all columns).
+func (r *Relation) Distinct() *Relation {
+	out, err := r.Project(r.Cols...)
+	if err != nil {
+		// projecting onto the relation's own schema cannot fail
+		panic(err)
+	}
+	out.Name = r.Name + "_dst"
+	return out
+}
+
+// Annotate multiplies every tuple's annotation by a fixed polynomial —
+// useful for attaching module or run tokens to a whole relation.
+func (r *Relation) Annotate(factor provenance.Expr) *Relation {
+	out := NewRelation(r.Name+"_ann", r.Cols...)
+	for _, row := range r.Rows {
+		prov := provenance.SimplifyExpr(provenance.Prod{
+			Factors: []provenance.Expr{row.Prov, factor},
+		})
+		out.Rows = append(out.Rows, Row{Values: row.Values, Prov: prov})
+	}
+	return out
+}

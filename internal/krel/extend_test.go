@@ -1,0 +1,178 @@
+package krel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/provenance"
+)
+
+func TestRename(t *testing.T) {
+	r := NewRelation("t", "a", "b")
+	r.MustInsert("X", "1", "2")
+	out, err := r.Rename("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Col("c") != 0 || out.Col("a") >= 0 {
+		t.Fatalf("columns = %v", out.Cols)
+	}
+	if out.Get(0, "c") != "1" {
+		t.Fatal("values lost")
+	}
+	if _, err := r.Rename("nope", "x"); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+	if _, err := r.Rename("a", "b"); err == nil {
+		t.Fatal("collision must fail")
+	}
+}
+
+func TestThetaJoin(t *testing.T) {
+	users := NewRelation("u", "name", "age")
+	users.MustInsert("U1", "ana", "30")
+	users.MustInsert("U2", "bob", "40")
+	limits := NewRelation("l", "cap")
+	limits.MustInsert("L1", "35")
+
+	// join users younger than the cap
+	j := users.ThetaJoin(limits, func(get func(string) string) bool {
+		return get("u.age") < get("l.cap")
+	})
+	if j.Len() != 1 || j.Get(0, "u.name") != "ana" {
+		t.Fatalf("theta join = %s", j)
+	}
+	want := provenance.SimplifyExpr(provenance.P("U1", "L1"))
+	if j.Rows[0].Prov.Key() != want.Key() {
+		t.Fatalf("provenance = %s, want %s", j.Rows[0].Prov, want)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := NewRelation("t", "x")
+	r.MustInsert("A", "1")
+	r.MustInsert("B", "1")
+	r.MustInsert("C", "2")
+	d := r.Distinct()
+	if d.Len() != 2 {
+		t.Fatalf("distinct = %d rows", d.Len())
+	}
+	want := provenance.SimplifyExpr(provenance.Sum{Terms: []provenance.Expr{
+		provenance.V("A"), provenance.V("B"),
+	}})
+	if d.Rows[0].Prov.Key() != want.Key() {
+		t.Fatalf("distinct provenance = %s", d.Rows[0].Prov)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	r := NewRelation("t", "x")
+	r.MustInsert("A", "1")
+	out := r.Annotate(provenance.V("RUN7"))
+	want := provenance.SimplifyExpr(provenance.P("A", "RUN7"))
+	if out.Rows[0].Prov.Key() != want.Key() {
+		t.Fatalf("annotated provenance = %s", out.Rows[0].Prov)
+	}
+}
+
+// Property: natural join provenance is symmetric — r ⋈ s and s ⋈ r yield
+// tuple-wise equal annotations (semiring multiplication commutes).
+func TestJoinProvenanceSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a := NewRelation("a", "k", "x")
+		b := NewRelation("b", "k", "y")
+		for i := 0; i < 4; i++ {
+			a.MustInsert(provenance.Annotation(rune('A'+i)), string(rune('0'+rnd.Intn(3))), "x")
+			b.MustInsert(provenance.Annotation(rune('P'+i)), string(rune('0'+rnd.Intn(3))), "y")
+		}
+		ab := a.Join(b)
+		ba := b.Join(a)
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		// collect multiset of (key, provKey) pairs from both sides
+		collect := func(r *Relation) map[string]int {
+			m := map[string]int{}
+			for i := range r.Rows {
+				m[r.Get(i, "k")+"|"+r.Rows[i].Prov.Key()]++
+			}
+			return m
+		}
+		ma, mb := collect(ab), collect(ba)
+		if len(ma) != len(mb) {
+			return false
+		}
+		for k, v := range ma {
+			if mb[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: projection then union is equivalent to union then projection
+// for annotation sums (homomorphism property of + over the pipeline).
+func TestProjectUnionCommute(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		mk := func(tag rune) *Relation {
+			r := NewRelation("r", "k", "v")
+			for i := 0; i < 3; i++ {
+				r.MustInsert(provenance.Annotation(string(tag)+string(rune('0'+i))),
+					string(rune('a'+rnd.Intn(2))), string(rune('0'+rnd.Intn(2))))
+			}
+			return r
+		}
+		a, b := mk('A'), mk('B')
+
+		u, err := a.Union(b)
+		if err != nil {
+			return false
+		}
+		p1, err := u.Project("k")
+		if err != nil {
+			return false
+		}
+
+		pa, err := a.Project("k")
+		if err != nil {
+			return false
+		}
+		pb, err := b.Project("k")
+		if err != nil {
+			return false
+		}
+		pb.Name = pa.Name // align schema names for union
+		p2, err := pa.Union(pb)
+		if err != nil {
+			return false
+		}
+
+		collect := func(r *Relation) map[string]string {
+			m := map[string]string{}
+			for i := range r.Rows {
+				m[r.Get(i, "k")] = provenance.SimplifyExpr(r.Rows[i].Prov).Key()
+			}
+			return m
+		}
+		m1, m2 := collect(p1), collect(p2)
+		if len(m1) != len(m2) {
+			return false
+		}
+		for k, v := range m1 {
+			if m2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package krel is a small in-memory K-relation engine: relations whose
+// tuples are annotated with provenance polynomials in N[Ann], with the
+// positive relational-algebra operators of Green et al. [21] (selection,
+// projection, natural join, union) and the aggregation construction of
+// Amsterdamer et al. [7] that pairs aggregated values with provenance
+// tensors. It is the substrate on which the Ch. 2 movie-rating workflow
+// runs, producing exactly the provenance expressions PROX summarizes.
+//
+// Provenance propagation follows the semiring semantics:
+//
+//	selection  keeps tuple annotations,
+//	projection combines duplicate result tuples with +,
+//	join       multiplies the joined tuples' annotations with ·,
+//	union      combines with +,
+//	aggregation pairs each tuple's annotation with its value as a tensor.
+package krel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/provenance"
+)
+
+// Row is a tuple with its provenance annotation.
+type Row struct {
+	Values []string
+	Prov   provenance.Expr
+}
+
+// Relation is a K-relation: a schema, rows, and per-row provenance.
+type Relation struct {
+	Name   string
+	Cols   []string
+	Rows   []Row
+	colIdx map[string]int
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(name string, cols ...string) *Relation {
+	r := &Relation{Name: name, Cols: append([]string(nil), cols...)}
+	r.buildIndex()
+	return r
+}
+
+func (r *Relation) buildIndex() {
+	r.colIdx = make(map[string]int, len(r.Cols))
+	for i, c := range r.Cols {
+		r.colIdx[c] = i
+	}
+}
+
+// Col returns the index of column name, or -1.
+func (r *Relation) Col(name string) int {
+	if i, ok := r.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Insert appends a tuple annotated with ann (a base annotation). Values
+// must match the schema arity.
+func (r *Relation) Insert(ann provenance.Annotation, values ...string) error {
+	return r.InsertExpr(provenance.V(ann), values...)
+}
+
+// InsertExpr appends a tuple annotated with an arbitrary polynomial.
+func (r *Relation) InsertExpr(prov provenance.Expr, values ...string) error {
+	if len(values) != len(r.Cols) {
+		return fmt.Errorf("krel: %s expects %d values, got %d", r.Name, len(r.Cols), len(values))
+	}
+	r.Rows = append(r.Rows, Row{Values: append([]string(nil), values...), Prov: prov})
+	return nil
+}
+
+// MustInsert is Insert that panics on arity errors (static data).
+func (r *Relation) MustInsert(ann provenance.Annotation, values ...string) {
+	if err := r.Insert(ann, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the value of column col in row i.
+func (r *Relation) Get(i int, col string) string {
+	idx := r.Col(col)
+	if idx < 0 {
+		return ""
+	}
+	return r.Rows[i].Values[idx]
+}
+
+// Len is the number of tuples.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Pred is a tuple predicate used by Select.
+type Pred func(get func(col string) string) bool
+
+// Select returns the sub-relation satisfying pred; annotations are
+// preserved.
+func (r *Relation) Select(pred Pred) *Relation {
+	out := NewRelation(r.Name+"_sel", r.Cols...)
+	for _, row := range r.Rows {
+		rowCopy := row
+		get := func(col string) string {
+			if i := r.Col(col); i >= 0 {
+				return rowCopy.Values[i]
+			}
+			return ""
+		}
+		if pred(get) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Eq builds a predicate matching col == value.
+func Eq(col, value string) Pred {
+	return func(get func(string) string) bool { return get(col) == value }
+}
+
+// NumGT builds a predicate matching numeric col > bound; non-numeric
+// values never match.
+func NumGT(col string, bound float64) Pred {
+	return func(get func(string) string) bool {
+		v, err := strconv.ParseFloat(get(col), 64)
+		return err == nil && v > bound
+	}
+}
+
+// And conjoins predicates.
+func And(ps ...Pred) Pred {
+	return func(get func(string) string) bool {
+		for _, p := range ps {
+			if !p(get) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Project returns the relation restricted to cols; result tuples that
+// become equal are merged, summing their annotations (the + of
+// alternative derivations).
+func (r *Relation) Project(cols ...string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := r.Col(c)
+		if j < 0 {
+			return nil, fmt.Errorf("krel: %s has no column %q", r.Name, c)
+		}
+		idx[i] = j
+	}
+	out := NewRelation(r.Name+"_proj", cols...)
+	seen := make(map[string]int)
+	for _, row := range r.Rows {
+		vals := make([]string, len(idx))
+		for i, j := range idx {
+			vals[i] = row.Values[j]
+		}
+		key := strings.Join(vals, "\x00")
+		if at, ok := seen[key]; ok {
+			out.Rows[at].Prov = provenance.SimplifyExpr(provenance.Sum{
+				Terms: []provenance.Expr{out.Rows[at].Prov, row.Prov},
+			})
+			continue
+		}
+		seen[key] = len(out.Rows)
+		out.Rows = append(out.Rows, Row{Values: vals, Prov: row.Prov})
+	}
+	return out, nil
+}
+
+// Join computes the natural join of r and s on their shared columns;
+// joined tuples multiply their annotations. The result schema is r's
+// columns followed by s's non-shared columns.
+func (r *Relation) Join(s *Relation) *Relation {
+	var shared []string
+	for _, c := range r.Cols {
+		if s.Col(c) >= 0 {
+			shared = append(shared, c)
+		}
+	}
+	var extra []string
+	for _, c := range s.Cols {
+		if r.Col(c) < 0 {
+			extra = append(extra, c)
+		}
+	}
+	out := NewRelation(r.Name+"_"+s.Name, append(append([]string(nil), r.Cols...), extra...)...)
+
+	// hash join on the shared columns
+	key := func(rel *Relation, row Row) string {
+		parts := make([]string, len(shared))
+		for i, c := range shared {
+			parts[i] = row.Values[rel.Col(c)]
+		}
+		return strings.Join(parts, "\x00")
+	}
+	index := make(map[string][]Row)
+	for _, row := range s.Rows {
+		index[key(s, row)] = append(index[key(s, row)], row)
+	}
+	for _, row := range r.Rows {
+		for _, match := range index[key(r, row)] {
+			vals := append([]string(nil), row.Values...)
+			for _, c := range extra {
+				vals = append(vals, match.Values[s.Col(c)])
+			}
+			prov := provenance.SimplifyExpr(provenance.Prod{
+				Factors: []provenance.Expr{row.Prov, match.Prov},
+			})
+			out.Rows = append(out.Rows, Row{Values: vals, Prov: prov})
+		}
+	}
+	return out
+}
+
+// Union appends the tuples of s (same schema required); duplicate tuples
+// are merged by summing annotations.
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if len(r.Cols) != len(s.Cols) {
+		return nil, fmt.Errorf("krel: union schema mismatch %v vs %v", r.Cols, s.Cols)
+	}
+	for i := range r.Cols {
+		if r.Cols[i] != s.Cols[i] {
+			return nil, fmt.Errorf("krel: union schema mismatch %v vs %v", r.Cols, s.Cols)
+		}
+	}
+	out := NewRelation(r.Name+"_u_"+s.Name, r.Cols...)
+	seen := make(map[string]int)
+	add := func(row Row) {
+		key := strings.Join(row.Values, "\x00")
+		if at, ok := seen[key]; ok {
+			out.Rows[at].Prov = provenance.SimplifyExpr(provenance.Sum{
+				Terms: []provenance.Expr{out.Rows[at].Prov, row.Prov},
+			})
+			return
+		}
+		seen[key] = len(out.Rows)
+		out.Rows = append(out.Rows, row)
+	}
+	for _, row := range r.Rows {
+		add(row)
+	}
+	for _, row := range s.Rows {
+		add(row)
+	}
+	return out, nil
+}
+
+// Guard multiplies each tuple's annotation by a comparison token
+// [guardProv ⊗ value OP bound] built from per-tuple data — the nested
+// aggregate/conditional construction of [7, 17]. For each tuple, build
+// returns the guard's inner polynomial and paired value; tuples for which
+// build returns ok=false are left unguarded.
+func (r *Relation) Guard(op provenance.CmpOp, bound float64, build func(get func(col string) string, prov provenance.Expr) (inner provenance.Expr, value float64, ok bool)) *Relation {
+	out := NewRelation(r.Name+"_grd", r.Cols...)
+	for _, row := range r.Rows {
+		rowCopy := row
+		get := func(col string) string {
+			if i := r.Col(col); i >= 0 {
+				return rowCopy.Values[i]
+			}
+			return ""
+		}
+		inner, value, ok := build(get, row.Prov)
+		prov := row.Prov
+		if ok {
+			prov = provenance.SimplifyExpr(provenance.Prod{Factors: []provenance.Expr{
+				row.Prov,
+				provenance.Cmp{Inner: inner, Value: value, Op: op, Bound: bound},
+			}})
+		}
+		out.Rows = append(out.Rows, Row{Values: row.Values, Prov: prov})
+	}
+	return out
+}
+
+// Aggregate builds the provenance-aware aggregation of the relation: one
+// tensor per tuple pairing the tuple's annotation with the numeric value
+// of valueCol, grouped by the annotation named in groupCol (the paper's
+// ⊕ formal sum with per-object vector semantics). Tuples with
+// non-numeric values are skipped with an error.
+func (r *Relation) Aggregate(kind provenance.AggKind, valueCol, groupCol string) (*provenance.Agg, error) {
+	vi := r.Col(valueCol)
+	if vi < 0 {
+		return nil, fmt.Errorf("krel: %s has no column %q", r.Name, valueCol)
+	}
+	gi := -1
+	if groupCol != "" {
+		gi = r.Col(groupCol)
+		if gi < 0 {
+			return nil, fmt.Errorf("krel: %s has no column %q", r.Name, groupCol)
+		}
+	}
+	tensors := make([]provenance.Tensor, 0, len(r.Rows))
+	for i, row := range r.Rows {
+		v, err := strconv.ParseFloat(row.Values[vi], 64)
+		if err != nil {
+			return nil, fmt.Errorf("krel: %s row %d: non-numeric %s=%q", r.Name, i, valueCol, row.Values[vi])
+		}
+		group := provenance.Annotation("")
+		if gi >= 0 {
+			group = provenance.Annotation(row.Values[gi])
+		}
+		tensors = append(tensors, provenance.Tensor{Prov: row.Prov, Value: v, Count: 1, Group: group})
+	}
+	return provenance.NewAgg(kind, tensors...), nil
+}
+
+// String renders the relation as an aligned table with provenance.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s)\n", r.Name, strings.Join(r.Cols, ", "))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %s  @ %s\n", strings.Join(row.Values, " | "), row.Prov)
+	}
+	return b.String()
+}
+
+// SortRows orders tuples by their values, for deterministic output.
+func (r *Relation) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i].Values, r.Rows[j].Values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

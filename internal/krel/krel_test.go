@@ -1,0 +1,220 @@
+package krel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/provenance"
+)
+
+func users() *Relation {
+	r := NewRelation("users", "user", "gender", "role")
+	r.MustInsert("U1", "u1", "F", "audience")
+	r.MustInsert("U2", "u2", "F", "critic")
+	r.MustInsert("U3", "u3", "M", "audience")
+	return r
+}
+
+func reviews() *Relation {
+	r := NewRelation("reviews", "user", "movie", "rating")
+	r.MustInsert("R1", "u1", "MatchPoint", "3")
+	r.MustInsert("R2", "u2", "MatchPoint", "5")
+	r.MustInsert("R3", "u3", "MatchPoint", "3")
+	r.MustInsert("R4", "u2", "BlueJasmine", "4")
+	return r
+}
+
+func TestInsertArity(t *testing.T) {
+	r := NewRelation("t", "a", "b")
+	if err := r.Insert("X", "1"); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if err := r.Insert("X", "1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Get(0, "a") != "1" || r.Get(0, "missing") != "" {
+		t.Fatal("basic accessors broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInsert must panic on arity error")
+		}
+	}()
+	r.MustInsert("X", "only-one")
+}
+
+func TestSelect(t *testing.T) {
+	u := users()
+	aud := u.Select(Eq("role", "audience"))
+	if aud.Len() != 2 {
+		t.Fatalf("select = %d rows", aud.Len())
+	}
+	// annotations preserved
+	if aud.Rows[0].Prov.Key() != provenance.V("U1").Key() {
+		t.Fatalf("selection must keep annotations, got %s", aud.Rows[0].Prov)
+	}
+	both := u.Select(And(Eq("role", "audience"), Eq("gender", "M")))
+	if both.Len() != 1 || both.Get(0, "user") != "u3" {
+		t.Fatal("And predicate broken")
+	}
+	if u.Select(NumGT("user", 1)).Len() != 0 {
+		t.Fatal("NumGT must reject non-numeric values")
+	}
+}
+
+func TestProjectMergesDuplicates(t *testing.T) {
+	r := NewRelation("t", "user", "movie")
+	r.MustInsert("A", "u1", "m1")
+	r.MustInsert("B", "u1", "m1") // duplicate tuple, alternative derivation
+	r.MustInsert("C", "u2", "m1")
+	p, err := r.Project("movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("project = %d rows, want 1", p.Len())
+	}
+	// annotation must be A + B + C
+	want := provenance.SimplifyExpr(provenance.Sum{Terms: []provenance.Expr{
+		provenance.V("A"), provenance.V("B"), provenance.V("C"),
+	}})
+	if p.Rows[0].Prov.Key() != want.Key() {
+		t.Fatalf("projection provenance = %s, want %s", p.Rows[0].Prov, want)
+	}
+	if _, err := r.Project("nope"); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+}
+
+func TestJoinMultipliesProvenance(t *testing.T) {
+	j := reviews().Join(users())
+	if j.Len() != 4 {
+		t.Fatalf("join = %d rows, want 4", j.Len())
+	}
+	// find u1's row: provenance must be R1·U1
+	found := false
+	for i := range j.Rows {
+		if j.Get(i, "user") == "u1" {
+			found = true
+			want := provenance.SimplifyExpr(provenance.P("R1", "U1"))
+			if j.Rows[i].Prov.Key() != want.Key() {
+				t.Fatalf("join provenance = %s, want %s", j.Rows[i].Prov, want)
+			}
+			if j.Get(i, "gender") != "F" {
+				t.Fatal("join must carry the other relation's columns")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("u1 missing from join")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewRelation("a", "x")
+	a.MustInsert("A", "1")
+	b := NewRelation("b", "x")
+	b.MustInsert("B", "1") // same tuple: annotations sum
+	b.MustInsert("C", "2")
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 {
+		t.Fatalf("union = %d rows", u.Len())
+	}
+	want := provenance.SimplifyExpr(provenance.Sum{Terms: []provenance.Expr{provenance.V("A"), provenance.V("B")}})
+	if u.Rows[0].Prov.Key() != want.Key() {
+		t.Fatalf("union provenance = %s, want %s", u.Rows[0].Prov, want)
+	}
+
+	c := NewRelation("c", "y")
+	if _, err := a.Union(c); err == nil {
+		t.Fatal("schema mismatch must fail")
+	}
+}
+
+func TestGuard(t *testing.T) {
+	r := reviews()
+	g := r.Guard(provenance.OpGT, 2, func(get func(string) string, prov provenance.Expr) (provenance.Expr, float64, bool) {
+		if get("user") == "u1" {
+			return provenance.V("S_u1"), 5, true
+		}
+		return nil, 0, false
+	})
+	if g.Len() != r.Len() {
+		t.Fatal("guard must keep all tuples")
+	}
+	guarded := g.Rows[0].Prov.String()
+	if !strings.Contains(guarded, "S_u1") || !strings.Contains(guarded, "> 2") {
+		t.Fatalf("guarded provenance = %s", guarded)
+	}
+	// unguarded tuples unchanged
+	if g.Rows[1].Prov.Key() != provenance.V("R2").Key() {
+		t.Fatalf("unguarded tuple changed: %s", g.Rows[1].Prov)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	agg, err := reviews().Aggregate(provenance.AggMax, "rating", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := agg.Eval(provenance.AllTrue).(provenance.Vector)
+	if res.At("MatchPoint") != 5 || res.At("BlueJasmine") != 4 {
+		t.Fatalf("aggregate eval = %s", res.ResultString())
+	}
+	// scalar (ungrouped) aggregation
+	scalar, err := reviews().Aggregate(provenance.AggSum, "rating", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = scalar.Eval(provenance.AllTrue).(provenance.Vector)
+	if res.At("") != 15 {
+		t.Fatalf("scalar SUM = %g, want 15", res.At(""))
+	}
+
+	if _, err := reviews().Aggregate(provenance.AggMax, "nope", "movie"); err == nil {
+		t.Fatal("unknown value column must fail")
+	}
+	if _, err := reviews().Aggregate(provenance.AggMax, "rating", "nope"); err == nil {
+		t.Fatal("unknown group column must fail")
+	}
+	bad := NewRelation("bad", "v")
+	bad.MustInsert("X", "not-a-number")
+	if _, err := bad.Aggregate(provenance.AggSum, "v", ""); err == nil {
+		t.Fatal("non-numeric value must fail")
+	}
+}
+
+func TestProvisioningThroughQuery(t *testing.T) {
+	// End-to-end: join + aggregate, then provision by cancelling a user
+	// annotation. This is the semiring point: no query re-run needed.
+	j := reviews().Join(users())
+	agg, err := j.Aggregate(provenance.AggMax, "rating", "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := agg.Eval(provenance.CancelAnnotation("U2")).(provenance.Vector)
+	if res.At("MatchPoint") != 3 {
+		t.Fatalf("cancel U2: MatchPoint = %g, want 3", res.At("MatchPoint"))
+	}
+	if res.At("BlueJasmine") != 0 {
+		t.Fatalf("cancel U2: BlueJasmine = %g, want 0", res.At("BlueJasmine"))
+	}
+}
+
+func TestStringAndSort(t *testing.T) {
+	r := users()
+	s := r.String()
+	if !strings.Contains(s, "users(user, gender, role)") || !strings.Contains(s, "U1") {
+		t.Fatalf("String = %q", s)
+	}
+	r2 := NewRelation("t", "x")
+	r2.MustInsert("B", "2")
+	r2.MustInsert("A", "1")
+	r2.SortRows()
+	if r2.Get(0, "x") != "1" {
+		t.Fatal("SortRows broken")
+	}
+}

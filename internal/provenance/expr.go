@@ -1,0 +1,297 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a node of a provenance polynomial in N[Ann]: a polynomial with
+// natural coefficients whose indeterminates are annotations, extended
+// with comparison guards ("equation elements") of the form
+// [poly ⊗ m OP c]. Expressions are immutable; every transformation
+// returns a new expression.
+type Expr interface {
+	// EvalNat evaluates the polynomial in the naturals under the given
+	// assignment of naturals to annotations. Truth valuations assign 1 to
+	// true annotations and 0 to false ones; the semiring axioms then
+	// collapse the polynomial to a natural number.
+	EvalNat(assign func(Annotation) int) int
+
+	// MapAnn applies an annotation renaming and returns the rewritten
+	// (unsimplified) expression. The renaming may return the reserved
+	// Zero/One annotations to substitute semiring constants.
+	MapAnn(rename func(Annotation) Annotation) Expr
+
+	// CollectAnns adds every annotation occurring in the expression to set.
+	CollectAnns(set map[Annotation]struct{})
+
+	// Size is the number of annotation occurrences (with repetitions),
+	// the paper's provenance size measure restricted to this node.
+	Size() int
+
+	// Key is a canonical string: two expressions are semiring-syntactically
+	// equal (up to commutativity) iff their keys are equal. Simplify before
+	// comparing keys for meaningful results.
+	Key() string
+
+	// String renders the expression in the paper's notation.
+	String() string
+}
+
+// CmpOp is a comparison operator inside a guard element.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpGT CmpOp = iota // >
+	OpGE              // >=
+	OpLT              // <
+	OpLE              // <=
+	OpEQ              // =
+	OpNE              // ≠
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "≠"
+	}
+	return "?"
+}
+
+// holds reports whether "lhs o rhs" is true.
+func (o CmpOp) holds(lhs, rhs float64) bool {
+	switch o {
+	case OpGT:
+		return lhs > rhs
+	case OpGE:
+		return lhs >= rhs
+	case OpLT:
+		return lhs < rhs
+	case OpLE:
+		return lhs <= rhs
+	case OpEQ:
+		return lhs == rhs
+	case OpNE:
+		return lhs != rhs
+	}
+	return false
+}
+
+// Var is a single annotation used as a polynomial indeterminate.
+type Var struct{ Ann Annotation }
+
+// Const is a natural-number constant; Const{0} and Const{1} are the
+// semiring's neutral elements.
+type Const struct{ N int }
+
+// Sum is an n-ary semiring addition (alternative use of data).
+type Sum struct{ Terms []Expr }
+
+// Prod is an n-ary semiring multiplication (joint use of data).
+type Prod struct{ Factors []Expr }
+
+// Cmp is a comparison guard [Inner ⊗ Value Op Bound]: an abstract
+// equation element kept as a token inside the polynomial. Under a
+// valuation it is interpreted as 1 when the comparison holds and 0
+// otherwise, where the left-hand side is Value if Inner evaluates to a
+// nonzero natural and 0 otherwise (the congruences 0⊗m ≡ 0, 1⊗m ≡ m).
+type Cmp struct {
+	Inner Expr    // provenance polynomial guarding the value
+	Value float64 // the tensor value paired with Inner
+	Op    CmpOp
+	Bound float64
+}
+
+// V is shorthand for Var{a}.
+func V(a Annotation) Expr { return Var{Ann: a} }
+
+// P is shorthand for the product of the given annotations.
+func P(anns ...Annotation) Expr {
+	fs := make([]Expr, len(anns))
+	for i, a := range anns {
+		fs[i] = Var{Ann: a}
+	}
+	return Prod{Factors: fs}
+}
+
+// --- Var ---
+
+func (v Var) EvalNat(assign func(Annotation) int) int { return assign(v.Ann) }
+
+func (v Var) MapAnn(rename func(Annotation) Annotation) Expr {
+	switch r := rename(v.Ann); r {
+	case Zero:
+		return Const{0}
+	case One:
+		return Const{1}
+	default:
+		return Var{Ann: r}
+	}
+}
+
+func (v Var) CollectAnns(set map[Annotation]struct{}) { set[v.Ann] = struct{}{} }
+func (v Var) Size() int                               { return 1 }
+func (v Var) Key() string                             { return "v:" + string(v.Ann) }
+func (v Var) String() string                          { return string(v.Ann) }
+
+// --- Const ---
+
+func (c Const) EvalNat(func(Annotation) int) int        { return c.N }
+func (c Const) MapAnn(func(Annotation) Annotation) Expr { return c }
+func (c Const) CollectAnns(map[Annotation]struct{})     {}
+func (c Const) Size() int                               { return 0 }
+func (c Const) Key() string                             { return fmt.Sprintf("c:%d", c.N) }
+func (c Const) String() string                          { return fmt.Sprintf("%d", c.N) }
+
+// --- Sum ---
+
+func (s Sum) EvalNat(assign func(Annotation) int) int {
+	total := 0
+	for _, t := range s.Terms {
+		total += t.EvalNat(assign)
+	}
+	return total
+}
+
+func (s Sum) MapAnn(rename func(Annotation) Annotation) Expr {
+	ts := make([]Expr, len(s.Terms))
+	for i, t := range s.Terms {
+		ts[i] = t.MapAnn(rename)
+	}
+	return Sum{Terms: ts}
+}
+
+func (s Sum) CollectAnns(set map[Annotation]struct{}) {
+	for _, t := range s.Terms {
+		t.CollectAnns(set)
+	}
+}
+
+func (s Sum) Size() int {
+	n := 0
+	for _, t := range s.Terms {
+		n += t.Size()
+	}
+	return n
+}
+
+func (s Sum) Key() string {
+	keys := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		keys[i] = t.Key()
+	}
+	sort.Strings(keys)
+	return "s(" + strings.Join(keys, "+") + ")"
+}
+
+func (s Sum) String() string {
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// --- Prod ---
+
+func (p Prod) EvalNat(assign func(Annotation) int) int {
+	total := 1
+	for _, f := range p.Factors {
+		total *= f.EvalNat(assign)
+		if total == 0 {
+			return 0
+		}
+	}
+	return total
+}
+
+func (p Prod) MapAnn(rename func(Annotation) Annotation) Expr {
+	fs := make([]Expr, len(p.Factors))
+	for i, f := range p.Factors {
+		fs[i] = f.MapAnn(rename)
+	}
+	return Prod{Factors: fs}
+}
+
+func (p Prod) CollectAnns(set map[Annotation]struct{}) {
+	for _, f := range p.Factors {
+		f.CollectAnns(set)
+	}
+}
+
+func (p Prod) Size() int {
+	n := 0
+	for _, f := range p.Factors {
+		n += f.Size()
+	}
+	return n
+}
+
+func (p Prod) Key() string {
+	keys := make([]string, len(p.Factors))
+	for i, f := range p.Factors {
+		keys[i] = f.Key()
+	}
+	sort.Strings(keys)
+	return "p(" + strings.Join(keys, "*") + ")"
+}
+
+func (p Prod) String() string {
+	parts := make([]string, len(p.Factors))
+	for i, f := range p.Factors {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "·")
+}
+
+// --- Cmp ---
+
+func (c Cmp) EvalNat(assign func(Annotation) int) int {
+	lhs := 0.0
+	if c.Inner.EvalNat(assign) != 0 {
+		lhs = c.Value
+	}
+	if c.Op.holds(lhs, c.Bound) {
+		return 1
+	}
+	return 0
+}
+
+func (c Cmp) MapAnn(rename func(Annotation) Annotation) Expr {
+	return Cmp{Inner: c.Inner.MapAnn(rename), Value: c.Value, Op: c.Op, Bound: c.Bound}
+}
+
+func (c Cmp) CollectAnns(set map[Annotation]struct{}) { c.Inner.CollectAnns(set) }
+func (c Cmp) Size() int                               { return c.Inner.Size() }
+
+func (c Cmp) Key() string {
+	return fmt.Sprintf("q(%s⊗%g%s%g)", c.Inner.Key(), c.Value, c.Op, c.Bound)
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("[%s ⊗ %g %s %g]", c.Inner, c.Value, c.Op, c.Bound)
+}
+
+// Anns returns the sorted set of annotations occurring in e.
+func Anns(e Expr) []Annotation {
+	set := make(map[Annotation]struct{})
+	e.CollectAnns(set)
+	out := make([]Annotation, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,339 @@
+package provenance
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func assignAll(n int) func(Annotation) int {
+	return func(Annotation) int { return n }
+}
+
+func TestVarEval(t *testing.T) {
+	v := V("U1")
+	if got := v.EvalNat(assignAll(1)); got != 1 {
+		t.Fatalf("EvalNat(1) = %d, want 1", got)
+	}
+	if got := v.EvalNat(assignAll(0)); got != 0 {
+		t.Fatalf("EvalNat(0) = %d, want 0", got)
+	}
+	if v.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", v.Size())
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	if got := (Const{7}).EvalNat(assignAll(0)); got != 7 {
+		t.Fatalf("Const{7}.EvalNat = %d", got)
+	}
+	if (Const{7}).Size() != 0 {
+		t.Fatal("Const size must be 0 (no annotations)")
+	}
+}
+
+func TestProdEval(t *testing.T) {
+	p := P("a", "b", "c")
+	assign := func(a Annotation) int {
+		if a == "b" {
+			return 0
+		}
+		return 1
+	}
+	if got := p.EvalNat(assign); got != 0 {
+		t.Fatalf("product with a zero factor = %d, want 0", got)
+	}
+	if got := p.EvalNat(assignAll(2)); got != 8 {
+		t.Fatalf("2*2*2 = %d, want 8", got)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+}
+
+func TestSumEval(t *testing.T) {
+	s := Sum{Terms: []Expr{V("a"), V("b"), Const{3}}}
+	if got := s.EvalNat(assignAll(1)); got != 5 {
+		t.Fatalf("1+1+3 = %d, want 5", got)
+	}
+	if s.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", s.Size())
+	}
+}
+
+func TestCmpGuardSemantics(t *testing.T) {
+	// [S1·U1 ⊗ 5 > 2] from Example 2.2.1: true when the guard polynomial
+	// is nonzero (then lhs=5 > 2), false when it is cancelled (lhs=0).
+	g := Cmp{Inner: P("S1", "U1"), Value: 5, Op: OpGT, Bound: 2}
+	if got := g.EvalNat(assignAll(1)); got != 1 {
+		t.Fatalf("guard with live polynomial = %d, want 1", got)
+	}
+	if got := g.EvalNat(assignAll(0)); got != 0 {
+		t.Fatalf("guard with cancelled polynomial = %d, want 0", got)
+	}
+
+	// A guard whose value is below the bound is false even when live.
+	low := Cmp{Inner: V("S1"), Value: 1, Op: OpGT, Bound: 2}
+	if got := low.EvalNat(assignAll(1)); got != 0 {
+		t.Fatalf("guard 1>2 = %d, want 0", got)
+	}
+
+	// 0 OP bound can hold for some operators (e.g. [x ⊗ 5 < 2] when x=0).
+	lt := Cmp{Inner: V("S1"), Value: 5, Op: OpLT, Bound: 2}
+	if got := lt.EvalNat(assignAll(0)); got != 1 {
+		t.Fatalf("guard 0<2 with cancelled polynomial = %d, want 1", got)
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op       CmpOp
+		lhs, rhs float64
+		want     bool
+	}{
+		{OpGT, 3, 2, true}, {OpGT, 2, 2, false},
+		{OpGE, 2, 2, true}, {OpGE, 1, 2, false},
+		{OpLT, 1, 2, true}, {OpLT, 2, 2, false},
+		{OpLE, 2, 2, true}, {OpLE, 3, 2, false},
+		{OpEQ, 2, 2, true}, {OpEQ, 3, 2, false},
+		{OpNE, 3, 2, true}, {OpNE, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.holds(c.lhs, c.rhs); got != c.want {
+			t.Errorf("%g %s %g = %v, want %v", c.lhs, c.op, c.rhs, got, c.want)
+		}
+	}
+}
+
+func TestMapAnnToConstants(t *testing.T) {
+	p := P("S1", "U1")
+	mapped := p.MapAnn(func(a Annotation) Annotation {
+		if a == "S1" {
+			return One
+		}
+		return a
+	})
+	simp := SimplifyExpr(mapped)
+	if simp.Key() != V("U1").Key() {
+		t.Fatalf("S1·U1 with S1↦1 simplifies to %s, want U1", simp)
+	}
+
+	zeroed := SimplifyExpr(p.MapAnn(func(Annotation) Annotation { return Zero }))
+	if c, ok := zeroed.(Const); !ok || c.N != 0 {
+		t.Fatalf("all-zero mapping gives %s, want 0", zeroed)
+	}
+}
+
+func TestSimplifyGuardResolution(t *testing.T) {
+	// Example 3.1.1: mapping S_i to 1 discards the inequality terms:
+	// [1 ⊗ 5 > 2] ≡ 1.
+	g := Cmp{Inner: V("S1"), Value: 5, Op: OpGT, Bound: 2}
+	mapped := g.MapAnn(func(Annotation) Annotation { return One })
+	if s := SimplifyExpr(mapped); s.Key() != (Const{1}).Key() {
+		t.Fatalf("[1⊗5>2] simplifies to %s, want 1", s)
+	}
+	bad := Cmp{Inner: V("S1"), Value: 1, Op: OpGT, Bound: 2}
+	mapped = bad.MapAnn(func(Annotation) Annotation { return One })
+	if s := SimplifyExpr(mapped); s.Key() != (Const{0}).Key() {
+		t.Fatalf("[1⊗1>2] simplifies to %s, want 0", s)
+	}
+}
+
+func TestSimplifyFlattening(t *testing.T) {
+	e := Prod{Factors: []Expr{
+		Prod{Factors: []Expr{V("a"), V("b")}},
+		Const{1},
+		V("c"),
+	}}
+	s := SimplifyExpr(e)
+	want := SimplifyExpr(P("a", "b", "c"))
+	if s.Key() != want.Key() {
+		t.Fatalf("flattened product = %s, want %s", s, want)
+	}
+
+	sum := Sum{Terms: []Expr{
+		Sum{Terms: []Expr{V("a"), Const{0}}},
+		V("b"),
+	}}
+	s = SimplifyExpr(sum)
+	want = SimplifyExpr(Sum{Terms: []Expr{V("a"), V("b")}})
+	if s.Key() != want.Key() {
+		t.Fatalf("flattened sum = %s, want %s", s, want)
+	}
+}
+
+func TestKeyCommutativity(t *testing.T) {
+	a := SimplifyExpr(P("x", "y", "z"))
+	b := SimplifyExpr(P("z", "x", "y"))
+	if a.Key() != b.Key() {
+		t.Fatalf("product keys differ under reordering: %q vs %q", a.Key(), b.Key())
+	}
+	s1 := SimplifyExpr(Sum{Terms: []Expr{V("x"), V("y")}})
+	s2 := SimplifyExpr(Sum{Terms: []Expr{V("y"), V("x")}})
+	if s1.Key() != s2.Key() {
+		t.Fatalf("sum keys differ under reordering")
+	}
+}
+
+func TestAnns(t *testing.T) {
+	e := Sum{Terms: []Expr{
+		P("b", "a"),
+		Cmp{Inner: V("c"), Value: 1, Op: OpGT, Bound: 0},
+	}}
+	got := Anns(e)
+	want := []Annotation{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Anns = %v, want %v", got, want)
+	}
+}
+
+// randomExpr builds a random polynomial over a small annotation set.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	anns := []Annotation{"a", "b", "c", "d"}
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Const{r.Intn(3)}
+		default:
+			return V(anns[r.Intn(len(anns))])
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return V(anns[r.Intn(len(anns))])
+	case 1:
+		n := 1 + r.Intn(3)
+		ts := make([]Expr, n)
+		for i := range ts {
+			ts[i] = randomExpr(r, depth-1)
+		}
+		return Sum{Terms: ts}
+	case 2:
+		n := 1 + r.Intn(3)
+		fs := make([]Expr, n)
+		for i := range fs {
+			fs[i] = randomExpr(r, depth-1)
+		}
+		return Prod{Factors: fs}
+	default:
+		return Cmp{Inner: randomExpr(r, depth-1), Value: float64(r.Intn(10)), Op: CmpOp(r.Intn(6)), Bound: float64(r.Intn(10))}
+	}
+}
+
+// Property: simplification preserves evaluation under every 0/1
+// assignment of the four base annotations.
+func TestSimplifyPreservesEval(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		s := SimplifyExpr(e)
+		assign := func(a Annotation) int {
+			idx := map[Annotation]uint{"a": 0, "b": 1, "c": 2, "d": 3}[a]
+			if mask&(1<<idx) != 0 {
+				return 1
+			}
+			return 0
+		}
+		return e.EvalNat(assign) == s.EvalNat(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simplification is idempotent (a second pass is a no-op).
+func TestSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		s1 := SimplifyExpr(e)
+		s2 := SimplifyExpr(s1)
+		return s1.Key() == s2.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: renaming annotations never increases expression size.
+func TestMapAnnSizeNonIncreasing(t *testing.T) {
+	f := func(seed int64, toOne bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		target := Annotation("m")
+		if toOne {
+			target = One
+		}
+		mapped := SimplifyExpr(e.MapAnn(func(a Annotation) Annotation {
+			if a == "a" || a == "b" {
+				return target
+			}
+			return a
+		}))
+		return mapped.Size() <= SimplifyExpr(e).Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: semiring laws hold for EvalNat — distributivity and
+// commutativity on random sub-expressions.
+func TestSemiringLaws(t *testing.T) {
+	f := func(seed int64, mask uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randomExpr(r, 2)
+		y := randomExpr(r, 2)
+		z := randomExpr(r, 2)
+		assign := func(a Annotation) int {
+			idx := map[Annotation]uint{"a": 0, "b": 1, "c": 2, "d": 3}[a]
+			if mask&(1<<idx) != 0 {
+				return 1
+			}
+			return 0
+		}
+		// x*(y+z) == x*y + x*z
+		lhs := Prod{Factors: []Expr{x, Sum{Terms: []Expr{y, z}}}}.EvalNat(assign)
+		rhs := Sum{Terms: []Expr{
+			Prod{Factors: []Expr{x, y}},
+			Prod{Factors: []Expr{x, z}},
+		}}.EvalNat(assign)
+		if lhs != rhs {
+			return false
+		}
+		// commutativity
+		if (Prod{Factors: []Expr{x, y}}).EvalNat(assign) != (Prod{Factors: []Expr{y, x}}).EvalNat(assign) {
+			return false
+		}
+		return (Sum{Terms: []Expr{x, y}}).EvalNat(assign) == (Sum{Terms: []Expr{y, x}}).EvalNat(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := Sum{Terms: []Expr{
+		P("U1", "S1"),
+		Cmp{Inner: V("U2"), Value: 5, Op: OpGT, Bound: 2},
+		Const{1},
+	}}
+	s := e.String()
+	for _, frag := range []string{"U1", "S1", "[U2 ⊗ 5 > 2]", "1"} {
+		if !containsStr(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,125 @@
+package provenance
+
+import (
+	"testing"
+)
+
+// buildExpr decodes a byte string into an expression, consuming bytes as
+// structure decisions. It always terminates: depth is bounded and input
+// exhaustion yields leaves.
+func buildExpr(data []byte, pos *int, depth int) Expr {
+	next := func() byte {
+		if *pos >= len(data) {
+			return 0
+		}
+		b := data[*pos]
+		*pos++
+		return b
+	}
+	anns := []Annotation{"a", "b", "c", "d"}
+	if depth <= 0 {
+		return Var{Ann: anns[int(next())%len(anns)]}
+	}
+	switch next() % 5 {
+	case 0:
+		return Var{Ann: anns[int(next())%len(anns)]}
+	case 1:
+		return Const{N: int(next()) % 3}
+	case 2:
+		n := int(next())%3 + 1
+		ts := make([]Expr, n)
+		for i := range ts {
+			ts[i] = buildExpr(data, pos, depth-1)
+		}
+		return Sum{Terms: ts}
+	case 3:
+		n := int(next())%3 + 1
+		fs := make([]Expr, n)
+		for i := range fs {
+			fs[i] = buildExpr(data, pos, depth-1)
+		}
+		return Prod{Factors: fs}
+	default:
+		return Cmp{
+			Inner: buildExpr(data, pos, depth-1),
+			Value: float64(next() % 10),
+			Op:    CmpOp(next() % 6),
+			Bound: float64(next() % 10),
+		}
+	}
+}
+
+// FuzzSimplifyExpr checks, for arbitrary expressions, that simplification
+// (1) preserves evaluation under arbitrary truth assignments, (2) is
+// idempotent, and (3) never increases the annotation-occurrence size.
+func FuzzSimplifyExpr(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 3, 2, 4}, uint8(5))
+	f.Add([]byte{4, 3, 2, 1, 0, 0, 1, 2, 3, 4}, uint8(0))
+	f.Add([]byte{}, uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, mask uint8) {
+		pos := 0
+		e := buildExpr(data, &pos, 4)
+		s := SimplifyExpr(e)
+
+		assign := func(a Annotation) int {
+			idx := map[Annotation]uint{"a": 0, "b": 1, "c": 2, "d": 3}[a]
+			if mask&(1<<idx) != 0 {
+				return 1
+			}
+			return 0
+		}
+		if e.EvalNat(assign) != s.EvalNat(assign) {
+			t.Fatalf("simplification changed evaluation: %s vs %s", e, s)
+		}
+		if s2 := SimplifyExpr(s); s2.Key() != s.Key() {
+			t.Fatalf("simplification not idempotent: %s vs %s", s, s2)
+		}
+		if s.Size() > e.Size() {
+			t.Fatalf("simplification grew size: %d > %d", s.Size(), e.Size())
+		}
+	})
+}
+
+// FuzzMappingHomomorphism checks that applying a mapping commutes with
+// simplification at the level of evaluation: eval(h(e)) under v equals
+// eval(e) under v∘h for mappings into fresh annotations.
+func FuzzMappingHomomorphism(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 0}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, mask uint8) {
+		pos := 0
+		e := buildExpr(data, &pos, 3)
+		h := MergeMapping("Z", "a", "b")
+		mapped := SimplifyExpr(e.MapAnn(h.Rename))
+
+		truth := func(a Annotation) bool {
+			switch a {
+			case "Z":
+				// φ=OR over {a,b}
+				return mask&1 != 0 || mask&2 != 0
+			case "a":
+				return mask&1 != 0
+			case "b":
+				return mask&2 != 0
+			case "c":
+				return mask&4 != 0
+			default:
+				return mask&8 != 0
+			}
+		}
+		boolAssign := func(a Annotation) int {
+			if truth(a) {
+				return 1
+			}
+			return 0
+		}
+		// In the boolean semiring view (presence/absence), mapping two
+		// annotations with equal truth values to Z preserves evaluation.
+		if truth("a") == truth("b") {
+			before := e.EvalNat(boolAssign) > 0
+			after := mapped.EvalNat(boolAssign) > 0
+			if before != after {
+				t.Fatalf("mapping changed boolean evaluation: %s -> %s", e, mapped)
+			}
+		}
+	})
+}

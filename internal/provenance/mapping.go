@@ -1,0 +1,122 @@
+package provenance
+
+import "sort"
+
+// Mapping is a summarization homomorphism h : Ann -> Ann': a renaming of
+// annotations to summary annotations (or to the reserved Zero/One
+// constants). Annotations absent from the mapping are left unchanged.
+// Mappings compose: the summarization algorithm maintains the cumulative
+// mapping from the original annotation set to the current summary set.
+type Mapping struct {
+	m map[Annotation]Annotation
+}
+
+// NewMapping returns an identity mapping.
+func NewMapping() Mapping {
+	return Mapping{m: make(map[Annotation]Annotation)}
+}
+
+// MappingOf builds a mapping from an explicit table.
+func MappingOf(table map[Annotation]Annotation) Mapping {
+	m := NewMapping()
+	for k, v := range table {
+		m.m[k] = v
+	}
+	return m
+}
+
+// MergeMapping returns the single-step mapping sending each member to the
+// summary annotation to.
+func MergeMapping(to Annotation, members ...Annotation) Mapping {
+	m := NewMapping()
+	for _, a := range members {
+		m.m[a] = to
+	}
+	return m
+}
+
+// Rename returns h(a); identity for unmapped annotations.
+func (m Mapping) Rename(a Annotation) Annotation {
+	if m.m == nil {
+		return a
+	}
+	if r, ok := m.m[a]; ok {
+		return r
+	}
+	return a
+}
+
+// Len is the number of annotations the mapping moves.
+func (m Mapping) Len() int { return len(m.m) }
+
+// Set records h(from) = to on a copy of m and returns it.
+func (m Mapping) Set(from, to Annotation) Mapping {
+	out := m.clone()
+	out.m[from] = to
+	return out
+}
+
+// Compose returns the mapping "first m, then next": for every annotation
+// a, Compose(next).Rename(a) == next.Rename(m.Rename(a)). The receiver is
+// not modified.
+func (m Mapping) Compose(next Mapping) Mapping {
+	out := NewMapping()
+	for from, to := range m.m {
+		out.m[from] = next.Rename(to)
+	}
+	for from, to := range next.m {
+		if _, ok := out.m[from]; !ok {
+			out.m[from] = to
+		}
+	}
+	return out
+}
+
+// Pairs returns the mapping's (from, to) pairs sorted by source, for
+// deterministic display.
+func (m Mapping) Pairs() [][2]Annotation {
+	out := make([][2]Annotation, 0, len(m.m))
+	for from, to := range m.m {
+		out = append(out, [2]Annotation{from, to})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func (m Mapping) clone() Mapping {
+	out := NewMapping()
+	for k, v := range m.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// Groups is the inverse view of a cumulative mapping: for each summary
+// annotation, the set of original annotations mapped to it. The combiner
+// function φ is applied over a group to extend a truth valuation on the
+// original annotations to one on the summary annotations.
+type Groups map[Annotation][]Annotation
+
+// GroupsOf inverts a cumulative mapping over the original annotation set.
+// Original annotations that were not renamed form singleton groups keyed
+// by themselves.
+func GroupsOf(original []Annotation, cumulative Mapping) Groups {
+	g := make(Groups)
+	for _, a := range original {
+		to := cumulative.Rename(a)
+		g[to] = append(g[to], a)
+	}
+	for _, members := range g {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	}
+	return g
+}
+
+// Members returns the original annotations summarized by a; a singleton
+// {a} when a is not a summary annotation.
+func (g Groups) Members(a Annotation) []Annotation {
+	if ms, ok := g[a]; ok {
+		return ms
+	}
+	return []Annotation{a}
+}

@@ -1,0 +1,537 @@
+// Package server implements the PROX system of Ch. 7: a web application
+// exposing the three services of Fig. 7.1 over REST —
+//
+//   - a selection service restricting the provenance to user-chosen
+//     movies (by title, or by genre and year),
+//   - a summarization service running Algorithm 1 on the selection with
+//     user-chosen parameters (weights, bounds, steps, aggregation,
+//     valuation class), and
+//   - an evaluator (provisioning) service applying user-chosen truth
+//     valuations to the original or summarized provenance and reporting
+//     the aggregated results with evaluation times,
+//
+// plus an embedded single-page web UI with the paper's three views
+// (selection, summarization, summary). The Java/Spring/AngularJS/Tomcat
+// stack of the paper is replaced by net/http (see DESIGN.md).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/distance"
+	"repro/internal/parse"
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// Server is the PROX application server. It serves a single MovieLens
+// workload (the paper's demo dataset) and keeps per-selection sessions in
+// memory.
+type Server struct {
+	workload *datasets.Workload
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+}
+
+// session is one selection of provenance being summarized and explored.
+type session struct {
+	prov    *provenance.Agg
+	summary *core.Summary
+	class   datasets.ClassKind
+}
+
+// New builds a PROX server over the given MovieLens workload.
+func New(w *datasets.Workload) *Server {
+	return &Server{workload: w, sessions: make(map[string]*session)}
+}
+
+// Handler returns the HTTP handler serving the API and the web UI.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/movies", s.handleMovies)
+	mux.HandleFunc("POST /api/select", s.handleSelect)
+	mux.HandleFunc("POST /api/custom", s.handleCustom)
+	mux.HandleFunc("POST /api/summarize", s.handleSummarize)
+	mux.HandleFunc("GET /api/step", s.handleStep)
+	mux.HandleFunc("POST /api/evaluate", s.handleEvaluate)
+	mux.HandleFunc("GET /", s.handleUI)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// movieInfo describes one selectable movie.
+type movieInfo struct {
+	Title string `json:"title"`
+	Year  string `json:"year"`
+	Genre string `json:"genre"`
+}
+
+func (s *Server) movies() []movieInfo {
+	u := s.workload.Universe
+	var out []movieInfo
+	for _, m := range u.InTable(datasets.MLMoviesTable) {
+		out = append(out, movieInfo{
+			Title: string(m),
+			Year:  u.Attr(m, "year"),
+			Genre: u.Attr(m, "genre"),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Title < out[j].Title })
+	return out
+}
+
+// handleMovies lists the selectable movies.
+func (s *Server) handleMovies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.movies())
+}
+
+// selectRequest restricts provenance by explicit titles, or by genre and
+// year (the two selection modes of the paper's UI).
+type selectRequest struct {
+	Titles []string `json:"titles"`
+	Genres []string `json:"genres"`
+	Year   string   `json:"year"`
+	// Agg is the aggregation function ("MAX", "SUM", ...); default MAX.
+	Agg string `json:"agg"`
+}
+
+type selectResponse struct {
+	SessionID  string `json:"sessionId"`
+	Provenance string `json:"provenance"`
+	Size       int    `json:"size"`
+	Tensors    int    `json:"tensors"`
+}
+
+// handleSelect implements the selection service.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	kind := provenance.AggMax
+	if req.Agg != "" {
+		var err error
+		kind, err = provenance.ParseAggKind(req.Agg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	u := s.workload.Universe
+	want := func(movie provenance.Annotation) bool {
+		if len(req.Titles) > 0 {
+			for _, t := range req.Titles {
+				if string(movie) == t {
+					return true
+				}
+			}
+			return false
+		}
+		if len(req.Genres) > 0 || req.Year != "" {
+			genreOK := len(req.Genres) == 0
+			for _, g := range req.Genres {
+				if u.Attr(movie, "genre") == g {
+					genreOK = true
+				}
+			}
+			yearOK := req.Year == "" || u.Attr(movie, "year") == req.Year
+			return genreOK && yearOK
+		}
+		return true
+	}
+
+	full, ok := s.workload.Prov.(*provenance.Agg)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "workload is not an aggregated expression")
+		return
+	}
+	var tensors []provenance.Tensor
+	for _, t := range full.Tensors {
+		if want(t.Group) {
+			tensors = append(tensors, t)
+		}
+	}
+	if len(tensors) == 0 {
+		writeErr(w, http.StatusBadRequest, "selection matches no provenance")
+		return
+	}
+	sel := provenance.NewAgg(kind, tensors...)
+
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.Itoa(s.nextID)
+	s.sessions[id] = &session{prov: sel}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, selectResponse{
+		SessionID:  id,
+		Provenance: sel.String(),
+		Size:       sel.Size(),
+		Tensors:    len(sel.Tensors),
+	})
+}
+
+// customRequest submits a hand-written provenance expression in the
+// paper's notation, with per-annotation attributes for the constraints.
+type customRequest struct {
+	Expression string `json:"expression"`
+	Agg        string `json:"agg"`
+	Universe   []struct {
+		Ann   string            `json:"ann"`
+		Table string            `json:"table"`
+		Attrs map[string]string `json:"attrs"`
+	} `json:"universe"`
+}
+
+// handleCustom parses a user-provided expression and opens a session on
+// it. Annotations listed in the request universe are registered in the
+// server's universe so the merge policy and attribute valuations see
+// them.
+func (s *Server) handleCustom(w http.ResponseWriter, r *http.Request) {
+	var req customRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	kind := provenance.AggMax
+	if req.Agg != "" {
+		var err error
+		kind, err = provenance.ParseAggKind(req.Agg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	expr, err := parse.Agg(kind, req.Expression)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(expr.Tensors) == 0 {
+		writeErr(w, http.StatusBadRequest, "expression has no tensors")
+		return
+	}
+	for _, a := range req.Universe {
+		s.workload.Universe.Add(provenance.Annotation(a.Ann), a.Table, provenance.Attrs(a.Attrs))
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.Itoa(s.nextID)
+	s.sessions[id] = &session{prov: expr}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, selectResponse{
+		SessionID:  id,
+		Provenance: expr.String(),
+		Size:       expr.Size(),
+		Tensors:    len(expr.Tensors),
+	})
+}
+
+func (s *Server) session(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// summarizeRequest carries the Algorithm 1 parameters of the
+// summarization view.
+type summarizeRequest struct {
+	SessionID  string  `json:"sessionId"`
+	WDist      float64 `json:"wDist"`
+	WSize      float64 `json:"wSize"`
+	TargetDist float64 `json:"targetDist"`
+	TargetSize int     `json:"targetSize"`
+	Steps      int     `json:"steps"`
+	// ValuationClass is "annotation" (Cancel Single Annotation) or
+	// "attribute" (Cancel Single Attribute).
+	ValuationClass string `json:"valuationClass"`
+}
+
+type stepInfo struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	New   string  `json:"new"`
+	Dist  float64 `json:"dist"`
+	Size  int     `json:"size"`
+	Score float64 `json:"score"`
+}
+
+type groupInfo struct {
+	Name    string            `json:"name"`
+	Members []string          `json:"members"`
+	Attrs   map[string]string `json:"attrs"`
+	Table   string            `json:"table"`
+}
+
+type summarizeResponse struct {
+	Expression string      `json:"expression"`
+	Size       int         `json:"size"`
+	Dist       float64     `json:"dist"`
+	StopReason string      `json:"stopReason"`
+	Steps      []stepInfo  `json:"steps"`
+	Groups     []groupInfo `json:"groups"`
+	ElapsedMS  float64     `json:"elapsedMs"`
+}
+
+// handleSummarize implements the summarization service.
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	var req summarizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sess, ok := s.session(req.SessionID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
+		return
+	}
+	if req.WDist == 0 && req.WSize == 0 {
+		req.WDist, req.WSize = 0.5, 0.5
+	}
+
+	kind := datasets.CancelSingleAnnotation
+	if req.ValuationClass == "attribute" {
+		kind = datasets.CancelSingleAttribute
+	}
+	est := s.estimatorFor(sess.prov, kind)
+
+	summarizer, err := core.New(core.Config{
+		Policy:     s.workload.Policy,
+		Estimator:  est,
+		WDist:      req.WDist,
+		WSize:      req.WSize,
+		TargetSize: req.TargetSize,
+		TargetDist: req.TargetDist,
+		MaxSteps:   req.Steps,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sum, err := summarizer.Summarize(sess.prov)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sess.summary = sum
+	sess.class = kind
+
+	resp := summarizeResponse{
+		Expression: sum.Expr.String(),
+		Size:       sum.Expr.Size(),
+		Dist:       sum.Dist,
+		StopReason: sum.StopReason,
+		ElapsedMS:  float64(sum.Elapsed.Microseconds()) / 1000,
+	}
+	for _, st := range sum.Steps {
+		resp.Steps = append(resp.Steps, stepInfo{
+			A: string(st.A), B: string(st.B), New: string(st.New),
+			Dist: st.Dist, Size: st.Size, Score: st.Score,
+		})
+	}
+	u := s.workload.Universe
+	var names []provenance.Annotation
+	for name := range sum.Groups {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, name := range names {
+		members := sum.Groups[name]
+		if len(members) < 2 {
+			continue
+		}
+		gi := groupInfo{Name: string(name), Attrs: map[string]string{}, Table: u.Table(name)}
+		for _, m := range members {
+			gi.Members = append(gi.Members, string(m))
+		}
+		for k, v := range u.AttrsOf(name) {
+			gi.Attrs[k] = v
+		}
+		resp.Groups = append(resp.Groups, gi)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// estimatorFor builds the estimator over the selection's annotations,
+// normalizing distances by the selection's own maximal error rather than
+// the full workload's.
+func (s *Server) estimatorFor(p *provenance.Agg, kind datasets.ClassKind) *distance.Estimator {
+	anns := p.Annotations()
+	var class valuation.Class
+	if kind == datasets.CancelSingleAttribute {
+		class = valuation.NewCancelSingleAttribute(s.workload.Universe, anns, s.workload.AttrNames...)
+	} else {
+		class = valuation.NewCancelSingleAnnotation(anns)
+	}
+	est := s.workload.Estimator(kind)
+	est.Class = class
+	if vec, ok := p.Eval(provenance.AllTrue).(provenance.Vector); ok {
+		total := 0.0
+		for _, v := range vec {
+			total += v * v
+		}
+		if total > 0 {
+			est.MaxError = math.Sqrt(total)
+		}
+	}
+	return est
+}
+
+// stepResponse is one snapshot of the algorithm's progress: the summary
+// expression after the first N merge steps (the UI's left/right arrows,
+// Sec. 7.2 "observe the algorithm in action step by step").
+type stepResponse struct {
+	Step       int     `json:"step"`
+	Steps      int     `json:"steps"`
+	Expression string  `json:"expression"`
+	Size       int     `json:"size"`
+	Dist       float64 `json:"dist"`
+	Merged     string  `json:"merged,omitempty"`
+}
+
+// handleStep replays the stored summary's merge trace up to step n
+// (0 ≤ n ≤ len(steps); 0 is the original selection) and returns the
+// intermediate expression.
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.URL.Query().Get("sessionId"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", r.URL.Query().Get("sessionId"))
+		return
+	}
+	if sess.summary == nil {
+		writeErr(w, http.StatusBadRequest, "no summary yet: call /api/summarize first")
+		return
+	}
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 || n > len(sess.summary.Steps) {
+		writeErr(w, http.StatusBadRequest, "step n must be in [0, %d]", len(sess.summary.Steps))
+		return
+	}
+
+	var expr provenance.Expression = sess.prov
+	for _, st := range sess.summary.Steps[:n] {
+		expr = expr.Apply(provenance.MergeMapping(st.New, st.Members...))
+	}
+	resp := stepResponse{
+		Step:       n,
+		Steps:      len(sess.summary.Steps),
+		Expression: expr.String(),
+		Size:       expr.Size(),
+	}
+	if n > 0 {
+		st := sess.summary.Steps[n-1]
+		resp.Dist = st.Dist
+		resp.Merged = fmt.Sprintf("%v -> %s", st.Members, st.New)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evaluateRequest applies a provisioning valuation: annotations and/or
+// attribute=value pairs assigned false; Target selects the expression to
+// evaluate ("original" or "summary").
+type evaluateRequest struct {
+	SessionID        string   `json:"sessionId"`
+	FalseAnnotations []string `json:"falseAnnotations"`
+	FalseAttributes  []string `json:"falseAttributes"` // "gender=M" form
+	Target           string   `json:"target"`
+}
+
+type evaluateResponse struct {
+	Results map[string]float64 `json:"results"`
+	TimeNS  int64              `json:"timeNs"`
+}
+
+// handleEvaluate implements the provisioning service.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sess, ok := s.session(req.SessionID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
+		return
+	}
+
+	assign := make(map[provenance.Annotation]bool)
+	for _, a := range req.FalseAnnotations {
+		assign[provenance.Annotation(a)] = false
+	}
+	u := s.workload.Universe
+	for _, pair := range req.FalseAttributes {
+		name, value, found := strings.Cut(pair, "=")
+		if !found {
+			writeErr(w, http.StatusBadRequest, "bad attribute pair %q (want name=value)", pair)
+			return
+		}
+		for _, a := range u.Annotations() {
+			if u.Attr(a, name) == value {
+				assign[a] = false
+			}
+		}
+	}
+	val := provenance.MapValuation{Assign: assign, Default: true, Label: "ui"}
+
+	var expr provenance.Expression = sess.prov
+	var use provenance.Valuation = val
+	if req.Target == "summary" {
+		if sess.summary == nil {
+			writeErr(w, http.StatusBadRequest, "no summary yet: call /api/summarize first")
+			return
+		}
+		expr = sess.summary.Expr
+		use = provenance.ExtendValuation(val, sess.summary.Groups, provenance.CombineOr)
+	}
+
+	start := time.Now()
+	res := expr.Eval(use)
+	elapsed := time.Since(start)
+
+	vec, ok := res.(provenance.Vector)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "unexpected result type")
+		return
+	}
+	out := evaluateResponse{Results: map[string]float64{}, TimeNS: elapsed.Nanoseconds()}
+	for k, v := range vec {
+		out.Results[string(k)] = v
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleUI serves the embedded single-page UI.
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(uiHTML))
+}

@@ -1,0 +1,218 @@
+package server
+
+// uiHTML is the embedded single-page PROX UI: the three views of
+// Sec. 7.2 (selection, summarization, summary with groups / expression /
+// provisioning subviews) implemented in plain HTML and JavaScript against
+// the REST API.
+const uiHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>PROX — Approximated Summarization of Data Provenance</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; color: #222; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  fieldset { border: 1px solid #ccc; border-radius: 6px; margin-bottom: 1rem; }
+  label { display: inline-block; margin: 0.25rem 0.75rem 0.25rem 0; }
+  input[type=number], input[type=text] { width: 6rem; }
+  button { padding: 0.35rem 0.9rem; margin: 0.25rem 0.5rem 0.25rem 0; cursor: pointer; }
+  pre { background: #f6f6f6; padding: 0.75rem; border-radius: 6px; white-space: pre-wrap;
+        word-break: break-all; max-height: 16rem; overflow-y: auto; }
+  table { border-collapse: collapse; margin: 0.5rem 0; }
+  td, th { border: 1px solid #ddd; padding: 0.3rem 0.6rem; text-align: left; }
+  .muted { color: #777; font-size: 0.9rem; }
+  .err { color: #b00; }
+</style>
+</head>
+<body>
+<h1>PROX — summarized provenance for movie ratings</h1>
+<p class="muted">Select provenance, summarize it with Algorithm&nbsp;1, inspect the
+summary, and provision hypothetical scenarios — all without re-running the
+application.</p>
+
+<h2>1 · Selection</h2>
+<fieldset>
+  <div id="movies"></div>
+  <label>Genre <input type="text" id="genre" placeholder="Drama"></label>
+  <label>Year <input type="text" id="year" placeholder="1995"></label>
+  <label>Aggregation
+    <select id="agg"><option>MAX</option><option>SUM</option></select>
+  </label>
+  <button onclick="doSelect()">Get selected provenance</button>
+</fieldset>
+<details>
+  <summary class="muted">…or paste a custom provenance expression</summary>
+  <fieldset>
+    <textarea id="customExpr" rows="3" cols="80"
+      placeholder="U1·[S1·U1 ⊗ 5 > 2] ⊗ (3,1)@MatchPoint ⊕ U2 ⊗ (5,1)@MatchPoint   (ASCII: * (x) (+) work too)"></textarea><br>
+    <label>Aggregation
+      <select id="customAgg"><option>MAX</option><option>SUM</option><option>MIN</option></select>
+    </label>
+    <button onclick="doCustom()">Use custom provenance</button>
+  </fieldset>
+</details>
+<pre id="selection" class="muted">no selection yet</pre>
+
+<h2>2 · Summarization</h2>
+<fieldset>
+  <label>Distance weight <input type="number" id="wDist" value="0.5" step="0.1" min="0" max="1"></label>
+  <label>Size weight <input type="number" id="wSize" value="0.5" step="0.1" min="0" max="1"></label>
+  <label>Distance bound <input type="number" id="targetDist" value="1" step="0.01" min="0" max="1"></label>
+  <label>Size bound <input type="number" id="targetSize" value="1" min="1"></label>
+  <label>Number of steps <input type="number" id="steps" value="10" min="0"></label>
+  <label>Valuation class
+    <select id="vclass">
+      <option value="annotation">Cancel Single Annotation</option>
+      <option value="attribute">Cancel Single Attribute</option>
+    </select>
+  </label>
+  <button onclick="doSummarize()">Summarize!</button>
+</fieldset>
+
+<h2>3 · Summary</h2>
+<div id="summaryMeta" class="muted"></div>
+<div id="stepNav" style="display:none">
+  <button onclick="stepTo(curStep-1)">◀</button>
+  <span id="stepLabel" class="muted"></span>
+  <button onclick="stepTo(curStep+1)">▶</button>
+</div>
+<pre id="summaryExpr" class="muted">no summary yet</pre>
+<div id="groups"></div>
+
+<h2>4 · Evaluate assignment (provisioning)</h2>
+<fieldset>
+  <label>False annotations (comma-separated) <input type="text" id="falseAnns" size="40" placeholder="UID001,Movie03"></label>
+  <label>False attributes (name=value, comma-separated) <input type="text" id="falseAttrs" size="30" placeholder="gender=M"></label>
+  <label>Target
+    <select id="target"><option>original</option><option>summary</option></select>
+  </label>
+  <button onclick="doEvaluate()">Evaluate assignment!</button>
+</fieldset>
+<div id="evalResult"></div>
+
+<script>
+let sessionId = null;
+let curStep = 0, totalSteps = 0;
+
+async function stepTo(n) {
+  if (n < 0 || n > totalSteps) return;
+  try {
+    const res = await api("/api/step?sessionId=" + sessionId + "&n=" + n);
+    curStep = res.step;
+    document.getElementById("stepLabel").textContent =
+      "step " + res.step + "/" + res.steps +
+      (res.merged ? " · merged " + res.merged : " · original selection") +
+      " · size " + res.size;
+    document.getElementById("summaryExpr").textContent = res.expression;
+  } catch (e) { showErr("summaryExpr", e); }
+}
+
+async function api(path, body) {
+  const res = await fetch(path, body === undefined ? {} : {
+    method: "POST",
+    headers: {"Content-Type": "application/json"},
+    body: JSON.stringify(body),
+  });
+  const data = await res.json();
+  if (!res.ok) throw new Error(data.error || res.statusText);
+  return data;
+}
+
+async function loadMovies() {
+  const movies = await api("/api/movies");
+  const div = document.getElementById("movies");
+  div.innerHTML = movies.map(m =>
+    '<label><input type="checkbox" class="movie" value="' + m.title + '"> ' +
+    m.title + ' <span class="muted">(' + m.genre + ', ' + m.year + ')</span></label>'
+  ).join("");
+}
+
+async function doSelect() {
+  const titles = [...document.querySelectorAll(".movie:checked")].map(cb => cb.value);
+  const genre = document.getElementById("genre").value.trim();
+  const year = document.getElementById("year").value.trim();
+  const body = {agg: document.getElementById("agg").value};
+  if (titles.length) body.titles = titles;
+  if (genre) body.genres = [genre];
+  if (year) body.year = year;
+  try {
+    const res = await api("/api/select", body);
+    sessionId = res.sessionId;
+    document.getElementById("selection").textContent =
+      "Provenance size: " + res.size + " (" + res.tensors + " tensors)\n\n" + res.provenance;
+    document.getElementById("selection").classList.remove("err");
+  } catch (e) { showErr("selection", e); }
+}
+
+async function doCustom() {
+  const expr = document.getElementById("customExpr").value.trim();
+  if (!expr) { showErr("selection", new Error("enter an expression")); return; }
+  try {
+    const res = await api("/api/custom", {
+      expression: expr,
+      agg: document.getElementById("customAgg").value,
+    });
+    sessionId = res.sessionId;
+    document.getElementById("selection").textContent =
+      "Provenance size: " + res.size + " (" + res.tensors + " tensors)\n\n" + res.provenance;
+    document.getElementById("selection").classList.remove("err");
+  } catch (e) { showErr("selection", e); }
+}
+
+async function doSummarize() {
+  if (!sessionId) { showErr("summaryExpr", new Error("select provenance first")); return; }
+  const g = id => document.getElementById(id).value;
+  try {
+    const res = await api("/api/summarize", {
+      sessionId,
+      wDist: parseFloat(g("wDist")), wSize: parseFloat(g("wSize")),
+      targetDist: parseFloat(g("targetDist")), targetSize: parseInt(g("targetSize")),
+      steps: parseInt(g("steps")), valuationClass: g("vclass"),
+    });
+    document.getElementById("summaryMeta").textContent =
+      "size " + res.size + " · distance " + res.dist.toFixed(4) +
+      " · stop: " + res.stopReason + " · " + res.elapsedMs.toFixed(1) + " ms";
+    document.getElementById("summaryExpr").textContent = res.expression;
+    document.getElementById("summaryExpr").classList.remove("err");
+    curStep = (res.steps || []).length; totalSteps = curStep;
+    document.getElementById("stepNav").style.display = "block";
+    document.getElementById("stepLabel").textContent =
+      "step " + curStep + "/" + totalSteps + " · size " + res.size;
+    const rows = (res.groups || []).map(gr =>
+      "<tr><td>" + gr.name + "</td><td>" + gr.members.join(", ") + "</td><td>" +
+      Object.entries(gr.attrs).map(([k,v]) => k + "=" + v).join(", ") + "</td></tr>").join("");
+    document.getElementById("groups").innerHTML = rows
+      ? "<table><tr><th>Group</th><th>Members</th><th>Shared attributes</th></tr>" + rows + "</table>"
+      : "<p class='muted'>no groups formed</p>";
+  } catch (e) { showErr("summaryExpr", e); }
+}
+
+async function doEvaluate() {
+  if (!sessionId) { showErr("evalResult", new Error("select provenance first")); return; }
+  const split = s => s.split(",").map(x => x.trim()).filter(x => x);
+  try {
+    const res = await api("/api/evaluate", {
+      sessionId,
+      falseAnnotations: split(document.getElementById("falseAnns").value),
+      falseAttributes: split(document.getElementById("falseAttrs").value),
+      target: document.getElementById("target").value,
+    });
+    const rows = Object.entries(res.results).sort()
+      .map(([k,v]) => "<tr><td>" + (k || "(scalar)") + "</td><td>" + v + "</td></tr>").join("");
+    document.getElementById("evalResult").innerHTML =
+      "<table><tr><th>Movie</th><th>Aggregated rating</th></tr>" + rows + "</table>" +
+      "<p class='muted'>Evaluation time: " + res.timeNs + " ns</p>";
+  } catch (e) { showErr("evalResult", e); }
+}
+
+function showErr(id, e) {
+  const el = document.getElementById(id);
+  el.textContent = "error: " + e.message;
+  el.classList.add("err");
+}
+
+loadMovies();
+</script>
+</body>
+</html>
+`

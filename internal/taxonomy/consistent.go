@@ -1,0 +1,73 @@
+package taxonomy
+
+import (
+	"math/rand"
+
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// ConsistentClass wraps a valuation class so that every valuation it
+// yields is consistent with the taxonomy. Per Example 5.2.1, a valuation
+// is inconsistent if it assigns false to a concept A but true to a
+// descendant B of A; the wrapper repairs each valuation by closing
+// falsity downward: cancelling a concept cancels its whole subtree.
+// Annotations outside the taxonomy are untouched.
+type ConsistentClass struct {
+	Inner valuation.Class
+	Tree  *Tree
+}
+
+// Consistent builds a taxonomy-consistent view of a class.
+func Consistent(inner valuation.Class, tree *Tree) *ConsistentClass {
+	return &ConsistentClass{Inner: inner, Tree: tree}
+}
+
+// Name implements valuation.Class.
+func (c *ConsistentClass) Name() string { return c.Inner.Name() + " (taxonomy-consistent)" }
+
+// Valuations implements valuation.Class.
+func (c *ConsistentClass) Valuations() []provenance.Valuation {
+	vals := c.Inner.Valuations()
+	out := make([]provenance.Valuation, len(vals))
+	for i, v := range vals {
+		out[i] = c.repair(v)
+	}
+	return out
+}
+
+// Sample implements valuation.Class.
+func (c *ConsistentClass) Sample(r *rand.Rand) provenance.Valuation {
+	return c.repair(c.Inner.Sample(r))
+}
+
+// Len implements valuation.Class.
+func (c *ConsistentClass) Len() int { return c.Inner.Len() }
+
+// repair closes falsity downward over the taxonomy.
+func (c *ConsistentClass) repair(v provenance.Valuation) provenance.Valuation {
+	return consistentValuation{base: v, tree: c.Tree}
+}
+
+type consistentValuation struct {
+	base provenance.Valuation
+	tree *Tree
+}
+
+func (v consistentValuation) Truth(a provenance.Annotation) bool {
+	if !v.base.Truth(a) {
+		return false
+	}
+	// a is true under the base valuation; it must still be false if any
+	// ancestor concept was cancelled.
+	if v.tree.Contains(a) {
+		for _, anc := range v.tree.Ancestors(a) {
+			if !v.base.Truth(anc) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (v consistentValuation) Name() string { return v.base.Name() + " (consistent)" }

@@ -1,0 +1,255 @@
+// Package taxonomy implements the taxonomies of Sec. 3.2: rooted trees of
+// concepts (a YAGO/WordNet-style subClassOf hierarchy) used to (a)
+// constrain which annotations may be grouped together (common-ancestor
+// constraint), (b) break ties between candidate mappings via taxonomy
+// distance (MAX or SUM of Wu–Palmer distances), and (c) restrict
+// valuation classes to taxonomy-consistent valuations.
+package taxonomy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// Tree is a rooted concept taxonomy. Node names double as provenance
+// annotations so that provenance over taxonomy concepts (e.g. Wikipedia
+// page summaries named by WordNet concepts) needs no translation layer.
+type Tree struct {
+	root     provenance.Annotation
+	parent   map[provenance.Annotation]provenance.Annotation
+	children map[provenance.Annotation][]provenance.Annotation
+	depth    map[provenance.Annotation]int
+}
+
+// New creates a taxonomy with the given root concept.
+func New(root provenance.Annotation) *Tree {
+	t := &Tree{
+		root:     root,
+		parent:   make(map[provenance.Annotation]provenance.Annotation),
+		children: make(map[provenance.Annotation][]provenance.Annotation),
+		depth:    map[provenance.Annotation]int{root: 0},
+	}
+	return t
+}
+
+// Root returns the root concept.
+func (t *Tree) Root() provenance.Annotation { return t.root }
+
+// Add inserts concept under parent. It returns an error if the parent is
+// unknown or the concept already exists.
+func (t *Tree) Add(concept, parent provenance.Annotation) error {
+	if _, ok := t.depth[parent]; !ok {
+		return fmt.Errorf("taxonomy: unknown parent %q", parent)
+	}
+	if _, ok := t.depth[concept]; ok {
+		return fmt.Errorf("taxonomy: concept %q already present", concept)
+	}
+	t.parent[concept] = parent
+	t.children[parent] = append(t.children[parent], concept)
+	t.depth[concept] = t.depth[parent] + 1
+	return nil
+}
+
+// MustAdd is Add that panics on error, for static taxonomy construction.
+func (t *Tree) MustAdd(concept, parent provenance.Annotation) {
+	if err := t.Add(concept, parent); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the concept is in the taxonomy.
+func (t *Tree) Contains(c provenance.Annotation) bool {
+	_, ok := t.depth[c]
+	return ok
+}
+
+// Depth is the distance from the root (root has depth 0); -1 if unknown.
+func (t *Tree) Depth(c provenance.Annotation) int {
+	d, ok := t.depth[c]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// Parent returns the parent of c and whether c has one (the root and
+// unknown concepts do not).
+func (t *Tree) Parent(c provenance.Annotation) (provenance.Annotation, bool) {
+	p, ok := t.parent[c]
+	return p, ok
+}
+
+// Children returns the direct children of c in insertion order.
+func (t *Tree) Children(c provenance.Annotation) []provenance.Annotation {
+	return append([]provenance.Annotation(nil), t.children[c]...)
+}
+
+// Concepts returns all concepts, sorted.
+func (t *Tree) Concepts() []provenance.Annotation {
+	out := make([]provenance.Annotation, 0, len(t.depth))
+	for c := range t.depth {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns all concepts without children, sorted.
+func (t *Tree) Leaves() []provenance.Annotation {
+	var out []provenance.Annotation
+	for c := range t.depth {
+		if len(t.children[c]) == 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ancestors returns the path from c (inclusive) to the root (inclusive).
+func (t *Tree) Ancestors(c provenance.Annotation) []provenance.Annotation {
+	if !t.Contains(c) {
+		return nil
+	}
+	var out []provenance.Annotation
+	for {
+		out = append(out, c)
+		p, ok := t.parent[c]
+		if !ok {
+			return out
+		}
+		c = p
+	}
+}
+
+// IsAncestor reports whether anc is an ancestor of c (or equal to it).
+func (t *Tree) IsAncestor(anc, c provenance.Annotation) bool {
+	if !t.Contains(anc) || !t.Contains(c) {
+		return false
+	}
+	for {
+		if c == anc {
+			return true
+		}
+		p, ok := t.parent[c]
+		if !ok {
+			return false
+		}
+		c = p
+	}
+}
+
+// LCA returns the lowest common ancestor of a and b, and false if either
+// concept is unknown.
+func (t *Tree) LCA(a, b provenance.Annotation) (provenance.Annotation, bool) {
+	if !t.Contains(a) || !t.Contains(b) {
+		return "", false
+	}
+	seen := make(map[provenance.Annotation]bool)
+	for _, x := range t.Ancestors(a) {
+		seen[x] = true
+	}
+	for _, x := range t.Ancestors(b) {
+		if seen[x] {
+			return x, true
+		}
+	}
+	return t.root, true
+}
+
+// HaveCommonAncestor reports whether a non-root concept subsumes both a
+// and b — the paper's semantic constraint "all annotations grouped
+// together share a common ancestor". Sharing only the root is not
+// considered meaningful.
+func (t *Tree) HaveCommonAncestor(a, b provenance.Annotation) bool {
+	lca, ok := t.LCA(a, b)
+	return ok && lca != t.root
+}
+
+// Descendants returns every concept subsumed by c, including c itself.
+func (t *Tree) Descendants(c provenance.Annotation) []provenance.Annotation {
+	if !t.Contains(c) {
+		return nil
+	}
+	var out []provenance.Annotation
+	stack := []provenance.Annotation{c}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, x)
+		stack = append(stack, t.children[x]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WuPalmer is the Wu–Palmer semantic relatedness of two concepts:
+// 2·depth(lca) / (depth(a) + depth(b)), in [0,1] with 1 for identical
+// concepts (when not at the root). Unknown concepts score 0.
+func (t *Tree) WuPalmer(a, b provenance.Annotation) float64 {
+	lca, ok := t.LCA(a, b)
+	if !ok {
+		return 0
+	}
+	da, db, dl := t.depth[a], t.depth[b], t.depth[lca]
+	if da+db == 0 {
+		return 1 // both at root
+	}
+	return 2 * float64(dl) / float64(da+db)
+}
+
+// Distance is the Wu–Palmer semantic distance 1 − WuPalmer(a,b).
+func (t *Tree) Distance(a, b provenance.Annotation) float64 {
+	return 1 - t.WuPalmer(a, b)
+}
+
+// MappingDistance scores a candidate merge: the distance of each member
+// from the summary concept it is mapped to, folded with MAX (useSum
+// false) or SUM (useSum true). Lower is better ("mapping users to
+// 'Guitarist' is preferable to mapping them to 'Person'"). Members or
+// targets outside the taxonomy contribute the maximal distance 1.
+func (t *Tree) MappingDistance(target provenance.Annotation, members []provenance.Annotation, useSum bool) float64 {
+	total, max := 0.0, 0.0
+	for _, m := range members {
+		d := 1.0
+		if t.Contains(m) && t.Contains(target) {
+			d = t.Distance(m, target)
+		}
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if useSum {
+		return total
+	}
+	return max
+}
+
+// Generate builds a deterministic synthetic WordNet-style taxonomy with
+// the given branching factor and depth, rooted at root. Concept names
+// encode their position ("root.2.0.1"). It is the stand-in for the YAGO
+// taxonomy (see DESIGN.md substitutions).
+func Generate(root provenance.Annotation, branching, depth int, r *rand.Rand) *Tree {
+	t := New(root)
+	var grow func(parent provenance.Annotation, level int)
+	grow = func(parent provenance.Annotation, level int) {
+		if level >= depth {
+			return
+		}
+		n := branching
+		if r != nil && branching > 1 {
+			n = 1 + r.Intn(branching) // ragged fan-out
+		}
+		for i := 0; i < n; i++ {
+			child := provenance.Annotation(fmt.Sprintf("%s.%d", parent, i))
+			t.MustAdd(child, parent)
+			grow(child, level+1)
+		}
+	}
+	grow(root, 0)
+	return t
+}

@@ -1,0 +1,276 @@
+package taxonomy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// music builds the Example 5.2.1-style taxonomy:
+//
+//	entity
+//	└── person
+//	    ├── musician
+//	    │   ├── guitarist (LoriBlack, AlecBaillie)
+//	    │   └── singer    (Adele, CelineDion)
+//	    └── actor
+func music() *Tree {
+	t := New("entity")
+	t.MustAdd("person", "entity")
+	t.MustAdd("musician", "person")
+	t.MustAdd("actor", "person")
+	t.MustAdd("guitarist", "musician")
+	t.MustAdd("singer", "musician")
+	t.MustAdd("LoriBlack", "guitarist")
+	t.MustAdd("AlecBaillie", "guitarist")
+	t.MustAdd("Adele", "singer")
+	t.MustAdd("CelineDion", "singer")
+	return t
+}
+
+func TestAddErrors(t *testing.T) {
+	tr := New("root")
+	if err := tr.Add("a", "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add("a", "root"); err == nil {
+		t.Fatal("duplicate concept must fail")
+	}
+	if err := tr.Add("b", "nope"); err == nil {
+		t.Fatal("unknown parent must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd must panic on error")
+		}
+	}()
+	tr.MustAdd("c", "nope")
+}
+
+func TestDepthAndAncestors(t *testing.T) {
+	tr := music()
+	if tr.Depth("entity") != 0 || tr.Depth("LoriBlack") != 4 {
+		t.Fatalf("depths: %d %d", tr.Depth("entity"), tr.Depth("LoriBlack"))
+	}
+	if tr.Depth("unknown") != -1 {
+		t.Fatal("unknown depth must be -1")
+	}
+	anc := tr.Ancestors("Adele")
+	want := []provenance.Annotation{"Adele", "singer", "musician", "person", "entity"}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors = %v", anc)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors = %v, want %v", anc, want)
+		}
+	}
+	if tr.Ancestors("unknown") != nil {
+		t.Fatal("unknown ancestors must be nil")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr := music()
+	cases := []struct {
+		a, b, want provenance.Annotation
+	}{
+		{"LoriBlack", "AlecBaillie", "guitarist"},
+		{"LoriBlack", "Adele", "musician"},
+		{"Adele", "actor", "person"},
+		{"Adele", "Adele", "Adele"},
+		{"Adele", "entity", "entity"},
+	}
+	for _, c := range cases {
+		got, ok := tr.LCA(c.a, c.b)
+		if !ok || got != c.want {
+			t.Errorf("LCA(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+	if _, ok := tr.LCA("Adele", "nope"); ok {
+		t.Fatal("LCA with unknown concept must fail")
+	}
+}
+
+func TestHaveCommonAncestor(t *testing.T) {
+	tr := music()
+	if !tr.HaveCommonAncestor("LoriBlack", "Adele") {
+		t.Fatal("guitarist and singer share musician")
+	}
+	// Sharing only the root is not meaningful.
+	tr2 := New("root")
+	tr2.MustAdd("x", "root")
+	tr2.MustAdd("y", "root")
+	if tr2.HaveCommonAncestor("x", "y") {
+		t.Fatal("sharing only the root must not count")
+	}
+}
+
+func TestIsAncestorAndDescendants(t *testing.T) {
+	tr := music()
+	if !tr.IsAncestor("musician", "Adele") || tr.IsAncestor("Adele", "musician") {
+		t.Fatal("IsAncestor broken")
+	}
+	if !tr.IsAncestor("Adele", "Adele") {
+		t.Fatal("IsAncestor must be reflexive")
+	}
+	desc := tr.Descendants("singer")
+	if len(desc) != 3 { // singer, Adele, CelineDion
+		t.Fatalf("Descendants(singer) = %v", desc)
+	}
+	if tr.Descendants("nope") != nil {
+		t.Fatal("unknown descendants must be nil")
+	}
+}
+
+func TestWuPalmer(t *testing.T) {
+	tr := music()
+	// identical concepts below root have relatedness 1
+	if got := tr.WuPalmer("Adele", "Adele"); got != 1 {
+		t.Fatalf("WuPalmer(x,x) = %g", got)
+	}
+	// siblings under depth-3 parent at depth 4: 2*3/(4+4) = 0.75
+	if got := tr.WuPalmer("LoriBlack", "AlecBaillie"); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("WuPalmer(siblings) = %g, want 0.75", got)
+	}
+	// cousins under musician (depth 2): 2*2/8 = 0.5
+	if got := tr.WuPalmer("LoriBlack", "Adele"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("WuPalmer(cousins) = %g, want 0.5", got)
+	}
+	if got := tr.WuPalmer("entity", "entity"); got != 1 {
+		t.Fatalf("WuPalmer(root,root) = %g", got)
+	}
+	if got := tr.WuPalmer("Adele", "nope"); got != 0 {
+		t.Fatalf("WuPalmer(unknown) = %g", got)
+	}
+	if got := tr.Distance("LoriBlack", "Adele"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Distance = %g", got)
+	}
+}
+
+func TestMappingDistance(t *testing.T) {
+	tr := music()
+	members := []provenance.Annotation{"LoriBlack", "AlecBaillie"}
+	// mapping guitarists to "guitarist" (depth 3): dist each = 1-2*3/(4+3)=1/7
+	dMax := tr.MappingDistance("guitarist", members, false)
+	dSum := tr.MappingDistance("guitarist", members, true)
+	if math.Abs(dMax-(1-6.0/7.0)) > 1e-12 {
+		t.Fatalf("MAX mapping distance = %g", dMax)
+	}
+	if math.Abs(dSum-2*(1-6.0/7.0)) > 1e-12 {
+		t.Fatalf("SUM mapping distance = %g", dSum)
+	}
+	// mapping to "person" must be worse than mapping to "guitarist"
+	if tr.MappingDistance("person", members, false) <= dMax {
+		t.Fatal("mapping to Person must be farther than to Guitarist")
+	}
+	// unknown target costs max distance 1 per member
+	if got := tr.MappingDistance("nowhere", members, true); got != 2 {
+		t.Fatalf("unknown target = %g, want 2", got)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	tr := Generate("root", 3, 3, nil)
+	// full 3-ary tree depth 3: 1+3+9+27 = 40 concepts
+	if got := len(tr.Concepts()); got != 40 {
+		t.Fatalf("Generate full tree = %d concepts, want 40", got)
+	}
+	if got := len(tr.Leaves()); got != 27 {
+		t.Fatalf("leaves = %d, want 27", got)
+	}
+	ragged := Generate("root", 3, 3, rand.New(rand.NewSource(7)))
+	if len(ragged.Concepts()) < 4 {
+		t.Fatal("ragged tree too small")
+	}
+	for _, c := range ragged.Concepts() {
+		if c == "root" {
+			continue
+		}
+		if p, ok := ragged.Parent(c); !ok || !ragged.Contains(p) {
+			t.Fatalf("concept %s has bad parent", c)
+		}
+	}
+}
+
+// Property: Wu-Palmer is symmetric and in [0,1].
+func TestWuPalmerProperties(t *testing.T) {
+	tr := Generate("root", 3, 4, rand.New(rand.NewSource(3)))
+	concepts := tr.Concepts()
+	f := func(i, j uint16) bool {
+		a := concepts[int(i)%len(concepts)]
+		b := concepts[int(j)%len(concepts)]
+		wp := tr.WuPalmer(a, b)
+		if wp < 0 || wp > 1 {
+			return false
+		}
+		return wp == tr.WuPalmer(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistentClass(t *testing.T) {
+	tr := music()
+	inner := valuation.NewCancelSingleAnnotation([]provenance.Annotation{"musician", "Adele"})
+	c := Consistent(inner, tr)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	var cancelMusician provenance.Valuation
+	for _, v := range c.Valuations() {
+		if v.Truth("musician") == false {
+			cancelMusician = v
+		}
+	}
+	if cancelMusician == nil {
+		t.Fatal("missing cancel-musician valuation")
+	}
+	// Consistency repair: cancelling musician cancels all descendants.
+	for _, d := range []provenance.Annotation{"singer", "Adele", "LoriBlack"} {
+		if cancelMusician.Truth(d) {
+			t.Errorf("descendant %s must be cancelled with its ancestor", d)
+		}
+	}
+	// Unrelated concepts stay true.
+	if !cancelMusician.Truth("actor") {
+		t.Error("actor must remain true")
+	}
+	// Annotations outside the taxonomy are untouched.
+	if !cancelMusician.Truth("someUser") {
+		t.Error("non-taxonomy annotation must keep base truth")
+	}
+	if c.Name() == inner.Name() {
+		t.Error("consistent class should rename itself")
+	}
+	r := rand.New(rand.NewSource(5))
+	if c.Sample(r) == nil {
+		t.Error("sample nil")
+	}
+}
+
+// Property: every valuation produced by ConsistentClass is consistent —
+// no concept is true while an ancestor is false.
+func TestConsistentProperty(t *testing.T) {
+	tr := Generate("root", 3, 3, rand.New(rand.NewSource(11)))
+	concepts := tr.Concepts()
+	inner := valuation.NewCancelSingleAnnotation(concepts)
+	c := Consistent(inner, tr)
+	for _, v := range c.Valuations() {
+		for _, x := range concepts {
+			if !v.Truth(x) {
+				continue
+			}
+			for _, anc := range tr.Ancestors(x) {
+				if !v.Truth(anc) {
+					t.Fatalf("valuation %q: %s true but ancestor %s false", v.Name(), x, anc)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package valuation implements the valuation classes of Table 5.1: the
+// sets V_Ann of truth valuations with respect to which summarization
+// distance is measured. The paper's experiments use two classes — "Cancel
+// Single Annotation" and "Cancel Single Attribute" — optionally
+// restricted to valuations consistent with a taxonomy; the package also
+// provides the full 2^n valuation space (for exact distance on small
+// inputs) and explicit valuation lists.
+package valuation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// Class is a set of truth valuations V_Ann. Classes are finite and
+// enumerable; sampling draws uniformly (used by the Monte-Carlo distance
+// estimator of Prop. 4.1.2).
+type Class interface {
+	// Name identifies the class ("Cancel Single Annotation", ...).
+	Name() string
+	// Valuations enumerates the class in deterministic order.
+	Valuations() []provenance.Valuation
+	// Sample draws a uniformly random member.
+	Sample(r *rand.Rand) provenance.Valuation
+	// Len is the number of valuations in the class.
+	Len() int
+}
+
+// CancelSingleAnnotation is the class with one valuation per annotation:
+// the valuation cancelling exactly that annotation. Anns is typically the
+// set of annotations of the provenance expression being summarized (or a
+// sub-domain of it, e.g. only user annotations).
+type CancelSingleAnnotation struct {
+	Anns []provenance.Annotation
+}
+
+// NewCancelSingleAnnotation builds the class over the given annotations.
+func NewCancelSingleAnnotation(anns []provenance.Annotation) *CancelSingleAnnotation {
+	sorted := append([]provenance.Annotation(nil), anns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &CancelSingleAnnotation{Anns: sorted}
+}
+
+// Name implements Class.
+func (c *CancelSingleAnnotation) Name() string { return "Cancel Single Annotation" }
+
+// Valuations implements Class.
+func (c *CancelSingleAnnotation) Valuations() []provenance.Valuation {
+	out := make([]provenance.Valuation, len(c.Anns))
+	for i, a := range c.Anns {
+		out[i] = provenance.CancelAnnotation(a)
+	}
+	return out
+}
+
+// Sample implements Class.
+func (c *CancelSingleAnnotation) Sample(r *rand.Rand) provenance.Valuation {
+	return provenance.CancelAnnotation(c.Anns[r.Intn(len(c.Anns))])
+}
+
+// Len implements Class.
+func (c *CancelSingleAnnotation) Len() int { return len(c.Anns) }
+
+// CancelSingleAttribute is the class with one valuation per
+// (attribute, value) pair appearing in the universe: the valuation
+// cancelling every annotation carrying that pair (e.g. "cancel all Male
+// users") and keeping the rest.
+type CancelSingleAttribute struct {
+	sets   []attrSet
+	labels []string
+}
+
+type attrSet struct {
+	label string
+	anns  []provenance.Annotation
+}
+
+// NewCancelSingleAttribute builds the class from the universe, over the
+// annotations in anns and the given attribute names. Pairs shared by no
+// annotation are skipped.
+func NewCancelSingleAttribute(u *provenance.Universe, anns []provenance.Annotation, attrNames ...string) *CancelSingleAttribute {
+	byPair := make(map[string][]provenance.Annotation)
+	for _, a := range anns {
+		for _, name := range attrNames {
+			if v := u.Attr(a, name); v != "" {
+				key := name + "=" + v
+				byPair[key] = append(byPair[key], a)
+			}
+		}
+	}
+	keys := make([]string, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	c := &CancelSingleAttribute{}
+	for _, k := range keys {
+		members := byPair[k]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		c.sets = append(c.sets, attrSet{label: "cancel " + k, anns: members})
+		c.labels = append(c.labels, k)
+	}
+	return c
+}
+
+// Name implements Class.
+func (c *CancelSingleAttribute) Name() string { return "Cancel Single Attribute" }
+
+// Valuations implements Class.
+func (c *CancelSingleAttribute) Valuations() []provenance.Valuation {
+	out := make([]provenance.Valuation, len(c.sets))
+	for i, s := range c.sets {
+		out[i] = provenance.CancelSet(s.label, s.anns...)
+	}
+	return out
+}
+
+// Sample implements Class.
+func (c *CancelSingleAttribute) Sample(r *rand.Rand) provenance.Valuation {
+	s := c.sets[r.Intn(len(c.sets))]
+	return provenance.CancelSet(s.label, s.anns...)
+}
+
+// Len implements Class.
+func (c *CancelSingleAttribute) Len() int { return len(c.sets) }
+
+// Pairs returns the attribute=value labels of the class, in order.
+func (c *CancelSingleAttribute) Pairs() []string {
+	return append([]string(nil), c.labels...)
+}
+
+// Explicit is a user-supplied list of valuations — the variant where
+// V_Ann is given explicitly as input.
+type Explicit struct {
+	Label string
+	Vals  []provenance.Valuation
+}
+
+// Name implements Class.
+func (e *Explicit) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return "Explicit"
+}
+
+// Valuations implements Class.
+func (e *Explicit) Valuations() []provenance.Valuation {
+	return append([]provenance.Valuation(nil), e.Vals...)
+}
+
+// Sample implements Class.
+func (e *Explicit) Sample(r *rand.Rand) provenance.Valuation {
+	return e.Vals[r.Intn(len(e.Vals))]
+}
+
+// Len implements Class.
+func (e *Explicit) Len() int { return len(e.Vals) }
+
+// All is the full valuation space over n annotations (2^n valuations).
+// Computing the exact distance over it is the #P-hard DIST-COMP problem
+// (Prop. 4.1.1); it is enumerable only for small n and is provided for
+// exactness tests and for the sampling estimator to draw from.
+type All struct {
+	Anns []provenance.Annotation
+}
+
+// NewAll builds the full valuation space over the given annotations;
+// enumeration requires len(anns) <= 20.
+func NewAll(anns []provenance.Annotation) *All {
+	sorted := append([]provenance.Annotation(nil), anns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &All{Anns: sorted}
+}
+
+// Name implements Class.
+func (a *All) Name() string { return "All Valuations" }
+
+// Valuations implements Class.
+func (a *All) Valuations() []provenance.Valuation {
+	n := len(a.Anns)
+	if n > 20 {
+		panic(fmt.Sprintf("valuation: refusing to enumerate 2^%d valuations", n))
+	}
+	out := make([]provenance.Valuation, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		out = append(out, a.fromMask(uint64(mask)))
+	}
+	return out
+}
+
+// Sample implements Class.
+func (a *All) Sample(r *rand.Rand) provenance.Valuation {
+	return a.fromMask(uint64(r.Int63()))
+}
+
+func (a *All) fromMask(mask uint64) provenance.Valuation {
+	assign := make(map[provenance.Annotation]bool, len(a.Anns))
+	for i, ann := range a.Anns {
+		assign[ann] = mask&(1<<uint(i%63)) != 0
+	}
+	return provenance.MapValuation{
+		Assign:  assign,
+		Default: true,
+		Label:   fmt.Sprintf("mask:%d", mask),
+	}
+}
+
+// Len implements Class.
+func (a *All) Len() int { return 1 << uint(len(a.Anns)) }

@@ -1,0 +1,179 @@
+package valuation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/provenance"
+)
+
+func TestCancelSingleAnnotation(t *testing.T) {
+	c := NewCancelSingleAnnotation([]provenance.Annotation{"b", "a", "c"})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	vals := c.Valuations()
+	if len(vals) != 3 {
+		t.Fatalf("Valuations = %d", len(vals))
+	}
+	// deterministic order: sorted annotations
+	if vals[0].Name() != "cancel a" {
+		t.Fatalf("first valuation = %q", vals[0].Name())
+	}
+	// each valuation cancels exactly its annotation
+	for i, a := range []provenance.Annotation{"a", "b", "c"} {
+		v := vals[i]
+		for _, x := range []provenance.Annotation{"a", "b", "c"} {
+			want := x != a
+			if v.Truth(x) != want {
+				t.Errorf("valuation %q: Truth(%s) = %v, want %v", v.Name(), x, v.Truth(x), want)
+			}
+		}
+	}
+	if c.Name() != "Cancel Single Annotation" {
+		t.Fatal("name")
+	}
+}
+
+func TestCancelSingleAnnotationSample(t *testing.T) {
+	c := NewCancelSingleAnnotation([]provenance.Annotation{"a", "b", "c"})
+	r := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[c.Sample(r).Name()] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("sampling missed valuations: %v", seen)
+	}
+}
+
+func newTestUniverse() *provenance.Universe {
+	u := provenance.NewUniverse()
+	u.Add("U1", "users", provenance.Attrs{"gender": "M", "age": "18-24"})
+	u.Add("U2", "users", provenance.Attrs{"gender": "F", "age": "18-24"})
+	u.Add("U3", "users", provenance.Attrs{"gender": "M", "age": "25-34"})
+	return u
+}
+
+func TestCancelSingleAttribute(t *testing.T) {
+	u := newTestUniverse()
+	anns := []provenance.Annotation{"U1", "U2", "U3"}
+	c := NewCancelSingleAttribute(u, anns, "gender", "age")
+	// pairs: age=18-24, age=25-34, gender=F, gender=M
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (%v)", c.Len(), c.Pairs())
+	}
+	byLabel := map[string]provenance.Valuation{}
+	for _, v := range c.Valuations() {
+		byLabel[v.Name()] = v
+	}
+	vm, ok := byLabel["cancel gender=M"]
+	if !ok {
+		t.Fatalf("missing cancel gender=M: %v", c.Pairs())
+	}
+	if vm.Truth("U1") || vm.Truth("U3") || !vm.Truth("U2") {
+		t.Fatal("cancel gender=M truth table wrong")
+	}
+	va := byLabel["cancel age=18-24"]
+	if va.Truth("U1") || va.Truth("U2") || !va.Truth("U3") {
+		t.Fatal("cancel age=18-24 truth table wrong")
+	}
+}
+
+func TestCancelSingleAttributeSkipsEmpty(t *testing.T) {
+	u := newTestUniverse()
+	// Only "gender" yields a pair; "missing" is not an attribute of U1.
+	c := NewCancelSingleAttribute(u, []provenance.Annotation{"U1"}, "gender", "missing")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (%v)", c.Len(), c.Pairs())
+	}
+	if c.Pairs()[0] != "gender=M" {
+		t.Fatalf("Pairs = %v", c.Pairs())
+	}
+}
+
+func TestExplicitClass(t *testing.T) {
+	vals := []provenance.Valuation{
+		provenance.CancelAnnotation("x"),
+		provenance.AllTrue,
+	}
+	e := &Explicit{Label: "mine", Vals: vals}
+	if e.Name() != "mine" || e.Len() != 2 {
+		t.Fatal("explicit basics")
+	}
+	if len(e.Valuations()) != 2 {
+		t.Fatal("explicit enumeration")
+	}
+	r := rand.New(rand.NewSource(2))
+	if e.Sample(r) == nil {
+		t.Fatal("sample nil")
+	}
+	unnamed := &Explicit{Vals: vals}
+	if unnamed.Name() != "Explicit" {
+		t.Fatal("default label")
+	}
+}
+
+func TestAllClassEnumeration(t *testing.T) {
+	a := NewAll([]provenance.Annotation{"x", "y"})
+	vals := a.Valuations()
+	if len(vals) != 4 || a.Len() != 4 {
+		t.Fatalf("2^2 = %d valuations", len(vals))
+	}
+	// all four truth combinations must appear
+	seen := map[[2]bool]bool{}
+	for _, v := range vals {
+		seen[[2]bool{v.Truth("x"), v.Truth("y")}] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("missing combinations: %v", seen)
+	}
+}
+
+func TestAllClassPanicsOnLarge(t *testing.T) {
+	anns := make([]provenance.Annotation, 21)
+	for i := range anns {
+		anns[i] = provenance.Annotation(rune('a' + i))
+	}
+	a := NewAll(anns)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2^21 enumeration")
+		}
+	}()
+	a.Valuations()
+}
+
+// Property: every valuation in CancelSingleAttribute cancels a non-empty
+// set and keeps every annotation lacking the attribute value.
+func TestCancelSingleAttributeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := provenance.NewUniverse()
+		genders := []string{"M", "F"}
+		n := 2 + r.Intn(8)
+		anns := make([]provenance.Annotation, n)
+		for i := 0; i < n; i++ {
+			a := provenance.Annotation(rune('A' + i))
+			anns[i] = a
+			u.Add(a, "users", provenance.Attrs{"gender": genders[r.Intn(2)]})
+		}
+		c := NewCancelSingleAttribute(u, anns, "gender")
+		for _, v := range c.Valuations() {
+			cancelled := 0
+			for _, a := range anns {
+				if !v.Truth(a) {
+					cancelled++
+				}
+			}
+			if cancelled == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package workflow implements the workflow model of Sec. 2.1: a
+// specification (a finite-state module graph with dataflow edges)
+// operating over a global persistent state (a database of K-relations),
+// and executions that apply modules in specification order. Atomic
+// modules are queries over their inputs and the underlying database and
+// may update the database; running a workflow yields provenance-annotated
+// outputs.
+//
+// The package also ships the paper's example workflow (Fig. 2.1): a
+// movie-rating application whose reviewing modules crawl per-platform
+// review feeds, update per-user statistics, sanitize reviews (keeping
+// only "active" users of the right role, with the activity condition
+// recorded as a comparison guard in the provenance), and whose aggregator
+// combines the sanitized reviews into aggregated movie scores — exactly
+// the provenance expression shape of Example 2.2.1.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/krel"
+	"repro/internal/provenance"
+)
+
+// DB is the global persistent state a workflow operates on: named
+// K-relations plus the workflow's aggregated output.
+type DB struct {
+	rels map[string]*krel.Relation
+	// Output is the aggregated provenance value produced by a sink module
+	// (nil until an aggregator runs).
+	Output *provenance.Agg
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: make(map[string]*krel.Relation)} }
+
+// Put registers (or replaces) a relation.
+func (db *DB) Put(r *krel.Relation) { db.rels[r.Name] = r }
+
+// Rel returns the named relation, or nil.
+func (db *DB) Rel(name string) *krel.Relation { return db.rels[name] }
+
+// Names lists the registered relation names, sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Module is one processing step of a workflow.
+type Module interface {
+	Name() string
+	Run(db *DB) error
+}
+
+// FuncModule wraps a function as a module.
+type FuncModule struct {
+	Label string
+	Fn    func(db *DB) error
+}
+
+// Name implements Module.
+func (m FuncModule) Name() string { return m.Label }
+
+// Run implements Module.
+func (m FuncModule) Run(db *DB) error { return m.Fn(db) }
+
+// Spec is a workflow specification: modules plus dataflow edges from the
+// output port of one module to the input port of another. Executions
+// apply modules in an order consistent with the edges.
+type Spec struct {
+	modules map[string]Module
+	order   []string // insertion order, for deterministic topo ties
+	edges   map[string][]string
+}
+
+// NewSpec returns an empty specification.
+func NewSpec() *Spec {
+	return &Spec{modules: make(map[string]Module), edges: make(map[string][]string)}
+}
+
+// AddModule registers a module; re-adding a name is an error.
+func (s *Spec) AddModule(m Module) error {
+	if _, ok := s.modules[m.Name()]; ok {
+		return fmt.Errorf("workflow: duplicate module %q", m.Name())
+	}
+	s.modules[m.Name()] = m
+	s.order = append(s.order, m.Name())
+	return nil
+}
+
+// AddEdge declares that from's output feeds into to's input; both modules
+// must already be registered.
+func (s *Spec) AddEdge(from, to string) error {
+	if _, ok := s.modules[from]; !ok {
+		return fmt.Errorf("workflow: unknown module %q", from)
+	}
+	if _, ok := s.modules[to]; !ok {
+		return fmt.Errorf("workflow: unknown module %q", to)
+	}
+	s.edges[from] = append(s.edges[from], to)
+	return nil
+}
+
+// Order returns a topological order of the modules (stable with respect
+// to insertion order), or an error if the specification has a cycle.
+func (s *Spec) Order() ([]string, error) {
+	indeg := make(map[string]int, len(s.modules))
+	for name := range s.modules {
+		indeg[name] = 0
+	}
+	for _, tos := range s.edges {
+		for _, to := range tos {
+			indeg[to]++
+		}
+	}
+	var queue []string
+	for _, name := range s.order {
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		for _, to := range s.edges[n] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(out) != len(s.modules) {
+		return nil, fmt.Errorf("workflow: specification has a cycle")
+	}
+	return out, nil
+}
+
+// Run executes the workflow over db: a repeated application of modules
+// ordered according to the specification.
+func (s *Spec) Run(db *DB) error {
+	order, err := s.Order()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		if err := s.modules[name].Run(db); err != nil {
+			return fmt.Errorf("workflow: module %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// --- the Fig. 2.1 movie-rating workflow ---
+
+// Relation names used by the movie workflow.
+const (
+	RelUsers     = "users"     // (user, gender, role)
+	RelStats     = "stats"     // (user, numrate, maxrate)
+	RelSanitized = "sanitized" // (user, movie, rating)
+	RelMovies    = "movies"    // aggregated output
+)
+
+// ReviewsRel names the per-platform review feed relation.
+func ReviewsRel(platform string) string { return "reviews_" + platform }
+
+// ActiveThreshold is the sanitization threshold: users must have
+// submitted more than this many reviews ("who are active, i.e. who have
+// submitted more than 2 reviews").
+const ActiveThreshold = 2
+
+// StatsAnn returns the provenance annotation of a user's Stats tuple.
+func StatsAnn(user string) provenance.Annotation {
+	return provenance.Annotation("S_" + user)
+}
+
+// ReviewingModule is a reviewing module of Fig. 2.1 for one platform:
+// it (1) updates the Stats table with the platform's review counts and
+// per-user maxima, and (2) emits sanitized reviews — reviews by users
+// registered under Role that satisfy the activity guard
+// [S_u·U_u ⊗ NumRate > ActiveThreshold], recorded in the provenance.
+type ReviewingModule struct {
+	Platform string
+	Role     string
+}
+
+// Name implements Module.
+func (m ReviewingModule) Name() string { return "review_" + m.Platform }
+
+// Run implements Module.
+func (m ReviewingModule) Run(db *DB) error {
+	reviews := db.Rel(ReviewsRel(m.Platform))
+	if reviews == nil {
+		return fmt.Errorf("missing relation %s", ReviewsRel(m.Platform))
+	}
+	users := db.Rel(RelUsers)
+	if users == nil {
+		return fmt.Errorf("missing relation %s", RelUsers)
+	}
+	stats := db.Rel(RelStats)
+	if stats == nil {
+		stats = krel.NewRelation(RelStats, "user", "numrate", "maxrate")
+		db.Put(stats)
+	}
+
+	// (1) update statistics: count reviews and track max rating per user.
+	counts := make(map[string]int)
+	maxes := make(map[string]float64)
+	for i := range reviews.Rows {
+		u := reviews.Get(i, "user")
+		counts[u]++
+		var rating float64
+		fmt.Sscanf(reviews.Get(i, "rating"), "%g", &rating)
+		if rating > maxes[u] {
+			maxes[u] = rating
+		}
+	}
+	updated := make(map[string]bool)
+	for i := range stats.Rows {
+		u := stats.Get(i, "user")
+		if c, ok := counts[u]; ok {
+			var prev int
+			fmt.Sscanf(stats.Get(i, "numrate"), "%d", &prev)
+			var prevMax float64
+			fmt.Sscanf(stats.Get(i, "maxrate"), "%g", &prevMax)
+			if maxes[u] > prevMax {
+				prevMax = maxes[u]
+			}
+			stats.Rows[i].Values[stats.Col("numrate")] = fmt.Sprintf("%d", prev+c)
+			stats.Rows[i].Values[stats.Col("maxrate")] = fmt.Sprintf("%g", prevMax)
+			updated[u] = true
+		}
+	}
+	userList := make([]string, 0, len(counts))
+	for u := range counts {
+		userList = append(userList, u)
+	}
+	sort.Strings(userList)
+	for _, u := range userList {
+		if !updated[u] {
+			stats.MustInsert(StatsAnn(u), u, fmt.Sprintf("%d", counts[u]), fmt.Sprintf("%g", maxes[u]))
+		}
+	}
+
+	// (2) sanitize: join reviews with users of the module's role, then
+	// guard on activity using the Stats provenance and count.
+	roleUsers := users.Select(krel.Eq("role", m.Role))
+	joined := reviews.Join(roleUsers)
+	statsByUser := make(map[string]struct {
+		prov provenance.Expr
+		num  float64
+	})
+	for i := range stats.Rows {
+		var num float64
+		fmt.Sscanf(stats.Get(i, "numrate"), "%g", &num)
+		statsByUser[stats.Get(i, "user")] = struct {
+			prov provenance.Expr
+			num  float64
+		}{stats.Rows[i].Prov, num}
+	}
+	guarded := joined.Guard(provenance.OpGT, ActiveThreshold,
+		func(get func(string) string, prov provenance.Expr) (provenance.Expr, float64, bool) {
+			st, ok := statsByUser[get("user")]
+			if !ok {
+				return nil, 0, false
+			}
+			inner := provenance.Prod{Factors: []provenance.Expr{st.prov, prov}}
+			return inner, st.num, true
+		})
+	clean, err := guarded.Project("user", "movie", "rating")
+	if err != nil {
+		return err
+	}
+
+	sanitized := db.Rel(RelSanitized)
+	if sanitized == nil {
+		sanitized = krel.NewRelation(RelSanitized, "user", "movie", "rating")
+		db.Put(sanitized)
+	}
+	merged, err := sanitized.Union(clean)
+	if err != nil {
+		return err
+	}
+	merged.Name = RelSanitized
+	db.Put(merged)
+	return nil
+}
+
+// AggregatorModule combines all sanitized reviews into aggregated movie
+// scores with the given aggregation monoid, writing the provenance-aware
+// result to DB.Output (one vector coordinate per movie).
+type AggregatorModule struct {
+	Kind provenance.AggKind
+}
+
+// Name implements Module.
+func (m AggregatorModule) Name() string { return "aggregator" }
+
+// Run implements Module.
+func (m AggregatorModule) Run(db *DB) error {
+	sanitized := db.Rel(RelSanitized)
+	if sanitized == nil {
+		return fmt.Errorf("missing relation %s", RelSanitized)
+	}
+	agg, err := sanitized.Aggregate(m.Kind, "rating", "movie")
+	if err != nil {
+		return err
+	}
+	db.Output = agg
+	return nil
+}
+
+// MovieWorkflow assembles the Fig. 2.1 specification: one reviewing
+// module per (platform, role) pair feeding a single aggregator.
+func MovieWorkflow(kind provenance.AggKind, platforms map[string]string) (*Spec, error) {
+	spec := NewSpec()
+	agg := AggregatorModule{Kind: kind}
+	if err := spec.AddModule(agg); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(platforms))
+	for p := range platforms {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		m := ReviewingModule{Platform: p, Role: platforms[p]}
+		if err := spec.AddModule(m); err != nil {
+			return nil, err
+		}
+		if err := spec.AddEdge(m.Name(), agg.Name()); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,216 @@
+package workflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/krel"
+	"repro/internal/provenance"
+)
+
+// setupDB builds the Example 2.1.1 database: users of two roles and two
+// review platforms. u1 and u2 are active (3 reviews each); u3 has a
+// single review and must be filtered by the activity guard.
+func setupDB() *DB {
+	db := NewDB()
+
+	users := krel.NewRelation(RelUsers, "user", "gender", "role")
+	users.MustInsert("U1", "u1", "F", "audience")
+	users.MustInsert("U2", "u2", "F", "critic")
+	users.MustInsert("U3", "u3", "M", "audience")
+	db.Put(users)
+
+	imdb := krel.NewRelation(ReviewsRel("imdb"), "user", "movie", "rating")
+	imdb.MustInsert("R1", "u1", "MatchPoint", "3")
+	imdb.MustInsert("R2", "u1", "BlueJasmine", "4")
+	imdb.MustInsert("R3", "u1", "Manhattan", "5")
+	imdb.MustInsert("R4", "u3", "MatchPoint", "3")
+	db.Put(imdb)
+
+	press := krel.NewRelation(ReviewsRel("press"), "user", "movie", "rating")
+	press.MustInsert("R5", "u2", "MatchPoint", "5")
+	press.MustInsert("R6", "u2", "BlueJasmine", "4")
+	press.MustInsert("R7", "u2", "Manhattan", "2")
+	db.Put(press)
+
+	return db
+}
+
+func movieSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, err := MovieWorkflow(provenance.AggMax, map[string]string{
+		"imdb":  "audience",
+		"press": "critic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSpecOrderTopological(t *testing.T) {
+	spec := movieSpec(t)
+	order, err := spec.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[len(order)-1] != "aggregator" {
+		t.Fatalf("aggregator must run last: %v", order)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSpecCycleDetection(t *testing.T) {
+	spec := NewSpec()
+	a := FuncModule{Label: "a", Fn: func(*DB) error { return nil }}
+	b := FuncModule{Label: "b", Fn: func(*DB) error { return nil }}
+	if err := spec.AddModule(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddModule(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddEdge("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Order(); err == nil {
+		t.Fatal("cycle must be detected")
+	}
+	if err := spec.Run(NewDB()); err == nil {
+		t.Fatal("Run must refuse a cyclic spec")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	spec := NewSpec()
+	m := FuncModule{Label: "m", Fn: func(*DB) error { return nil }}
+	if err := spec.AddModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddModule(m); err == nil {
+		t.Fatal("duplicate module must fail")
+	}
+	if err := spec.AddEdge("m", "ghost"); err == nil {
+		t.Fatal("unknown edge target must fail")
+	}
+	if err := spec.AddEdge("ghost", "m"); err == nil {
+		t.Fatal("unknown edge source must fail")
+	}
+}
+
+func TestModuleErrorsPropagate(t *testing.T) {
+	spec := NewSpec()
+	boom := errors.New("boom")
+	m := FuncModule{Label: "m", Fn: func(*DB) error { return boom }}
+	if err := spec.AddModule(m); err != nil {
+		t.Fatal(err)
+	}
+	err := spec.Run(NewDB())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v", err)
+	}
+}
+
+func TestMovieWorkflowEndToEnd(t *testing.T) {
+	db := setupDB()
+	spec := movieSpec(t)
+	if err := spec.Run(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Output == nil {
+		t.Fatal("aggregator produced no output")
+	}
+
+	// Stats must record per-user counts.
+	stats := db.Rel(RelStats)
+	if stats == nil {
+		t.Fatal("stats missing")
+	}
+	byUser := map[string]string{}
+	for i := range stats.Rows {
+		byUser[stats.Get(i, "user")] = stats.Get(i, "numrate")
+	}
+	if byUser["u1"] != "3" || byUser["u2"] != "3" || byUser["u3"] != "1" {
+		t.Fatalf("stats = %v", byUser)
+	}
+
+	// Evaluating the provenance-aware output: u3 is inactive, so the
+	// MatchPoint MAX comes from u2 (critic, 5) and u1 (audience, 3).
+	res := db.Output.Eval(provenance.AllTrue).(provenance.Vector)
+	if res.At("MatchPoint") != 5 {
+		t.Fatalf("MatchPoint = %g, want 5", res.At("MatchPoint"))
+	}
+	if res.At("Manhattan") != 5 {
+		t.Fatalf("Manhattan = %g, want 5", res.At("Manhattan"))
+	}
+
+	// The provenance must contain activity guards over Stats annotations
+	// (the Example 2.2.1 shape).
+	s := db.Output.String()
+	if !strings.Contains(s, "S_u1") || !strings.Contains(s, "> 2") {
+		t.Fatalf("output provenance lacks activity guards: %s", s)
+	}
+
+	// Provisioning: cancelling u2's user annotation removes the critic
+	// reviews without re-running the workflow.
+	res = db.Output.Eval(provenance.CancelAnnotation("U2")).(provenance.Vector)
+	if res.At("MatchPoint") != 3 {
+		t.Fatalf("cancel U2: MatchPoint = %g, want 3", res.At("MatchPoint"))
+	}
+	// Cancelling u1's STATS annotation voids u1's activity guard, killing
+	// all of u1's reviews (Example 2.3.1 semantics).
+	res = db.Output.Eval(provenance.CancelAnnotation(StatsAnn("u1"))).(provenance.Vector)
+	if res.At("Manhattan") != 2 {
+		t.Fatalf("cancel S_u1: Manhattan = %g, want 2 (u2's review)", res.At("Manhattan"))
+	}
+}
+
+func TestInactiveUserFiltered(t *testing.T) {
+	db := setupDB()
+	spec := movieSpec(t)
+	if err := spec.Run(db); err != nil {
+		t.Fatal(err)
+	}
+	// u3 (1 review) fails the guard under every valuation: its guard is
+	// [S_u3·U3 ⊗ 1 > 2] which never holds.
+	res := db.Output.Eval(provenance.AllTrue).(provenance.Vector)
+	// Without u3, MatchPoint ratings are 3 (u1) and 5 (u2): cancelling
+	// both leaves 0, confirming u3 contributes nothing.
+	v := provenance.CancelSet("cancel u1 u2", "U1", "U2")
+	res = db.Output.Eval(v).(provenance.Vector)
+	if res.At("MatchPoint") != 0 {
+		t.Fatalf("inactive u3 leaked into aggregation: %g", res.At("MatchPoint"))
+	}
+}
+
+func TestMissingRelations(t *testing.T) {
+	spec := movieSpec(t)
+	err := spec.Run(NewDB())
+	if err == nil {
+		t.Fatal("missing inputs must fail")
+	}
+}
+
+func TestAggregatorRequiresSanitized(t *testing.T) {
+	m := AggregatorModule{Kind: provenance.AggMax}
+	if err := m.Run(NewDB()); err == nil {
+		t.Fatal("aggregator without sanitized relation must fail")
+	}
+}
+
+func TestDBNames(t *testing.T) {
+	db := setupDB()
+	names := db.Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	if db.Rel("nope") != nil {
+		t.Fatal("unknown relation must be nil")
+	}
+}

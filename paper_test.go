@@ -1,0 +1,232 @@
+package prox_test
+
+// Paper conformance suite: each test walks one worked example of the
+// thesis through the public API and checks the numbers the text derives.
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// TestExample221And231 builds the aggregator output of Example 2.2.1 —
+// user annotations multiplied by activity guards over Stats provenance —
+// and checks the truth-valuation semantics of Example 2.3.1.
+func TestExample221And231(t *testing.T) {
+	// P = U1·[S1·U1 ⊗ 5 > 2] ⊗ (3,1) ⊕ U2·[S2·U2 ⊗ 3 > 2] ⊗ (5,1) ⊕
+	//     U3·[S3·U3 ⊗ 13 > 2] ⊗ (3,1)     (MAX aggregation)
+	src := "U1·[S1·U1 ⊗ 5 > 2] ⊗ (3,1)@MP ⊕ U2·[S2·U2 ⊗ 3 > 2] ⊗ (5,1)@MP ⊕ U3·[S3·U3 ⊗ 13 > 2] ⊗ (3,1)@MP"
+	p, err := prox.ParseAgg(prox.AggMax, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Example 2.3.1: S1 ↦ 0, U1 ↦ 1 maps the first summand to 0 — the
+	// inequality does not hold, the review is discarded.
+	v1 := prox.CancelAnnotation("S1")
+	res := p.Eval(v1).(prox.Vector)
+	if res.At("MP") != 5 { // U1's 3 is gone; the MAX is U2's 5
+		t.Fatalf("cancel S1: MAX = %g, want 5", res.At("MP"))
+	}
+	// Cancelling U2 and S1 leaves only U3's review.
+	res = p.Eval(prox.CancelSet("x", "S1", "U2")).(prox.Vector)
+	if res.At("MP") != 3 {
+		t.Fatalf("cancel S1,U2: MAX = %g, want 3", res.At("MP"))
+	}
+	// "In contrast, if S1 is mapped to 1 then the condition would hold
+	// and we would have (1·1) ⊗ (3,1) ≡ 3": with everything true U1
+	// contributes 3 (the MAX is still 5 via U2; cancel U2,U3 to see it).
+	res = p.Eval(prox.CancelSet("x", "U2", "U3")).(prox.Vector)
+	if res.At("MP") != 3 {
+		t.Fatalf("only U1: MAX = %g, want 3", res.At("MP"))
+	}
+}
+
+// TestExample311Summaries applies the two mappings of Example 3.1.1 to
+// the simplified P_s and checks the printed summaries.
+func TestExample311Summaries(t *testing.T) {
+	// Mapping all S_i to 1 discards the inequality terms:
+	guarded, err := prox.ParseAgg(prox.AggMax,
+		"U1·[S1 ⊗ 5 > 2] ⊗ (3,1)@MP ⊕ U2·[S2 ⊗ 3 > 2] ⊗ (5,1)@MP ⊕ U3·[S3 ⊗ 13 > 2] ⊗ (3,1)@MP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := guarded.Apply(prox.MergeMapping(prox.One, "S1", "S2", "S3")).(*prox.Agg)
+	want, _ := prox.ParseAgg(prox.AggMax, "U1 ⊗ (3,1)@MP ⊕ U2 ⊗ (5,1)@MP ⊕ U3 ⊗ (3,1)@MP")
+	if ps.String() != want.String() {
+		t.Fatalf("P_s = %s, want %s", ps, want)
+	}
+
+	// P'_s = Female ⊗ (5,2) ⊕ U3 ⊗ (3,1)
+	female := ps.Apply(prox.MergeMapping("Female", "U1", "U2")).(*prox.Agg)
+	if len(female.Tensors) != 2 {
+		t.Fatalf("P'_s = %s", female)
+	}
+	for _, ten := range female.Tensors {
+		if ten.Prov.String() == "Female" && (ten.Value != 5 || ten.Count != 2) {
+			t.Fatalf("Female tensor = (%g,%d), want (5,2)", ten.Value, ten.Count)
+		}
+	}
+
+	// P''_s = Audience ⊗ (3,2) ⊕ U2 ⊗ (5,1)
+	audience := ps.Apply(prox.MergeMapping("Audience", "U1", "U3")).(*prox.Agg)
+	for _, ten := range audience.Tensors {
+		if ten.Prov.String() == "Audience" && (ten.Value != 3 || ten.Count != 2) {
+			t.Fatalf("Audience tensor = (%g,%d), want (3,2)", ten.Value, ten.Count)
+		}
+	}
+}
+
+// TestExample323Distances checks the distance claims of Example 3.2.3:
+// P”_s is at distance 0 from P_s w.r.t. single-cancellation valuations,
+// P'_s is not (it differs for the valuation cancelling U2).
+func TestExample323Distances(t *testing.T) {
+	ps, _ := prox.ParseAgg(prox.AggMax, "U1 ⊗ (3,1)@MP ⊕ U2 ⊗ (5,1)@MP ⊕ U3 ⊗ (3,1)@MP")
+	users := []prox.Annotation{"U1", "U2", "U3"}
+	class := prox.NewCancelSingleAnnotation(users)
+
+	dist := func(h prox.Mapping) float64 {
+		pc := ps.Apply(h)
+		est := &prox.Estimator{Class: class, Phi: prox.CombineOr, VF: prox.AbsDiff()}
+		return est.Distance(ps, pc, h, prox.GroupsOf(users, h))
+	}
+	if d := dist(prox.MergeMapping("Audience", "U1", "U3")); d != 0 {
+		t.Fatalf("dist(P_s, P''_s) = %g, want 0", d)
+	}
+	if d := dist(prox.MergeMapping("Female", "U1", "U2")); d <= 0 {
+		t.Fatalf("dist(P_s, P'_s) = %g, want > 0", d)
+	}
+}
+
+// TestExample521Wikipedia reproduces the Wikipedia use case: the edit
+// provenance, the printed summary, and the valuation walk-through
+// (cancelling Dubulge and the vector transformation).
+func TestExample521Wikipedia(t *testing.T) {
+	p, err := prox.ParseAgg(prox.AggSum,
+		`SalubriousToxin·Adele ⊗ (0,1)@Adele ⊕ `+
+			`Dubulge·CelineDion ⊗ (1,1)@CelineDion ⊕ `+
+			`DrBackInTheStreet·LoriBlack ⊗ (1,1)@LoriBlack ⊕ `+
+			`JasperTheFriendlyPunk·AlecBaillie ⊗ (1,1)@AlecBaillie`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v cancels Dubulge: v(p) = (Adele:0, CelineDion:0, LoriBlack:1,
+	// AlecBaillie:1) — the paper's vector.
+	v := prox.CancelAnnotation("Dubulge")
+	orig := p.Eval(v).(prox.Vector)
+	wantOrig := map[prox.Annotation]float64{
+		"Adele": 0, "CelineDion": 0, "LoriBlack": 1, "AlecBaillie": 1,
+	}
+	for k, want := range wantOrig {
+		if orig.At(k) != want {
+			t.Fatalf("v(p)[%s] = %g, want %g", k, orig.At(k), want)
+		}
+	}
+
+	// The paper's summary: users merged by contribution level, pages by
+	// WordNet concept.
+	h := prox.MergeMapping("Top-Contributor", "DrBackInTheStreet", "JasperTheFriendlyPunk").
+		Compose(prox.MergeMapping("Reviewer", "SalubriousToxin", "Dubulge")).
+		Compose(prox.MergeMapping("wordnet_guitarist", "LoriBlack", "AlecBaillie")).
+		Compose(prox.MergeMapping("wordnet_singer", "Adele", "CelineDion"))
+	summary := p.Apply(h).(*prox.Agg)
+
+	// P' = (Top-Contributor·wordnet_guitarist) ⊗ (2,2) ⊕
+	//      (Reviewer·wordnet_singer) ⊗ (1,2)
+	if len(summary.Tensors) != 2 {
+		t.Fatalf("summary = %s", summary)
+	}
+	base := summary.Eval(prox.AllTrue).(prox.Vector)
+	if base.At("wordnet_guitarist") != 2 || base.At("wordnet_singer") != 1 {
+		t.Fatalf("summary eval = %s", base.ResultString())
+	}
+
+	// v'(p') with φ=OR: (guitarist:2, singer:1) — cancelling Dubulge does
+	// not cancel "Reviewer" (SalubriousToxin remains true).
+	groups := prox.GroupsOf(p.Annotations(), h)
+	ext := prox.ExtendValuation(v, groups, prox.CombineOr)
+	sv := summary.Eval(ext).(prox.Vector)
+	if sv.At("wordnet_guitarist") != 2 || sv.At("wordnet_singer") != 1 {
+		t.Fatalf("v'(p') = %s, want (guitarist:2, singer:1)", sv.ResultString())
+	}
+
+	// The vector transformation: the original vector re-keyed through h
+	// is (guitarist:2, singer:0); the VAL-FUNC value is the Euclidean
+	// distance between (2,0) and (2,1), i.e. 1.
+	aligned := summary.AlignResult(orig, h).(prox.Vector)
+	if aligned.At("wordnet_guitarist") != 2 || aligned.At("wordnet_singer") != 0 {
+		t.Fatalf("aligned = %s, want (guitarist:2, singer:0)", aligned.ResultString())
+	}
+	if d := prox.Euclidean().F(v, aligned, sv); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("VAL-FUNC = %g, want 1", d)
+	}
+}
+
+// TestExample522DDP reproduces the DDP use case end to end: the summary
+// rewrite and the cost-valuation walk-through.
+func TestExample522DDP(t *testing.T) {
+	// Both conditions ≠ 0 so that the mapped executions coincide (the
+	// form the paper's printed summary implies).
+	e, err := prox.ParseDDP("<c1:3,1>·<0,[d1·d2]!=0> + <0,[d3·d2]!=0>·<c2:3,1>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := prox.MergeMapping("D1", "d1", "d3").Compose(prox.MergeMapping("C1", "c1", "c2"))
+	s := e.Apply(h).(*prox.DDPExpr)
+	if len(s.Execs) != 1 {
+		t.Fatalf("summary = %s, want one execution", s)
+	}
+
+	// The valuation cancelling all C1-cost variables: v(p) = ⟨0, true⟩;
+	// with MAX/OR combination v'(p') = ⟨0, true⟩; VAL-FUNC 0.
+	v := prox.CancelSet("cancel C1 costs", "c1", "c2")
+	orig := e.Eval(v).(prox.DDPCostTruth)
+	if !orig.Truth || orig.Cost != 0 {
+		t.Fatalf("v(p) = %+v, want ⟨0,true⟩", orig)
+	}
+	groups := prox.GroupsOf(e.Annotations(), h)
+	ext := prox.ExtendValuation(v, groups, prox.CombineOr)
+	summ := s.Eval(ext).(prox.DDPCostTruth)
+	if !summ.Truth || summ.Cost != 0 {
+		t.Fatalf("v'(p') = %+v, want ⟨0,true⟩", summ)
+	}
+	if d := prox.DDPValFunc(50).F(v, orig, summ); d != 0 {
+		t.Fatalf("VAL-FUNC = %g, want 0 ('no error for this valuation')", d)
+	}
+}
+
+// TestAlgorithmFlowExample423 re-checks the full algorithm-flow example
+// through the high-level Summarize API (the Audience merge must win).
+func TestAlgorithmFlowExample423(t *testing.T) {
+	p, _ := prox.ParseAgg(prox.AggMax,
+		"U1 ⊗ (3,1)@MP ⊕ U2 ⊗ (5,1)@MP ⊕ U3 ⊗ (3,1)@MP ⊕ U2 ⊗ (4,1)@BJ")
+	u := prox.NewUniverse()
+	u.Add("U1", "users", prox.Attrs{"gender": "F", "role": "audience"})
+	u.Add("U2", "users", prox.Attrs{"gender": "F", "role": "critic"})
+	u.Add("U3", "users", prox.Attrs{"gender": "M", "role": "audience"})
+	u.Add("MP", "movies", nil)
+	u.Add("BJ", "movies", nil)
+
+	sum, err := prox.Summarize(p, prox.Options{
+		Universe: u,
+		Rules: []prox.Rule{
+			prox.SameTable(),
+			prox.TableScoped("users", prox.SharedAttr("gender", "role")),
+			prox.TableScoped("movies", prox.NeverRule()),
+		},
+		Class:    prox.NewCancelSingleAnnotation([]prox.Annotation{"U1", "U2", "U3"}),
+		WDist:    1,
+		MaxSteps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) != 1 || sum.Steps[0].New != "role:audience" {
+		t.Fatalf("steps = %+v, want the Audience merge", sum.Steps)
+	}
+	if sum.Dist != 0 {
+		t.Fatalf("distance = %g, want 0", sum.Dist)
+	}
+}

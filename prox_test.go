@@ -1,0 +1,197 @@
+package prox_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIQuickstart runs the documented quick-start flow through
+// the public facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	p := prox.NewAgg(prox.AggMax,
+		prox.Tensor{Prov: prox.V("U1"), Value: 3, Count: 1, Group: "MatchPoint"},
+		prox.Tensor{Prov: prox.V("U2"), Value: 5, Count: 1, Group: "MatchPoint"},
+		prox.Tensor{Prov: prox.V("U3"), Value: 3, Count: 1, Group: "MatchPoint"},
+	)
+	u := prox.NewUniverse()
+	u.Add("U1", "users", prox.Attrs{"gender": "F", "role": "audience"})
+	u.Add("U2", "users", prox.Attrs{"gender": "F", "role": "critic"})
+	u.Add("U3", "users", prox.Attrs{"gender": "M", "role": "audience"})
+	u.Add("MatchPoint", "movies", nil)
+
+	sum, err := prox.Summarize(p, prox.Options{
+		Universe: u,
+		Rules: []prox.Rule{
+			prox.SameTable(),
+			prox.TableScoped("users", prox.SharedAttr("gender", "role")),
+			prox.TableScoped("movies", prox.NeverRule()),
+		},
+		Class:    prox.NewCancelSingleAnnotation([]prox.Annotation{"U1", "U2", "U3"}),
+		WDist:    1,
+		MaxSteps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) != 1 {
+		t.Fatalf("steps = %d", len(sum.Steps))
+	}
+	if sum.Steps[0].New != "role:audience" {
+		t.Fatalf("merge = %+v, want the Audience grouping", sum.Steps[0])
+	}
+	if sum.Dist != 0 {
+		t.Fatalf("dist = %g", sum.Dist)
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	// Summarize with minimal options: default rules, class, weights.
+	p := prox.NewAgg(prox.AggSum,
+		prox.Tensor{Prov: prox.V("a"), Value: 1, Count: 1, Group: "G"},
+		prox.Tensor{Prov: prox.V("b"), Value: 2, Count: 1, Group: "G"},
+	)
+	u := prox.NewUniverse()
+	u.Add("a", "t", prox.Attrs{"k": "v"})
+	u.Add("b", "t", prox.Attrs{"k": "v"})
+	u.Add("G", "g", nil)
+	sum, err := prox.Summarize(p, prox.Options{Universe: u, MaxSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Expr.Size() > p.Size() {
+		t.Fatal("summary grew")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ml := prox.NewMovieLensWorkload(prox.DefaultMovieLensConfig(), r)
+	wp := prox.NewWikipediaWorkload(prox.DefaultWikipediaConfig(), rand.New(rand.NewSource(1)))
+	dp := prox.NewDDPWorkload(prox.DefaultDDPConfig(), rand.New(rand.NewSource(1)))
+	for _, w := range []*prox.Workload{ml, wp, dp} {
+		if w.Prov.Size() == 0 {
+			t.Fatalf("%s: empty workload", w.Name)
+		}
+	}
+	if wp.Tax == nil {
+		t.Fatal("wikipedia taxonomy missing")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	w := prox.NewMovieLensWorkload(prox.MovieLensConfig{
+		Users: 8, Movies: 4, MaxRatingsPerUser: 2,
+		Agg: prox.AggMax, Linkage: prox.SingleLinkage,
+	}, rand.New(rand.NewSource(2)))
+	cfg := prox.BaselineConfig{
+		Policy:    w.Policy,
+		Estimator: w.Estimator(prox.ClassCancelSingleAnnotation),
+		MaxSteps:  3,
+	}
+	rb, err := prox.NewRandomBaseline(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Summarize(w.Prov); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := prox.NewClusteringBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Summarize(w.Prov, w.ClusterSteps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIHAC(t *testing.T) {
+	pts := []float64{0, 1, 10}
+	d, err := prox.HAC(3, func(i, j int) float64 {
+		v := pts[i] - pts[j]
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}, prox.CompleteLinkage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges) != 2 {
+		t.Fatalf("merges = %d", len(d.Merges))
+	}
+	if prox.PearsonDissimilarity(
+		map[string]float64{"a": 1, "b": 2},
+		map[string]float64{"a": 2, "b": 4},
+	) != 0 {
+		t.Fatal("pearson")
+	}
+}
+
+func TestPublicAPIDDP(t *testing.T) {
+	e := prox.NewDDPExpr(
+		prox.DDPExecution{prox.DDPUser("c1", 3), prox.DDPCond("d1", "d2", true)},
+	)
+	res := e.Eval(prox.AllTrue).(prox.DDPCostTruth)
+	if !res.Truth || res.Cost != 3 {
+		t.Fatalf("eval = %+v", res)
+	}
+	vf := prox.DDPValFunc(50)
+	if vf.F(prox.AllTrue, prox.DDPCostTruth{Cost: 1, Truth: true}, prox.DDPCostTruth{Cost: 0, Truth: false}) != 50 {
+		t.Fatal("penalty")
+	}
+}
+
+func TestPublicAPITaxonomy(t *testing.T) {
+	tax := prox.NewTaxonomy("root")
+	tax.MustAdd("music", "root")
+	tax.MustAdd("singer", "music")
+	gen := prox.GenerateTaxonomy("r", 2, 2, rand.New(rand.NewSource(1)))
+	if len(gen.Concepts()) < 2 {
+		t.Fatal("generated taxonomy too small")
+	}
+	cls := prox.TaxonomyConsistent(
+		prox.NewExplicitClass("x", prox.CancelAnnotation("music")), tax)
+	if cls.Valuations()[0].Truth("singer") {
+		t.Fatal("consistency repair failed")
+	}
+}
+
+func TestPublicAPISampleSize(t *testing.T) {
+	if prox.SampleSize(0.1, 0.9, 0.25) != 250 {
+		t.Fatal("SampleSize")
+	}
+}
+
+func TestPublicAPIExperimentSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite is slow")
+	}
+	o := prox.ExperimentOptions{
+		Dataset: "movielens",
+		Class:   prox.ClassCancelSingleAnnotation,
+		Runs:    1, Seed: 1, Scale: 0.3,
+	}
+	tables, err := prox.RunExperimentSuite(o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 8 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+}
+
+func TestPublicAPIValFuncs(t *testing.T) {
+	a := prox.Vector{"x": 1}
+	b := prox.Vector{"x": 3}
+	if prox.AbsDiff().F(prox.AllTrue, a, b) != 2 {
+		t.Fatal("AbsDiff")
+	}
+	if prox.Euclidean().F(prox.AllTrue, a, b) != 2 {
+		t.Fatal("Euclidean")
+	}
+	if prox.Disagree().F(prox.AllTrue, a, b) != 1 {
+		t.Fatal("Disagree")
+	}
+}
