@@ -34,6 +34,8 @@ func main() {
 	class := flag.String("class", "attribute", "valuation class: attribute | annotation")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations (arity, sampling, parallelism)")
 	plot := flag.Bool("plot", false, "render ASCII charts after each table")
+	timingFromStats := flag.Bool("timing-from-stats", false,
+		"source timing columns from the estimator's live instrumentation (distance.Estimator.Stats()) instead of ad-hoc timers")
 	flag.Parse()
 
 	kind := datasets.CancelSingleAttribute
@@ -53,11 +55,12 @@ func main() {
 			continue
 		}
 		o := experiments.Options{
-			Dataset: ds,
-			Class:   kind,
-			Runs:    *runs,
-			Seed:    *seed,
-			Scale:   *scale,
+			Dataset:         ds,
+			Class:           kind,
+			Runs:            *runs,
+			Seed:            *seed,
+			Scale:           *scale,
+			TimingFromStats: *timingFromStats,
 		}
 		fmt.Printf("=== %s ===\n\n", ds)
 		tables, err := experiments.Suite(o, *quick)

@@ -1,20 +1,31 @@
 // Command prox-server runs the PROX web system of Ch. 7: the selection,
 // summarization and provisioning services with the embedded web UI, over
-// a synthetic MovieLens workload.
+// a synthetic MovieLens workload. The server exposes Prometheus metrics
+// on /metrics, optionally the net/http/pprof profiling handlers on
+// /debug/pprof (behind -pprof), and drains gracefully on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	prox-server [-addr :8080] [-users 24] [-movies 8] [-seed 1]
+//	            [-max-sessions 1024] [-log-level info] [-pprof]
+//	            [-shutdown-timeout 10s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/datasets"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -23,15 +34,77 @@ func main() {
 	users := flag.Int("users", 24, "number of MovieLens users")
 	movies := flag.Int("movies", 8, "number of MovieLens movies")
 	seed := flag.Int64("seed", 1, "dataset generation seed")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "in-memory session cap (oldest evicted first)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers on /debug/pprof")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prox-server: %v\n", err)
+		os.Exit(2)
+	}
+	log := obs.NewLogger(os.Stderr, level)
 
 	cfg := datasets.DefaultMovieLensConfig()
 	cfg.Users = *users
 	cfg.Movies = *movies
 	w := datasets.MovieLens(cfg, rand.New(rand.NewSource(*seed)))
 
-	s := server.New(w)
-	fmt.Printf("PROX serving %d users / %d movies (provenance size %d) on %s\n",
-		*users, *movies, w.Prov.Size(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+	s := server.New(w,
+		server.WithLogger(log),
+		server.WithMaxSessions(*maxSessions),
+	)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Info("server listening",
+		"addr", *addr, "users", *users, "movies", *movies,
+		"provenance_size", w.Prov.Size(), "max_sessions", *maxSessions)
+
+	select {
+	case err := <-errc:
+		log.Error("server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		log.Info("shutdown signal received", "drain_budget", *shutdownTimeout)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		start := time.Now()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Warn("drain incomplete, closing", "err", err, "after", time.Since(start))
+			_ = srv.Close()
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("server error during drain", "err", err)
+			os.Exit(1)
+		}
+		log.Info("drained cleanly", "after", time.Since(start))
+	}
 }

@@ -10,9 +10,16 @@
 //	               [-scale 1] [-seed 1] [-v]
 //	               [-arity 2] [-parallel 1]
 //	               [-save bundle.json] [-load bundle.json] [-json out.json]
+//	               [-trace steps.jsonl]
+//
+// With -trace, every merge step of Algorithm 1 is appended to the given
+// file as one JSON object per line (score, distance, size ratio,
+// candidate count, probe wall time) while the algorithm runs — the same
+// quantities the evaluation chapter aggregates, observable per step.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -46,6 +53,7 @@ func main() {
 	saveBundle := flag.String("save", "", "write the generated workload as a JSON bundle to this file")
 	loadBundle := flag.String("load", "", "summarize a saved JSON bundle instead of generating a dataset")
 	jsonOut := flag.String("json", "", "write the summary trace as JSON to this file (- for stdout)")
+	traceOut := flag.String("trace", "", "stream per-step trace events as JSONL to this file (- for stdout)")
 	flag.Parse()
 
 	r := rand.New(rand.NewSource(*seed))
@@ -108,7 +116,7 @@ func main() {
 		fmt.Printf("workload bundle written to %s\n", *saveBundle)
 	}
 
-	s, err := core.New(core.Config{
+	cfg := core.Config{
 		Policy:      w.Policy,
 		Estimator:   w.Estimator(kind),
 		WDist:       *wdist,
@@ -118,13 +126,28 @@ func main() {
 		MaxSteps:    *steps,
 		MergeArity:  *arity,
 		Parallelism: *parallel,
-	})
+	}
+	var traceClose func()
+	if *traceOut != "" {
+		var err error
+		cfg.StepObserver, traceClose, err = traceObserver(*traceOut)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+	}
+	s, err := core.New(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
 	sum, err := s.Summarize(w.Prov)
+	if traceClose != nil {
+		traceClose()
+	}
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *traceOut != "" && *traceOut != "-" {
+		fmt.Printf("step trace written to %s\n", *traceOut)
 	}
 
 	if *jsonOut != "" {
@@ -169,6 +192,55 @@ func main() {
 	if *verbose {
 		fmt.Printf("\nexpression:\n%s\n", sum.Expr)
 	}
+}
+
+// traceEvent is the JSONL projection of one core.StepEvent.
+type traceEvent struct {
+	Step          int      `json:"step"`
+	Members       []string `json:"members"`
+	New           string   `json:"new"`
+	Score         float64  `json:"score"`
+	RDist         float64  `json:"rDist"`
+	RSize         float64  `json:"rSize"`
+	Size          int      `json:"size"`
+	Candidates    int      `json:"candidates"`
+	CandidateTime float64  `json:"candidateTimeMs"`
+	Elapsed       float64  `json:"elapsedMs"`
+}
+
+// traceObserver returns a StepObserver streaming JSONL events to path
+// ("-" for stdout) and a close function to flush the file.
+func traceObserver(path string) (core.StepObserver, func(), error) {
+	out := os.Stdout
+	closeFn := func() {}
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = f
+		closeFn = func() { f.Close() }
+	}
+	enc := json.NewEncoder(out)
+	obs := func(ev core.StepEvent) {
+		members := make([]string, len(ev.Members))
+		for i, m := range ev.Members {
+			members[i] = string(m)
+		}
+		_ = enc.Encode(traceEvent{
+			Step:          ev.Step,
+			Members:       members,
+			New:           string(ev.New),
+			Score:         ev.Score,
+			RDist:         ev.RDist,
+			RSize:         ev.RSize,
+			Size:          ev.Size,
+			Candidates:    ev.Candidates,
+			CandidateTime: float64(ev.CandidateTime.Microseconds()) / 1000,
+			Elapsed:       float64(ev.Elapsed.Microseconds()) / 1000,
+		})
+	}
+	return obs, closeFn, nil
 }
 
 // workloadFromBundle builds a summarizable workload from a saved bundle:

@@ -66,6 +66,16 @@ type Config struct {
 	// (Samples > 0) cannot be parallelized and are rejected by New.
 	Parallelism int
 
+	// StepObserver, when non-nil, receives a StepEvent after every
+	// committed merge step (and never for the free Prop. 4.2.1
+	// equivalence pre-step, which performs no candidate search). When a
+	// TARGET-DIST rollback retracts the final merge (lines 11–13 of
+	// Algorithm 1), the retracted step has already been observed; compare
+	// against Summary.Steps for the post-rollback trace. It is called
+	// synchronously from Summarize, so observers should be cheap or hand
+	// off; it must not call back into the Summarizer.
+	StepObserver StepObserver
+
 	// MergeArity generalizes the algorithm to map k annotations to a new
 	// annotation per step instead of 2 (the thesis's future-work
 	// extension, Ch. 9). 0 and 2 give the paper's pairwise algorithm;
@@ -204,6 +214,7 @@ func (s *Summarizer) Summarize(p0 provenance.Expression) (*Summary, error) {
 			break
 		}
 
+		candsBefore, probeBefore := res.CandidatesEvaluated, res.CandidateTime
 		best, ok := s.bestCandidate(p0, cur, cum, origAnns, origSize, res)
 		if !ok {
 			res.StopReason = "no-candidates"
@@ -212,12 +223,27 @@ func (s *Summarizer) Summarize(p0 provenance.Expression) (*Summary, error) {
 
 		prev, prevCum, prevDist = cur, cum, curDist
 		cur, cum, curDist = best.expr, best.cum, best.dist
+		size := best.expr.Size()
 		res.Steps = append(res.Steps, Step{
 			A: best.members[0], B: best.members[1], Members: best.members,
 			New:   best.newAnn,
-			Score: best.score, Dist: best.dist, Size: best.expr.Size(),
+			Score: best.score, Dist: best.dist, Size: size,
 		})
 		steps++
+		if cfg.StepObserver != nil {
+			cfg.StepObserver(StepEvent{
+				Step:          steps,
+				Members:       best.members,
+				New:           best.newAnn,
+				Score:         best.score,
+				RDist:         best.dist,
+				RSize:         float64(size) / float64(origSize),
+				Size:          size,
+				Candidates:    res.CandidatesEvaluated - candsBefore,
+				CandidateTime: res.CandidateTime - probeBefore,
+				Elapsed:       time.Since(start),
+			})
+		}
 	}
 
 	// Post-loop rollback: if a distance bound is in force and the final

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constraints"
+)
+
+// TestStepObserverTrace asserts the observer sees one event per committed
+// merge, in order, with fields consistent with the returned Summary.
+func TestStepObserverTrace(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u, constraints.SameTable())
+	est := newEstimator(p0.Annotations())
+
+	var events []StepEvent
+	s, err := New(Config{
+		Policy: pol, Estimator: est, WDist: 0.5, WSize: 0.5, MaxSteps: 3,
+		StepObserver: func(ev StepEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Steps) == 0 {
+		t.Fatal("no merge steps to observe")
+	}
+	if len(events) != len(sum.Steps) {
+		t.Fatalf("events = %d, steps = %d", len(events), len(sum.Steps))
+	}
+
+	origSize := float64(p0.Size())
+	var candTotal int
+	for i, ev := range events {
+		st := sum.Steps[i]
+		if ev.Step != i+1 {
+			t.Fatalf("event %d has Step %d", i, ev.Step)
+		}
+		if ev.New != st.New || len(ev.Members) != len(st.Members) {
+			t.Fatalf("event %d merge %v->%s, summary says %v->%s", i, ev.Members, ev.New, st.Members, st.New)
+		}
+		if ev.Score != st.Score || ev.RDist != st.Dist || ev.Size != st.Size {
+			t.Fatalf("event %d score/dist/size = %g/%g/%d, summary says %g/%g/%d",
+				i, ev.Score, ev.RDist, ev.Size, st.Score, st.Dist, st.Size)
+		}
+		if want := float64(st.Size) / origSize; ev.RSize != want {
+			t.Fatalf("event %d RSize = %g, want %g", i, ev.RSize, want)
+		}
+		if ev.Candidates <= 0 {
+			t.Fatalf("event %d evaluated no candidates", i)
+		}
+		if ev.Elapsed <= 0 {
+			t.Fatalf("event %d has non-positive Elapsed", i)
+		}
+		candTotal += ev.Candidates
+	}
+	if candTotal != sum.CandidatesEvaluated {
+		t.Fatalf("per-step candidates sum to %d, summary counted %d", candTotal, sum.CandidatesEvaluated)
+	}
+}
+
+// TestStepObserverNilIsSilent guards the default path: no observer, no
+// behavior change.
+func TestStepObserverNilIsSilent(t *testing.T) {
+	p0, u := example423()
+	pol := constraints.NewPolicy(u, constraints.SameTable())
+	s, err := New(Config{Policy: pol, Estimator: newEstimator(p0.Annotations()), WDist: 1, MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Summarize(p0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,8 @@ package distance
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/provenance"
 	"repro/internal/valuation"
@@ -36,17 +38,73 @@ type Estimator struct {
 
 	origCache map[string]provenance.Result
 	cachedFor provenance.Expression
+
+	stats estimatorCounters
+}
+
+// estimatorCounters are the estimator's live instrumentation. They are
+// atomics because enumeration-mode estimators are shared by parallel
+// candidate-evaluation workers (core.Config.Parallelism), which hit the
+// prewarmed cache concurrently.
+type estimatorCounters struct {
+	evaluations   atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	cacheResets   atomic.Uint64
+	samples       atomic.Uint64
+	distanceCalls atomic.Uint64
+	distanceNanos atomic.Int64
+}
+
+// Stats is a snapshot of the estimator's instrumentation counters: the
+// per-call cost the paper's Sec. 6.9 timing experiment measures offline,
+// exposed live (e.g. on the server's /metrics endpoint).
+type Stats struct {
+	// Evaluations counts VAL-FUNC summands computed (one per valuation
+	// per Distance call).
+	Evaluations uint64
+	// CacheHits and CacheMisses count original-expression evaluation
+	// cache lookups; CacheResets counts cache invalidations (a new
+	// original expression identity, or an explicit ResetCache).
+	CacheHits, CacheMisses, CacheResets uint64
+	// Samples counts Monte-Carlo valuation draws (sampling mode only).
+	Samples uint64
+	// DistanceCalls and DistanceTime accumulate Distance invocations and
+	// their total wall time.
+	DistanceCalls uint64
+	DistanceTime  time.Duration
+}
+
+// Stats returns a snapshot of the estimator's counters. Counters survive
+// ResetCache (which is itself counted) and accumulate over the
+// estimator's lifetime.
+func (e *Estimator) Stats() Stats {
+	return Stats{
+		Evaluations:   e.stats.evaluations.Load(),
+		CacheHits:     e.stats.cacheHits.Load(),
+		CacheMisses:   e.stats.cacheMisses.Load(),
+		CacheResets:   e.stats.cacheResets.Load(),
+		Samples:       e.stats.samples.Load(),
+		DistanceCalls: e.stats.distanceCalls.Load(),
+		DistanceTime:  time.Duration(e.stats.distanceNanos.Load()),
+	}
 }
 
 // Distance computes the (possibly normalized) distance between the
 // original expression p0 and the candidate summary pc, where cumulative
 // is the mapping with h(p0) = pc and groups is its inverse view.
 func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance.Mapping, groups provenance.Groups) float64 {
+	t0 := time.Now()
+	defer func() {
+		e.stats.distanceCalls.Add(1)
+		e.stats.distanceNanos.Add(int64(time.Since(t0)))
+	}()
 	var total float64
 	var n int
 	if e.Samples > 0 {
 		for i := 0; i < e.Samples; i++ {
 			v := e.Class.Sample(e.Rand)
+			e.stats.samples.Add(1)
 			total += e.valFuncAt(v, p0, pc, cumulative, groups)
 			n++
 		}
@@ -71,6 +129,7 @@ func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance
 
 // valFuncAt evaluates one summand of Definition 3.2.2.
 func (e *Estimator) valFuncAt(v provenance.Valuation, p0, pc provenance.Expression, cumulative provenance.Mapping, groups provenance.Groups) float64 {
+	e.stats.evaluations.Add(1)
 	orig := e.evalOriginal(v, p0)
 	aligned := pc.AlignResult(orig, cumulative)
 	ext := provenance.ExtendValuation(v, groups, e.Phi)
@@ -81,13 +140,18 @@ func (e *Estimator) valFuncAt(v provenance.Valuation, p0, pc provenance.Expressi
 // evalOriginal evaluates p0 under v with memoization.
 func (e *Estimator) evalOriginal(v provenance.Valuation, p0 provenance.Expression) provenance.Result {
 	if e.cachedFor != p0 {
+		if e.cachedFor != nil {
+			e.stats.cacheResets.Add(1)
+		}
 		e.origCache = make(map[string]provenance.Result)
 		e.cachedFor = p0
 	}
 	key := v.Name()
 	if r, ok := e.origCache[key]; ok {
+		e.stats.cacheHits.Add(1)
 		return r
 	}
+	e.stats.cacheMisses.Add(1)
 	r := p0.Eval(v)
 	e.origCache[key] = r
 	return r
@@ -97,6 +161,9 @@ func (e *Estimator) evalOriginal(v provenance.Valuation, p0 provenance.Expressio
 // the estimator is reused with a different original expression identity
 // that may collide on valuation names.
 func (e *Estimator) ResetCache() {
+	if e.cachedFor != nil {
+		e.stats.cacheResets.Add(1)
+	}
 	e.origCache = nil
 	e.cachedFor = nil
 }

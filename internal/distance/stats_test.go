@@ -1,0 +1,121 @@
+package distance
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+func TestStatsCountsCacheAndEvaluations(t *testing.T) {
+	p0 := matchPoint()
+	h := provenance.MergeMapping("Audience", "U1", "U3")
+	pc := p0.Apply(h)
+	groups := provenance.GroupsOf(p0.Annotations(), h)
+	class := valuation.NewCancelSingleAnnotation([]provenance.Annotation{"U1", "U2", "U3"})
+	e := estimator(class, AbsDiff(nil))
+
+	e.Distance(p0, pc, h, groups)
+	st := e.Stats()
+	if st.DistanceCalls != 1 {
+		t.Fatalf("DistanceCalls = %d, want 1", st.DistanceCalls)
+	}
+	if st.Evaluations != 3 {
+		t.Fatalf("Evaluations = %d, want 3 (one per class valuation)", st.Evaluations)
+	}
+	if st.CacheMisses != 3 || st.CacheHits != 0 {
+		t.Fatalf("cold run hits/misses = %d/%d, want 0/3", st.CacheHits, st.CacheMisses)
+	}
+
+	// A second Distance over the same original reuses every evaluation.
+	e.Distance(p0, pc, h, groups)
+	st = e.Stats()
+	if st.CacheHits != 3 || st.CacheMisses != 3 {
+		t.Fatalf("warm run hits/misses = %d/%d, want 3/3", st.CacheHits, st.CacheMisses)
+	}
+	if st.DistanceTime <= 0 {
+		t.Fatalf("DistanceTime = %v, want > 0", st.DistanceTime)
+	}
+
+	if e.Stats().CacheResets != 0 {
+		t.Fatalf("resets = %d before any reset", e.Stats().CacheResets)
+	}
+	e.ResetCache()
+	if got := e.Stats().CacheResets; got != 1 {
+		t.Fatalf("CacheResets = %d, want 1", got)
+	}
+	// Resetting an already-empty cache is not a reset.
+	e.ResetCache()
+	if got := e.Stats().CacheResets; got != 1 {
+		t.Fatalf("CacheResets after idempotent reset = %d, want 1", got)
+	}
+}
+
+// TestPrewarmMakesParallelLookupsHits pins the contract that parallel
+// candidate evaluation relies on: after Prewarm, concurrent Distance
+// calls only read the original-expression cache — every lookup is a hit
+// and the miss count never moves.
+func TestPrewarmMakesParallelLookupsHits(t *testing.T) {
+	p0 := matchPoint()
+	class := valuation.NewCancelSingleAnnotation([]provenance.Annotation{"U1", "U2", "U3"})
+	e := estimator(class, AbsDiff(nil))
+
+	e.Prewarm(p0)
+	st := e.Stats()
+	if st.CacheMisses != 3 {
+		t.Fatalf("prewarm misses = %d, want 3", st.CacheMisses)
+	}
+	missesAfterPrewarm := st.CacheMisses
+
+	// The three candidate pairs of the running example, probed like
+	// core's parallel workers do.
+	merges := []provenance.Mapping{
+		provenance.MergeMapping("S", "U1", "U2"),
+		provenance.MergeMapping("S", "U1", "U3"),
+		provenance.MergeMapping("S", "U2", "U3"),
+	}
+	var wg sync.WaitGroup
+	for _, h := range merges {
+		wg.Add(1)
+		go func(h provenance.Mapping) {
+			defer wg.Done()
+			pc := p0.Apply(h)
+			groups := provenance.GroupsOf(p0.Annotations(), h)
+			e.Distance(p0, pc, h, groups)
+		}(h)
+	}
+	wg.Wait()
+
+	st = e.Stats()
+	if st.CacheMisses != missesAfterPrewarm {
+		t.Fatalf("parallel lookups missed: misses = %d, want %d", st.CacheMisses, missesAfterPrewarm)
+	}
+	if want := uint64(len(merges) * 3); st.CacheHits != want {
+		t.Fatalf("parallel hits = %d, want %d", st.CacheHits, want)
+	}
+	if st.DistanceCalls != uint64(len(merges)) {
+		t.Fatalf("DistanceCalls = %d, want %d", st.DistanceCalls, len(merges))
+	}
+}
+
+func TestStatsCountsSamples(t *testing.T) {
+	p0 := matchPoint()
+	h := provenance.MergeMapping("Audience", "U1", "U3")
+	pc := p0.Apply(h)
+	groups := provenance.GroupsOf(p0.Annotations(), h)
+	class := valuation.NewCancelSingleAnnotation([]provenance.Annotation{"U1", "U2", "U3"})
+	e := estimator(class, AbsDiff(nil))
+	e.Samples = 17
+	e.Rand = rand.New(rand.NewSource(1))
+
+	e.Distance(p0, pc, h, groups)
+	st := e.Stats()
+	if st.Samples != 17 {
+		t.Fatalf("Samples = %d, want 17", st.Samples)
+	}
+	if st.Evaluations != 17 {
+		t.Fatalf("Evaluations = %d, want 17", st.Evaluations)
+	}
+}

@@ -389,6 +389,10 @@ type TimingResult struct {
 // Timing generates workloads at multiple scales and measures, per
 // provenance size, the average per-candidate computation time and the
 // total summarization time (wDist = 1, 50-step budget as in the paper).
+// With Options.TimingFromStats the per-candidate column is computed from
+// the estimator's own instrumentation (Distance call count and wall time
+// from distance.Estimator.Stats()) instead of the summarizer's ad-hoc
+// accounting.
 func Timing(o Options, scales []float64, maxSteps int) (*TimingResult, error) {
 	o = o.normalized()
 	res := &TimingResult{
@@ -411,11 +415,15 @@ func Timing(o Options, scales []float64, maxSteps int) (*TimingResult, error) {
 				return nil, err
 			}
 			p := runParams{wDist: 1, wSize: 0, targetSize: 1, targetDist: 1, maxSteps: maxSteps}
-			sum, err := oo.runProx(w, p, run)
+			sum, est, err := oo.runProxInstrumented(w, p, run)
 			if err != nil {
 				return nil, err
 			}
-			if sum.CandidatesEvaluated > 0 {
+			if o.TimingFromStats {
+				if st := est.Stats(); st.DistanceCalls > 0 {
+					candUS = append(candUS, float64(st.DistanceTime.Microseconds())/float64(st.DistanceCalls))
+				}
+			} else if sum.CandidatesEvaluated > 0 {
 				candUS = append(candUS, float64(sum.CandidateTime.Microseconds())/float64(sum.CandidatesEvaluated))
 			}
 			sumMS = append(sumMS, float64(sum.Elapsed.Microseconds())/1000)

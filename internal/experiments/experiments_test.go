@@ -148,6 +148,26 @@ func TestTimingExperiment(t *testing.T) {
 	}
 }
 
+// TestTimingFromStats runs the timing experiment with the per-candidate
+// column sourced from the estimator's instrumentation; the columns must
+// be present and positive, like the ad-hoc-timed variant.
+func TestTimingFromStats(t *testing.T) {
+	o := quickOpts("movielens")
+	o.TimingFromStats = true
+	res, err := Timing(o, []float64{0.3, 0.6}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CandidateTime.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.CandidateTime.Rows))
+	}
+	for _, r := range res.CandidateTime.Rows {
+		if r.Values[0] <= 0 {
+			t.Fatalf("instrumented per-candidate time must be positive: %v", r.Values)
+		}
+	}
+}
+
 func TestSuiteQuickAllDatasets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("suite is slow")

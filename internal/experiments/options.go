@@ -7,6 +7,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/distance"
 )
 
 // Options selects the dataset, valuation class and averaging for an
@@ -28,6 +29,12 @@ type Options struct {
 	// CandidateCap bounds per-step candidate evaluation in Prov-Approx
 	// (0 = evaluate all pairs).
 	CandidateCap int
+	// TimingFromStats sources the Timing experiment's per-candidate time
+	// column from the distance estimator's own instrumentation
+	// (distance.Estimator.Stats()) instead of the summarizer's ad-hoc
+	// wall-clock accounting, so the Sec. 6.9 figures and a live server's
+	// /metrics counters can never drift apart.
+	TimingFromStats bool
 }
 
 // DefaultOptions returns paper-like settings for a dataset.
@@ -113,9 +120,18 @@ type runParams struct {
 
 // runProx executes Algorithm 1 on the workload.
 func (o Options) runProx(w *datasets.Workload, p runParams, run int) (*core.Summary, error) {
+	sum, _, err := o.runProxInstrumented(w, p, run)
+	return sum, err
+}
+
+// runProxInstrumented executes Algorithm 1 and also returns the run's
+// estimator, whose Stats() carry the instrumented per-Distance cost
+// (each run builds a fresh estimator, so the stats are whole-run deltas).
+func (o Options) runProxInstrumented(w *datasets.Workload, p runParams, run int) (*core.Summary, *distance.Estimator, error) {
+	est := w.Estimator(o.Class)
 	cfg := core.Config{
 		Policy:     w.Policy,
-		Estimator:  w.Estimator(o.Class),
+		Estimator:  est,
 		WDist:      p.wDist,
 		WSize:      p.wSize,
 		TargetSize: p.targetSize,
@@ -128,9 +144,13 @@ func (o Options) runProx(w *datasets.Workload, p runParams, run int) (*core.Summ
 	}
 	s, err := core.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s.Summarize(w.Prov)
+	sum, err := s.Summarize(w.Prov)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sum, est, nil
 }
 
 // runRandom executes the Random baseline on the workload.

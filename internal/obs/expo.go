@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes every family in Prometheus text exposition format
+// (version 0.0.4): families in registration order, series in label order,
+// histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, fam := range fams {
+		if fam.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			if err := writeSeries(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, fam *family, s *series) error {
+	switch v := s.value.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", 0), formatValue(v.Value()))
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", 0), formatValue(v.Value()))
+		return err
+	case *Histogram:
+		var cum uint64
+		for i, b := range v.bounds {
+			cum += v.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, labelString(s.labels, "le", b), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, labelString(s.labels, "le", infBucket), v.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelString(s.labels, "", 0), formatValue(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelString(s.labels, "", 0), v.Count())
+		return err
+	}
+	return nil
+}
+
+// infBucket sentinels the +Inf histogram bucket in labelString.
+const infBucket = -1
+
+// labelString renders {k="v",...}, optionally appending an le bucket
+// label (le < 0 renders +Inf). Returns "" for no labels.
+func labelString(labels Labels, leName string, le float64) string {
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, k := range names {
+		parts = append(parts, k+"="+strconv.Quote(labels[k]))
+	}
+	if leName != "" {
+		v := "+Inf"
+		if le >= 0 {
+			v = formatValue(le)
+		}
+		parts = append(parts, leName+"="+strconv.Quote(v))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes newlines and backslashes in HELP text per the
+// exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a logging severity.
+type Level int32
+
+// Severities, in increasing order.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// ParseLevel reads a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled structured logger emitting one key=value line per
+// event:
+//
+//	ts=2026-08-05T12:00:00.000Z level=info msg="listening" addr=:8080
+//
+// Loggers derived with With share the parent's writer, level and mutex,
+// so a single Logger tree is safe for concurrent use.
+type Logger struct {
+	out    *lockedWriter
+	level  *atomic.Int32
+	now    func() time.Time
+	fields []field // bound context, rendered after msg on every line
+}
+
+type field struct {
+	key string
+	val any
+}
+
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a logger writing lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	lv := new(atomic.Int32)
+	lv.Store(int32(level))
+	return &Logger{out: &lockedWriter{w: w}, level: lv, now: time.Now}
+}
+
+// Nop returns a logger that discards everything.
+func Nop() *Logger { return NewLogger(io.Discard, LevelError+1) }
+
+// SetLevel changes the minimum emitted level, affecting the whole With
+// tree.
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Enabled reports whether events at level would be emitted.
+func (l *Logger) Enabled(level Level) bool { return level >= Level(l.level.Load()) }
+
+// With returns a logger that appends the given alternating key/value
+// pairs to every line it emits.
+func (l *Logger) With(kv ...any) *Logger {
+	child := &Logger{out: l.out, level: l.level, now: l.now}
+	child.fields = append(append([]field(nil), l.fields...), pairs(kv)...)
+	return child
+}
+
+// Debug emits a debug-level line.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info emits an info-level line.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn emits a warn-level line.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error emits an error-level line.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	for _, f := range l.fields {
+		writeField(&b, f)
+	}
+	for _, f := range pairs(kv) {
+		writeField(&b, f)
+	}
+	b.WriteByte('\n')
+	l.out.mu.Lock()
+	_, _ = io.WriteString(l.out.w, b.String())
+	l.out.mu.Unlock()
+}
+
+// pairs folds an alternating key/value slice into fields; a trailing key
+// without a value is emitted with val "(missing)" rather than dropped.
+func pairs(kv []any) []field {
+	var fs []field
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		if i+1 < len(kv) {
+			fs = append(fs, field{key, kv[i+1]})
+		} else {
+			fs = append(fs, field{key, "(missing)"})
+		}
+	}
+	return fs
+}
+
+func writeField(b *strings.Builder, f field) {
+	b.WriteByte(' ')
+	b.WriteString(f.key)
+	b.WriteByte('=')
+	b.WriteString(quoteValue(renderValue(f.val)))
+}
+
+func renderValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// quoteValue quotes a value only when it needs it (spaces, quotes, '=',
+// control characters or emptiness), keeping the common case grep-friendly.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for _, r := range s {
+		if r <= ' ' || r == '"' || r == '=' || r == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

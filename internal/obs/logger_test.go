@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testLogger(level Level) (*Logger, *strings.Builder) {
+	var sb strings.Builder
+	l := NewLogger(&sb, level)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	return l, &sb
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, sb := testLogger(LevelInfo)
+	l.Info("server listening", "addr", ":8080", "sessions", 3)
+	want := `ts=2026-08-05T12:00:00.000Z level=info msg="server listening" addr=:8080 sessions=3` + "\n"
+	if sb.String() != want {
+		t.Fatalf("line = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	l, sb := testLogger(LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also", "err", errors.New("boom boom"))
+	out := sb.String()
+	if strings.Contains(out, "nope") {
+		t.Fatalf("below-level lines leaked: %q", out)
+	}
+	if !strings.Contains(out, "level=warn msg=yes") {
+		t.Fatalf("warn line missing: %q", out)
+	}
+	if !strings.Contains(out, `err="boom boom"`) {
+		t.Fatalf("error value not quoted: %q", out)
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	l, sb := testLogger(LevelDebug)
+	reqLog := l.With("route", "/api/summarize", "session", "7")
+	reqLog.Debug("start")
+	if !strings.Contains(sb.String(), "route=/api/summarize session=7") {
+		t.Fatalf("bound fields missing: %q", sb.String())
+	}
+	// parent unaffected
+	sb.Reset()
+	l.Info("plain")
+	if strings.Contains(sb.String(), "route=") {
+		t.Fatalf("parent gained child fields: %q", sb.String())
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, sb := testLogger(LevelInfo)
+	l.Info("x", "empty", "", "eq", "a=b", "quote", `say "hi"`, "dur", 1500*time.Millisecond)
+	out := sb.String()
+	for _, want := range []string{`empty=""`, `eq="a=b"`, `quote="say \"hi\""`, `dur=1.5s`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	l, sb := testLogger(LevelInfo)
+	l.Info("odd", "orphan")
+	if !strings.Contains(sb.String(), `orphan=(missing)`) {
+		t.Fatalf("orphan key not surfaced: %q", sb.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, " error ": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bogus level must error")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	l, sb := testLogger(LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.With("worker", w).Info("tick", "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("lines = %d, want 200", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("torn line %q", line)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package obs is the observability substrate of the PROX service: a
+// dependency-free metrics registry (counters, gauges, bucketed latency
+// histograms) with a Prometheus-text-format exposition handler, and a
+// leveled structured (key=value) logger.
+//
+// The paper's evaluation chapter measures summarization time, candidate
+// computation time and estimator error offline; this package makes the
+// same quantities observable on a running service, so the `/metrics`
+// endpoint and the Ch. 6 figures are fed by one instrumentation layer.
+//
+// All metric operations are safe for concurrent use without locks on the
+// hot path: values are atomic float64 bit-patterns updated by CAS, so
+// instrumented code (parallel candidate evaluation, HTTP handlers) never
+// contends on a mutex. Registration (Counter/Gauge/Histogram lookups) is
+// get-or-create under a registry lock and is expected to happen once at
+// startup, with the returned handles reused.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches Prometheus-style dimensions to a metric. A nil or empty
+// map means the unlabeled series of the metric family.
+type Labels map[string]string
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern, the standard lock-free accumulator for metric values.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		val := math.Float64frombits(old) + delta
+		if f.bits.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value (requests served, cache
+// hits). Negative deltas are ignored, preserving monotonicity.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds delta; negative deltas are dropped.
+func (c *Counter) Add(delta float64) {
+	if delta > 0 {
+		c.v.add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.value() }
+
+// Gauge is a value that can go up and down (sessions in memory, in-flight
+// requests).
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.set(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.v.value() }
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// spanning sub-millisecond candidate probes to multi-second full
+// summarizations.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a cumulative bucketed distribution, typically of latencies
+// in seconds. Observations are lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// metricKind tags a family's type for exposition and conflict checks.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels Labels
+	key    string // canonical label serialization, for lookup and ordering
+	value  any    // *Counter, *Gauge or *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry is a set of metric families. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey serializes labels canonically (sorted by name).
+func labelKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(labels[k]))
+	}
+	return b.String()
+}
+
+// lookup finds or creates the series for (name, labels), creating the
+// family on first use. It panics when the same name is reused with a
+// different metric type — a programming error that would corrupt the
+// exposition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels, make func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, byKey: map[string]*series{}}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, fam.kind, kind))
+	}
+	key := labelKey(labels)
+	if s, ok := fam.byKey[key]; ok {
+		return s.value
+	}
+	cp := Labels{}
+	for k, v := range labels {
+		cp[k] = v
+	}
+	s := &series{labels: cp, key: key, value: make()}
+	fam.byKey[key] = s
+	fam.series = append(fam.series, s)
+	sort.Slice(fam.series, func(i, j int) bool { return fam.series[i].key < fam.series[j].key })
+	return s.value
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Passing the same name and labels returns the same handle.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// bucket upper bounds (DefBuckets when nil), creating it on first use.
+// Bounds are fixed at first registration; later calls reuse them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels, func() any {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		sorted := append([]float64(nil), bounds...)
+		sort.Float64s(sorted)
+		return &Histogram{bounds: sorted, buckets: make([]atomic.Uint64, len(sorted))}
+	}).(*Histogram)
+}

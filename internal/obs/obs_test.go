@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("prox_events_total", "events", nil)
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	g := r.Gauge("prox_level", "level", nil)
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %g, want 7", got)
+	}
+	// same name+labels returns the same handle
+	if r.Counter("prox_events_total", "events", nil) != c {
+		t.Fatal("counter lookup is not idempotent")
+	}
+	if r.Gauge("prox_level", "level", nil) != g {
+		t.Fatal("gauge lookup is not idempotent")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("prox_lat_seconds", "latency", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("sum = %g, want 5.555", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`prox_lat_seconds_bucket{le="0.01"} 1`,
+		`prox_lat_seconds_bucket{le="0.1"} 2`,
+		`prox_lat_seconds_bucket{le="1"} 3`,
+		`prox_lat_seconds_bucket{le="+Inf"} 4`,
+		`prox_lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentInstrumentation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("prox_hits_total", "hits", nil)
+	g := r.Gauge("prox_inflight", "in flight", nil)
+	h := r.Histogram("prox_dur_seconds", "duration", nil, nil)
+
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.001)
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %g, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %g, want 0", got)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestConcurrentRegistration exercises lookup races: get-or-create from
+// many goroutines must converge on one series per (name, labels).
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("prox_shared_total", "shared", Labels{"route": "/api"}).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("prox_shared_total", "shared", Labels{"route": "/api"}).Value(); got != 800 {
+		t.Fatalf("shared counter = %g, want 800", got)
+	}
+}
+
+// TestExpositionGolden pins the full Prometheus text format: HELP/TYPE
+// headers, registration-ordered families, label-sorted series.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("prox_http_requests_total", "HTTP requests by route.", Labels{"route": "/api/select", "code": "2xx"}).Add(3)
+	r.Counter("prox_http_requests_total", "HTTP requests by route.", Labels{"route": "/api/select", "code": "4xx"}).Inc()
+	r.Gauge("prox_sessions", "Sessions in memory.", nil).Set(2)
+	h := r.Histogram("prox_req_seconds", "Request latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP prox_http_requests_total HTTP requests by route.
+# TYPE prox_http_requests_total counter
+prox_http_requests_total{code="2xx",route="/api/select"} 3
+prox_http_requests_total{code="4xx",route="/api/select"} 1
+# HELP prox_sessions Sessions in memory.
+# TYPE prox_sessions gauge
+prox_sessions 2
+# HELP prox_req_seconds Request latency.
+# TYPE prox_req_seconds histogram
+prox_req_seconds_bucket{le="0.1"} 1
+prox_req_seconds_bucket{le="1"} 2
+prox_req_seconds_bucket{le="+Inf"} 2
+prox_req_seconds_sum 0.55
+prox_req_seconds_count 2
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("prox_ok_total", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "prox_ok_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("prox_x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge registration over a counter name must panic")
+		}
+	}()
+	r.Gauge("prox_x", "", nil)
+}

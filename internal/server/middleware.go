@@ -1,0 +1,102 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics holds the server's metric handles, registered once at startup
+// so the request path never touches the registry lock.
+type metrics struct {
+	inFlight   *obs.Gauge
+	sessions   *obs.Gauge
+	evictions  *obs.Counter
+	summarizes *obs.Histogram
+	steps      *obs.Counter
+
+	// estimator instrumentation, accumulated from per-request estimators
+	// after each summarization (see recordSummarize).
+	estEvals     *obs.Counter
+	estHits      *obs.Counter
+	estMisses    *obs.Counter
+	estResets    *obs.Counter
+	estSamples   *obs.Counter
+	estDistCalls *obs.Counter
+	estDistSecs  *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		inFlight:   reg.Gauge("prox_http_in_flight_requests", "HTTP requests currently being served.", nil),
+		sessions:   reg.Gauge("prox_sessions", "Selection sessions held in memory.", nil),
+		evictions:  reg.Counter("prox_sessions_evicted_total", "Sessions evicted by the oldest-first cap.", nil),
+		summarizes: reg.Histogram("prox_summarize_duration_seconds", "Wall time of full summarization runs.", nil, nil),
+		steps:      reg.Counter("prox_summarize_steps_total", "Merge steps committed by Algorithm 1.", nil),
+
+		estEvals:     reg.Counter("prox_estimator_evaluations_total", "VAL-FUNC summands evaluated by the distance estimator.", nil),
+		estHits:      reg.Counter("prox_estimator_cache_hits_total", "Original-expression evaluation cache hits.", nil),
+		estMisses:    reg.Counter("prox_estimator_cache_misses_total", "Original-expression evaluation cache misses.", nil),
+		estResets:    reg.Counter("prox_estimator_cache_resets_total", "Original-expression evaluation cache resets.", nil),
+		estSamples:   reg.Counter("prox_estimator_samples_total", "Monte-Carlo valuation draws.", nil),
+		estDistCalls: reg.Counter("prox_estimator_distance_calls_total", "Estimator Distance invocations.", nil),
+		estDistSecs:  reg.Counter("prox_estimator_distance_seconds_total", "Total wall time inside estimator Distance calls.", nil),
+	}
+}
+
+// statusRecorder captures the response status code for labeling.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass folds a status code into its Prometheus-friendly class
+// label ("2xx", "4xx", ...), keeping series cardinality bounded.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	}
+	return "1xx"
+}
+
+// instrument wraps a handler with the observability middleware: per-route
+// request counting by status class, a per-route latency histogram, the
+// in-flight gauge, and a debug-level request log line. The route label is
+// the registered pattern, not the raw URL, so cardinality stays fixed;
+// all series are pre-registered here so the request path never takes the
+// registry lock.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("prox_http_request_duration_seconds",
+		"HTTP request latency by route.", nil, obs.Labels{"route": route})
+	byClass := map[string]*obs.Counter{}
+	for _, class := range []string{"1xx", "2xx", "3xx", "4xx", "5xx"} {
+		byClass[class] = s.reg.Counter("prox_http_requests_total",
+			"HTTP requests by route and status class.",
+			obs.Labels{"route": route, "code": class})
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.inFlight.Inc()
+		defer s.met.inFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		elapsed := time.Since(start)
+		byClass[statusClass(rec.status)].Inc()
+		hist.Observe(elapsed.Seconds())
+		s.log.Debug("request",
+			"route", route, "method", r.Method, "status", rec.status, "dur", elapsed)
+	}
+}

@@ -29,19 +29,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/distance"
+	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/provenance"
 	"repro/internal/valuation"
 )
 
+// DefaultMaxSessions caps in-memory sessions when no explicit cap is
+// configured; the oldest session is evicted when the cap is exceeded.
+const DefaultMaxSessions = 1024
+
 // Server is the PROX application server. It serves a single MovieLens
 // workload (the paper's demo dataset) and keeps per-selection sessions in
-// memory.
+// memory, bounded by an oldest-first eviction cap.
 type Server struct {
-	workload *datasets.Workload
+	workload    *datasets.Workload
+	reg         *obs.Registry
+	log         *obs.Logger
+	met         *metrics
+	maxSessions int
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	order    []string // session ids in creation order, for eviction
 	nextID   int
 }
 
@@ -52,21 +62,63 @@ type session struct {
 	class   datasets.ClassKind
 }
 
-// New builds a PROX server over the given MovieLens workload.
-func New(w *datasets.Workload) *Server {
-	return &Server{workload: w, sessions: make(map[string]*session)}
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRegistry uses the given metrics registry instead of a private one
+// (so the caller can expose it alongside other instrumentation).
+func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r } }
+
+// WithLogger routes the server's structured logs to l (default: discard).
+func WithLogger(l *obs.Logger) Option { return func(s *Server) { s.log = l } }
+
+// WithMaxSessions caps in-memory sessions; when a new session would
+// exceed the cap the oldest session is evicted. n <= 0 keeps the default.
+func WithMaxSessions(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxSessions = n
+		}
+	}
 }
 
-// Handler returns the HTTP handler serving the API and the web UI.
+// New builds a PROX server over the given MovieLens workload.
+func New(w *datasets.Workload, opts ...Option) *Server {
+	s := &Server{
+		workload:    w,
+		sessions:    make(map[string]*session),
+		maxSessions: DefaultMaxSessions,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if s.log == nil {
+		s.log = obs.Nop()
+	}
+	s.met = newMetrics(s.reg)
+	return s
+}
+
+// Metrics returns the server's metrics registry (for mounting /metrics
+// elsewhere or registering additional process-level series).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the HTTP handler serving the API, the web UI, and the
+// Prometheus /metrics endpoint. Every route is wrapped in the
+// observability middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/movies", s.handleMovies)
-	mux.HandleFunc("POST /api/select", s.handleSelect)
-	mux.HandleFunc("POST /api/custom", s.handleCustom)
-	mux.HandleFunc("POST /api/summarize", s.handleSummarize)
-	mux.HandleFunc("GET /api/step", s.handleStep)
-	mux.HandleFunc("POST /api/evaluate", s.handleEvaluate)
-	mux.HandleFunc("GET /", s.handleUI)
+	mux.HandleFunc("GET /api/movies", s.instrument("/api/movies", s.handleMovies))
+	mux.HandleFunc("POST /api/select", s.instrument("/api/select", s.handleSelect))
+	mux.HandleFunc("POST /api/custom", s.instrument("/api/custom", s.handleCustom))
+	mux.HandleFunc("POST /api/summarize", s.instrument("/api/summarize", s.handleSummarize))
+	mux.HandleFunc("GET /api/step", s.instrument("/api/step", s.handleStep))
+	mux.HandleFunc("POST /api/evaluate", s.instrument("/api/evaluate", s.handleEvaluate))
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /", s.instrument("/", s.handleUI))
 	return mux
 }
 
@@ -179,12 +231,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sel := provenance.NewAgg(kind, tensors...)
-
-	s.mu.Lock()
-	s.nextID++
-	id := strconv.Itoa(s.nextID)
-	s.sessions[id] = &session{prov: sel}
-	s.mu.Unlock()
+	id := s.addSession(&session{prov: sel})
 
 	writeJSON(w, http.StatusOK, selectResponse{
 		SessionID:  id,
@@ -192,6 +239,32 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		Size:       sel.Size(),
 		Tensors:    len(sel.Tensors),
 	})
+}
+
+// addSession stores a new session, evicting the oldest sessions when the
+// cap is exceeded, and keeps the session gauge current.
+func (s *Server) addSession(sess *session) string {
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.Itoa(s.nextID)
+	s.sessions[id] = sess
+	s.order = append(s.order, id)
+	var evicted []string
+	for len(s.sessions) > s.maxSessions {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.sessions, oldest)
+		evicted = append(evicted, oldest)
+	}
+	count := len(s.sessions)
+	s.mu.Unlock()
+
+	s.met.sessions.Set(float64(count))
+	for _, old := range evicted {
+		s.met.evictions.Inc()
+		s.log.Info("session evicted", "session", old, "cap", s.maxSessions)
+	}
+	return id
 }
 
 // customRequest submits a hand-written provenance expression in the
@@ -237,12 +310,7 @@ func (s *Server) handleCustom(w http.ResponseWriter, r *http.Request) {
 	for _, a := range req.Universe {
 		s.workload.Universe.Add(provenance.Annotation(a.Ann), a.Table, provenance.Attrs(a.Attrs))
 	}
-
-	s.mu.Lock()
-	s.nextID++
-	id := strconv.Itoa(s.nextID)
-	s.sessions[id] = &session{prov: expr}
-	s.mu.Unlock()
+	id := s.addSession(&session{prov: expr})
 
 	writeJSON(w, http.StatusOK, selectResponse{
 		SessionID:  id,
@@ -341,6 +409,10 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.summary = sum
 	sess.class = kind
+	s.recordSummarize(sum, est)
+	s.log.Info("summarized",
+		"session", req.SessionID, "steps", len(sum.Steps), "stop", sum.StopReason,
+		"size", sum.Expr.Size(), "dist", sum.Dist, "dur", sum.Elapsed)
 
 	resp := summarizeResponse{
 		Expression: sum.Expr.String(),
@@ -376,6 +448,22 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		resp.Groups = append(resp.Groups, gi)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordSummarize folds one summarization run and its estimator's
+// instrumentation into the server metrics. Estimators are per-request, so
+// their counters are whole-run deltas.
+func (s *Server) recordSummarize(sum *core.Summary, est *distance.Estimator) {
+	s.met.summarizes.Observe(sum.Elapsed.Seconds())
+	s.met.steps.Add(float64(len(sum.Steps)))
+	st := est.Stats()
+	s.met.estEvals.Add(float64(st.Evaluations))
+	s.met.estHits.Add(float64(st.CacheHits))
+	s.met.estMisses.Add(float64(st.CacheMisses))
+	s.met.estResets.Add(float64(st.CacheResets))
+	s.met.estSamples.Add(float64(st.Samples))
+	s.met.estDistCalls.Add(float64(st.DistanceCalls))
+	s.met.estDistSecs.Add(st.DistanceTime.Seconds())
 }
 
 // estimatorFor builds the estimator over the selection's annotations,
