@@ -322,6 +322,36 @@ func BenchmarkSummarizeStep(b *testing.B) {
 	}
 }
 
+// --- Scoring layouts: candidate-major vs valuation-major (batched) ---
+// The A/B pair behind Config.SequentialScoring: the same multi-step
+// MovieLens run scored candidate-major (one Estimator.Distance call per
+// probe) vs through the valuation-major Estimator.DistanceBatch sweep.
+
+func benchSummarizeScoring(b *testing.B, seqScoring bool) {
+	b.Helper()
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(core.Config{
+			Policy:            w.Policy,
+			Estimator:         w.Estimator(datasets.CancelSingleAnnotation),
+			WDist:             1,
+			MaxSteps:          3,
+			SequentialScoring: seqScoring,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Summarize(w.Prov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarizeScoringSequential(b *testing.B) { benchSummarizeScoring(b, true) }
+
+func BenchmarkSummarizeScoringBatch(b *testing.B) { benchSummarizeScoring(b, false) }
+
 // BenchmarkApplyMapping measures homomorphism application + simplify.
 func BenchmarkApplyMapping(b *testing.B) {
 	w := benchWorkload(b)

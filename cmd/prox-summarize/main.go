@@ -8,7 +8,7 @@
 //	               [-wdist 0.5] [-wsize 0.5] [-steps 10]
 //	               [-target-size 1] [-target-dist 1]
 //	               [-scale 1] [-seed 1] [-v]
-//	               [-arity 2] [-parallel 1]
+//	               [-arity 2] [-parallel 1] [-samples 0] [-seq-scoring]
 //	               [-save bundle.json] [-load bundle.json] [-json out.json]
 //	               [-trace steps.jsonl]
 //
@@ -50,6 +50,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print full expressions")
 	arity := flag.Int("arity", 2, "merge arity (>= 2; the Ch. 9 k-ary generalization)")
 	parallel := flag.Int("parallel", 1, "candidate-evaluation goroutines")
+	samples := flag.Int("samples", 0, "Monte-Carlo valuation samples per distance (0 = enumerate the class)")
+	seqScoring := flag.Bool("seq-scoring", false, "score candidates candidate-major (one Distance call each) instead of the batched valuation-major sweep")
 	saveBundle := flag.String("save", "", "write the generated workload as a JSON bundle to this file")
 	loadBundle := flag.String("load", "", "summarize a saved JSON bundle instead of generating a dataset")
 	jsonOut := flag.String("json", "", "write the summary trace as JSON to this file (- for stdout)")
@@ -116,16 +118,22 @@ func main() {
 		fmt.Printf("workload bundle written to %s\n", *saveBundle)
 	}
 
+	est := w.Estimator(kind)
+	if *samples > 0 {
+		est.Samples = *samples
+		est.Rand = rand.New(rand.NewSource(*seed + 1))
+	}
 	cfg := core.Config{
-		Policy:      w.Policy,
-		Estimator:   w.Estimator(kind),
-		WDist:       *wdist,
-		WSize:       *wsize,
-		TargetSize:  *targetSize,
-		TargetDist:  *targetDist,
-		MaxSteps:    *steps,
-		MergeArity:  *arity,
-		Parallelism: *parallel,
+		Policy:            w.Policy,
+		Estimator:         est,
+		WDist:             *wdist,
+		WSize:             *wsize,
+		TargetSize:        *targetSize,
+		TargetDist:        *targetDist,
+		MaxSteps:          *steps,
+		MergeArity:        *arity,
+		Parallelism:       *parallel,
+		SequentialScoring: *seqScoring,
 	}
 	var traceClose func()
 	if *traceOut != "" {
@@ -183,7 +191,13 @@ func main() {
 	fmt.Printf("size %d (%.0f%% of original), distance %.4f\n",
 		sum.Expr.Size(), 100*float64(sum.Expr.Size())/float64(w.Prov.Size()), sum.Dist)
 	fmt.Printf("groups:\n")
-	for name, members := range sum.Groups {
+	names := make([]string, 0, len(sum.Groups))
+	for name := range sum.Groups {
+		names = append(names, string(name))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		members := sum.Groups[provenance.Annotation(name)]
 		if len(members) < 2 {
 			continue
 		}

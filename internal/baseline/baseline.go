@@ -10,6 +10,7 @@ package baseline
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -38,6 +39,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Estimator == nil {
 		return errors.New("baseline: Config.Estimator is required")
+	}
+	if err := c.Estimator.Validate(); err != nil {
+		return fmt.Errorf("baseline: %w", err)
 	}
 	if c.TargetSize <= 0 {
 		c.TargetSize = 1

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/constraints"
@@ -61,10 +63,20 @@ type Config struct {
 	// Parallelism, when > 1, evaluates candidate merges on that many
 	// goroutines. Results are reduced in deterministic pair order, so the
 	// chosen summaries are identical to a sequential run; only wall time
-	// changes. The estimator's evaluation cache is prewarmed before
-	// workers start so they only read it; sampling-mode estimators
-	// (Samples > 0) cannot be parallelized and are rejected by New.
+	// changes. On the default batched scoring path the workers run inside
+	// Estimator.DistanceBatch, where sampling-mode draws happen up front
+	// (common random numbers) — so Samples > 0 parallelizes safely. Only
+	// the candidate-major fallback (SequentialScoring) still requires an
+	// enumerating estimator to parallelize, because each probe would pull
+	// fresh draws from the shared Rand.
 	Parallelism int
+
+	// SequentialScoring disables the valuation-major batched scorer
+	// (Estimator.DistanceBatch) and scores candidates candidate-major,
+	// one Estimator.Distance call per candidate — sequentially, or on
+	// Parallelism workers. Both paths choose bit-identical summaries; the
+	// flag exists for A/B benchmarking the two scoring layouts.
+	SequentialScoring bool
 
 	// StepObserver, when non-nil, receives a StepEvent after every
 	// committed merge step (and never for the free Prop. 4.2.1
@@ -118,7 +130,10 @@ type Summary struct {
 	// Dist is the final (approximated, normalized) distance from Original.
 	Dist float64
 	// StopReason explains termination: "target-size", "target-dist",
-	// "max-steps", "no-candidates".
+	// "max-steps", "no-candidates". When the post-loop TARGET-DIST
+	// rollback retracts the final merge, StopReason is "target-dist"
+	// regardless of which bound ended the loop — the retraction, not the
+	// loop's exit test, decided the returned expression.
 	StopReason string
 
 	// CandidatesEvaluated counts candidate (pair, distance) evaluations;
@@ -162,8 +177,15 @@ func New(cfg Config) (*Summarizer, error) {
 	if cfg.MergeArity == 0 {
 		cfg.MergeArity = 2
 	}
-	if cfg.Parallelism > 1 && cfg.Estimator.Samples > 0 {
-		return nil, errors.New("core: Parallelism requires an enumerating estimator (Samples = 0)")
+	if err := cfg.Estimator.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.SequentialScoring && cfg.Parallelism > 1 && cfg.Estimator.Samples > 0 {
+		return nil, errors.New("core: SequentialScoring with Parallelism requires an enumerating estimator (Samples = 0); batched scoring (the default) parallelizes sampling mode")
+	}
+	if !cfg.SequentialScoring {
+		// The batch path's workers live inside the estimator's sweep.
+		cfg.Estimator.Parallelism = cfg.Parallelism
 	}
 	return &Summarizer{cfg: cfg}, nil
 }
@@ -248,10 +270,14 @@ func (s *Summarizer) Summarize(p0 provenance.Expression) (*Summary, error) {
 
 	// Post-loop rollback: if a distance bound is in force and the final
 	// expression exceeds it, return the previous expression (the last one
-	// within the bound).
+	// within the bound). The retraction decides the returned expression
+	// even when the loop stopped for another reason (e.g. the retracted
+	// merge was the one that reached TARGET-SIZE), so StopReason must
+	// follow it — otherwise StopReason, Expr.Size() and Dist disagree.
 	if cfg.TargetDist < 1 && curDist >= cfg.TargetDist && len(res.Steps) > 0 {
 		cur, cum, curDist = prev, prevCum, prevDist
 		res.Steps = res.Steps[:len(res.Steps)-1]
+		res.StopReason = "target-dist"
 	}
 
 	res.Expr = cur
@@ -329,10 +355,22 @@ func (s *Summarizer) bestCandidate(p0, cur provenance.Expression, cum provenance
 	return s.commitCandidate(cur, cum, best), true
 }
 
-// probeAll scores every pair, sequentially or on Config.Parallelism
+// probeAll scores every pair. The default path builds the whole cohort
+// and hands it to Estimator.DistanceBatch (valuation-major, optionally
+// parallel inside the estimator); Config.SequentialScoring falls back to
+// candidate-major probes, sequentially or on Config.Parallelism
 // goroutines. The result order matches the pair order, so the downstream
-// reduction is deterministic either way.
+// reduction is deterministic on every path.
 func (s *Summarizer) probeAll(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, pairs [][2]provenance.Annotation, res *Summary) []candidate {
+	if !s.cfg.SequentialScoring {
+		base := provenance.GroupsOf(origAnns, cum)
+		members := make([][]provenance.Annotation, len(pairs))
+		for i, pr := range pairs {
+			members[i] = []provenance.Annotation{pr[0], pr[1]}
+		}
+		return s.probeBatch(p0, cur, cum, base, origSize, members, res)
+	}
+
 	cands := make([]candidate, len(pairs))
 	if s.cfg.Parallelism <= 1 || len(pairs) < 2 {
 		for i, pr := range pairs {
@@ -350,31 +388,81 @@ func (s *Summarizer) probeAll(p0, cur provenance.Expression, cum provenance.Mapp
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
+	// Each probe is timed individually and the durations accumulate
+	// atomically, so CandidateTime is the summed probe cost — comparable
+	// to a sequential run — and never counts time a worker spends idle
+	// (blocked on the unbuffered channel or descheduled).
+	var probeNanos atomic.Int64
 	var wg sync.WaitGroup
 	next := make(chan int)
-	elapsed := make([]time.Duration, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			start := time.Now()
 			for i := range next {
 				pr := pairs[i]
+				t0 := time.Now()
 				cands[i] = s.probeCandidate(p0, cur, cum, origAnns, origSize, pr[0], pr[1])
+				probeNanos.Add(int64(time.Since(t0)))
 			}
-			elapsed[w] = time.Since(start)
-		}(w)
+		}()
 	}
 	for i := range pairs {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	for _, d := range elapsed {
-		res.CandidateTime += d
-	}
+	res.CandidateTime += time.Duration(probeNanos.Load())
 	res.CandidatesEvaluated += len(pairs)
 	return cands
+}
+
+// probeBatch scores one cohort of candidate member sets through the
+// valuation-major batch API. base is the step's inverse view
+// (GroupsOf(origAnns, cum)), computed once by the caller; each
+// candidate's groups are patched from it so that unchanged groups share
+// member-slice identity, which lets DistanceBatch reuse their φ-combined
+// truths across the whole cohort.
+func (s *Summarizer) probeBatch(p0, cur provenance.Expression, cum provenance.Mapping, base provenance.Groups, origSize int, members [][]provenance.Annotation, res *Summary) []candidate {
+	cfg := s.cfg
+	t0 := time.Now()
+	cands := make([]candidate, len(members))
+	batch := make([]distance.BatchCandidate, len(members))
+	for i, ms := range members {
+		step := provenance.MergeMapping(probeAnn, ms...)
+		nextCum := cum.Compose(step)
+		next := cur.Apply(step)
+		cands[i] = candidate{members: ms, expr: next, cum: nextCum}
+		batch[i] = distance.BatchCandidate{Expr: next, Cumulative: nextCum, Groups: probeGroups(base, ms)}
+	}
+	dists := cfg.Estimator.DistanceBatch(p0, batch)
+	for i := range cands {
+		rSize := float64(cands[i].expr.Size()) / float64(origSize)
+		cands[i].dist = dists[i]
+		cands[i].score = cfg.WDist*dists[i] + cfg.WSize*rSize
+	}
+	res.CandidateTime += time.Since(t0)
+	res.CandidatesEvaluated += len(members)
+	return cands
+}
+
+// probeGroups derives a candidate's inverse view from the step's base
+// groups without re-inverting the cumulative mapping: unchanged groups
+// share the base's member slices and only the probed merge's group is
+// built fresh (the union of its members' base groups, sorted).
+func probeGroups(base provenance.Groups, members []provenance.Annotation) provenance.Groups {
+	g := make(provenance.Groups, len(base))
+	for name, ms := range base {
+		g[name] = ms
+	}
+	var merged []provenance.Annotation
+	for _, m := range members {
+		merged = append(merged, base.Members(m)...)
+		delete(g, m)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	g[probeAnn] = merged
+	return g
 }
 
 // probeCandidate scores the candidate mapping members ↦ probeAnn without
@@ -395,23 +483,45 @@ func (s *Summarizer) probeCandidate(p0, cur provenance.Expression, cum provenanc
 
 // growCandidate extends the winning pair towards MergeArity members: at
 // each growth step the constraint-compatible annotation whose absorption
-// yields the lowest candidate score joins the group.
+// yields the lowest candidate score joins the group. Each growth round is
+// one candidate cohort, so the default path scores it with a single
+// DistanceBatch sweep.
 func (s *Summarizer) growCandidate(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, anns []provenance.Annotation, best candidate, res *Summary) candidate {
 	cfg := s.cfg
+	var base provenance.Groups
+	if !cfg.SequentialScoring {
+		base = provenance.GroupsOf(origAnns, cum)
+	}
 	for len(best.members) < cfg.MergeArity {
 		var grown candidate
 		found := false
-		for _, a := range anns {
-			if contains(best.members, a) || !s.compatibleWithAll(a, best.members) {
-				continue
+		if !cfg.SequentialScoring {
+			var members [][]provenance.Annotation
+			for _, a := range anns {
+				if contains(best.members, a) || !s.compatibleWithAll(a, best.members) {
+					continue
+				}
+				members = append(members, append(append([]provenance.Annotation(nil), best.members...), a))
 			}
-			t0 := time.Now()
-			cand := s.probeCandidate(p0, cur, cum, origAnns, origSize, append(append([]provenance.Annotation(nil), best.members...), a)...)
-			res.CandidateTime += time.Since(t0)
-			res.CandidatesEvaluated++
-			if !found || cand.score < grown.score-1e-12 {
-				grown = cand
-				found = true
+			for _, cand := range s.probeBatch(p0, cur, cum, base, origSize, members, res) {
+				if !found || cand.score < grown.score-1e-12 {
+					grown = cand
+					found = true
+				}
+			}
+		} else {
+			for _, a := range anns {
+				if contains(best.members, a) || !s.compatibleWithAll(a, best.members) {
+					continue
+				}
+				t0 := time.Now()
+				cand := s.probeCandidate(p0, cur, cum, origAnns, origSize, append(append([]provenance.Annotation(nil), best.members...), a)...)
+				res.CandidateTime += time.Since(t0)
+				res.CandidatesEvaluated++
+				if !found || cand.score < grown.score-1e-12 {
+					grown = cand
+					found = true
+				}
 			}
 		}
 		if !found {

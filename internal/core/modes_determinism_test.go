@@ -1,0 +1,113 @@
+// External test package: the seeded-dataset determinism tests need
+// internal/datasets, which depends on core via the baselines, so they
+// cannot live in package core.
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+func movieLens(t *testing.T) *datasets.Workload {
+	t.Helper()
+	cfg := datasets.DefaultMovieLensConfig()
+	cfg.Users = 14
+	cfg.Movies = 6
+	return datasets.MovieLens(cfg, rand.New(rand.NewSource(9)))
+}
+
+func mlSummaryKey(t *testing.T, sum *core.Summary) string {
+	t.Helper()
+	if len(sum.Steps) == 0 {
+		t.Fatal("workload produced no merges")
+	}
+	var b strings.Builder
+	for _, st := range sum.Steps {
+		fmt.Fprintf(&b, "%v->%s score=%b dist=%b size=%d\n", st.Members, st.New, st.Score, st.Dist, st.Size)
+	}
+	fmt.Fprintf(&b, "dist=%b stop=%s expr=%s", sum.Dist, sum.StopReason, sum.Expr)
+	return b.String()
+}
+
+// TestMovieLensScoringModesIdentical runs the same seeded MovieLens
+// workload through every scoring layout — candidate-major sequential,
+// candidate-major parallel, batched, and batched parallel — and requires
+// byte-identical summaries: same merges, bit-identical scores and
+// distances, same rendered expression.
+func TestMovieLensScoringModesIdentical(t *testing.T) {
+	run := func(seqScoring bool, workers int) string {
+		w := movieLens(t)
+		s, err := core.New(core.Config{
+			Policy:            w.Policy,
+			Estimator:         w.Estimator(datasets.CancelSingleAnnotation),
+			WDist:             0.7,
+			WSize:             0.3,
+			MaxSteps:          6,
+			SequentialScoring: seqScoring,
+			Parallelism:       workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := s.Summarize(w.Prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mlSummaryKey(t, sum)
+	}
+	want := run(true, 1)
+	for _, tc := range []struct {
+		name    string
+		seq     bool
+		workers int
+	}{
+		{"sequential-parallel", true, 4},
+		{"batch", false, 1},
+		{"batch-parallel", false, 4},
+	} {
+		if got := run(tc.seq, tc.workers); got != want {
+			t.Fatalf("%s diverged from candidate-major sequential:\n%s\n--- want ---\n%s", tc.name, got, want)
+		}
+	}
+}
+
+// TestMovieLensSampledParallelIdentical is the sampling half of the
+// acceptance criterion on a real workload: Samples > 0 with
+// Parallelism > 1 must reproduce the sequential run byte-identically
+// given the same seed, because each step's sample set is drawn once
+// before the candidate fan-out.
+func TestMovieLensSampledParallelIdentical(t *testing.T) {
+	run := func(workers int) string {
+		w := movieLens(t)
+		est := w.Estimator(datasets.CancelSingleAnnotation)
+		est.Samples = 8
+		est.Rand = rand.New(rand.NewSource(21))
+		s, err := core.New(core.Config{
+			Policy:      w.Policy,
+			Estimator:   est,
+			WDist:       0.7,
+			WSize:       0.3,
+			MaxSteps:    5,
+			Parallelism: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := s.Summarize(w.Prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mlSummaryKey(t, sum)
+	}
+	want := run(1)
+	for _, workers := range []int{2, 6} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d diverged from sequential sampled run:\n%s\n--- want ---\n%s", workers, got, want)
+		}
+	}
+}

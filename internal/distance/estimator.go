@@ -1,6 +1,8 @@
 package distance
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync/atomic"
@@ -30,11 +32,18 @@ type Estimator struct {
 	// Samples > 0 switches to Monte-Carlo sampling with that many draws;
 	// 0 enumerates the whole class.
 	Samples int
-	// Rand drives sampling; required when Samples > 0.
+	// Rand drives sampling; required when Samples > 0 (Validate reports
+	// the misconfiguration as an error).
 	Rand *rand.Rand
 	// MaxError, when positive, normalizes distances into [0,1] by
 	// dividing by the maximum possible error (Sec. 6.3).
 	MaxError float64
+	// Parallelism, when > 1, fans DistanceBatch's candidate sweep across
+	// that many goroutines. Sampling draws happen up front on the calling
+	// goroutine and per-candidate sums accumulate in fixed valuation
+	// order, so batched results are bit-identical at any worker count.
+	// Distance (single-candidate) is unaffected.
+	Parallelism int
 
 	origCache map[string]provenance.Result
 	cachedFor provenance.Expression
@@ -54,6 +63,10 @@ type estimatorCounters struct {
 	samples       atomic.Uint64
 	distanceCalls atomic.Uint64
 	distanceNanos atomic.Int64
+
+	batchCalls      atomic.Uint64
+	batchCandidates atomic.Uint64
+	batchNanos      atomic.Int64
 }
 
 // Stats is a snapshot of the estimator's instrumentation counters: the
@@ -69,10 +82,16 @@ type Stats struct {
 	CacheHits, CacheMisses, CacheResets uint64
 	// Samples counts Monte-Carlo valuation draws (sampling mode only).
 	Samples uint64
-	// DistanceCalls and DistanceTime accumulate Distance invocations and
-	// their total wall time.
+	// DistanceCalls and DistanceTime accumulate single-candidate Distance
+	// invocations and their total wall time.
 	DistanceCalls uint64
 	DistanceTime  time.Duration
+	// BatchCalls counts DistanceBatch invocations, BatchCandidates the
+	// candidates they scored, and BatchTime their total wall time (wall,
+	// not summed worker time: a parallel sweep's BatchTime shrinks with
+	// the speedup).
+	BatchCalls, BatchCandidates uint64
+	BatchTime                   time.Duration
 }
 
 // Stats returns a snapshot of the estimator's counters. Counters survive
@@ -80,14 +99,35 @@ type Stats struct {
 // estimator's lifetime.
 func (e *Estimator) Stats() Stats {
 	return Stats{
-		Evaluations:   e.stats.evaluations.Load(),
-		CacheHits:     e.stats.cacheHits.Load(),
-		CacheMisses:   e.stats.cacheMisses.Load(),
-		CacheResets:   e.stats.cacheResets.Load(),
-		Samples:       e.stats.samples.Load(),
-		DistanceCalls: e.stats.distanceCalls.Load(),
-		DistanceTime:  time.Duration(e.stats.distanceNanos.Load()),
+		Evaluations:     e.stats.evaluations.Load(),
+		CacheHits:       e.stats.cacheHits.Load(),
+		CacheMisses:     e.stats.cacheMisses.Load(),
+		CacheResets:     e.stats.cacheResets.Load(),
+		Samples:         e.stats.samples.Load(),
+		DistanceCalls:   e.stats.distanceCalls.Load(),
+		DistanceTime:    time.Duration(e.stats.distanceNanos.Load()),
+		BatchCalls:      e.stats.batchCalls.Load(),
+		BatchCandidates: e.stats.batchCandidates.Load(),
+		BatchTime:       time.Duration(e.stats.batchNanos.Load()),
 	}
+}
+
+// Validate reports configuration errors that would otherwise surface as
+// panics deep inside a summarization run — most importantly a sampling
+// estimator (Samples > 0) without a random source, which would
+// nil-pointer-dereference inside Class.Sample on the first Distance call.
+// core.New and the baselines call it up front.
+func (e *Estimator) Validate() error {
+	if e.Class == nil {
+		return errors.New("distance: Estimator.Class is required")
+	}
+	if e.VF.F == nil {
+		return errors.New("distance: Estimator.VF is required")
+	}
+	if e.Samples > 0 && e.Rand == nil {
+		return fmt.Errorf("distance: Estimator.Samples = %d requires Estimator.Rand (Monte-Carlo sampling needs a random source)", e.Samples)
+	}
+	return nil
 }
 
 // Distance computes the (possibly normalized) distance between the
@@ -102,6 +142,9 @@ func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance
 	var total float64
 	var n int
 	if e.Samples > 0 {
+		if e.Rand == nil {
+			panic("distance: Estimator.Samples > 0 requires Estimator.Rand (see Estimator.Validate)")
+		}
 		for i := 0; i < e.Samples; i++ {
 			v := e.Class.Sample(e.Rand)
 			e.stats.samples.Add(1)

@@ -420,8 +420,15 @@ func Timing(o Options, scales []float64, maxSteps int) (*TimingResult, error) {
 				return nil, err
 			}
 			if o.TimingFromStats {
-				if st := est.Stats(); st.DistanceCalls > 0 {
-					candUS = append(candUS, float64(st.DistanceTime.Microseconds())/float64(st.DistanceCalls))
+				// Candidate cost from the estimator's own instrumentation.
+				// Batched scoring amortizes one DistanceBatch sweep over
+				// its whole cohort, so the per-candidate figure divides
+				// total scoring wall time (Distance + DistanceBatch) by
+				// total candidates scored (each Distance call scores one).
+				st := est.Stats()
+				if n := st.DistanceCalls + st.BatchCandidates; n > 0 {
+					totalUS := float64(st.DistanceTime.Microseconds() + st.BatchTime.Microseconds())
+					candUS = append(candUS, totalUS/float64(n))
 				}
 			} else if sum.CandidatesEvaluated > 0 {
 				candUS = append(candUS, float64(sum.CandidateTime.Microseconds())/float64(sum.CandidatesEvaluated))

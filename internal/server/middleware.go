@@ -18,13 +18,16 @@ type metrics struct {
 
 	// estimator instrumentation, accumulated from per-request estimators
 	// after each summarization (see recordSummarize).
-	estEvals     *obs.Counter
-	estHits      *obs.Counter
-	estMisses    *obs.Counter
-	estResets    *obs.Counter
-	estSamples   *obs.Counter
-	estDistCalls *obs.Counter
-	estDistSecs  *obs.Counter
+	estEvals      *obs.Counter
+	estHits       *obs.Counter
+	estMisses     *obs.Counter
+	estResets     *obs.Counter
+	estSamples    *obs.Counter
+	estDistCalls  *obs.Counter
+	estDistSecs   *obs.Counter
+	estBatchCalls *obs.Counter
+	estBatchCands *obs.Counter
+	estBatchSecs  *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -35,13 +38,16 @@ func newMetrics(reg *obs.Registry) *metrics {
 		summarizes: reg.Histogram("prox_summarize_duration_seconds", "Wall time of full summarization runs.", nil, nil),
 		steps:      reg.Counter("prox_summarize_steps_total", "Merge steps committed by Algorithm 1.", nil),
 
-		estEvals:     reg.Counter("prox_estimator_evaluations_total", "VAL-FUNC summands evaluated by the distance estimator.", nil),
-		estHits:      reg.Counter("prox_estimator_cache_hits_total", "Original-expression evaluation cache hits.", nil),
-		estMisses:    reg.Counter("prox_estimator_cache_misses_total", "Original-expression evaluation cache misses.", nil),
-		estResets:    reg.Counter("prox_estimator_cache_resets_total", "Original-expression evaluation cache resets.", nil),
-		estSamples:   reg.Counter("prox_estimator_samples_total", "Monte-Carlo valuation draws.", nil),
-		estDistCalls: reg.Counter("prox_estimator_distance_calls_total", "Estimator Distance invocations.", nil),
-		estDistSecs:  reg.Counter("prox_estimator_distance_seconds_total", "Total wall time inside estimator Distance calls.", nil),
+		estEvals:      reg.Counter("prox_estimator_evaluations_total", "VAL-FUNC summands evaluated by the distance estimator.", nil),
+		estHits:       reg.Counter("prox_estimator_cache_hits_total", "Original-expression evaluation cache hits.", nil),
+		estMisses:     reg.Counter("prox_estimator_cache_misses_total", "Original-expression evaluation cache misses.", nil),
+		estResets:     reg.Counter("prox_estimator_cache_resets_total", "Original-expression evaluation cache resets.", nil),
+		estSamples:    reg.Counter("prox_estimator_samples_total", "Monte-Carlo valuation draws.", nil),
+		estDistCalls:  reg.Counter("prox_estimator_distance_calls_total", "Estimator Distance invocations.", nil),
+		estDistSecs:   reg.Counter("prox_estimator_distance_seconds_total", "Total wall time inside estimator Distance calls.", nil),
+		estBatchCalls: reg.Counter("prox_estimator_batch_calls_total", "Estimator DistanceBatch invocations (valuation-major sweeps).", nil),
+		estBatchCands: reg.Counter("prox_estimator_batch_candidates_total", "Candidates scored by DistanceBatch sweeps.", nil),
+		estBatchSecs:  reg.Counter("prox_estimator_batch_seconds_total", "Total wall time inside DistanceBatch sweeps.", nil),
 	}
 }
 

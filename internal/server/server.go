@@ -464,6 +464,9 @@ func (s *Server) recordSummarize(sum *core.Summary, est *distance.Estimator) {
 	s.met.estSamples.Add(float64(st.Samples))
 	s.met.estDistCalls.Add(float64(st.DistanceCalls))
 	s.met.estDistSecs.Add(st.DistanceTime.Seconds())
+	s.met.estBatchCalls.Add(float64(st.BatchCalls))
+	s.met.estBatchCands.Add(float64(st.BatchCandidates))
+	s.met.estBatchSecs.Add(st.BatchTime.Seconds())
 }
 
 // estimatorFor builds the estimator over the selection's annotations,
