@@ -322,12 +322,14 @@ func BenchmarkSummarizeStep(b *testing.B) {
 	}
 }
 
-// --- Scoring layouts: candidate-major vs valuation-major (batched) ---
-// The A/B pair behind Config.SequentialScoring: the same multi-step
-// MovieLens run scored candidate-major (one Estimator.Distance call per
-// probe) vs through the valuation-major Estimator.DistanceBatch sweep.
+// --- Scoring layouts: candidate-major vs batched vs delta ---
+// The A/B/C triple behind Config.SequentialScoring / FullEvalScoring:
+// the same multi-step MovieLens run scored candidate-major (one
+// Estimator.Distance call per probe), through the materialized
+// valuation-major Estimator.DistanceBatch sweep, and through the
+// incremental Estimator.DistanceDelta engine (the default).
 
-func benchSummarizeScoring(b *testing.B, seqScoring bool) {
+func benchSummarizeScoring(b *testing.B, mode string) {
 	b.Helper()
 	w := benchWorkload(b)
 	b.ResetTimer()
@@ -337,7 +339,8 @@ func benchSummarizeScoring(b *testing.B, seqScoring bool) {
 			Estimator:         w.Estimator(datasets.CancelSingleAnnotation),
 			WDist:             1,
 			MaxSteps:          3,
-			SequentialScoring: seqScoring,
+			SequentialScoring: mode == "seq",
+			FullEvalScoring:   mode == "batch",
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -348,9 +351,11 @@ func benchSummarizeScoring(b *testing.B, seqScoring bool) {
 	}
 }
 
-func BenchmarkSummarizeScoringSequential(b *testing.B) { benchSummarizeScoring(b, true) }
+func BenchmarkSummarizeScoringSequential(b *testing.B) { benchSummarizeScoring(b, "seq") }
 
-func BenchmarkSummarizeScoringBatch(b *testing.B) { benchSummarizeScoring(b, false) }
+func BenchmarkSummarizeScoringBatch(b *testing.B) { benchSummarizeScoring(b, "batch") }
+
+func BenchmarkSummarizeScoringDelta(b *testing.B) { benchSummarizeScoring(b, "delta") }
 
 // BenchmarkApplyMapping measures homomorphism application + simplify.
 func BenchmarkApplyMapping(b *testing.B) {

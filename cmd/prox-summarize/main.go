@@ -8,9 +8,17 @@
 //	               [-wdist 0.5] [-wsize 0.5] [-steps 10]
 //	               [-target-size 1] [-target-dist 1]
 //	               [-scale 1] [-seed 1] [-v]
-//	               [-arity 2] [-parallel 1] [-samples 0] [-seq-scoring]
+//	               [-arity 2] [-parallel 1] [-samples 0]
+//	               [-scoring delta|batch|seq]
 //	               [-save bundle.json] [-load bundle.json] [-json out.json]
 //	               [-trace steps.jsonl]
+//
+// -scoring selects the candidate scoring engine: "delta" (default) probes
+// candidates incrementally on the shared current expression, "batch"
+// materializes every candidate and evaluates it in full, "seq" scores
+// candidate-major with one Distance call each. All three choose
+// bit-identical summaries. The deprecated -seq-scoring flag is an alias
+// for -scoring=seq.
 //
 // With -trace, every merge step of Algorithm 1 is appended to the given
 // file as one JSON object per line (score, distance, size ratio,
@@ -51,7 +59,8 @@ func main() {
 	arity := flag.Int("arity", 2, "merge arity (>= 2; the Ch. 9 k-ary generalization)")
 	parallel := flag.Int("parallel", 1, "candidate-evaluation goroutines")
 	samples := flag.Int("samples", 0, "Monte-Carlo valuation samples per distance (0 = enumerate the class)")
-	seqScoring := flag.Bool("seq-scoring", false, "score candidates candidate-major (one Distance call each) instead of the batched valuation-major sweep")
+	scoring := flag.String("scoring", "delta", "candidate scoring engine: delta (incremental, default) | batch (materialize every candidate) | seq (candidate-major)")
+	seqScoring := flag.Bool("seq-scoring", false, "deprecated alias for -scoring=seq")
 	saveBundle := flag.String("save", "", "write the generated workload as a JSON bundle to this file")
 	loadBundle := flag.String("load", "", "summarize a saved JSON bundle instead of generating a dataset")
 	jsonOut := flag.String("json", "", "write the summary trace as JSON to this file (- for stdout)")
@@ -124,16 +133,27 @@ func main() {
 		est.Rand = rand.New(rand.NewSource(*seed + 1))
 	}
 	cfg := core.Config{
-		Policy:            w.Policy,
-		Estimator:         est,
-		WDist:             *wdist,
-		WSize:             *wsize,
-		TargetSize:        *targetSize,
-		TargetDist:        *targetDist,
-		MaxSteps:          *steps,
-		MergeArity:        *arity,
-		Parallelism:       *parallel,
-		SequentialScoring: *seqScoring,
+		Policy:      w.Policy,
+		Estimator:   est,
+		WDist:       *wdist,
+		WSize:       *wsize,
+		TargetSize:  *targetSize,
+		TargetDist:  *targetDist,
+		MaxSteps:    *steps,
+		MergeArity:  *arity,
+		Parallelism: *parallel,
+	}
+	if *seqScoring {
+		*scoring = "seq"
+	}
+	switch *scoring {
+	case "delta", "":
+	case "batch":
+		cfg.FullEvalScoring = true
+	case "seq":
+		cfg.SequentialScoring = true
+	default:
+		fatal("unknown -scoring %q (want delta, batch or seq)", *scoring)
 	}
 	var traceClose func()
 	if *traceOut != "" {

@@ -63,20 +63,31 @@ type Config struct {
 	// Parallelism, when > 1, evaluates candidate merges on that many
 	// goroutines. Results are reduced in deterministic pair order, so the
 	// chosen summaries are identical to a sequential run; only wall time
-	// changes. On the default batched scoring path the workers run inside
-	// Estimator.DistanceBatch, where sampling-mode draws happen up front
-	// (common random numbers) — so Samples > 0 parallelizes safely. Only
-	// the candidate-major fallback (SequentialScoring) still requires an
-	// enumerating estimator to parallelize, because each probe would pull
-	// fresh draws from the shared Rand.
+	// changes. On the default delta and batched scoring paths the workers
+	// run inside the estimator's cohort sweep, where sampling-mode draws
+	// happen up front (common random numbers) — so Samples > 0
+	// parallelizes safely. Only the candidate-major fallback
+	// (SequentialScoring) still requires an enumerating estimator to
+	// parallelize, because each probe would pull fresh draws from the
+	// shared Rand.
 	Parallelism int
 
-	// SequentialScoring disables the valuation-major batched scorer
-	// (Estimator.DistanceBatch) and scores candidates candidate-major,
-	// one Estimator.Distance call per candidate — sequentially, or on
-	// Parallelism workers. Both paths choose bit-identical summaries; the
-	// flag exists for A/B benchmarking the two scoring layouts.
+	// SequentialScoring disables cohort scoring entirely
+	// (Estimator.DistanceDelta and Estimator.DistanceBatch) and scores
+	// candidates candidate-major, one Estimator.Distance call per
+	// candidate — sequentially, or on Parallelism workers. All scoring
+	// paths choose bit-identical summaries; the flag exists for A/B
+	// benchmarking the scoring layouts.
 	SequentialScoring bool
+
+	// FullEvalScoring disables the incremental delta scorer
+	// (Estimator.DistanceDelta) and scores cohorts by materializing every
+	// candidate and evaluating it in full (Estimator.DistanceBatch) — the
+	// path delta scoring falls back to when the current expression cannot
+	// be planned. Bit-identical to delta scoring; the flag exists for A/B
+	// benchmarking. Mutually exclusive with SequentialScoring, which
+	// already bypasses both cohort scorers.
+	FullEvalScoring bool
 
 	// StepObserver, when non-nil, receives a StepEvent after every
 	// committed merge step (and never for the free Prop. 4.2.1
@@ -179,6 +190,9 @@ func New(cfg Config) (*Summarizer, error) {
 	}
 	if err := cfg.Estimator.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.SequentialScoring && cfg.FullEvalScoring {
+		return nil, errors.New("core: SequentialScoring and FullEvalScoring are mutually exclusive (SequentialScoring already bypasses the cohort scorers)")
 	}
 	if cfg.SequentialScoring && cfg.Parallelism > 1 && cfg.Estimator.Samples > 0 {
 		return nil, errors.New("core: SequentialScoring with Parallelism requires an enumerating estimator (Samples = 0); batched scoring (the default) parallelizes sampling mode")
@@ -355,12 +369,12 @@ func (s *Summarizer) bestCandidate(p0, cur provenance.Expression, cum provenance
 	return s.commitCandidate(cur, cum, best), true
 }
 
-// probeAll scores every pair. The default path builds the whole cohort
-// and hands it to Estimator.DistanceBatch (valuation-major, optionally
-// parallel inside the estimator); Config.SequentialScoring falls back to
-// candidate-major probes, sequentially or on Config.Parallelism
-// goroutines. The result order matches the pair order, so the downstream
-// reduction is deterministic on every path.
+// probeAll scores every pair. The default path hands the whole cohort to
+// probeCohort (incremental delta scoring, with a materialized-batch
+// fallback); Config.SequentialScoring falls back to candidate-major
+// probes, sequentially or on Config.Parallelism goroutines. The result
+// order matches the pair order, so the downstream reduction is
+// deterministic on every path.
 func (s *Summarizer) probeAll(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, pairs [][2]provenance.Annotation, res *Summary) []candidate {
 	if !s.cfg.SequentialScoring {
 		base := provenance.GroupsOf(origAnns, cum)
@@ -368,7 +382,7 @@ func (s *Summarizer) probeAll(p0, cur provenance.Expression, cum provenance.Mapp
 		for i, pr := range pairs {
 			members[i] = []provenance.Annotation{pr[0], pr[1]}
 		}
-		return s.probeBatch(p0, cur, cum, base, origSize, members, res)
+		return s.probeCohort(p0, cur, cum, base, origSize, members, res)
 	}
 
 	cands := make([]candidate, len(pairs))
@@ -417,6 +431,43 @@ func (s *Summarizer) probeAll(p0, cur provenance.Expression, cum provenance.Mapp
 	return cands
 }
 
+// probeCohort scores one cohort of candidate member sets: by default
+// through the incremental delta engine (Estimator.DistanceDelta), which
+// probes every merge against the shared current expression without
+// materializing candidates; when the expression cannot be planned, or
+// Config.FullEvalScoring is set, it falls back to materialized batch
+// scoring. Both produce bit-identical candidates.
+func (s *Summarizer) probeCohort(p0, cur provenance.Expression, cum provenance.Mapping, base provenance.Groups, origSize int, members [][]provenance.Annotation, res *Summary) []candidate {
+	if !s.cfg.FullEvalScoring {
+		if cands, ok := s.probeDelta(p0, cur, cum, base, origSize, members, res); ok {
+			return cands
+		}
+	}
+	return s.probeBatch(p0, cur, cum, base, origSize, members, res)
+}
+
+// probeDelta scores a cohort through the delta engine. The returned
+// candidates carry no expression or cumulative mapping — only the winner
+// is materialized, by commitCandidate. ok is false when the estimator
+// cannot plan the current expression (the caller falls back to
+// probeBatch).
+func (s *Summarizer) probeDelta(p0, cur provenance.Expression, cum provenance.Mapping, base provenance.Groups, origSize int, members [][]provenance.Annotation, res *Summary) ([]candidate, bool) {
+	cfg := s.cfg
+	t0 := time.Now()
+	dists, sizes, ok := cfg.Estimator.DistanceDelta(p0, cur, cum, base, members, probeAnn)
+	if !ok {
+		return nil, false
+	}
+	cands := make([]candidate, len(members))
+	for i, ms := range members {
+		rSize := float64(sizes[i]) / float64(origSize)
+		cands[i] = candidate{members: ms, dist: dists[i], score: cfg.WDist*dists[i] + cfg.WSize*rSize}
+	}
+	res.CandidateTime += time.Since(t0)
+	res.CandidatesEvaluated += len(members)
+	return cands, true
+}
+
 // probeBatch scores one cohort of candidate member sets through the
 // valuation-major batch API. base is the step's inverse view
 // (GroupsOf(origAnns, cum)), computed once by the caller; each
@@ -455,7 +506,15 @@ func probeGroups(base provenance.Groups, members []provenance.Annotation) proven
 	for name, ms := range base {
 		g[name] = ms
 	}
-	var merged []provenance.Annotation
+	n := 0
+	for _, m := range members {
+		if ms, ok := base[m]; ok && len(ms) > 0 {
+			n += len(ms)
+		} else {
+			n++
+		}
+	}
+	merged := make([]provenance.Annotation, 0, n)
 	for _, m := range members {
 		merged = append(merged, base.Members(m)...)
 		delete(g, m)
@@ -485,7 +544,7 @@ func (s *Summarizer) probeCandidate(p0, cur provenance.Expression, cum provenanc
 // each growth step the constraint-compatible annotation whose absorption
 // yields the lowest candidate score joins the group. Each growth round is
 // one candidate cohort, so the default path scores it with a single
-// DistanceBatch sweep.
+// cohort sweep (delta, or its batch fallback).
 func (s *Summarizer) growCandidate(p0, cur provenance.Expression, cum provenance.Mapping, origAnns []provenance.Annotation, origSize int, anns []provenance.Annotation, best candidate, res *Summary) candidate {
 	cfg := s.cfg
 	var base provenance.Groups
@@ -503,7 +562,7 @@ func (s *Summarizer) growCandidate(p0, cur provenance.Expression, cum provenance
 				}
 				members = append(members, append(append([]provenance.Annotation(nil), best.members...), a))
 			}
-			for _, cand := range s.probeBatch(p0, cur, cum, base, origSize, members, res) {
+			for _, cand := range s.probeCohort(p0, cur, cum, base, origSize, members, res) {
 				if !found || cand.score < grown.score-1e-12 {
 					grown = cand
 					found = true

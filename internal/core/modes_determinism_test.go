@@ -36,19 +36,23 @@ func mlSummaryKey(t *testing.T, sum *core.Summary) string {
 
 // TestMovieLensScoringModesIdentical runs the same seeded MovieLens
 // workload through every scoring layout — candidate-major sequential,
-// candidate-major parallel, batched, and batched parallel — and requires
-// byte-identical summaries: same merges, bit-identical scores and
-// distances, same rendered expression.
+// materialized batch (FullEvalScoring), and the default incremental
+// delta engine, each at Parallelism 1 and 4 — and requires byte-identical
+// summaries: same merges, bit-identical scores and distances, same
+// rendered expression. The delta runs must actually exercise the delta
+// engine (counters move), not silently fall back.
 func TestMovieLensScoringModesIdentical(t *testing.T) {
-	run := func(seqScoring bool, workers int) string {
+	run := func(seqScoring, fullEval bool, workers int, wantDelta bool) string {
 		w := movieLens(t)
+		est := w.Estimator(datasets.CancelSingleAnnotation)
 		s, err := core.New(core.Config{
 			Policy:            w.Policy,
-			Estimator:         w.Estimator(datasets.CancelSingleAnnotation),
+			Estimator:         est,
 			WDist:             0.7,
 			WSize:             0.3,
 			MaxSteps:          6,
 			SequentialScoring: seqScoring,
+			FullEvalScoring:   fullEval,
 			Parallelism:       workers,
 		})
 		if err != nil {
@@ -58,19 +62,32 @@ func TestMovieLensScoringModesIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		st := est.Stats()
+		if wantDelta && st.DeltaCalls == 0 {
+			t.Fatal("delta-mode run never reached the delta engine")
+		}
+		if !wantDelta && st.DeltaCalls != 0 {
+			t.Fatalf("non-delta run made %d delta calls", st.DeltaCalls)
+		}
+		if wantDelta && st.DeltaSkips == 0 {
+			t.Fatal("delta-mode run never short-circuited a truth-stable pair")
+		}
 		return mlSummaryKey(t, sum)
 	}
-	want := run(true, 1)
+	want := run(true, false, 1, false)
 	for _, tc := range []struct {
-		name    string
-		seq     bool
-		workers int
+		name      string
+		seq, full bool
+		workers   int
 	}{
-		{"sequential-parallel", true, 4},
-		{"batch", false, 1},
-		{"batch-parallel", false, 4},
+		{"sequential-parallel", true, false, 4},
+		{"full-eval-batch", false, true, 1},
+		{"full-eval-batch-parallel", false, true, 4},
+		{"delta", false, false, 1},
+		{"delta-parallel", false, false, 4},
 	} {
-		if got := run(tc.seq, tc.workers); got != want {
+		wantDelta := !tc.seq && !tc.full
+		if got := run(tc.seq, tc.full, tc.workers, wantDelta); got != want {
 			t.Fatalf("%s diverged from candidate-major sequential:\n%s\n--- want ---\n%s", tc.name, got, want)
 		}
 	}
@@ -80,20 +97,22 @@ func TestMovieLensScoringModesIdentical(t *testing.T) {
 // acceptance criterion on a real workload: Samples > 0 with
 // Parallelism > 1 must reproduce the sequential run byte-identically
 // given the same seed, because each step's sample set is drawn once
-// before the candidate fan-out.
+// before the candidate fan-out — on the default delta path and on the
+// materialized batch path alike.
 func TestMovieLensSampledParallelIdentical(t *testing.T) {
-	run := func(workers int) string {
+	run := func(fullEval bool, workers int) string {
 		w := movieLens(t)
 		est := w.Estimator(datasets.CancelSingleAnnotation)
 		est.Samples = 8
 		est.Rand = rand.New(rand.NewSource(21))
 		s, err := core.New(core.Config{
-			Policy:      w.Policy,
-			Estimator:   est,
-			WDist:       0.7,
-			WSize:       0.3,
-			MaxSteps:    5,
-			Parallelism: workers,
+			Policy:          w.Policy,
+			Estimator:       est,
+			WDist:           0.7,
+			WSize:           0.3,
+			MaxSteps:        5,
+			FullEvalScoring: fullEval,
+			Parallelism:     workers,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -104,10 +123,15 @@ func TestMovieLensSampledParallelIdentical(t *testing.T) {
 		}
 		return mlSummaryKey(t, sum)
 	}
-	want := run(1)
+	want := run(false, 1)
 	for _, workers := range []int{2, 6} {
-		if got := run(workers); got != want {
-			t.Fatalf("workers=%d diverged from sequential sampled run:\n%s\n--- want ---\n%s", workers, got, want)
+		if got := run(false, workers); got != want {
+			t.Fatalf("delta workers=%d diverged from sequential sampled run:\n%s\n--- want ---\n%s", workers, got, want)
+		}
+	}
+	for _, workers := range []int{1, 6} {
+		if got := run(true, workers); got != want {
+			t.Fatalf("full-eval workers=%d diverged from delta sampled run:\n%s\n--- want ---\n%s", workers, got, want)
 		}
 	}
 }

@@ -187,7 +187,11 @@ type memoExtendedValuation struct {
 
 func (m *memoExtendedValuation) reset(base provenance.Valuation) {
 	m.base = base
-	m.memo = make(map[groupKey]bool)
+	if m.memo == nil {
+		m.memo = make(map[groupKey]bool)
+	} else {
+		clear(m.memo)
+	}
 }
 
 // Truth implements provenance.Valuation.

@@ -179,8 +179,22 @@ func TestValidate(t *testing.T) {
 // valuation for the whole cohort. Run with
 // `go test -bench=SummarizeStepScoring ./internal/distance`.
 
-func benchStep(b *testing.B) (*provenance.Agg, []provenance.Annotation, []BatchCandidate) {
-	b.Helper()
+// stepScenario is the shared mid-run step the scoring benchmarks
+// compare on: the original, the current summary, the step's cumulative
+// mapping and inverse view, and the candidate cohort both as member sets
+// (delta scoring) and as materialized BatchCandidates.
+type stepScenario struct {
+	p0    *provenance.Agg
+	anns  []provenance.Annotation
+	cur   *provenance.Agg
+	cum   provenance.Mapping
+	base  provenance.Groups
+	sets  [][]provenance.Annotation
+	cands []BatchCandidate
+}
+
+func benchStep(tb testing.TB) stepScenario {
+	tb.Helper()
 	const users, groupSize = 24, 3
 	anns := make([]provenance.Annotation, users)
 	tensors := make([]provenance.Tensor, users)
@@ -201,6 +215,7 @@ func benchStep(b *testing.B) (*provenance.Agg, []provenance.Annotation, []BatchC
 	cur := p0.Apply(cum).(*provenance.Agg)
 	base := provenance.GroupsOf(anns, cum)
 	summaries := cur.Annotations()
+	var sets [][]provenance.Annotation
 	var cands []BatchCandidate
 	for i := 0; i < len(summaries); i++ {
 		for j := i + 1; j < len(summaries); j++ {
@@ -216,31 +231,32 @@ func benchStep(b *testing.B) (*provenance.Agg, []provenance.Annotation, []BatchC
 			delete(g, summaries[i])
 			delete(g, summaries[j])
 			g["Z"] = merged
+			sets = append(sets, []provenance.Annotation{summaries[i], summaries[j]})
 			cands = append(cands, BatchCandidate{Expr: cur.Apply(step), Cumulative: cum.Compose(step), Groups: g})
 		}
 	}
 	if len(cands) < 20 {
-		b.Fatalf("only %d candidates, want >= 20", len(cands))
+		tb.Fatalf("only %d candidates, want >= 20", len(cands))
 	}
-	return p0, anns, cands
+	return stepScenario{p0: p0, anns: anns, cur: cur, cum: cum, base: base, sets: sets, cands: cands}
 }
 
 func BenchmarkSummarizeStepScoringPerCandidate(b *testing.B) {
-	p0, anns, cands := benchStep(b)
-	e := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+	sc := benchStep(b)
+	e := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range cands {
-			e.Distance(p0, c.Expr, c.Cumulative, c.Groups)
+		for _, c := range sc.cands {
+			e.Distance(sc.p0, c.Expr, c.Cumulative, c.Groups)
 		}
 	}
 }
 
 func BenchmarkSummarizeStepScoringBatch(b *testing.B) {
-	p0, anns, cands := benchStep(b)
-	e := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+	sc := benchStep(b)
+	e := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.DistanceBatch(p0, cands)
+		e.DistanceBatch(sc.p0, sc.cands)
 	}
 }

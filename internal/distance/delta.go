@@ -1,0 +1,273 @@
+package distance
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/provenance"
+)
+
+// deltaProbe pairs a compiled provenance.Probe with the per-candidate
+// metadata the sweep needs: the flattened original members of the merged
+// group (for the φ-truth), whether the candidate touches result
+// alignment, and — only then — the composed cumulative mapping.
+type deltaProbe struct {
+	pr *provenance.Probe
+	// flat is the union of the base groups of the probed members: the
+	// original annotations whose φ-combined truth the merged group gets.
+	flat []provenance.Annotation
+	// noSkip blocks the truth-delta short-circuit: the candidate renames
+	// a vector coordinate or an aligned original coordinate, so its
+	// result differs from the base even when no truth changes.
+	noSkip bool
+	// alignTouched marks candidates whose merge renames original result
+	// coordinates; they align with composed instead of reusing the base
+	// alignment. needsAlign caches needsAlign(orig, composed), which
+	// depends only on the original result's keys.
+	alignTouched bool
+	needsAlign   bool
+	composed     provenance.Mapping
+}
+
+// deltaTruths memoizes the step's extended valuation v^{h,φ} per base
+// valuation: ext returns the φ-combined truth of base-group annotations
+// and the raw truth of everything else, as 0/1 for the plan evaluator.
+type deltaTruths struct {
+	v       provenance.Valuation
+	groups  provenance.Groups
+	phi     provenance.Combiner
+	memo    map[provenance.Annotation]int8
+	scratch []bool
+}
+
+func (d *deltaTruths) reset(v provenance.Valuation) {
+	d.v = v
+	if d.memo == nil {
+		d.memo = make(map[provenance.Annotation]int8)
+	} else {
+		clear(d.memo)
+	}
+}
+
+func (d *deltaTruths) combine(members []provenance.Annotation) int {
+	if cap(d.scratch) < len(members) {
+		d.scratch = make([]bool, len(members))
+	}
+	truths := d.scratch[:len(members)]
+	for i, m := range members {
+		truths[i] = d.v.Truth(m)
+	}
+	if d.phi.Combine(truths) {
+		return 1
+	}
+	return 0
+}
+
+func (d *deltaTruths) ext(a provenance.Annotation) int {
+	if t, ok := d.memo[a]; ok {
+		return int(t)
+	}
+	var t int
+	if members, ok := d.groups[a]; ok && len(members) > 0 {
+		t = d.combine(members)
+	} else if d.v.Truth(a) {
+		t = 1
+	}
+	d.memo[a] = int8(t)
+	return t
+}
+
+// DistanceDelta scores a cohort of candidate merges over the shared
+// current expression cur without materializing the candidates: every
+// member set of cohort is probed as a merge into newAnn on cur's
+// compiled plan. base must be the step's inverse view
+// (GroupsOf(origAnns, cum)), and cum the mapping with cur = cum(p0).
+//
+// The sweep is valuation-major like DistanceBatch, with three savings on
+// top of it: (1) candidates are evaluated through the homomorphism
+// identity Eval(h(p), v') = Eval(p, v'∘h) on the shared plan instead of
+// a per-candidate Apply + Eval; (2) a candidate whose merged φ-truth
+// equals every member's pre-merge truth reuses the base evaluation's
+// VAL-FUNC value outright (counted in Stats.DeltaSkips); (3) when truths
+// do change, only the dirty subtrees re-evaluate against the plan's
+// per-valuation node-result memo (Stats.DeltaSubtreeEvals).
+//
+// It returns the per-candidate distances and candidate sizes, computed
+// incrementally (equal to Apply(...).Size()). ok is false — and the
+// caller must fall back to DistanceBatch — when cur cannot be planned
+// (e.g. it is not an aggregated expression) or a probe cannot be
+// compiled soundly (newAnn occurs in cur, reserved annotations).
+//
+// Distances are bit-identical to DistanceBatch and, in enumeration mode,
+// to per-candidate Distance calls; per-candidate sums accumulate in
+// valuation order at any Parallelism, and sampling mode draws one shared
+// sample set up front (common random numbers), exactly like
+// DistanceBatch.
+func (e *Estimator) DistanceDelta(p0, cur provenance.Expression, cum provenance.Mapping, base provenance.Groups, cohort [][]provenance.Annotation, newAnn provenance.Annotation) (dists []float64, sizes []int, ok bool) {
+	plan := e.planOf(cur)
+	if plan == nil {
+		return nil, nil, false
+	}
+	probes := make([]*deltaProbe, len(cohort))
+	for i, ms := range cohort {
+		pr := plan.Probe(ms, newAnn)
+		if pr == nil {
+			return nil, nil, false
+		}
+		var flat []provenance.Annotation
+		for _, m := range ms {
+			flat = append(flat, base.Members(m)...)
+		}
+		probes[i] = &deltaProbe{pr: pr, flat: flat}
+	}
+
+	t0 := time.Now()
+	defer func() {
+		e.stats.deltaCalls.Add(1)
+		e.stats.deltaCandidates.Add(uint64(len(cohort)))
+		e.stats.deltaNanos.Add(int64(time.Since(t0)))
+	}()
+
+	out := make([]float64, len(cohort))
+	sizes = make([]int, len(cohort))
+	for i, dp := range probes {
+		sizes[i] = dp.pr.Size
+	}
+	if len(cohort) == 0 {
+		return out, sizes, true
+	}
+	vals := e.batchValuations()
+	if len(vals) == 0 {
+		return out, sizes, true
+	}
+	// Fill the original-expression cache before fanning out so workers
+	// only read it.
+	for _, v := range vals {
+		e.evalOriginal(v, p0)
+	}
+
+	// Alignment metadata. For an aggregated original the result keys are
+	// the same under every valuation, so one evaluation determines which
+	// candidates rename aligned coordinates and whether they need an
+	// AlignResult at all; non-vector results align unconditionally, like
+	// needsAlign.
+	origVec, origIsVec := e.evalOriginal(vals[0], p0).(provenance.Vector)
+	baseNeedsAlign := needsAlign(e.evalOriginal(vals[0], p0), cum)
+	var renamedKeys map[provenance.Annotation]struct{}
+	if origIsVec {
+		renamedKeys = make(map[provenance.Annotation]struct{}, len(origVec))
+		for k := range origVec {
+			if k != "" {
+				renamedKeys[cum.Rename(k)] = struct{}{}
+			}
+		}
+	}
+	for _, dp := range probes {
+		touched := !origIsVec
+		if origIsVec {
+			for _, m := range dp.pr.Members {
+				if _, hit := renamedKeys[m]; hit {
+					touched = true
+					break
+				}
+			}
+		}
+		dp.alignTouched = touched
+		dp.noSkip = dp.pr.RenamesGroup || (origIsVec && touched)
+		if touched {
+			step := provenance.MergeMapping(newAnn, dp.pr.Members...)
+			dp.composed = cum.Compose(step)
+			dp.needsAlign = needsAlign(e.evalOriginal(vals[0], p0), dp.composed)
+		}
+	}
+
+	workers := e.Parallelism
+	if workers > len(cohort) {
+		workers = len(cohort)
+	}
+	if workers <= 1 {
+		e.deltaSweep(p0, cur, cum, base, plan, probes, vals, baseNeedsAlign, out, 0, len(cohort))
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(cohort) / workers
+			hi := (w + 1) * len(cohort) / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				e.deltaSweep(p0, cur, cum, base, plan, probes, vals, baseNeedsAlign, out, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	n := float64(len(vals))
+	for i, total := range out {
+		d := total / n
+		if e.MaxError > 0 {
+			d /= e.MaxError
+			if d > 1 {
+				d = 1
+			}
+		}
+		out[i] = d
+	}
+	return out, sizes, true
+}
+
+// deltaSweep scores probes[lo:hi] against every valuation. Each call
+// owns its scratch and truth memo, so concurrent sweeps over disjoint
+// ranges share only the read-only plan, probes, and prewarmed original
+// cache, plus the atomic counters.
+func (e *Estimator) deltaSweep(p0, cur provenance.Expression, cum provenance.Mapping, base provenance.Groups, plan *provenance.Plan, probes []*deltaProbe, vals []provenance.Valuation, baseNeedsAlign bool, out []float64, lo, hi int) {
+	truths := &deltaTruths{groups: base, phi: e.Phi}
+	scratch := plan.NewScratch()
+	assign := truths.ext
+	var skips, fulls uint64
+	for _, v := range vals {
+		truths.reset(v)
+		orig := e.evalOriginal(v, p0) // cache hit after the prewarm above
+		baseVec := plan.BaseEval(assign, scratch)
+		baseAligned := orig
+		if baseNeedsAlign {
+			baseAligned = cur.AlignResult(orig, cum)
+		}
+		baseVF := 0.0
+		baseVFReady := false
+		for ci := lo; ci < hi; ci++ {
+			dp := probes[ci]
+			mergedN := truths.combine(dp.flat)
+			changed := false
+			for _, m := range dp.pr.Members {
+				if truths.ext(m) != mergedN {
+					changed = true
+					break
+				}
+			}
+			if !changed && !dp.noSkip {
+				if !baseVFReady {
+					baseVF = e.VF.F(v, baseAligned, baseVec)
+					baseVFReady = true
+				}
+				out[ci] += baseVF
+				skips++
+				continue
+			}
+			summ := dp.pr.CandEval(assign, mergedN, baseVec, scratch)
+			aligned := baseAligned
+			if dp.alignTouched {
+				if dp.needsAlign {
+					aligned = cur.AlignResult(orig, dp.composed)
+				} else {
+					aligned = orig
+				}
+			}
+			out[ci] += e.VF.F(v, aligned, summ)
+			fulls++
+			e.stats.evaluations.Add(1)
+		}
+	}
+	e.stats.deltaSkips.Add(skips)
+	e.stats.deltaFullEvals.Add(fulls)
+	e.stats.deltaSubtreeEvals.Add(scratch.SubtreeEvals)
+}

@@ -1,0 +1,276 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// deltaFixture extends batchFixture's pair cohort with merges the delta
+// path must handle beyond plain polynomial renames: a group-coordinate
+// merge, a mixed polynomial+group merge, and a 3-ary merge. It returns
+// the cohort both as member sets (for DistanceDelta) and as materialized
+// BatchCandidates (for the reference paths), in the same order.
+func deltaFixture(n int) (*provenance.Agg, []provenance.Annotation, provenance.Groups, [][]provenance.Annotation, []BatchCandidate) {
+	p0, anns, cands := batchFixture(n)
+	base := provenance.GroupsOf(anns, provenance.NewMapping())
+	var sets [][]provenance.Annotation
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sets = append(sets, []provenance.Annotation{anns[i], anns[j]})
+		}
+	}
+	extras := [][]provenance.Annotation{
+		{"G1", "G2"},
+		{anns[0], "G1"},
+		{anns[1], anns[3], anns[5]},
+	}
+	for _, ms := range extras {
+		h := provenance.MergeMapping("Z", ms...)
+		g := make(provenance.Groups, len(base)+1)
+		for name, members := range base {
+			g[name] = members
+		}
+		var merged []provenance.Annotation
+		for _, m := range ms {
+			merged = append(merged, base.Members(m)...)
+			delete(g, m)
+		}
+		g["Z"] = merged
+		sets = append(sets, ms)
+		cands = append(cands, BatchCandidate{Expr: p0.Apply(h), Cumulative: h, Groups: g})
+	}
+	return p0, anns, base, sets, cands
+}
+
+// TestDistanceDeltaMatchesDistanceAndBatch pins the tentpole's core
+// contract: probe-without-materialize scoring is bit-identical to both a
+// per-candidate Distance call and the DistanceBatch sweep, and the
+// incremental candidate sizes equal Apply(...).Size().
+func TestDistanceDeltaMatchesDistanceAndBatch(t *testing.T) {
+	p0, anns, base, sets, cands := deltaFixture(8)
+	for _, maxErr := range []float64{0, 25} {
+		d := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+		d.MaxError = maxErr
+		got, sizes, ok := d.DistanceDelta(p0, p0, provenance.NewMapping(), base, sets, "Z")
+		if !ok {
+			t.Fatalf("maxErr=%g: DistanceDelta fell back", maxErr)
+		}
+		bref := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+		bref.MaxError = maxErr
+		batch := bref.DistanceBatch(p0, cands)
+		ref := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+		ref.MaxError = maxErr
+		for i, c := range cands {
+			want := ref.Distance(p0, c.Expr, c.Cumulative, c.Groups)
+			if got[i] != want {
+				t.Fatalf("maxErr=%g candidate %d (%v): delta %v != distance %v", maxErr, i, sets[i], got[i], want)
+			}
+			if got[i] != batch[i] {
+				t.Fatalf("maxErr=%g candidate %d (%v): delta %v != batch %v", maxErr, i, sets[i], got[i], batch[i])
+			}
+			if want := c.Expr.Size(); sizes[i] != want {
+				t.Fatalf("candidate %d (%v): incremental size %d != Apply size %d", i, sets[i], sizes[i], want)
+			}
+		}
+	}
+}
+
+// TestDistanceDeltaMidRunMatchesBatch checks the same equivalence on a
+// mid-run step (non-identity cumulative mapping, multi-member base
+// groups) — the regime the delta engine is built for.
+func TestDistanceDeltaMidRunMatchesBatch(t *testing.T) {
+	sc := benchStep(t)
+	d := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	got, sizes, ok := d.DistanceDelta(sc.p0, sc.cur, sc.cum, sc.base, sc.sets, "Z")
+	if !ok {
+		t.Fatal("DistanceDelta fell back on a mid-run step")
+	}
+	bref := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	batch := bref.DistanceBatch(sc.p0, sc.cands)
+	ref := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	for i, c := range sc.cands {
+		want := ref.Distance(sc.p0, c.Expr, c.Cumulative, c.Groups)
+		if got[i] != want {
+			t.Fatalf("candidate %d (%v): delta %v != distance %v", i, sc.sets[i], got[i], want)
+		}
+		if got[i] != batch[i] {
+			t.Fatalf("candidate %d (%v): delta %v != batch %v", i, sc.sets[i], got[i], batch[i])
+		}
+		if want := c.Expr.Size(); sizes[i] != want {
+			t.Fatalf("candidate %d (%v): incremental size %d != Apply size %d", i, sc.sets[i], sizes[i], want)
+		}
+	}
+}
+
+// TestDistanceDeltaParallelBitIdentical: like the batch sweep, the delta
+// sweep partitions candidates across workers while each candidate's sum
+// accumulates in valuation order, so results are byte-identical at any
+// Parallelism.
+func TestDistanceDeltaParallelBitIdentical(t *testing.T) {
+	p0, anns, base, sets, _ := deltaFixture(8)
+	seq := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+	want, _, ok := seq.DistanceDelta(p0, p0, provenance.NewMapping(), base, sets, "Z")
+	if !ok {
+		t.Fatal("DistanceDelta fell back")
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+		par.Parallelism = workers
+		got, _, ok := par.DistanceDelta(p0, p0, provenance.NewMapping(), base, sets, "Z")
+		if !ok {
+			t.Fatalf("parallelism %d: DistanceDelta fell back", workers)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d candidate %d: %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDistanceDeltaSharedSamples: sampling mode draws one shared sample
+// set up front exactly like DistanceBatch, so the same seed produces
+// bitwise-identical distances on both paths, at any Parallelism.
+func TestDistanceDeltaSharedSamples(t *testing.T) {
+	p0, anns, base, sets, cands := deltaFixture(8)
+	want := func() []float64 {
+		e := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+		e.Samples = 5
+		e.Rand = rand.New(rand.NewSource(7))
+		return e.DistanceBatch(p0, cands)
+	}()
+	for _, workers := range []int{1, 4} {
+		e := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+		e.Samples = 5
+		e.Rand = rand.New(rand.NewSource(7))
+		e.Parallelism = workers
+		got, _, ok := e.DistanceDelta(p0, p0, provenance.NewMapping(), base, sets, "Z")
+		if !ok {
+			t.Fatal("DistanceDelta fell back")
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d candidate %d: delta %v != batch %v with same seed", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistanceDeltaStats(t *testing.T) {
+	p0, anns, base, sets, _ := deltaFixture(8)
+	e := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+	_, _, ok := e.DistanceDelta(p0, p0, provenance.NewMapping(), base, sets, "Z")
+	if !ok {
+		t.Fatal("DistanceDelta fell back")
+	}
+	st := e.Stats()
+	if st.DeltaCalls != 1 {
+		t.Fatalf("DeltaCalls = %d, want 1", st.DeltaCalls)
+	}
+	if st.DeltaCandidates != uint64(len(sets)) {
+		t.Fatalf("DeltaCandidates = %d, want %d", st.DeltaCandidates, len(sets))
+	}
+	vals := uint64(len(e.Class.Valuations()))
+	if got, want := st.DeltaSkips+st.DeltaFullEvals, uint64(len(sets))*vals; got != want {
+		t.Fatalf("DeltaSkips+DeltaFullEvals = %d, want %d (every candidate × valuation pair)", got, want)
+	}
+	if st.DeltaSkips == 0 {
+		t.Fatal("expected truth-delta short-circuits on unaffected valuations")
+	}
+	if st.DeltaFullEvals == 0 {
+		t.Fatal("expected full evaluations on truth-changing valuations")
+	}
+	if st.Evaluations != st.DeltaFullEvals {
+		t.Fatalf("Evaluations = %d, want %d (only full evals compute VAL-FUNC summands)", st.Evaluations, st.DeltaFullEvals)
+	}
+	if st.DeltaSubtreeEvals == 0 {
+		t.Fatal("expected subtree re-evaluations to be counted")
+	}
+	if st.DistanceCalls != 0 || st.BatchCalls != 0 {
+		t.Fatalf("DistanceCalls = %d, BatchCalls = %d, want 0 (delta only)", st.DistanceCalls, st.BatchCalls)
+	}
+}
+
+// sliceExpr is an Expression whose dynamic type is non-comparable (slice
+// field). Identity-keyed caches must not compare it — interface
+// comparison of two sliceExpr values panics at runtime.
+type sliceExpr struct {
+	weights []float64
+	anns    []provenance.Annotation
+}
+
+func (s sliceExpr) Size() int                                      { return 1 }
+func (s sliceExpr) Annotations() []provenance.Annotation           { return s.anns }
+func (s sliceExpr) Apply(provenance.Mapping) provenance.Expression { return s }
+func (s sliceExpr) Eval(v provenance.Valuation) provenance.Result {
+	var total float64
+	for i, a := range s.anns {
+		if v.Truth(a) {
+			total += s.weights[i]
+		}
+	}
+	return provenance.Vector{"": total}
+}
+func (s sliceExpr) AlignResult(r provenance.Result, _ provenance.Mapping) provenance.Result {
+	return r
+}
+func (s sliceExpr) String() string { return "sliceExpr" }
+
+// TestDistanceDeltaFallback: expressions that cannot be planned, and
+// probes that cannot be compiled soundly, report ok=false without
+// touching the delta counters, so callers fall back to DistanceBatch.
+func TestDistanceDeltaFallback(t *testing.T) {
+	p0, anns, base, sets, _ := deltaFixture(8)
+	e := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+	opaque := sliceExpr{weights: []float64{1}, anns: anns[:1]}
+	if _, _, ok := e.DistanceDelta(opaque, opaque, provenance.NewMapping(), base, sets, "Z"); ok {
+		t.Fatal("DistanceDelta must fall back on a non-aggregated expression")
+	}
+	// newAnn already occurs in the expression: rewritten tensor keys could
+	// collide with unaffected ones, so the probe refuses to compile.
+	if _, _, ok := e.DistanceDelta(p0, p0, provenance.NewMapping(), base, sets, anns[0]); ok {
+		t.Fatal("DistanceDelta must fall back when newAnn occurs in the expression")
+	}
+	if st := e.Stats(); st.DeltaCalls != 0 || st.DeltaCandidates != 0 {
+		t.Fatalf("fallbacks counted as delta calls: %+v", st)
+	}
+}
+
+// TestEvalOriginalNonComparableExpression is a regression test: the
+// original-expression cache used to compare p0 against its previous key
+// with !=, which panics ("comparing uncomparable type") on the second
+// valuation for any Expression with a non-comparable dynamic type. Such
+// expressions are now evaluated uncached.
+func TestEvalOriginalNonComparableExpression(t *testing.T) {
+	anns := []provenance.Annotation{"a1", "a2"}
+	p0 := sliceExpr{weights: []float64{1, 2}, anns: anns}
+	pc := sliceExpr{weights: []float64{3}, anns: anns[:1]}
+	e := estimator(valuation.NewCancelSingleAnnotation(anns), Euclidean())
+	groups := provenance.GroupsOf(anns, provenance.NewMapping())
+	first := e.Distance(p0, pc, provenance.NewMapping(), groups)
+	second := e.Distance(p0, pc, provenance.NewMapping(), groups)
+	if first != second {
+		t.Fatalf("uncached evaluation not deterministic: %v != %v", first, second)
+	}
+	st := e.Stats()
+	if st.CacheHits != 0 {
+		t.Fatalf("CacheHits = %d, want 0 (non-comparable expressions bypass the cache)", st.CacheHits)
+	}
+	if st.CacheMisses == 0 {
+		t.Fatal("uncached evaluations must still count as cache misses")
+	}
+}
+
+func BenchmarkSummarizeStepScoringDelta(b *testing.B) {
+	sc := benchStep(b)
+	e := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := e.DistanceDelta(sc.p0, sc.cur, sc.cum, sc.base, sc.sets, "Z"); !ok {
+			b.Fatal("DistanceDelta fell back")
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +49,11 @@ type Estimator struct {
 	origCache map[string]provenance.Result
 	cachedFor provenance.Expression
 
+	// plan caches the compiled evaluation plan of the current expression
+	// for DistanceDelta, keyed by expression identity like origCache.
+	plan    *provenance.Plan
+	planFor provenance.Expression
+
 	stats estimatorCounters
 }
 
@@ -67,6 +73,13 @@ type estimatorCounters struct {
 	batchCalls      atomic.Uint64
 	batchCandidates atomic.Uint64
 	batchNanos      atomic.Int64
+
+	deltaCalls        atomic.Uint64
+	deltaCandidates   atomic.Uint64
+	deltaNanos        atomic.Int64
+	deltaSkips        atomic.Uint64
+	deltaSubtreeEvals atomic.Uint64
+	deltaFullEvals    atomic.Uint64
 }
 
 // Stats is a snapshot of the estimator's instrumentation counters: the
@@ -92,6 +105,18 @@ type Stats struct {
 	// the speedup).
 	BatchCalls, BatchCandidates uint64
 	BatchTime                   time.Duration
+	// DeltaCalls counts successful DistanceDelta sweeps, DeltaCandidates
+	// the candidates they scored, and DeltaTime their total wall time.
+	DeltaCalls, DeltaCandidates uint64
+	DeltaTime                   time.Duration
+	// DeltaSkips counts (candidate, valuation) pairs whose merged truth
+	// matched every member's pre-merge truth, so the base evaluation's
+	// VAL-FUNC value was reused outright; DeltaFullEvals counts the pairs
+	// that did need a candidate evaluation (their VAL-FUNC summands are
+	// also in Evaluations); DeltaSubtreeEvals counts the expression nodes
+	// those evaluations recomputed — the rest came from the per-valuation
+	// node-result memo.
+	DeltaSkips, DeltaSubtreeEvals, DeltaFullEvals uint64
 }
 
 // Stats returns a snapshot of the estimator's counters. Counters survive
@@ -109,6 +134,13 @@ func (e *Estimator) Stats() Stats {
 		BatchCalls:      e.stats.batchCalls.Load(),
 		BatchCandidates: e.stats.batchCandidates.Load(),
 		BatchTime:       time.Duration(e.stats.batchNanos.Load()),
+
+		DeltaCalls:        e.stats.deltaCalls.Load(),
+		DeltaCandidates:   e.stats.deltaCandidates.Load(),
+		DeltaTime:         time.Duration(e.stats.deltaNanos.Load()),
+		DeltaSkips:        e.stats.deltaSkips.Load(),
+		DeltaSubtreeEvals: e.stats.deltaSubtreeEvals.Load(),
+		DeltaFullEvals:    e.stats.deltaFullEvals.Load(),
 	}
 }
 
@@ -180,8 +212,30 @@ func (e *Estimator) valFuncAt(v provenance.Valuation, p0, pc provenance.Expressi
 	return e.VF.F(v, aligned, summ)
 }
 
-// evalOriginal evaluates p0 under v with memoization.
+// comparableExpr reports whether an Expression's dynamic type supports
+// interface comparison. Comparing interfaces whose dynamic type is a
+// non-comparable struct (one with slice or map fields, say) panics at
+// runtime, so identity-keyed caches must check this before using an
+// expression as a cache key.
+func comparableExpr(e provenance.Expression) bool {
+	if e == nil {
+		return false
+	}
+	return reflect.TypeOf(e).Comparable()
+}
+
+// evalOriginal evaluates p0 under v with memoization. Expressions of
+// non-comparable dynamic types cannot be identity-checked against the
+// cache key, so they are evaluated uncached instead of panicking on the
+// interface comparison.
 func (e *Estimator) evalOriginal(v provenance.Valuation, p0 provenance.Expression) provenance.Result {
+	if !comparableExpr(p0) {
+		e.stats.cacheMisses.Add(1)
+		return p0.Eval(v)
+	}
+	// Safe even while cachedFor holds a value: only comparable types are
+	// ever stored, and comparing across distinct dynamic types is false
+	// without panicking.
 	if e.cachedFor != p0 {
 		if e.cachedFor != nil {
 			e.stats.cacheResets.Add(1)
@@ -209,6 +263,23 @@ func (e *Estimator) ResetCache() {
 	}
 	e.origCache = nil
 	e.cachedFor = nil
+	e.plan = nil
+	e.planFor = nil
+}
+
+// planOf returns the compiled evaluation plan for cur, cached by
+// expression identity across the calls of one summarization step (a step
+// scores its pair cohort and any k-ary growth rounds against the same
+// cur). Returns nil when cur cannot be planned.
+func (e *Estimator) planOf(cur provenance.Expression) *provenance.Plan {
+	if !comparableExpr(cur) {
+		return provenance.NewPlan(cur)
+	}
+	if e.planFor != cur {
+		e.plan = provenance.NewPlan(cur)
+		e.planFor = cur
+	}
+	return e.plan
 }
 
 // Prewarm fills the original-expression cache with the evaluation of p0

@@ -421,13 +421,14 @@ func Timing(o Options, scales []float64, maxSteps int) (*TimingResult, error) {
 			}
 			if o.TimingFromStats {
 				// Candidate cost from the estimator's own instrumentation.
-				// Batched scoring amortizes one DistanceBatch sweep over
-				// its whole cohort, so the per-candidate figure divides
-				// total scoring wall time (Distance + DistanceBatch) by
-				// total candidates scored (each Distance call scores one).
+				// Cohort scoring amortizes one sweep (DistanceDelta or
+				// DistanceBatch) over all its candidates, so the
+				// per-candidate figure divides total scoring wall time
+				// across all three engines by total candidates scored
+				// (each Distance call scores one).
 				st := est.Stats()
-				if n := st.DistanceCalls + st.BatchCandidates; n > 0 {
-					totalUS := float64(st.DistanceTime.Microseconds() + st.BatchTime.Microseconds())
+				if n := st.DistanceCalls + st.BatchCandidates + st.DeltaCandidates; n > 0 {
+					totalUS := float64(st.DistanceTime.Microseconds() + st.BatchTime.Microseconds() + st.DeltaTime.Microseconds())
 					candUS = append(candUS, totalUS/float64(n))
 				}
 			} else if sum.CandidatesEvaluated > 0 {

@@ -34,10 +34,11 @@ type Options struct {
 	// (distance.Estimator.Stats()) instead of the summarizer's ad-hoc
 	// wall-clock accounting, so the Sec. 6.9 figures and a live server's
 	// /metrics counters can never drift apart. The per-candidate figure
-	// is total scoring wall time (Distance calls plus DistanceBatch
-	// sweeps) divided by total candidates scored (DistanceCalls +
-	// BatchCandidates), so it stays comparable across the candidate-major
-	// and batched scoring paths.
+	// is total scoring wall time (Distance calls plus DistanceBatch and
+	// DistanceDelta sweeps) divided by total candidates scored
+	// (DistanceCalls + BatchCandidates + DeltaCandidates), so it stays
+	// comparable across the candidate-major, batched, and delta scoring
+	// paths.
 	TimingFromStats bool
 }
 

@@ -1,0 +1,551 @@
+package provenance
+
+import "sort"
+
+// This file implements the incremental candidate-evaluation engine: a
+// Plan compiles an aggregated expression once per summarization step into
+// flat node arrays with an annotation→node dependency index, and a Probe
+// compiles the structural delta of one candidate merge (members ↦ fresh
+// annotation) without materializing the candidate expression.
+//
+// Soundness rests on the homomorphism identity Eval(h(p), v') =
+// Eval(p, v'∘h): a candidate h renames only the probed members, so its
+// evaluation equals the shared expression's evaluation with the members'
+// truths substituted by the merged group's φ-truth. The Plan memoizes
+// per-node values of the shared expression per valuation; a Probe marks
+// the subtrees containing member occurrences dirty and re-evaluates only
+// those, reusing every unaffected sibling from the memo.
+
+type nodeKind uint8
+
+const (
+	nodeVar nodeKind = iota
+	nodeConst
+	nodeSum
+	nodeProd
+	nodeCmp
+)
+
+// planNode is one flattened polynomial node. kids index into Plan.nodes;
+// a Cmp node stores its Inner as kids[0].
+type planNode struct {
+	kind  nodeKind
+	ann   Annotation // nodeVar
+	n     int        // nodeConst
+	kids  []int32
+	value float64 // nodeCmp
+	bound float64 // nodeCmp
+	op    CmpOp   // nodeCmp
+}
+
+// planTensor mirrors one tensor of the planned expression with its
+// compiled polynomial root and the Simplify merge key.
+type planTensor struct {
+	root  int32
+	prov  Expr
+	value float64
+	count int
+	group Annotation
+	key   string // prov.Key() + "|" + group, Simplify's merge key
+	size  int    // prov.Size()
+}
+
+// Plan is a compiled evaluation structure over one aggregated expression
+// (*Agg), built once per summarization step and shared read-only by every
+// candidate probe of the step's cohort. All mutable evaluation state
+// lives in PlanScratch, so one Plan serves concurrent evaluators.
+type Plan struct {
+	agg     *Agg
+	nodes   []planNode
+	parent  []int32 // parent[id] is id's parent node, -1 for roots
+	tensors []planTensor
+
+	annVars      map[Annotation][]int32 // annotation → Var node ids
+	annTensors   map[Annotation][]int32 // annotation → ascending tensor ids whose polynomial mentions it
+	groupTensors map[Annotation][]int32 // group → ascending tensor ids
+	anns         map[Annotation]struct{}
+
+	size int
+	bad  bool
+}
+
+// NewPlan compiles e into a Plan. It returns nil when e cannot be planned
+// — it is not an aggregated expression (*Agg), or a polynomial contains
+// an unknown node type — and callers must fall back to full evaluation.
+func NewPlan(e Expression) *Plan {
+	g, ok := e.(*Agg)
+	if !ok || g == nil {
+		return nil
+	}
+	p := &Plan{
+		agg:          g,
+		tensors:      make([]planTensor, len(g.Tensors)),
+		annVars:      make(map[Annotation][]int32),
+		annTensors:   make(map[Annotation][]int32),
+		groupTensors: make(map[Annotation][]int32),
+		anns:         make(map[Annotation]struct{}),
+		size:         g.Size(),
+	}
+	scratch := make(map[Annotation]struct{})
+	for i, t := range g.Tensors {
+		root := p.compile(t.Prov, -1)
+		p.tensors[i] = planTensor{
+			root: root, prov: t.Prov, value: t.Value, count: t.Count,
+			group: t.Group, key: t.Prov.Key() + "|" + string(t.Group), size: t.Prov.Size(),
+		}
+		clear(scratch)
+		t.Prov.CollectAnns(scratch)
+		for a := range scratch {
+			p.annTensors[a] = append(p.annTensors[a], int32(i))
+			p.anns[a] = struct{}{}
+		}
+		p.groupTensors[t.Group] = append(p.groupTensors[t.Group], int32(i))
+		if t.Group != "" {
+			p.anns[t.Group] = struct{}{}
+		}
+	}
+	if p.bad {
+		return nil
+	}
+	return p
+}
+
+// Expr returns the expression the plan was compiled from.
+func (p *Plan) Expr() *Agg { return p.agg }
+
+func (p *Plan) compile(e Expr, parent int32) int32 {
+	id := int32(len(p.nodes))
+	p.nodes = append(p.nodes, planNode{})
+	p.parent = append(p.parent, parent)
+	switch n := e.(type) {
+	case Var:
+		p.nodes[id] = planNode{kind: nodeVar, ann: n.Ann}
+		p.annVars[n.Ann] = append(p.annVars[n.Ann], id)
+	case Const:
+		p.nodes[id] = planNode{kind: nodeConst, n: n.N}
+	case Sum:
+		kids := make([]int32, len(n.Terms))
+		for i, t := range n.Terms {
+			kids[i] = p.compile(t, id)
+		}
+		p.nodes[id] = planNode{kind: nodeSum, kids: kids}
+	case Prod:
+		kids := make([]int32, len(n.Factors))
+		for i, f := range n.Factors {
+			kids[i] = p.compile(f, id)
+		}
+		p.nodes[id] = planNode{kind: nodeProd, kids: kids}
+	case Cmp:
+		kids := []int32{p.compile(n.Inner, id)}
+		p.nodes[id] = planNode{kind: nodeCmp, kids: kids, value: n.Value, bound: n.Bound, op: n.Op}
+	default:
+		p.bad = true
+		p.nodes[id] = planNode{kind: nodeConst}
+	}
+	return id
+}
+
+// PlanScratch holds the per-evaluator mutable state of plan evaluation:
+// the generation-stamped node-value memo of the current valuation and the
+// subtree-evaluation counter. Each concurrent evaluator owns one scratch;
+// the Plan and its Probes stay read-only after construction.
+type PlanScratch struct {
+	vals        []int
+	stamp       []uint32
+	gen         uint32
+	contributed map[Annotation]bool
+
+	// SubtreeEvals counts nodes re-evaluated by substituted (dirty-
+	// subtree) candidate evaluation since the scratch was created.
+	SubtreeEvals uint64
+}
+
+// NewScratch returns a scratch sized for the plan.
+func (p *Plan) NewScratch() *PlanScratch {
+	return &PlanScratch{
+		vals:        make([]int, len(p.nodes)),
+		stamp:       make([]uint32, len(p.nodes)),
+		contributed: make(map[Annotation]bool, len(p.groupTensors)),
+	}
+}
+
+func (s *PlanScratch) begin() {
+	s.gen++
+	if s.gen == 0 { // wraparound: invalidate every stamp explicitly
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// evalNode evaluates node id under assign, memoized per valuation
+// generation. Lazily filled: a Prod short-circuiting at 0 leaves later
+// factors unstamped, and they are computed on demand if a probe needs
+// them.
+func (p *Plan) evalNode(id int32, assign func(Annotation) int, s *PlanScratch) int {
+	if s.stamp[id] == s.gen {
+		return s.vals[id]
+	}
+	nd := &p.nodes[id]
+	var v int
+	switch nd.kind {
+	case nodeVar:
+		v = assign(nd.ann)
+	case nodeConst:
+		v = nd.n
+	case nodeSum:
+		for _, k := range nd.kids {
+			v += p.evalNode(k, assign, s)
+		}
+	case nodeProd:
+		v = 1
+		for _, k := range nd.kids {
+			v *= p.evalNode(k, assign, s)
+			if v == 0 {
+				break
+			}
+		}
+	case nodeCmp:
+		lhs := 0.0
+		if p.evalNode(nd.kids[0], assign, s) != 0 {
+			lhs = nd.value
+		}
+		if nd.op.holds(lhs, nd.bound) {
+			v = 1
+		}
+	}
+	s.vals[id] = v
+	s.stamp[id] = s.gen
+	return v
+}
+
+// BaseEval evaluates the planned expression under assign (the 0/1 truth
+// assignment of the step's extended valuation), starting a new memo
+// generation and filling it as a side effect. The returned vector is
+// op-for-op identical to Agg.Eval: tensors fold in slice order, a group's
+// first nonzero contribution replaces the identity placeholder.
+func (p *Plan) BaseEval(assign func(Annotation) int, s *PlanScratch) Vector {
+	s.begin()
+	clear(s.contributed)
+	vec := make(Vector, len(p.groupTensors))
+	for i := range p.tensors {
+		t := &p.tensors[i]
+		if _, ok := vec[t.group]; !ok {
+			vec[t.group] = p.agg.Agg.Identity()
+		}
+		n := p.evalNode(t.root, assign, s)
+		if n == 0 {
+			continue
+		}
+		contrib := p.agg.Agg.Scale(t.value, n)
+		if s.contributed[t.group] {
+			vec[t.group] = p.agg.Agg.Combine(vec[t.group], contrib)
+		} else {
+			vec[t.group] = contrib
+			s.contributed[t.group] = true
+		}
+	}
+	return vec
+}
+
+// foldEntry is one tensor of an affected coordinate's re-fold: either an
+// unaffected tensor evaluated from the base memo (sub == false) or a
+// rewritten tensor evaluated with member substitution (sub == true).
+// Entries are ordered by the candidate expression's tensor key, so the
+// fold replays the exact combine order of the materialized candidate.
+type foldEntry struct {
+	key   string
+	value float64
+	root  int32
+	sub   bool
+}
+
+type groupFold struct {
+	group   Annotation
+	entries []foldEntry
+}
+
+// Probe is the compiled structural delta of one candidate merge: mapping
+// Members to the fresh annotation NewAnn over the plan's expression. It
+// is read-only after construction and safe for concurrent evaluation
+// with per-evaluator scratches.
+type Probe struct {
+	// Members are the merged (current) annotations; NewAnn the summary
+	// annotation they map to.
+	Members []Annotation
+	NewAnn  Annotation
+	// Size is the candidate expression's provenance size, equal to
+	// expr.Apply(MergeMapping(NewAnn, Members...)).Size() without the
+	// Apply.
+	Size int
+	// RenamesGroup reports whether the merge renames at least one vector
+	// coordinate (some member is a group annotation of the expression).
+	// Such candidates change the result's coordinate space, so they can
+	// never reuse the base evaluation even when no truth changes.
+	RenamesGroup bool
+
+	plan    *Plan
+	dirty   []bool       // per node: lies on a path to a member occurrence
+	removed []Annotation // coordinates that disappear (member groups)
+	folds   []groupFold  // re-fold programs for the affected coordinates
+}
+
+// Probe compiles the candidate that merges members into newAnn. It
+// returns nil when the probe cannot be compiled soundly: newAnn already
+// occurs in the expression (rewritten tensors could merge with existing
+// ones), or a reserved annotation is involved. Callers fall back to
+// materializing the candidate.
+func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
+	if newAnn == "" || newAnn == Zero || newAnn == One {
+		return nil
+	}
+	if _, ok := p.anns[newAnn]; ok {
+		return nil
+	}
+	memberSet := make(map[Annotation]struct{}, len(members))
+	for _, m := range members {
+		if m == Zero || m == One || m == newAnn {
+			return nil
+		}
+		memberSet[m] = struct{}{}
+	}
+
+	// Affected tensors: polynomial mentions a member, or the group is a
+	// member. Ascending tensor ids preserve the expression's tensor order
+	// for value merging below.
+	affectedSet := make(map[int32]struct{})
+	for _, m := range members {
+		for _, tid := range p.annTensors[m] {
+			affectedSet[tid] = struct{}{}
+		}
+		for _, tid := range p.groupTensors[m] {
+			affectedSet[tid] = struct{}{}
+		}
+	}
+	affected := make([]int32, 0, len(affectedSet))
+	for tid := range affectedSet {
+		affected = append(affected, tid)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+	// Rewrite affected tensors through the merge and re-merge them by
+	// Simplify's key, combining values in tensor order — the exact work
+	// Apply + Simplify would do, restricted to the affected tensors. The
+	// representative root evaluates a rewritten tensor's polynomial:
+	// Eval(h(q), v') = Eval(q, v'∘h), and merged duplicates share a key,
+	// hence an EvalNat value.
+	rename := func(a Annotation) Annotation {
+		if _, ok := memberSet[a]; ok {
+			return newAnn
+		}
+		return a
+	}
+	type rewritten struct {
+		root  int32
+		value float64
+		count int
+		group Annotation
+		key   string
+		size  int
+	}
+	var rews []rewritten
+	rewIdx := make(map[string]int)
+	size := p.size
+	for _, tid := range affected {
+		t := &p.tensors[tid]
+		size -= t.size
+		prov := SimplifyExpr(t.prov.MapAnn(rename))
+		if c, ok := prov.(Const); ok && c.N == 0 {
+			continue
+		}
+		group := t.group
+		if group != "" {
+			if _, ok := memberSet[group]; ok {
+				group = newAnn
+			}
+		}
+		key := prov.Key() + "|" + string(group)
+		if i, ok := rewIdx[key]; ok {
+			rews[i].value = p.agg.Agg.Combine(rews[i].value, t.value)
+			rews[i].count += t.count
+		} else {
+			rewIdx[key] = len(rews)
+			rews = append(rews, rewritten{
+				root: t.root, value: t.value, count: t.count,
+				group: group, key: key, size: prov.Size(),
+			})
+		}
+	}
+	for i := range rews {
+		size += rews[i].size
+	}
+
+	// Coordinates that disappear: member groups lose all their tensors to
+	// NewAnn.
+	var removed []Annotation
+	for _, m := range members {
+		if len(p.groupTensors[m]) > 0 {
+			removed = append(removed, m)
+		}
+	}
+
+	// Re-fold programs for every affected coordinate: the unaffected
+	// survivors of the group plus the rewrittens that land in it, sorted
+	// by the candidate's tensor key (the materialized candidate's
+	// per-group combine order).
+	outGroups := make(map[Annotation]struct{})
+	for _, tid := range affected {
+		g := p.tensors[tid].group
+		if _, ok := memberSet[g]; ok && g != "" {
+			continue // coordinate moves to newAnn, covered by its rewrittens
+		}
+		outGroups[g] = struct{}{}
+	}
+	for i := range rews {
+		outGroups[rews[i].group] = struct{}{}
+	}
+	names := make([]Annotation, 0, len(outGroups))
+	for g := range outGroups {
+		names = append(names, g)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	folds := make([]groupFold, 0, len(names))
+	for _, g := range names {
+		var entries []foldEntry
+		if g != newAnn {
+			for _, tid := range p.groupTensors[g] {
+				if _, ok := affectedSet[tid]; ok {
+					continue
+				}
+				t := &p.tensors[tid]
+				entries = append(entries, foldEntry{key: t.key, value: t.value, root: t.root})
+			}
+		}
+		for i := range rews {
+			if rews[i].group == g {
+				entries = append(entries, foldEntry{key: rews[i].key, value: rews[i].value, root: rews[i].root, sub: true})
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+		folds = append(folds, groupFold{group: g, entries: entries})
+	}
+
+	// Dirty marking: every node on a path from a member occurrence to its
+	// tensor root is re-evaluated under substitution; everything else
+	// reads the base memo.
+	dirty := make([]bool, len(p.nodes))
+	for _, m := range members {
+		for _, id := range p.annVars[m] {
+			for n := id; n != -1 && !dirty[n]; n = p.parent[n] {
+				dirty[n] = true
+			}
+		}
+	}
+
+	renamesGroup := false
+	for _, m := range members {
+		if len(p.groupTensors[m]) > 0 {
+			renamesGroup = true
+			break
+		}
+	}
+
+	return &Probe{
+		Members:      append([]Annotation(nil), members...),
+		NewAnn:       newAnn,
+		Size:         size,
+		RenamesGroup: renamesGroup,
+		plan:         p,
+		dirty:        dirty,
+		removed:      removed,
+		folds:        folds,
+	}
+}
+
+// evalSub evaluates node id with every member occurrence substituted by
+// mergedN (the merged group's φ-truth). Non-dirty subtrees read the base
+// memo; dirty nodes are recomputed and counted in s.SubtreeEvals.
+func (pr *Probe) evalSub(id int32, assign func(Annotation) int, mergedN int, s *PlanScratch) int {
+	if !pr.dirty[id] {
+		return pr.plan.evalNode(id, assign, s)
+	}
+	s.SubtreeEvals++
+	nd := &pr.plan.nodes[id]
+	switch nd.kind {
+	case nodeVar:
+		// A dirty Var is a member occurrence: it evaluates to the merged
+		// group's truth.
+		return mergedN
+	case nodeConst:
+		return nd.n
+	case nodeSum:
+		v := 0
+		for _, k := range nd.kids {
+			v += pr.evalSub(k, assign, mergedN, s)
+		}
+		return v
+	case nodeProd:
+		v := 1
+		for _, k := range nd.kids {
+			v *= pr.evalSub(k, assign, mergedN, s)
+			if v == 0 {
+				return 0
+			}
+		}
+		return v
+	case nodeCmp:
+		lhs := 0.0
+		if pr.evalSub(nd.kids[0], assign, mergedN, s) != 0 {
+			lhs = nd.value
+		}
+		if nd.op.holds(lhs, nd.bound) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// CandEval returns the candidate expression's evaluation vector under the
+// candidate's extended valuation, without materializing the candidate:
+// unaffected coordinates are copied from base (the plan's BaseEval for
+// the same valuation, whose memo must still be current in s), removed
+// coordinates are dropped, and affected coordinates are re-folded with
+// only the dirty subtrees re-evaluated. assign must be the assignment
+// base was computed with; mergedN is the merged group's φ-truth.
+func (pr *Probe) CandEval(assign func(Annotation) int, mergedN int, base Vector, s *PlanScratch) Vector {
+	out := make(Vector, len(base)+1)
+	for k, v := range base {
+		out[k] = v
+	}
+	for _, g := range pr.removed {
+		delete(out, g)
+	}
+	agg := pr.plan.agg.Agg
+	for fi := range pr.folds {
+		f := &pr.folds[fi]
+		acc := agg.Identity()
+		contributed := false
+		for i := range f.entries {
+			en := &f.entries[i]
+			var n int
+			if en.sub {
+				n = pr.evalSub(en.root, assign, mergedN, s)
+			} else {
+				n = pr.plan.evalNode(en.root, assign, s)
+			}
+			if n == 0 {
+				continue
+			}
+			contrib := agg.Scale(en.value, n)
+			if contributed {
+				acc = agg.Combine(acc, contrib)
+			} else {
+				acc = contrib
+				contributed = true
+			}
+		}
+		out[f.group] = acc
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package provenance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// planFixture is a small aggregation exercising every polynomial node
+// kind, group annotations that also occur inside polynomials (as in the
+// MovieLens encoding), a shared-polynomial merge opportunity, and a
+// scalar ("") coordinate.
+func planFixture(kind AggKind) *Agg {
+	return NewAgg(kind,
+		Tensor{Prov: P("u1", "m1"), Value: 3, Count: 1, Group: "m1"},
+		Tensor{Prov: P("u2", "m1"), Value: 5, Count: 1, Group: "m1"},
+		Tensor{Prov: P("u1", "m2"), Value: 2, Count: 1, Group: "m2"},
+		Tensor{Prov: Sum{Terms: []Expr{V("u2"), V("u3")}}, Value: 4, Count: 1, Group: "m2"},
+		Tensor{Prov: Cmp{Inner: P("u3", "m2"), Value: 4, Op: OpGE, Bound: 3}, Value: 1, Count: 1, Group: "m1"},
+		Tensor{Prov: V("u3"), Value: 7, Count: 1, Group: ""},
+	)
+}
+
+var planAnns = []Annotation{"u1", "u2", "u3", "m1", "m2"}
+
+// planValuation enumerates truth assignments over planAnns by bitmask.
+func planValuation(mask int) Valuation {
+	assign := make(map[Annotation]bool, len(planAnns))
+	for i, a := range planAnns {
+		assign[a] = mask&(1<<i) != 0
+	}
+	return MapValuation{Assign: assign, Default: true, Label: fmt.Sprintf("mask%d", mask)}
+}
+
+func truthAssign(v Valuation) func(Annotation) int {
+	return func(a Annotation) int {
+		if v.Truth(a) {
+			return 1
+		}
+		return 0
+	}
+}
+
+func vecEqual(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || bv != av {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlanBaseEvalMatchesEval(t *testing.T) {
+	for _, kind := range []AggKind{AggSum, AggMax, AggMin, AggCount} {
+		cur := planFixture(kind)
+		plan := NewPlan(cur)
+		if plan == nil {
+			t.Fatalf("%v: NewPlan returned nil for an *Agg", kind)
+		}
+		s := plan.NewScratch()
+		for mask := 0; mask < 1<<len(planAnns); mask++ {
+			v := planValuation(mask)
+			got := plan.BaseEval(truthAssign(v), s)
+			want := cur.Eval(v).(Vector)
+			if !vecEqual(got, want) {
+				t.Fatalf("%v mask %d: BaseEval %v != Eval %v", kind, mask, got, want)
+			}
+		}
+	}
+}
+
+// TestProbeMatchesApply pins the probe-without-materialize contract: for
+// every candidate merge, the probe's incremental size equals
+// Apply(...).Size() and CandEval is exactly Apply(...).Eval under the
+// candidate's extended valuation — for every aggregation monoid, both
+// combiners, and every valuation of the domain.
+func TestProbeMatchesApply(t *testing.T) {
+	cohort := [][]Annotation{
+		{"u1", "u2"},       // polynomial-only merge
+		{"u1", "u3"},       // merge creating duplicate polynomials
+		{"m1", "m2"},       // group rename (coordinates merge)
+		{"u2", "m1"},       // mixed: polynomial member + group member
+		{"u1", "u2", "u3"}, // 3-ary merge (MergeArity > 2)
+	}
+	for _, kind := range []AggKind{AggSum, AggMax, AggMin, AggCount} {
+		cur := planFixture(kind)
+		plan := NewPlan(cur)
+		s := plan.NewScratch()
+		for _, phi := range []Combiner{CombineOr, CombineAnd} {
+			for _, ms := range cohort {
+				pr := plan.Probe(ms, "Z")
+				if pr == nil {
+					t.Fatalf("%v φ=%s probe %v: unexpected nil", kind, phi.Name(), ms)
+				}
+				step := MergeMapping("Z", ms...)
+				want := cur.Apply(step).(*Agg)
+				if pr.Size != want.Size() {
+					t.Fatalf("%v probe %v: incremental size %d != Apply size %d", kind, ms, pr.Size, want.Size())
+				}
+				for mask := 0; mask < 1<<len(planAnns); mask++ {
+					v := planValuation(mask)
+					ext := ExtendValuation(v, Groups{"Z": ms}, phi)
+					truths := make([]bool, len(ms))
+					for i, m := range ms {
+						truths[i] = v.Truth(m)
+					}
+					mergedN := 0
+					if phi.Combine(truths) {
+						mergedN = 1
+					}
+					base := plan.BaseEval(truthAssign(v), s)
+					got := pr.CandEval(truthAssign(v), mergedN, base, s)
+					wantVec := want.Eval(ext).(Vector)
+					if !vecEqual(got, wantVec) {
+						t.Fatalf("%v φ=%s probe %v mask %d:\n CandEval %v\n Eval     %v",
+							kind, phi.Name(), ms, mask, got, wantVec)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbeMatchesApplyMidRun exercises a probe over an expression that
+// is itself a summary (non-singleton base groups): the assignment fed to
+// the plan is the step's extended valuation, exactly as the distance
+// layer uses it mid-run.
+func TestProbeMatchesApplyMidRun(t *testing.T) {
+	p0 := planFixture(AggSum)
+	cum := MappingOf(map[Annotation]Annotation{"u1": "S1", "u2": "S1", "u3": "S2"})
+	cur := p0.Apply(cum).(*Agg)
+	base := GroupsOf(p0.Annotations(), cum)
+	plan := NewPlan(cur)
+	s := plan.NewScratch()
+	for _, ms := range [][]Annotation{{"S1", "S2"}, {"S1", "m1"}, {"m1", "m2"}} {
+		pr := plan.Probe(ms, "Z")
+		if pr == nil {
+			t.Fatalf("probe %v: unexpected nil", ms)
+		}
+		step := MergeMapping("Z", ms...)
+		want := cur.Apply(step).(*Agg)
+		if pr.Size != want.Size() {
+			t.Fatalf("probe %v: incremental size %d != Apply size %d", ms, pr.Size, want.Size())
+		}
+		candGroups := make(Groups, len(base)+1)
+		var merged []Annotation
+		for name, members := range base {
+			candGroups[name] = members
+		}
+		for _, m := range ms {
+			merged = append(merged, base.Members(m)...)
+			delete(candGroups, m)
+		}
+		candGroups["Z"] = merged
+		for mask := 0; mask < 1<<len(planAnns); mask++ {
+			v := planValuation(mask)
+			baseExt := ExtendValuation(v, base, CombineOr)
+			candExt := ExtendValuation(v, candGroups, CombineOr)
+			truths := make([]bool, len(merged))
+			for i, m := range merged {
+				truths[i] = v.Truth(m)
+			}
+			mergedN := 0
+			if CombineOr.Combine(truths) {
+				mergedN = 1
+			}
+			baseVec := plan.BaseEval(truthAssign(baseExt), s)
+			if !vecEqual(baseVec, cur.Eval(baseExt).(Vector)) {
+				t.Fatalf("probe %v mask %d: BaseEval disagrees with Eval", ms, mask)
+			}
+			got := pr.CandEval(truthAssign(baseExt), mergedN, baseVec, s)
+			wantVec := want.Eval(candExt).(Vector)
+			if !vecEqual(got, wantVec) {
+				t.Fatalf("probe %v mask %d:\n CandEval %v\n Eval     %v", ms, mask, got, wantVec)
+			}
+		}
+	}
+}
+
+func TestProbeSubtreeEvalsCounted(t *testing.T) {
+	cur := planFixture(AggSum)
+	plan := NewPlan(cur)
+	s := plan.NewScratch()
+	v := planValuation(0x1f) // all true
+	base := plan.BaseEval(truthAssign(v), s)
+	pr := plan.Probe([]Annotation{"u1", "u2"}, "Z")
+	before := s.SubtreeEvals
+	pr.CandEval(truthAssign(v), 1, base, s)
+	if s.SubtreeEvals <= before {
+		t.Fatal("substituted evaluation did not count any subtree node")
+	}
+}
+
+type opaqueExpression struct{}
+
+func (opaqueExpression) Size() int                              { return 1 }
+func (opaqueExpression) Annotations() []Annotation              { return nil }
+func (opaqueExpression) Apply(Mapping) Expression               { return opaqueExpression{} }
+func (opaqueExpression) Eval(Valuation) Result                  { return Scalar(0) }
+func (opaqueExpression) AlignResult(r Result, _ Mapping) Result { return r }
+func (opaqueExpression) String() string                         { return "opaque" }
+
+func TestPlanUnsupported(t *testing.T) {
+	if NewPlan(opaqueExpression{}) != nil {
+		t.Fatal("NewPlan must reject non-Agg expressions")
+	}
+	if NewPlan((*Agg)(nil)) != nil {
+		t.Fatal("NewPlan must reject a nil *Agg")
+	}
+	plan := NewPlan(planFixture(AggSum))
+	if plan.Probe([]Annotation{"u1", "u2"}, "m1") != nil {
+		t.Fatal("Probe must reject a summary name already present in the expression")
+	}
+	if plan.Probe([]Annotation{"u1", "u2"}, Zero) != nil {
+		t.Fatal("Probe must reject the reserved Zero annotation")
+	}
+	if plan.Probe([]Annotation{"u1", One}, "Z") != nil {
+		t.Fatal("Probe must reject reserved member annotations")
+	}
+}

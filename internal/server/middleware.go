@@ -28,6 +28,13 @@ type metrics struct {
 	estBatchCalls *obs.Counter
 	estBatchCands *obs.Counter
 	estBatchSecs  *obs.Counter
+
+	estDeltaCalls   *obs.Counter
+	estDeltaCands   *obs.Counter
+	estDeltaSecs    *obs.Counter
+	estDeltaSkips   *obs.Counter
+	estDeltaSubtree *obs.Counter
+	estDeltaFull    *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -48,6 +55,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 		estBatchCalls: reg.Counter("prox_estimator_batch_calls_total", "Estimator DistanceBatch invocations (valuation-major sweeps).", nil),
 		estBatchCands: reg.Counter("prox_estimator_batch_candidates_total", "Candidates scored by DistanceBatch sweeps.", nil),
 		estBatchSecs:  reg.Counter("prox_estimator_batch_seconds_total", "Total wall time inside DistanceBatch sweeps.", nil),
+
+		estDeltaCalls:   reg.Counter("prox_estimator_delta_calls_total", "Estimator DistanceDelta invocations (incremental cohort sweeps).", nil),
+		estDeltaCands:   reg.Counter("prox_estimator_delta_candidates_total", "Candidates scored by DistanceDelta sweeps.", nil),
+		estDeltaSecs:    reg.Counter("prox_estimator_delta_seconds_total", "Total wall time inside DistanceDelta sweeps.", nil),
+		estDeltaSkips:   reg.Counter("prox_estimator_delta_skips_total", "Candidate-valuation pairs short-circuited by the truth-delta check (base VAL-FUNC value reused).", nil),
+		estDeltaSubtree: reg.Counter("prox_estimator_delta_subtree_evals_total", "Expression nodes recomputed by dirty-subtree candidate evaluations.", nil),
+		estDeltaFull:    reg.Counter("prox_estimator_delta_full_evals_total", "Candidate-valuation pairs that needed a candidate evaluation (not short-circuited).", nil),
 	}
 }
 

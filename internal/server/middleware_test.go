@@ -108,6 +108,12 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if hits <= 0 {
 		t.Fatalf("estimator cache hits = %g, want > 0 after a multi-step summarize", hits)
 	}
+	if calls := metricValue(t, out, "prox_estimator_delta_calls_total"); calls <= 0 {
+		t.Fatalf("delta calls = %g, want > 0 (delta scoring is the default path)", calls)
+	}
+	if skips := metricValue(t, out, "prox_estimator_delta_skips_total"); skips <= 0 {
+		t.Fatalf("delta skips = %g, want > 0 (truth-delta short-circuit must fire on MovieLens)", skips)
+	}
 	steps := metricValue(t, out, "prox_summarize_steps_total")
 	if int(steps) != len(sum.Steps) {
 		t.Fatalf("steps counter = %g, summary has %d steps", steps, len(sum.Steps))

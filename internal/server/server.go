@@ -467,6 +467,12 @@ func (s *Server) recordSummarize(sum *core.Summary, est *distance.Estimator) {
 	s.met.estBatchCalls.Add(float64(st.BatchCalls))
 	s.met.estBatchCands.Add(float64(st.BatchCandidates))
 	s.met.estBatchSecs.Add(st.BatchTime.Seconds())
+	s.met.estDeltaCalls.Add(float64(st.DeltaCalls))
+	s.met.estDeltaCands.Add(float64(st.DeltaCandidates))
+	s.met.estDeltaSecs.Add(st.DeltaTime.Seconds())
+	s.met.estDeltaSkips.Add(float64(st.DeltaSkips))
+	s.met.estDeltaSubtree.Add(float64(st.DeltaSubtreeEvals))
+	s.met.estDeltaFull.Add(float64(st.DeltaFullEvals))
 }
 
 // estimatorFor builds the estimator over the selection's annotations,
