@@ -1,14 +1,20 @@
 // Command prox-server runs the PROX web system of Ch. 7: the selection,
 // summarization and provisioning services with the embedded web UI, over
-// a synthetic MovieLens workload. The server exposes Prometheus metrics
-// on /metrics, optionally the net/http/pprof profiling handlers on
-// /debug/pprof (behind -pprof), and drains gracefully on SIGINT/SIGTERM.
+// a synthetic MovieLens workload. Summarization runs as jobs on a
+// bounded worker pool (-workers/-queue); with -data-dir set, sessions,
+// job states and checkpoints are journaled to disk and a restarted
+// process resumes interrupted jobs from their latest checkpoint. The
+// server exposes Prometheus metrics on /metrics, optionally the
+// net/http/pprof profiling handlers on /debug/pprof (behind -pprof),
+// and drains gracefully on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	prox-server [-addr :8080] [-users 24] [-movies 8] [-seed 1]
 //	            [-max-sessions 1024] [-log-level info] [-pprof]
 //	            [-shutdown-timeout 10s]
+//	            [-workers 2] [-queue 32]
+//	            [-data-dir DIR] [-checkpoint-every 8]
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -34,10 +41,14 @@ func main() {
 	users := flag.Int("users", 24, "number of MovieLens users")
 	movies := flag.Int("movies", 8, "number of MovieLens movies")
 	seed := flag.Int64("seed", 1, "dataset generation seed")
-	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "in-memory session cap (oldest evicted first)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "in-memory session cap (oldest idle evicted first)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers on /debug/pprof")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+	workers := flag.Int("workers", 2, "summarization worker-pool size")
+	queue := flag.Int("queue", 32, "job queue capacity (excess submissions get 429)")
+	dataDir := flag.String("data-dir", "", "durability directory (empty: in-memory only)")
+	checkpointEvery := flag.Int("checkpoint-every", 8, "checkpoint running jobs every K merge steps (needs -data-dir)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -52,10 +63,31 @@ func main() {
 	cfg.Movies = *movies
 	w := datasets.MovieLens(cfg, rand.New(rand.NewSource(*seed)))
 
-	s := server.New(w,
+	reg := obs.NewRegistry()
+	opts := []server.Option{
+		server.WithRegistry(reg),
 		server.WithLogger(log),
 		server.WithMaxSessions(*maxSessions),
-	)
+		server.WithWorkers(*workers),
+		server.WithQueueSize(*queue),
+		server.WithCheckpointEvery(*checkpointEvery),
+	}
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(*dataDir, store.Options{Observer: server.NewStoreObserver(reg)})
+		if err != nil {
+			log.Error("opening data dir failed", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		opts = append(opts, server.WithStore(st))
+		log.Info("durability enabled", "dir", *dataDir, "checkpoint_every", *checkpointEvery)
+	}
+
+	s, err := server.New(w, opts...)
+	if err != nil {
+		log.Error("server startup failed", "err", err)
+		os.Exit(1)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
@@ -104,6 +136,20 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Error("server error during drain", "err", err)
 			os.Exit(1)
+		}
+		// Stop the worker pool: running jobs are interrupted but NOT
+		// journaled as terminal, so a persistent store requeues them (from
+		// their latest checkpoint) on the next start.
+		if err := s.Shutdown(shutCtx); err != nil {
+			log.Warn("job drain incomplete", "err", err)
+		}
+		if st != nil {
+			if err := st.Compact(); err != nil {
+				log.Warn("store compaction failed", "err", err)
+			}
+			if err := st.Close(); err != nil {
+				log.Warn("store close failed", "err", err)
+			}
 		}
 		log.Info("drained cleanly", "after", time.Since(start))
 	}

@@ -214,6 +214,42 @@ type bundleJSON struct {
 // version is the bundle format version.
 const version = 1
 
+// encodeAgg converts an aggregated expression to its JSON shape; it is
+// shared by bundle saving and the WAL session records.
+func encodeAgg(a *provenance.Agg) (*aggJSON, error) {
+	enc := &aggJSON{Agg: a.Agg.Kind.String()}
+	for _, t := range a.Tensors {
+		p, err := encodeExpr(t.Prov)
+		if err != nil {
+			return nil, err
+		}
+		enc.Tensors = append(enc.Tensors, tensorJSON{
+			Prov: p, Value: t.Value, Count: t.Count, Group: string(t.Group),
+		})
+	}
+	return enc, nil
+}
+
+// decodeAgg is the inverse of encodeAgg.
+func decodeAgg(j *aggJSON) (*provenance.Agg, error) {
+	kind, err := provenance.ParseAggKind(j.Agg)
+	if err != nil {
+		return nil, err
+	}
+	tensors := make([]provenance.Tensor, len(j.Tensors))
+	for i, t := range j.Tensors {
+		p, err := decodeExpr(t.Prov)
+		if err != nil {
+			return nil, err
+		}
+		tensors[i] = provenance.Tensor{
+			Prov: p, Value: t.Value, Count: t.Count,
+			Group: provenance.Annotation(t.Group),
+		}
+	}
+	return provenance.NewAgg(kind, tensors...), nil
+}
+
 // Save writes the bundle as JSON.
 func Save(w io.Writer, b *Bundle) error {
 	if (b.Agg == nil) == (b.DDP == nil) {
@@ -221,15 +257,9 @@ func Save(w io.Writer, b *Bundle) error {
 	}
 	out := bundleJSON{Version: version, Name: b.Name}
 	if b.Agg != nil {
-		enc := &aggJSON{Agg: b.Agg.Agg.Kind.String()}
-		for _, t := range b.Agg.Tensors {
-			p, err := encodeExpr(t.Prov)
-			if err != nil {
-				return err
-			}
-			enc.Tensors = append(enc.Tensors, tensorJSON{
-				Prov: p, Value: t.Value, Count: t.Count, Group: string(t.Group),
-			})
+		enc, err := encodeAgg(b.Agg)
+		if err != nil {
+			return err
 		}
 		out.Agg = enc
 	}
@@ -291,22 +321,11 @@ func Load(r io.Reader) (*Bundle, error) {
 	}
 	b := &Bundle{Name: in.Name}
 	if in.Agg != nil {
-		kind, err := provenance.ParseAggKind(in.Agg.Agg)
+		agg, err := decodeAgg(in.Agg)
 		if err != nil {
 			return nil, err
 		}
-		tensors := make([]provenance.Tensor, len(in.Agg.Tensors))
-		for i, t := range in.Agg.Tensors {
-			p, err := decodeExpr(t.Prov)
-			if err != nil {
-				return nil, err
-			}
-			tensors[i] = provenance.Tensor{
-				Prov: p, Value: t.Value, Count: t.Count,
-				Group: provenance.Annotation(t.Group),
-			}
-		}
-		b.Agg = provenance.NewAgg(kind, tensors...)
+		b.Agg = agg
 	}
 	if in.DDP != nil {
 		execs := make([]ddp.Execution, len(in.DDP.Execs))

@@ -30,3 +30,86 @@ func FuzzLoad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeRecord exercises the durable-state record decoder against
+// arbitrary payloads: it must either fail cleanly or produce a record
+// that re-encodes and decodes to the same bytes.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(`{"seq":1,"sessionDrop":{"id":"s1"}}`)
+	f.Add(`{"seq":2,"session":{"id":"s1","agg":{"agg":"MAX","tensors":[{"prov":{"var":"U1"},"value":3,"count":1,"group":"MP"}]},"universe":[{"ann":"U1","table":"users","attrs":{"g":"F"}}]}}`)
+	f.Add(`{"seq":3,"job":{"id":"j1","sessionId":"s1","state":"queued","params":{"wDist":0.7,"wSize":0.3,"steps":6,"class":"cancel-single"}}}`)
+	f.Add(`{"seq":4,"checkpoint":{"jobId":"j1","step":1,"steps":[{"members":["a","b"],"new":"ab","score":0.4,"dist":0.1,"size":3}],"initDist":0.05,"randState":123}}`)
+	f.Add(`{"seq":5,"summary":{"sessionId":"s1","class":"cancel-single","steps":[{"members":["a","b"],"new":"ab"}],"dist":0.1,"stopReason":"max-steps"}}`)
+	f.Add(`{"seq":6}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		rec, err := DecodeRecord([]byte(input))
+		if err != nil {
+			return // clean failure
+		}
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decoded record failed to encode: %v", err)
+		}
+		rec2, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, data)
+		}
+		data2, err := EncodeRecord(rec2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("record not stable:\n%s\n%s", data, data2)
+		}
+	})
+}
+
+// FuzzReplayFrames exercises the frame replayer against arbitrary bytes:
+// it must never panic or error (arbitrary corruption is a discarded
+// tail, never a failure), the valid prefix must not exceed the input,
+// and truncating to the valid prefix must replay identically — the
+// invariant the store relies on to truncate-and-append after a crash.
+func FuzzReplayFrames(f *testing.F) {
+	var seed bytes.Buffer
+	for _, payload := range [][]byte{[]byte(`{"seq":1,"sessionDrop":{"id":"s1"}}`), []byte("x"), {}} {
+		if _, err := AppendFrame(&seed, payload); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:seed.Len()-3]) // torn tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		var payloads [][]byte
+		valid, err := ReplayFrames(bytes.NewReader(input), func(p []byte) error {
+			payloads = append(payloads, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay of arbitrary bytes must not error: %v", err)
+		}
+		if valid < 0 || valid > int64(len(input)) {
+			t.Fatalf("valid = %d out of range [0, %d]", valid, len(input))
+		}
+		// Replaying the valid prefix alone must yield the same payloads
+		// and consume the whole prefix.
+		var again [][]byte
+		valid2, err := ReplayFrames(bytes.NewReader(input[:valid]), func(p []byte) error {
+			again = append(again, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil || valid2 != valid {
+			t.Fatalf("prefix replay: valid = %d, err = %v; want %d, nil", valid2, err, valid)
+		}
+		if len(again) != len(payloads) {
+			t.Fatalf("prefix replay yielded %d payloads, want %d", len(again), len(payloads))
+		}
+		for i := range payloads {
+			if !bytes.Equal(again[i], payloads[i]) {
+				t.Fatalf("payload %d differs between replays", i)
+			}
+		}
+	})
+}

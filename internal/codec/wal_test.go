@@ -1,0 +1,289 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/provenance"
+)
+
+// sampleRecords covers every variant of the tagged union, including an
+// expression-carrying session record.
+func sampleRecords(t *testing.T) []*Record {
+	t.Helper()
+	agg := provenance.NewAgg(provenance.AggMax,
+		provenance.Tensor{
+			Prov: provenance.Prod{Factors: []provenance.Expr{
+				provenance.V("U1"),
+				provenance.Cmp{Inner: provenance.P("S1", "U1"), Value: 5, Op: provenance.OpGT, Bound: 2},
+			}},
+			Value: 3, Count: 1, Group: "MP",
+		},
+		provenance.Tensor{Prov: provenance.V("U2"), Value: 5, Count: 2, Group: "MP"},
+	)
+	randState := uint64(0xdeadbeefcafe)
+	return []*Record{
+		{Seq: 1, Session: &SessionRecord{
+			ID:   "s1",
+			Prov: agg,
+			Universe: []UniverseEntry{
+				{Ann: "U1", Table: "users", Attrs: map[string]string{"gender": "F"}},
+				{Ann: "U2", Table: "users"},
+			},
+		}},
+		{Seq: 2, Job: &JobRecord{
+			ID: "j1", SessionID: "s1", State: "queued",
+			Params:      JobParams{WDist: 0.7, WSize: 0.3, Steps: 6, Class: "cancel-single", TimeoutMS: 5000},
+			SubmittedMS: 1722800000000,
+		}},
+		{Seq: 3, Checkpoint: &CheckpointRecord{
+			JobID: "j1",
+			Checkpoint: &core.Checkpoint{
+				Step: 1,
+				Steps: []core.Step{{
+					A: "U1", B: "U2",
+					Members: []provenance.Annotation{"U1", "U2"},
+					New:     "users:gender", Score: 0.42, Dist: 0.1, Size: 3,
+				}},
+				InitDist:  0.05,
+				RandState: &randState,
+			},
+		}},
+		{Seq: 4, Summary: &SummaryRecord{
+			SessionID: "s1", Class: "cancel-single",
+			Steps: []StepRecord{{
+				Members: []string{"U1", "U2"}, New: "users:gender",
+				Score: 0.42, Dist: 0.1, Size: 3,
+			}},
+			Dist: 0.1, StopReason: "max-steps",
+		}},
+		{Seq: 5, SessionDrop: &SessionDropRecord{ID: "s1"}},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, rec := range sampleRecords(t) {
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("encode seq %d: %v", rec.Seq, err)
+		}
+		got, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatalf("decode seq %d: %v", rec.Seq, err)
+		}
+		data2, err := EncodeRecord(got)
+		if err != nil {
+			t.Fatalf("re-encode seq %d: %v", rec.Seq, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("seq %d not stable under round-trip:\n%s\n%s", rec.Seq, data, data2)
+		}
+	}
+}
+
+func TestRecordVariantValidation(t *testing.T) {
+	if _, err := EncodeRecord(&Record{Seq: 1}); err == nil {
+		t.Fatal("empty record must not encode")
+	}
+	if _, err := EncodeRecord(&Record{
+		Seq:         1,
+		SessionDrop: &SessionDropRecord{ID: "a"},
+		Job:         &JobRecord{ID: "j"},
+	}); err == nil {
+		t.Fatal("two-variant record must not encode")
+	}
+	if _, err := DecodeRecord([]byte(`{"seq":1}`)); err == nil {
+		t.Fatal("variant-less payload must not decode")
+	}
+	if _, err := DecodeRecord([]byte(`{"seq":1,"sessionDrop":{"id":"a"},"job":{"id":"j"}}`)); err == nil {
+		t.Fatal("two-variant payload must not decode")
+	}
+}
+
+func TestCheckpointRecordValidation(t *testing.T) {
+	// Step/trace mismatch is rejected.
+	if _, err := DecodeRecord([]byte(`{"seq":1,"checkpoint":{"jobId":"j","step":2,"steps":[],"initDist":0}}`)); err == nil {
+		t.Fatal("step/trace length mismatch must not decode")
+	}
+	// A step with fewer than two members cannot be a merge.
+	if _, err := DecodeRecord([]byte(`{"seq":1,"checkpoint":{"jobId":"j","step":1,"steps":[{"members":["a"],"new":"x"}],"initDist":0}}`)); err == nil {
+		t.Fatal("single-member step must not decode")
+	}
+}
+
+func TestStepsRoundTrip(t *testing.T) {
+	steps := []core.Step{
+		{A: "a", B: "b", Members: []provenance.Annotation{"a", "b"}, New: "ab", Score: 1.5, Dist: 0.25, Size: 4},
+		{A: "ab", B: "c", Members: []provenance.Annotation{"ab", "c", "d"}, New: "abcd", Score: 0.5, Dist: 0.125, Size: 2},
+	}
+	back, err := StepsToCore(StepsFromCore(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(steps) {
+		t.Fatalf("got %d steps, want %d", len(back), len(steps))
+	}
+	for i := range steps {
+		a, b := steps[i], back[i]
+		if a.A != b.A || a.B != b.B || a.New != b.New || a.Score != b.Score || a.Dist != b.Dist || a.Size != b.Size || len(a.Members) != len(b.Members) {
+			t.Fatalf("step %d changed: %+v -> %+v", i, a, b)
+		}
+	}
+}
+
+// TestReplayLog pins the happy path: every appended record comes back in
+// order, and the reported valid length is the whole stream.
+func TestReplayLog(t *testing.T) {
+	recs := sampleRecords(t)
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		if _, err := AppendRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := int64(buf.Len())
+
+	var seqs []uint64
+	valid, err := ReplayRecords(bytes.NewReader(buf.Bytes()), func(r *Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != total {
+		t.Fatalf("valid = %d, want full stream %d", valid, total)
+	}
+	if len(seqs) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(seqs), len(recs))
+	}
+	for i, s := range seqs {
+		if s != recs[i].Seq {
+			t.Fatalf("record %d has seq %d, want %d", i, s, recs[i].Seq)
+		}
+	}
+}
+
+// TestReplayTornTail pins the crash-tolerance contract: truncating the
+// stream at every possible byte offset must never error or panic, and
+// must replay exactly the records that fit whole before the cut.
+func TestReplayTornTail(t *testing.T) {
+	recs := sampleRecords(t)
+	var buf bytes.Buffer
+	var ends []int64 // cumulative end offset of each frame
+	for _, rec := range recs {
+		if _, err := AppendRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, int64(buf.Len()))
+	}
+	data := buf.Bytes()
+
+	for cut := 0; cut <= len(data); cut++ {
+		wantCount := 0
+		var wantValid int64
+		for i, end := range ends {
+			if int64(cut) >= end {
+				wantCount = i + 1
+				wantValid = end
+			}
+		}
+		count := 0
+		valid, err := ReplayRecords(bytes.NewReader(data[:cut]), func(*Record) error {
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		if count != wantCount || valid != wantValid {
+			t.Fatalf("cut %d: replayed %d records (%d valid bytes), want %d (%d)", cut, count, valid, wantCount, wantValid)
+		}
+	}
+}
+
+// TestReplayCorruptedTail pins that bit-flips in the tail are discarded
+// (CRC mismatch) rather than decoded, and that a bit-flip in a middle
+// frame stops the replay there — the suffix is unreachable but the valid
+// prefix survives.
+func TestReplayCorruptedTail(t *testing.T) {
+	recs := sampleRecords(t)
+	var buf bytes.Buffer
+	var ends []int64
+	for _, rec := range recs {
+		if _, err := AppendRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, int64(buf.Len()))
+	}
+	data := buf.Bytes()
+
+	// Flip a byte inside the last frame's payload.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	count := 0
+	valid, err := ReplayRecords(bytes.NewReader(corrupt), func(*Record) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(recs)-1 || valid != ends[len(ends)-2] {
+		t.Fatalf("corrupted tail: replayed %d (%d bytes), want %d (%d)", count, valid, len(recs)-1, ends[len(ends)-2])
+	}
+
+	// Flip a byte inside the first frame: nothing valid.
+	corrupt = append([]byte(nil), data...)
+	corrupt[frameHeaderLen+1] ^= 0xff
+	count = 0
+	valid, err = ReplayRecords(bytes.NewReader(corrupt), func(*Record) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 || valid != 0 {
+		t.Fatalf("corrupted head: replayed %d (%d bytes), want 0 (0)", count, valid)
+	}
+}
+
+// TestReplayAbsurdLength pins the allocation guard: a length prefix over
+// MaxFrameLen is treated as tail corruption, not a 4 GiB allocation.
+func TestReplayAbsurdLength(t *testing.T) {
+	frame := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	valid, err := ReplayFrames(bytes.NewReader(frame), func([]byte) error {
+		t.Fatal("callback must not run")
+		return nil
+	})
+	if err != nil || valid != 0 {
+		t.Fatalf("valid = %d, err = %v; want 0, nil", valid, err)
+	}
+}
+
+// TestReplayCallbackError pins that fn errors abort the replay (they are
+// real corruption or caller failures, not torn tails).
+func TestReplayCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := AppendRecord(&buf, sampleRecords(t)[4]); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := ReplayRecords(bytes.NewReader(buf.Bytes()), func(*Record) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	// A CRC-valid frame whose payload is not a valid record is a hard
+	// error too.
+	buf.Reset()
+	if _, err := AppendFrame(&buf, []byte(`{"seq":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayRecords(bytes.NewReader(buf.Bytes()), func(*Record) error { return nil }); err == nil {
+		t.Fatal("CRC-valid but undecodable frame must error")
+	}
+}
+
+func TestAppendFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := AppendFrame(&buf, make([]byte, MaxFrameLen+1)); err == nil {
+		t.Fatal("over-limit payload must not frame")
+	}
+}

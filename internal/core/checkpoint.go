@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/provenance"
+)
+
+// Checkpoint is a resumable snapshot of a summarization run, taken
+// between merge steps. It captures everything the greedy search depends
+// on that is not already determined by (p0, Config): the merge trace so
+// far — from which the current expression, cumulative mapping h, and the
+// rollback state are rebuilt deterministically — the distances the run
+// has measured (which in sampling mode cannot be recomputed without
+// disturbing the random stream), and the positions of the two random
+// streams (candidate-cap shuffling and Monte-Carlo sampling).
+//
+// Resume replays the trace onto p0 and continues the loop; the
+// determinism of every scoring engine (seq/batch/delta, any
+// Parallelism) makes the resumed run bit-identical to an uninterrupted
+// one.
+type Checkpoint struct {
+	// Step is the number of committed merge steps the snapshot covers
+	// (always len(Steps); kept explicit for serialized forms).
+	Step int
+	// Steps is the merge trace up to Step, in order.
+	Steps []Step
+	// InitDist is the distance measured after the free Prop. 4.2.1
+	// pre-step, before the first merge. Steps[i].Dist carries the
+	// distance after each merge, so together these reconstruct the
+	// current and rollback distances without re-measuring.
+	InitDist float64
+	// RandState is the position of Config.RandSrc (candidate-cap
+	// shuffling); nil when the run has no candidate-sampling RNG.
+	RandState *uint64
+	// EstRandState is the position of Estimator.RandSrc (Monte-Carlo
+	// sampling); nil when the run enumerates the valuation class.
+	EstRandState *uint64
+}
+
+// clone deep-copies a checkpoint so the caller and the summarizer never
+// share mutable state (Members slices in particular).
+func (cp Checkpoint) clone() Checkpoint {
+	out := cp
+	out.Steps = cloneSteps(cp.Steps)
+	if cp.RandState != nil {
+		v := *cp.RandState
+		out.RandState = &v
+	}
+	if cp.EstRandState != nil {
+		v := *cp.EstRandState
+		out.EstRandState = &v
+	}
+	return out
+}
+
+func cloneSteps(steps []Step) []Step {
+	out := make([]Step, len(steps))
+	for i, st := range steps {
+		out[i] = st
+		out[i].Members = append([]provenance.Annotation(nil), st.Members...)
+	}
+	return out
+}
+
+// Resume continues a run snapshotted by CheckpointSink: it replays the
+// checkpoint's merge trace onto p0 (re-registering the summary
+// annotations through the policy, exactly as the original run did),
+// restores the random streams, and runs the remaining steps. The final
+// summary is bit-identical to an uninterrupted run of the same Config
+// over p0.
+//
+// The Summarizer must be configured identically to the run that emitted
+// the checkpoint (same weights, bounds, estimator class, scoring engine
+// flags); Resume can detect only trace-level divergence (a replayed
+// merge naming differently than recorded), which it reports as an
+// error.
+func (s *Summarizer) Resume(ctx context.Context, p0 provenance.Expression, cp *Checkpoint) (*Summary, error) {
+	if cp == nil {
+		return s.run(ctx, p0, nil)
+	}
+	if cp.Step != len(cp.Steps) {
+		return nil, fmt.Errorf("core: corrupt checkpoint: Step = %d but trace has %d steps", cp.Step, len(cp.Steps))
+	}
+	return s.run(ctx, p0, cp)
+}
+
+// emitCheckpoint snapshots the current trace through the configured
+// sink. res.Steps carries the full trace (including a restored prefix),
+// so the snapshot is self-contained whatever run emitted it.
+func (s *Summarizer) emitCheckpoint(res *Summary, initDist float64) error {
+	cfg := s.cfg
+	if cfg.CheckpointSink == nil {
+		return nil
+	}
+	cp := Checkpoint{
+		Step:     len(res.Steps),
+		Steps:    cloneSteps(res.Steps),
+		InitDist: initDist,
+	}
+	if cfg.RandSrc != nil {
+		state := cfg.RandSrc.State()
+		cp.RandState = &state
+	}
+	if cfg.Estimator.RandSrc != nil {
+		state := cfg.Estimator.RandSrc.State()
+		cp.EstRandState = &state
+	}
+	if err := cfg.CheckpointSink(cp); err != nil {
+		return fmt.Errorf("core: checkpoint sink failed at step %d: %w", cp.Step, err)
+	}
+	return nil
+}
+
+// restoredState is the loop state rebuilt from a checkpoint.
+type restoredState struct {
+	cur, prev         provenance.Expression
+	cum, prevCum      provenance.Mapping
+	curDist, prevDist float64
+}
+
+// restore replays a checkpoint's merge trace onto the post-pre-step
+// state (cur, cum), re-registering each step's summary annotation via
+// Policy.MergeName — the same registrations the original run performed,
+// so subsequent merge naming (attribute-name disambiguation, LCA
+// lookups) behaves identically. It fills res.Steps with the restored
+// trace and returns the rebuilt loop state, including the
+// one-step-back rollback state.
+func (s *Summarizer) restore(cp *Checkpoint, cur provenance.Expression, cum provenance.Mapping, res *Summary) (restoredState, error) {
+	cfg := s.cfg
+	st := restoredState{
+		cur: cur, prev: cur,
+		cum: cum, prevCum: cum,
+		curDist: cp.InitDist, prevDist: cp.InitDist,
+	}
+	for i, rec := range cp.Steps {
+		if len(rec.Members) < 2 {
+			return restoredState{}, fmt.Errorf("core: corrupt checkpoint: step %d has %d members", i+1, len(rec.Members))
+		}
+		name := cfg.Policy.MergeName(rec.Members)
+		if name != rec.New {
+			return restoredState{}, fmt.Errorf("core: checkpoint replay diverged at step %d: merge of %v named %q, recorded %q (was the run configured differently?)", i+1, rec.Members, name, rec.New)
+		}
+		step := provenance.MergeMapping(rec.New, rec.Members...)
+		st.prev, st.prevCum, st.prevDist = st.cur, st.cum, st.curDist
+		st.cur = st.cur.Apply(step)
+		st.cum = st.cum.Compose(step)
+		st.curDist = rec.Dist
+	}
+	res.Steps = cloneSteps(cp.Steps)
+
+	if cp.RandState != nil {
+		if cfg.RandSrc == nil {
+			return restoredState{}, fmt.Errorf("core: checkpoint carries a candidate-sampling RNG state but Config.RandSrc is unset")
+		}
+		cfg.RandSrc.Restore(*cp.RandState)
+	} else if cfg.Rand != nil {
+		return restoredState{}, fmt.Errorf("core: Config.Rand is set but the checkpoint has no candidate-sampling RNG state; resuming would diverge")
+	}
+	if cp.EstRandState != nil {
+		if cfg.Estimator.RandSrc == nil {
+			return restoredState{}, fmt.Errorf("core: checkpoint carries an estimator RNG state but Estimator.RandSrc is unset")
+		}
+		cfg.Estimator.RandSrc.Restore(*cp.EstRandState)
+	} else if cfg.Estimator.Samples > 0 {
+		return restoredState{}, fmt.Errorf("core: Estimator.Samples > 0 but the checkpoint has no estimator RNG state; resuming would diverge")
+	}
+	return st, nil
+}

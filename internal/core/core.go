@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/constraints"
 	"repro/internal/distance"
 	"repro/internal/provenance"
+	"repro/internal/randx"
 	"repro/internal/valuation"
 )
 
@@ -59,6 +61,11 @@ type Config struct {
 	CandidateCap int
 	// Rand drives candidate sampling (and nothing else in this package).
 	Rand *rand.Rand
+	// RandSrc, when set, is the serializable randx source backing Rand;
+	// if Rand is nil, New creates it from RandSrc. Checkpointing
+	// (CheckpointEvery) requires RandSrc whenever Rand is in use, because
+	// a resumable snapshot must capture the random stream's position.
+	RandSrc *randx.Source
 
 	// Parallelism, when > 1, evaluates candidate merges on that many
 	// goroutines. Results are reduced in deterministic pair order, so the
@@ -98,6 +105,20 @@ type Config struct {
 	// synchronously from Summarize, so observers should be cheap or hand
 	// off; it must not call back into the Summarizer.
 	StepObserver StepObserver
+
+	// CheckpointEvery, when positive, snapshots the run through
+	// CheckpointSink once before the first merge step and again after
+	// every CheckpointEvery-th committed step. A snapshot restored with
+	// Resume continues the run bit-identically to an uninterrupted one.
+	// Setting CheckpointSink with CheckpointEvery <= 0 defaults the
+	// interval to 1 (a snapshot after every step).
+	CheckpointEvery int
+	// CheckpointSink receives checkpoint snapshots; a non-nil error
+	// aborts the run (so persistence failures are not silently dropped).
+	// It is called synchronously between merge steps; the Checkpoint and
+	// everything it references belong to the sink (the summarizer never
+	// mutates an emitted snapshot).
+	CheckpointSink func(Checkpoint) error
 
 	// MergeArity generalizes the algorithm to map k annotations to a new
 	// annotation per step instead of 2 (the thesis's future-work
@@ -179,8 +200,22 @@ func New(cfg Config) (*Summarizer, error) {
 	if cfg.TargetDist <= 0 {
 		cfg.TargetDist = 1
 	}
+	if cfg.Rand == nil && cfg.RandSrc != nil {
+		cfg.Rand = rand.New(cfg.RandSrc)
+	}
 	if cfg.CandidateCap > 0 && cfg.Rand == nil {
 		return nil, errors.New("core: CandidateCap requires Rand")
+	}
+	if cfg.CheckpointSink != nil && cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.CandidateCap > 0 && cfg.RandSrc == nil {
+			return nil, errors.New("core: checkpointing a candidate-capped run requires Config.RandSrc (the RNG position must be part of the snapshot)")
+		}
+		if cfg.Estimator.Samples > 0 && cfg.Estimator.RandSrc == nil {
+			return nil, errors.New("core: checkpointing a sampling run requires Estimator.RandSrc (the RNG position must be part of the snapshot)")
+		}
 	}
 	if cfg.MergeArity == 1 || cfg.MergeArity < 0 {
 		return nil, fmt.Errorf("core: invalid MergeArity %d (want 0 or >= 2)", cfg.MergeArity)
@@ -206,6 +241,22 @@ func New(cfg Config) (*Summarizer, error) {
 
 // Summarize runs Algorithm 1 on p0 and returns the summary.
 func (s *Summarizer) Summarize(p0 provenance.Expression) (*Summary, error) {
+	return s.run(context.Background(), p0, nil)
+}
+
+// SummarizeContext runs Algorithm 1 on p0, checking ctx between merge
+// steps: when ctx is canceled or its deadline passes, the run stops at
+// the next step boundary and the context's error is returned, wrapped so
+// errors.Is(err, context.Canceled / DeadlineExceeded) holds. A long
+// individual step is not interrupted mid-step.
+func (s *Summarizer) SummarizeContext(ctx context.Context, p0 provenance.Expression) (*Summary, error) {
+	return s.run(ctx, p0, nil)
+}
+
+// run is the shared body of Summarize, SummarizeContext and Resume: it
+// executes Algorithm 1 starting either fresh (cp == nil) or from a
+// restored checkpoint.
+func (s *Summarizer) run(ctx context.Context, p0 provenance.Expression, cp *Checkpoint) (*Summary, error) {
 	start := time.Now()
 	cfg := s.cfg
 	cfg.Estimator.ResetCache()
@@ -226,17 +277,38 @@ func (s *Summarizer) Summarize(p0 provenance.Expression) (*Summary, error) {
 
 	// Free pre-step: group annotations equivalent under every valuation
 	// of the class (Prop. 4.2.1). Distance is unchanged (0-cost merges).
+	// On resume this replays deterministically, so the restored state
+	// matches the state the checkpoint was taken from.
 	cur, cum = s.groupEquivalent(cur, cum)
 
-	curDist := s.timedDistance(p0, cur, cum, origAnns, res)
-
 	// prev tracks the state before the latest merge, for the post-loop
-	// TARGET-DIST rollback (lines 11–13 of Algorithm 1).
-	prev, prevCum, prevDist := cur, cum, curDist
-
+	// TARGET-DIST rollback (lines 11–13 of Algorithm 1). A checkpoint
+	// restore rebuilds it from the recorded trace.
+	var curDist, prevDist, initDist float64
+	prev, prevCum := cur, cum
 	steps := 0
+	if cp == nil {
+		curDist = s.timedDistance(p0, cur, cum, origAnns, res)
+		initDist, prevDist = curDist, curDist
+		if err := s.emitCheckpoint(res, initDist); err != nil {
+			return nil, err
+		}
+	} else {
+		st, err := s.restore(cp, cur, cum, res)
+		if err != nil {
+			return nil, err
+		}
+		cur, cum, curDist = st.cur, st.cum, st.curDist
+		prev, prevCum, prevDist = st.prev, st.prevCum, st.prevDist
+		initDist = cp.InitDist
+		steps = len(cp.Steps)
+	}
+
 	res.StopReason = "no-candidates"
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: summarization interrupted after step %d: %w", steps, err)
+		}
 		if cur.Size() <= cfg.TargetSize {
 			res.StopReason = "target-size"
 			break
@@ -279,6 +351,11 @@ func (s *Summarizer) Summarize(p0 provenance.Expression) (*Summary, error) {
 				CandidateTime: res.CandidateTime - probeBefore,
 				Elapsed:       time.Since(start),
 			})
+		}
+		if cfg.CheckpointEvery > 0 && steps%cfg.CheckpointEvery == 0 {
+			if err := s.emitCheckpoint(res, initDist); err != nil {
+				return nil, err
+			}
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/provenance"
+	"repro/internal/randx"
 	"repro/internal/valuation"
 )
 
@@ -36,6 +37,12 @@ type Estimator struct {
 	// Rand drives sampling; required when Samples > 0 (Validate reports
 	// the misconfiguration as an error).
 	Rand *rand.Rand
+	// RandSrc, when set, is the serializable source backing Rand; if Rand
+	// is nil, Validate creates it from RandSrc. The summarizer's
+	// checkpoint layer snapshots and restores RandSrc so sampling-mode
+	// runs can be resumed bit-identically (core.Config.CheckpointEvery
+	// requires it when Samples > 0).
+	RandSrc *randx.Source
 	// MaxError, when positive, normalizes distances into [0,1] by
 	// dividing by the maximum possible error (Sec. 6.3).
 	MaxError float64
@@ -155,6 +162,9 @@ func (e *Estimator) Validate() error {
 	}
 	if e.VF.F == nil {
 		return errors.New("distance: Estimator.VF is required")
+	}
+	if e.Rand == nil && e.RandSrc != nil {
+		e.Rand = rand.New(e.RandSrc)
 	}
 	if e.Samples > 0 && e.Rand == nil {
 		return fmt.Errorf("distance: Estimator.Samples = %d requires Estimator.Rand (Monte-Carlo sampling needs a random source)", e.Samples)

@@ -1,0 +1,387 @@
+// Package jobs is a bounded-queue worker pool for asynchronous
+// summarization. Submissions beyond the queue capacity are rejected
+// with ErrQueueFull (the server maps this to 429) rather than blocking
+// or growing without bound. Every job runs under its own context, so it
+// can be canceled individually, expire on a per-job deadline, or be
+// interrupted collectively on shutdown — and the three are
+// distinguishable by the context cause, which is what lets the server
+// journal a user cancelation as terminal while leaving a
+// shutdown-interrupted job requeueable after restart.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+	Canceled
+)
+
+// String returns the persisted spelling of the state (shared with
+// internal/store's job records).
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+var (
+	// ErrQueueFull rejects a submission when the queue is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShutdown is the cancel cause of jobs interrupted by Shutdown.
+	// Jobs ending with this cause were not canceled by anyone's choice;
+	// the server leaves them un-journaled so they requeue on restart.
+	ErrShutdown = errors.New("jobs: manager shutting down")
+	// ErrCanceled is the cancel cause of an explicit Cancel call.
+	ErrCanceled = errors.New("jobs: job canceled")
+	// ErrNotFound is returned for unknown job ids.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrDuplicate rejects a submission reusing a live job id.
+	ErrDuplicate = errors.New("jobs: duplicate job id")
+)
+
+// Task is the unit of work. It must honor ctx: cancellation, deadline
+// and shutdown all arrive through it. The returned value is kept as the
+// job's result.
+type Task func(ctx context.Context) (any, error)
+
+// Transition reports one state change. Hooks must not call back into
+// the Manager or the Job (the job's lock is held); they are invoked in
+// transition order for any single job.
+type Transition struct {
+	Job   *Job
+	From  State
+	To    State
+	Err   error // terminal error, if any
+	Cause error // context cause that produced it (ErrCanceled, ErrShutdown, context.DeadlineExceeded), nil otherwise
+	// Latency is the queued→terminal duration, set on terminal transitions.
+	Latency time.Duration
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Workers is the number of concurrent jobs (default 1).
+	Workers int
+	// Queue is the backlog capacity beyond running jobs (default 16).
+	Queue int
+	// OnTransition, when set, observes every state change — the server
+	// uses it to journal job records and update metrics.
+	OnTransition func(Transition)
+}
+
+// Manager owns the queue and the worker pool.
+type Manager struct {
+	cfg    Config
+	queue  chan *Job
+	base   context.Context
+	cancel context.CancelCauseFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	shutdown bool
+}
+
+// Job is one submitted task. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	ID string
+
+	m       *Manager
+	task    Task
+	timeout time.Duration
+	done    chan struct{}
+	// enqueued is closed once Submit has observed the Queued transition;
+	// workers wait on it so per-job transitions stay ordered.
+	enqueued chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	cause     error
+	result    any
+	cancel    context.CancelCauseFunc // set while running
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// New starts a Manager with cfg.Workers workers.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	base, cancel := context.WithCancelCause(context.Background())
+	m := &Manager{
+		cfg:    cfg,
+		queue:  make(chan *Job, cfg.Queue),
+		base:   base,
+		cancel: cancel,
+		jobs:   make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues a task under id. A zero timeout means no per-job
+// deadline. Returns ErrQueueFull when the backlog is at capacity,
+// ErrShutdown after Shutdown, and ErrDuplicate if id names a live job.
+func (m *Manager) Submit(id string, timeout time.Duration, task Task) (*Job, error) {
+	j := &Job{
+		ID: id, m: m, task: task, timeout: timeout,
+		done: make(chan struct{}), enqueued: make(chan struct{}),
+		state: Queued, submitted: time.Now(),
+	}
+	m.mu.Lock()
+	if m.shutdown {
+		m.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if prev, ok := m.jobs[id]; ok && !prev.Status().State.Terminal() {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, id)
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.observe(Transition{Job: j, From: Queued, To: Queued})
+	close(j.enqueued)
+	return j, nil
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// Cancel cancels a job: a queued job becomes Canceled immediately (the
+// worker skips it), a running job has its context canceled with cause
+// ErrCanceled and reaches Canceled when its task returns. Canceling a
+// terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case Queued:
+		j.finish(Canceled, ErrCanceled, ErrCanceled)
+		tr := j.transition(Queued, Canceled)
+		j.mu.Unlock()
+		m.observe(tr)
+	case Running:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel(ErrCanceled)
+	default:
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// Shutdown stops accepting submissions, interrupts running jobs with
+// cause ErrShutdown, and waits (up to ctx) for workers to drain. Queued
+// jobs are left queued: with a persistent store behind the server they
+// requeue on the next startup.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.shutdown = true
+	m.mu.Unlock()
+	m.cancel(ErrShutdown)
+
+	doneCh := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: shutdown: %w", ctx.Err())
+	}
+}
+
+// QueueDepth reports the current backlog length (excluding running
+// jobs).
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+func (m *Manager) observe(tr Transition) {
+	if m.cfg.OnTransition != nil {
+		m.cfg.OnTransition(tr)
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		// Prefer exit over draining the backlog: queued jobs survive
+		// shutdown un-run (and, journaled as queued, requeue on restart).
+		select {
+		case <-m.base.Done():
+			return
+		default:
+		}
+		select {
+		case <-m.base.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+func (m *Manager) run(j *Job) {
+	<-j.enqueued
+	ctx, cancel := context.WithCancelCause(m.base)
+	defer cancel(nil)
+	if j.timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, j.timeout)
+		defer tcancel()
+	}
+
+	j.mu.Lock()
+	if j.state != Queued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	tr := j.transition(Queued, Running)
+	j.mu.Unlock()
+	m.observe(tr)
+
+	result, err := j.task(ctx)
+
+	cause := context.Cause(ctx)
+	var to State
+	switch {
+	case err == nil:
+		to, cause = Done, nil
+	case errors.Is(err, ErrCanceled) || errors.Is(cause, ErrCanceled):
+		to = Canceled
+	default:
+		// Deadline, shutdown, or a failure of the task's own. The cause
+		// is only meaningful when the context interruption is what the
+		// task tripped on.
+		to = Failed
+		if !isContextErr(err) {
+			cause = nil
+		}
+	}
+
+	j.mu.Lock()
+	j.result = result
+	j.finish(to, err, cause)
+	tr = j.transition(Running, to)
+	j.mu.Unlock()
+	m.observe(tr)
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// finish records the terminal fields; callers hold j.mu.
+func (j *Job) finish(to State, err, cause error) {
+	j.state = to
+	if to != Done {
+		j.err = err
+	}
+	j.cause = cause
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// transition builds the hook payload; callers hold j.mu.
+func (j *Job) transition(from, to State) Transition {
+	tr := Transition{Job: j, From: from, To: to, Err: j.err, Cause: j.cause}
+	if to.Terminal() {
+		tr.Latency = j.finished.Sub(j.submitted)
+	}
+	return tr
+}
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	ID     string
+	State  State
+	Err    error
+	Cause  error
+	Result any
+
+	SubmittedAt time.Time
+	StartedAt   time.Time // zero until Running
+	FinishedAt  time.Time // zero until terminal
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, State: j.state, Err: j.err, Cause: j.cause, Result: j.result,
+		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job is terminal or ctx is done; it returns the
+// terminal status, or ctx's error if the wait itself was cut short.
+func (j *Job) Wait(ctx context.Context) (Status, error) {
+	select {
+	case <-j.done:
+		return j.Status(), nil
+	case <-ctx.Done():
+		return j.Status(), ctx.Err()
+	}
+}

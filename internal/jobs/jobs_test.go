@@ -1,0 +1,284 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingTask returns a task that signals when started and blocks until
+// released or its context ends (returning the context error).
+func blockingTask(started chan<- string, release <-chan struct{}, id string) Task {
+	return func(ctx context.Context) (any, error) {
+		if started != nil {
+			started <- id
+		}
+		select {
+		case <-release:
+			return "ok:" + id, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func waitState(t *testing.T, j *Job, want State) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job %s did not finish: %v", j.ID, err)
+	}
+	if st.State != want {
+		t.Fatalf("job %s state = %v, want %v (err %v)", j.ID, st.State, want, st.Err)
+	}
+	return st
+}
+
+// TestQueueFullBackpressure pins the backpressure contract: with one
+// worker busy and the queue at capacity, the next submission fails fast
+// with ErrQueueFull, and a freed slot accepts again.
+func TestQueueFullBackpressure(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 2})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	running, err := m.Submit("running", 0, blockingTask(started, release, "running"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is now occupied
+
+	for _, id := range []string{"q1", "q2"} {
+		if _, err := m.Submit(id, 0, blockingTask(nil, release, id)); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+	}
+	if _, err := m.Submit("overflow", 0, blockingTask(nil, release, "overflow")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if _, err := m.Get("overflow"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("rejected submission must not be registered")
+	}
+
+	// Draining one queued job frees a slot.
+	close(release)
+	waitState(t, running, Done)
+	q1, _ := m.Get("q1")
+	waitState(t, q1, Done)
+	if _, err := m.Submit("after", 0, blockingTask(nil, release, "after")); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+// TestCancelRunningReleasesWorker pins that canceling a running job ends
+// it as Canceled with cause ErrCanceled and the worker picks up the next
+// job.
+func TestCancelRunningReleasesWorker(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 4})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	j1, err := m.Submit("j1", 0, blockingTask(started, nil, "j1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := m.Submit("j2", 0, blockingTask(started, release, "j2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Cancel("j1"); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, j1, Canceled)
+	if !errors.Is(st.Cause, ErrCanceled) {
+		t.Fatalf("cause = %v, want ErrCanceled", st.Cause)
+	}
+	// The worker moved on to j2.
+	if got := <-started; got != "j2" {
+		t.Fatalf("worker started %q next, want j2", got)
+	}
+	close(release)
+	waitState(t, j2, Done)
+}
+
+// TestCancelQueued pins that a queued job cancels without ever running.
+func TestCancelQueued(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 4})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Submit("busy", 0, blockingTask(started, release, "busy")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ran := false
+	queued, err := m.Submit("queued", 0, func(ctx context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel("queued"); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, queued, Canceled)
+	if st.StartedAt != (time.Time{}) || ran {
+		t.Fatal("canceled queued job must never start")
+	}
+}
+
+// TestDeadlineFails pins that a per-job deadline ends the job as Failed
+// with cause DeadlineExceeded.
+func TestDeadlineFails(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 4})
+	defer m.Shutdown(context.Background())
+
+	j, err := m.Submit("slow", 10*time.Millisecond, func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, j, Failed)
+	if !errors.Is(st.Err, context.DeadlineExceeded) || !errors.Is(st.Cause, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, cause = %v; want DeadlineExceeded", st.Err, st.Cause)
+	}
+}
+
+// TestTaskFailure pins that a task's own error yields Failed with no
+// context cause.
+func TestTaskFailure(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 4})
+	defer m.Shutdown(context.Background())
+
+	boom := errors.New("boom")
+	j, err := m.Submit("bad", 0, func(ctx context.Context) (any, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, j, Failed)
+	if !errors.Is(st.Err, boom) || st.Cause != nil {
+		t.Fatalf("err = %v, cause = %v; want boom, nil", st.Err, st.Cause)
+	}
+}
+
+// TestShutdownInterruptsRunningKeepsQueued pins the crash-safe shutdown
+// contract: running jobs are interrupted with cause ErrShutdown (so the
+// server knows not to journal them as terminal), queued jobs never
+// transition at all, and new submissions are refused.
+func TestShutdownInterruptsRunningKeepsQueued(t *testing.T) {
+	var mu sync.Mutex
+	transitions := make(map[string][]State)
+	m := New(Config{Workers: 1, Queue: 4, OnTransition: func(tr Transition) {
+		mu.Lock()
+		transitions[tr.Job.ID] = append(transitions[tr.Job.ID], tr.To)
+		mu.Unlock()
+	}})
+
+	started := make(chan string, 8)
+	running, err := m.Submit("running", 0, blockingTask(started, nil, "running"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit("queued", 0, blockingTask(nil, nil, "queued"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, running, Failed)
+	if !errors.Is(st.Cause, ErrShutdown) {
+		t.Fatalf("cause = %v, want ErrShutdown", st.Cause)
+	}
+	if st := queued.Status(); st.State != Queued {
+		t.Fatalf("queued job state = %v, want still Queued", st.State)
+	}
+	if _, err := m.Submit("late", 0, blockingTask(nil, nil, "late")); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("err = %v, want ErrShutdown", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantRunning := []State{Queued, Running, Failed}
+	if got := transitions["running"]; len(got) != 3 || got[0] != wantRunning[0] || got[1] != wantRunning[1] || got[2] != wantRunning[2] {
+		t.Fatalf("running transitions = %v, want %v", got, wantRunning)
+	}
+	if got := transitions["queued"]; len(got) != 1 || got[0] != Queued {
+		t.Fatalf("queued transitions = %v, want [Queued] only", got)
+	}
+}
+
+// TestDuplicateID pins that a live id cannot be reused but a terminal
+// one can.
+func TestDuplicateID(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 4})
+	defer m.Shutdown(context.Background())
+
+	j, err := m.Submit("x", 0, func(ctx context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, Done)
+	if st := j.Status(); st.Result != 42 {
+		t.Fatalf("result = %v, want 42", st.Result)
+	}
+	if _, err := m.Submit("x", 0, func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatalf("terminal id must be reusable: %v", err)
+	}
+
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Submit("live", 0, blockingTask(started, release, "live")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Submit("live", 0, func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+// TestParallelWorkers pins that Workers > 1 actually runs jobs
+// concurrently.
+func TestParallelWorkers(t *testing.T) {
+	m := New(Config{Workers: 3, Queue: 8})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	var js []*Job
+	for _, id := range []string{"a", "b", "c"} {
+		j, err := m.Submit(id, 0, blockingTask(started, release, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 3 jobs started concurrently", i)
+		}
+	}
+	close(release)
+	for _, j := range js {
+		waitState(t, j, Done)
+	}
+}

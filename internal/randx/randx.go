@@ -1,0 +1,61 @@
+// Package randx provides a deterministic random source whose state is a
+// single exported 64-bit word, so a consumer's position in the random
+// stream can be snapshotted and restored exactly. The summarizer's
+// checkpoint layer uses it to make sampling-mode and candidate-capped
+// runs resumable: a checkpoint records Source.State(), a resumed run
+// calls Restore, and every subsequent draw matches the uninterrupted
+// run bit for bit.
+//
+// math/rand's built-in sources keep their state private, which is why a
+// *rand.Rand alone cannot be checkpointed; wrap a Source instead:
+//
+//	src := randx.NewSource(seed)
+//	r := rand.New(src)        // draws consume src deterministically
+//	state := src.State()      // snapshot
+//	src.Restore(state)        // rewind; r replays the same draws
+package randx
+
+import "math/rand"
+
+// Source is a splitmix64 generator implementing rand.Source64. The zero
+// value is a valid source seeded with 0. It is not safe for concurrent
+// use, matching math/rand sources.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a source seeded with seed.
+func NewSource(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// New returns a *rand.Rand drawing from a fresh Source, and the Source
+// itself for snapshotting. All of the Rand's draws (except Read, which
+// buffers) are pure functions of the source state.
+func New(seed int64) (*rand.Rand, *Source) {
+	src := NewSource(seed)
+	return rand.New(src), src
+}
+
+// Uint64 advances the splitmix64 state and returns the next output.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source by resetting the state to seed.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// State returns the current generator state. Restoring it replays the
+// stream from this exact position.
+func (s *Source) State() uint64 { return s.state }
+
+// Restore rewinds (or fast-forwards) the generator to a state previously
+// returned by State.
+func (s *Source) Restore(state uint64) { s.state = state }

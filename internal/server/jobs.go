@@ -1,0 +1,464 @@
+// jobs.go wires the durable async job engine into the server: job
+// submission and lifecycle endpoints, the summarization task run by the
+// worker pool, journaling of job state and checkpoints through the
+// store, and the startup pass that replays persisted sessions and
+// requeues jobs a previous process left queued or running.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/store"
+)
+
+// jobMeta is the server-side context of a job: which session it
+// belongs to and the parameters to journal (and to rebuild the task
+// from after a restart).
+type jobMeta struct {
+	sessionID   string
+	params      codec.JobParams
+	submittedMS int64
+}
+
+func classKind(class string) datasets.ClassKind {
+	if class == "attribute" {
+		return datasets.CancelSingleAttribute
+	}
+	return datasets.CancelSingleAnnotation
+}
+
+// submitSummarize validates a summarize request and enqueues it as a
+// job. The returned int is the HTTP status for the error, if any.
+func (s *Server) submitSummarize(req *summarizeRequest) (*jobs.Job, int, error) {
+	sess, ok := s.session(req.SessionID)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", req.SessionID)
+	}
+	if req.WDist == 0 && req.WSize == 0 {
+		req.WDist, req.WSize = 0.5, 0.5
+	}
+	params := codec.JobParams{
+		WDist:      req.WDist,
+		WSize:      req.WSize,
+		TargetDist: req.TargetDist,
+		TargetSize: req.TargetSize,
+		Steps:      req.Steps,
+		Class:      req.ValuationClass,
+		TimeoutMS:  req.TimeoutMS,
+	}
+	job, err := s.submitJob(sess, "", params, nil)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			return nil, http.StatusTooManyRequests, fmt.Errorf("job queue full (capacity %d): retry later", s.queueSize)
+		case errors.Is(err, jobs.ErrShutdown):
+			return nil, http.StatusServiceUnavailable, err
+		default:
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	return job, 0, nil
+}
+
+// submitJob enqueues one summarization job for sess, pinning the
+// session against eviction for the job's lifetime. An empty id draws a
+// fresh one; a resumed job passes its persisted id and latest
+// checkpoint.
+func (s *Server) submitJob(sess *session, id string, params codec.JobParams, cp *core.Checkpoint) (*jobs.Job, error) {
+	s.mu.Lock()
+	if id == "" {
+		s.jobSeq++
+		id = "j" + strconv.Itoa(s.jobSeq)
+	}
+	meta := &jobMeta{
+		sessionID:   sess.id,
+		params:      params,
+		submittedMS: time.Now().UnixMilli(),
+	}
+	s.jobMeta[id] = meta
+	sess.active++
+	s.mu.Unlock()
+
+	job, err := s.jm.Submit(id, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, id, params, cp))
+	if err != nil {
+		s.mu.Lock()
+		delete(s.jobMeta, id)
+		sess.active--
+		s.mu.Unlock()
+		return nil, err
+	}
+	return job, nil
+}
+
+// summarizeTask builds the worker-pool task for one job: construct the
+// summarizer (with a checkpoint sink when a store is attached), run —
+// resuming from cp if the job was interrupted before a restart — and
+// publish the summary on the session.
+func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobParams, cp *core.Checkpoint) jobs.Task {
+	return func(ctx context.Context) (any, error) {
+		kind := classKind(params.Class)
+		est := s.estimatorFor(sess.prov, kind)
+		cfg := core.Config{
+			Policy:     s.workload.Policy,
+			Estimator:  est,
+			WDist:      params.WDist,
+			WSize:      params.WSize,
+			TargetSize: params.TargetSize,
+			TargetDist: params.TargetDist,
+			MaxSteps:   params.Steps,
+		}
+		if s.st != nil {
+			cfg.CheckpointEvery = s.checkpointEvery
+			cfg.CheckpointSink = func(c core.Checkpoint) error {
+				if err := s.st.PutCheckpoint(&codec.CheckpointRecord{JobID: jobID, Checkpoint: &c}); err != nil {
+					return err
+				}
+				s.met.checkpoints.Inc()
+				return nil
+			}
+		}
+		summarizer, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := summarizer.Resume(ctx, sess.prov, cp)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		sess.summary = sum
+		sess.class = kind
+		s.mu.Unlock()
+		s.recordSummarize(sum, est)
+		s.log.Info("summarized",
+			"session", sess.id, "job", jobID, "steps", len(sum.Steps), "stop", sum.StopReason,
+			"size", sum.Expr.Size(), "dist", sum.Dist, "dur", sum.Elapsed)
+		return sum, nil
+	}
+}
+
+// onJobTransition is the jobs.Manager hook: it keeps the queue/running
+// gauges and latency histogram current, unpins sessions when their jobs
+// end, and journals state transitions. One deliberate gap: a job
+// interrupted by shutdown (cause ErrShutdown) is NOT journaled as
+// terminal — its last persisted state stays queued/running, which is
+// exactly what makes the next startup requeue it from its latest
+// checkpoint.
+func (s *Server) onJobTransition(tr jobs.Transition) {
+	id := tr.Job.ID
+	s.mu.Lock()
+	meta := s.jobMeta[id]
+	if tr.To.Terminal() {
+		if meta != nil {
+			if sess, ok := s.sessions[meta.sessionID]; ok {
+				sess.active--
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	switch {
+	case tr.From == jobs.Queued && tr.To == jobs.Queued:
+		s.met.jobsQueued.Inc()
+	case tr.From == jobs.Queued && tr.To == jobs.Running:
+		s.met.jobsQueued.Dec()
+		s.met.jobsRunning.Inc()
+	case tr.From == jobs.Queued && tr.To.Terminal():
+		s.met.jobsQueued.Dec()
+	case tr.From == jobs.Running && tr.To.Terminal():
+		s.met.jobsRunning.Dec()
+	}
+	if tr.To.Terminal() {
+		s.met.jobDur.Observe(tr.Latency.Seconds())
+		if c, ok := s.met.jobsFinished[tr.To.String()]; ok {
+			c.Inc()
+		}
+	}
+
+	if s.st == nil || meta == nil {
+		return
+	}
+	if tr.To.Terminal() && errors.Is(tr.Cause, jobs.ErrShutdown) {
+		s.log.Info("job interrupted by shutdown; leaving requeueable", "job", id)
+		return
+	}
+	if tr.To == jobs.Done {
+		if sum, ok := tr.Job.Status().Result.(*core.Summary); ok {
+			rec := &codec.SummaryRecord{
+				SessionID:  meta.sessionID,
+				Class:      meta.params.Class,
+				Steps:      codec.StepsFromCore(sum.Steps),
+				Dist:       sum.Dist,
+				StopReason: sum.StopReason,
+			}
+			if err := s.st.PutSummary(rec); err != nil {
+				s.log.Error("journaling summary failed", "job", id, "err", err)
+			}
+		}
+	}
+	rec := &codec.JobRecord{
+		ID:          id,
+		SessionID:   meta.sessionID,
+		State:       tr.To.String(),
+		Params:      meta.params,
+		SubmittedMS: meta.submittedMS,
+	}
+	if tr.Err != nil {
+		rec.Error = tr.Err.Error()
+	}
+	if err := s.st.PutJob(rec); err != nil {
+		s.log.Error("journaling job state failed", "job", id, "state", rec.State, "err", err)
+	}
+}
+
+// jobResponse is the API view of a job.
+type jobResponse struct {
+	ID          string             `json:"id"`
+	SessionID   string             `json:"sessionId,omitempty"`
+	State       string             `json:"state"`
+	Error       string             `json:"error,omitempty"`
+	SubmittedAt string             `json:"submittedAt,omitempty"`
+	StartedAt   string             `json:"startedAt,omitempty"`
+	FinishedAt  string             `json:"finishedAt,omitempty"`
+	Result      *summarizeResponse `json:"result,omitempty"`
+}
+
+func rfc3339OrEmpty(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func (s *Server) jobResponseFor(st jobs.Status) jobResponse {
+	s.mu.Lock()
+	meta := s.jobMeta[st.ID]
+	s.mu.Unlock()
+	resp := jobResponse{
+		ID:          st.ID,
+		State:       st.State.String(),
+		SubmittedAt: rfc3339OrEmpty(st.SubmittedAt),
+		StartedAt:   rfc3339OrEmpty(st.StartedAt),
+		FinishedAt:  rfc3339OrEmpty(st.FinishedAt),
+	}
+	if meta != nil {
+		resp.SessionID = meta.sessionID
+	}
+	if st.Err != nil {
+		resp.Error = st.Err.Error()
+	}
+	if st.State == jobs.Done {
+		if sum, ok := st.Result.(*core.Summary); ok {
+			r := s.summaryResponse(sum)
+			resp.Result = &r
+		}
+	}
+	return resp
+}
+
+// handleJobSubmit implements POST /api/jobs: enqueue a summarization and
+// return immediately with the job id.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req summarizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	job, status, err := s.submitSummarize(&req)
+	if err != nil {
+		writeErr(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobResponseFor(job.Status()))
+}
+
+// handleJobGet implements GET /api/jobs/{id}. Jobs that finished before
+// a restart are answered from their journaled record.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.jm.Get(id)
+	if err != nil {
+		s.mu.Lock()
+		rec := s.finished[id]
+		s.mu.Unlock()
+		if rec == nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobResponse{
+			ID: rec.ID, SessionID: rec.SessionID, State: rec.State, Error: rec.Error,
+			SubmittedAt: rfc3339OrEmpty(time.UnixMilli(rec.SubmittedMS)),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobResponseFor(job.Status()))
+}
+
+// handleJobCancel implements POST /api/jobs/{id}/cancel.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.jm.Cancel(id); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	job, err := s.jm.Get(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobResponseFor(job.Status()))
+}
+
+// writeJobOutcome renders a terminal job status for submit-and-wait.
+func (s *Server) writeJobOutcome(w http.ResponseWriter, st jobs.Status) {
+	switch st.State {
+	case jobs.Done:
+		if sum, ok := st.Result.(*core.Summary); ok {
+			writeJSON(w, http.StatusOK, s.summaryResponse(sum))
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "job %s finished without a summary", st.ID)
+	case jobs.Canceled:
+		writeErr(w, http.StatusConflict, "job %s was canceled", st.ID)
+	default:
+		status := http.StatusInternalServerError
+		if errors.Is(st.Cause, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeErr(w, status, "job %s failed: %v", st.ID, st.Err)
+	}
+}
+
+// restoreFromStore replays the store's state into the server: sessions
+// (with their custom universe entries and completed summaries) come
+// back under their original ids, and jobs whose last journaled state is
+// queued or running are resubmitted, resuming from their latest
+// checkpoint.
+func (s *Server) restoreFromStore() error {
+	state := s.st.State()
+	for _, rec := range state.Sessions {
+		for _, e := range rec.Universe {
+			s.workload.Universe.Add(provenance.Annotation(e.Ann), e.Table, provenance.Attrs(e.Attrs))
+		}
+		sess := &session{id: rec.ID, prov: rec.Prov, universe: rec.Universe}
+		if sumRec, ok := state.Summaries[rec.ID]; ok {
+			sum, err := s.rebuildSummary(sess, sumRec)
+			if err != nil {
+				return fmt.Errorf("server: restoring session %s summary: %w", rec.ID, err)
+			}
+			sess.summary = sum
+			sess.class = classKind(sumRec.Class)
+		}
+		s.sessions[rec.ID] = sess
+		s.order = append(s.order, rec.ID)
+		if n, err := strconv.Atoi(rec.ID); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	s.met.sessions.Set(float64(len(s.sessions)))
+
+	var requeue []*codec.JobRecord
+	for _, rec := range state.Jobs {
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "j")); err == nil && n > s.jobSeq {
+			s.jobSeq = n
+		}
+		if store.TerminalJobState(rec.State) {
+			s.finished[rec.ID] = rec
+			continue
+		}
+		requeue = append(requeue, rec)
+	}
+	for _, rec := range requeue {
+		sess, ok := s.sessions[rec.SessionID]
+		if !ok {
+			s.log.Error("interrupted job references unknown session; dropping", "job", rec.ID, "session", rec.SessionID)
+			continue
+		}
+		var cp *core.Checkpoint
+		if cpRec, ok := state.Checkpoints[rec.ID]; ok {
+			cp = cpRec.Checkpoint
+		}
+		step := 0
+		if cp != nil {
+			step = cp.Step
+		}
+		if _, err := s.submitJob(sess, rec.ID, rec.Params, cp); err != nil {
+			return fmt.Errorf("server: requeueing interrupted job %s: %w", rec.ID, err)
+		}
+		s.log.Info("requeued interrupted job", "job", rec.ID, "session", rec.SessionID, "fromStep", step)
+	}
+	return nil
+}
+
+// rebuildSummary reconstructs a core.Summary from its journaled merge
+// trace by replaying the trace over the session's provenance. Summary
+// annotations are re-registered in the universe directly under their
+// recorded names (not via Policy.MergeName, whose #N disambiguation
+// depends on cross-session registration order the journal does not
+// preserve).
+func (s *Server) rebuildSummary(sess *session, rec *codec.SummaryRecord) (*core.Summary, error) {
+	steps, err := codec.StepsToCore(rec.Steps)
+	if err != nil {
+		return nil, err
+	}
+	u := s.workload.Universe
+	var expr provenance.Expression = sess.prov
+	cum := provenance.NewMapping()
+	for _, st := range steps {
+		if u.Table(st.New) == "" {
+			u.Add(st.New, u.Table(st.Members[0]), nil)
+		}
+		m := provenance.MergeMapping(st.New, st.Members...)
+		expr = expr.Apply(m)
+		cum = cum.Compose(m)
+	}
+	return &core.Summary{
+		Original:   sess.prov,
+		Expr:       expr,
+		Mapping:    cum,
+		Groups:     provenance.GroupsOf(sess.prov.Annotations(), cum),
+		Steps:      steps,
+		Dist:       rec.Dist,
+		StopReason: rec.StopReason,
+	}, nil
+}
+
+// storeObserver adapts store events to the metrics registry.
+type storeObserver struct {
+	appends   *obs.Counter
+	bytes     *obs.Counter
+	fsyncs    *obs.Counter
+	truncated *obs.Counter
+}
+
+// NewStoreObserver returns a store.Observer publishing append/fsync/
+// truncation counters to reg (pass the same registry as WithRegistry so
+// everything lands on one /metrics page).
+func NewStoreObserver(reg *obs.Registry) store.Observer {
+	return &storeObserver{
+		appends:   reg.Counter("prox_store_appends_total", "Records appended to the durability log.", nil),
+		bytes:     reg.Counter("prox_store_append_bytes_total", "Framed bytes appended to the durability log.", nil),
+		fsyncs:    reg.Counter("prox_store_fsyncs_total", "fsync calls issued by the durability store.", nil),
+		truncated: reg.Counter("prox_store_truncated_bytes_total", "Torn-tail bytes discarded when opening the log.", nil),
+	}
+}
+
+func (o *storeObserver) Appended(n int) {
+	o.appends.Inc()
+	o.bytes.Add(float64(n))
+}
+func (o *storeObserver) Synced()           { o.fsyncs.Inc() }
+func (o *storeObserver) Truncated(n int64) { o.truncated.Add(float64(n)) }

@@ -1,0 +1,506 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/jobs"
+	"repro/internal/provenance"
+	"repro/internal/store"
+)
+
+// jobsWorkload builds a fresh deterministic workload; every server in
+// these tests gets its own copy so merge-name registration in one run
+// never leaks into another (byte-identical comparisons depend on it).
+func jobsWorkload() *datasets.Workload {
+	cfg := datasets.DefaultMovieLensConfig()
+	cfg.Users, cfg.Movies = 10, 5
+	return datasets.MovieLens(cfg, rand.New(rand.NewSource(5)))
+}
+
+func jobsServer(t *testing.T, w *datasets.Workload, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(w, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// selectAll opens a session over the whole workload and returns its id.
+func selectAll(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	var sel selectResponse
+	res := post(t, ts.URL+"/api/select", selectRequest{}, &sel)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("select status = %d", res.StatusCode)
+	}
+	return sel.SessionID
+}
+
+// blockTask parks a worker until release is closed (or the job context
+// ends), letting tests hold queue slots deterministically.
+func blockTask(release chan struct{}) jobs.Task {
+	return func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+			return "released", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// occupyWorker submits a direct (non-API) blocking job and waits until a
+// worker has actually picked it up.
+func occupyWorker(t *testing.T, s *Server, id string) chan struct{} {
+	t.Helper()
+	release := make(chan struct{})
+	j, err := s.jm.Submit(id, 0, blockTask(release))
+	if err != nil {
+		t.Fatalf("submitting blocker %s: %v", id, err)
+	}
+	waitJobState(t, j, jobs.Running)
+	return release
+}
+
+func waitJobState(t *testing.T, j *jobs.Job, want jobs.State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.Status().State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s state = %v, want %v", j.ID, j.Status().State, want)
+}
+
+// pollJob GETs /api/jobs/{id} until it reaches a terminal state.
+func pollJob(t *testing.T, ts *httptest.Server, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := http.Get(ts.URL + "/api/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		if err := json.NewDecoder(res.Body).Decode(&jr); err != nil {
+			t.Fatalf("decode job %s: %v", id, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET /api/jobs/%s status = %d", id, res.StatusCode)
+		}
+		switch jr.State {
+		case store.JobStateDone, store.JobStateFailed, store.JobStateCanceled:
+			return jr
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobResponse{}
+}
+
+// TestJobLifecycleAPI drives the async path end to end: submit returns
+// 202 with an id immediately, polling observes the terminal state, and
+// the finished job carries the same summary the synchronous endpoint
+// would have produced.
+func TestJobLifecycleAPI(t *testing.T) {
+	_, tsSync := jobsServer(t, jobsWorkload())
+	syncID := selectAll(t, tsSync)
+	var base summarizeResponse
+	res := post(t, tsSync.URL+"/api/summarize", summarizeRequest{
+		SessionID: syncID, WDist: 0.5, WSize: 0.5, Steps: 3, ValuationClass: "annotation",
+	}, &base)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("sync summarize status = %d", res.StatusCode)
+	}
+
+	_, ts := jobsServer(t, jobsWorkload())
+	sid := selectAll(t, ts)
+	var submitted jobResponse
+	res = post(t, ts.URL+"/api/jobs", summarizeRequest{
+		SessionID: sid, WDist: 0.5, WSize: 0.5, Steps: 3, ValuationClass: "annotation",
+	}, &submitted)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", res.StatusCode)
+	}
+	if submitted.ID == "" || submitted.SessionID != sid {
+		t.Fatalf("submit response = %+v", submitted)
+	}
+
+	final := pollJob(t, ts, submitted.ID)
+	if final.State != store.JobStateDone {
+		t.Fatalf("job state = %s (err %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if final.SubmittedAt == "" || final.StartedAt == "" || final.FinishedAt == "" {
+		t.Fatalf("missing timestamps: %+v", final)
+	}
+	if final.Result.Expression != base.Expression || !reflect.DeepEqual(final.Result.Steps, base.Steps) {
+		t.Fatalf("async result diverges from sync run:\nasync: %s\nsync:  %s", final.Result.Expression, base.Expression)
+	}
+
+	// unknown job
+	res2, err := http.Get(ts.URL + "/api/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", res2.StatusCode)
+	}
+}
+
+// TestJobQueueFullAPI fills the worker and the one-slot backlog, then
+// asserts both submission endpoints reject with 429 rather than blocking
+// (the ISSUE's backpressure criterion).
+func TestJobQueueFullAPI(t *testing.T) {
+	s, ts := jobsServer(t, jobsWorkload(), WithWorkers(1), WithQueueSize(1))
+	sid := selectAll(t, ts)
+
+	release := occupyWorker(t, s, "blocker-running")
+	defer close(release)
+	// the worker took blocker-running off the channel, so this one fills
+	// the single backlog slot.
+	fill := make(chan struct{})
+	defer close(fill)
+	if _, err := s.jm.Submit("blocker-queued", 0, blockTask(fill)); err != nil {
+		t.Fatalf("filling queue: %v", err)
+	}
+
+	for _, ep := range []string{"/api/jobs", "/api/summarize"} {
+		var errResp map[string]string
+		res := post(t, ts.URL+ep, summarizeRequest{SessionID: sid, Steps: 2}, &errResp)
+		if res.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s with full queue: status = %d, want 429", ep, res.StatusCode)
+		}
+		if !strings.Contains(errResp["error"], "queue full") {
+			t.Fatalf("%s error = %q, want queue-full message", ep, errResp["error"])
+		}
+	}
+}
+
+// TestJobCancelAPI cancels a queued job through the endpoint and asserts
+// it reaches canceled without ever running.
+func TestJobCancelAPI(t *testing.T) {
+	s, ts := jobsServer(t, jobsWorkload(), WithWorkers(1))
+	sid := selectAll(t, ts)
+	release := occupyWorker(t, s, "blocker")
+	defer close(release)
+
+	var submitted jobResponse
+	res := post(t, ts.URL+"/api/jobs", summarizeRequest{SessionID: sid, Steps: 2}, &submitted)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", res.StatusCode)
+	}
+	if submitted.State != store.JobStateQueued {
+		t.Fatalf("submitted state = %s, want queued", submitted.State)
+	}
+
+	var canceled jobResponse
+	res = post(t, ts.URL+"/api/jobs/"+submitted.ID+"/cancel", struct{}{}, &canceled)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", res.StatusCode)
+	}
+	if canceled.State != store.JobStateCanceled {
+		t.Fatalf("state after cancel = %s, want canceled", canceled.State)
+	}
+	if canceled.StartedAt != "" {
+		t.Fatalf("canceled queued job claims it started at %s", canceled.StartedAt)
+	}
+	res2, err := http.Post(ts.URL+"/api/jobs/nope/cancel", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job status = %d, want 404", res2.StatusCode)
+	}
+}
+
+// evalStatus probes a session's liveness via /api/evaluate.
+func evalStatus(t *testing.T, ts *httptest.Server, sid string) int {
+	t.Helper()
+	res := post(t, ts.URL+"/api/evaluate", evaluateRequest{SessionID: sid, Target: "original"}, nil)
+	return res.StatusCode
+}
+
+// TestSessionPinningEviction is the eviction regression test: a session
+// with an active job must never be evicted, the oldest *idle* one goes
+// instead — and once the job finishes, the session becomes evictable
+// again.
+func TestSessionPinningEviction(t *testing.T) {
+	s, ts := jobsServer(t, jobsWorkload(), WithWorkers(1), WithMaxSessions(2))
+	release := occupyWorker(t, s, "blocker")
+
+	a := selectAll(t, ts)
+	var submitted jobResponse
+	res := post(t, ts.URL+"/api/jobs", summarizeRequest{SessionID: a, Steps: 2}, &submitted)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", res.StatusCode)
+	}
+	b := selectAll(t, ts) // at cap, nothing evicted
+	c := selectAll(t, ts) // over cap: a is pinned, so b (oldest idle) goes
+
+	if got := evalStatus(t, ts, a); got != http.StatusOK {
+		t.Fatalf("pinned session %s evicted (status %d); eviction must skip sessions with active jobs", a, got)
+	}
+	if got := evalStatus(t, ts, b); got != http.StatusNotFound {
+		t.Fatalf("idle session %s survived (status %d), want evicted", b, got)
+	}
+	if got := evalStatus(t, ts, c); got != http.StatusOK {
+		t.Fatalf("new session %s status = %d", c, got)
+	}
+
+	// finish the job: a unpins and becomes the oldest idle session.
+	close(release)
+	if final := pollJob(t, ts, submitted.ID); final.State != store.JobStateDone {
+		t.Fatalf("job state = %s (err %q)", final.State, final.Error)
+	}
+	d := selectAll(t, ts)
+	if got := evalStatus(t, ts, a); got != http.StatusNotFound {
+		t.Fatalf("unpinned session %s survived (status %d), want evicted after its job finished", a, got)
+	}
+	for _, sid := range []string{c, d} {
+		if got := evalStatus(t, ts, sid); got != http.StatusOK {
+			t.Fatalf("session %s status = %d", sid, got)
+		}
+	}
+}
+
+// TestSummarizeClientDisconnectCancels asserts a client abandoning
+// POST /api/summarize cancels the underlying job instead of leaving it
+// to burn a worker (the r.Context() satellite).
+func TestSummarizeClientDisconnectCancels(t *testing.T) {
+	s, ts := jobsServer(t, jobsWorkload(), WithWorkers(1))
+	sid := selectAll(t, ts)
+	release := occupyWorker(t, s, "blocker")
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/api/summarize",
+		strings.NewReader(fmt.Sprintf(`{"sessionId":%q,"steps":2}`, sid)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		res, err := http.DefaultClient.Do(req)
+		if err == nil {
+			res.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// wait until the handler's job is queued, then drop the client.
+	var job *jobs.Job
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if job, err = s.jm.Get("j1"); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if job == nil {
+		t.Fatal("summarize job never appeared")
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("request succeeded despite cancellation")
+	}
+	waitJobState(t, job, jobs.Canceled)
+}
+
+// TestRestartResumesInterruptedJob is the crash-recovery e2e: a store
+// holding a session, a job journaled as running, and a mid-run
+// checkpoint is handed to a fresh server, which must requeue the job,
+// resume from the checkpoint, and finish with a summary byte-identical
+// to an uninterrupted run.
+func TestRestartResumesInterruptedJob(t *testing.T) {
+	params := codec.JobParams{WDist: 0.5, WSize: 0.5, Steps: 4, Class: "annotation"}
+	sumReq := summarizeRequest{
+		SessionID: "1", WDist: params.WDist, WSize: params.WSize,
+		Steps: params.Steps, ValuationClass: params.Class,
+	}
+
+	// Baseline: an uninterrupted synchronous run on a fresh workload.
+	_, tsBase := jobsServer(t, jobsWorkload())
+	selectAll(t, tsBase)
+	var base summarizeResponse
+	if res := post(t, tsBase.URL+"/api/summarize", sumReq, &base); res.StatusCode != http.StatusOK {
+		t.Fatalf("baseline summarize status = %d", res.StatusCode)
+	}
+
+	// Produce a mid-run checkpoint by running the same configuration on
+	// another fresh workload with a collecting sink (mirroring
+	// summarizeTask's core.Config).
+	wCP := jobsWorkload()
+	sCP, err := New(wCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := provenance.NewAgg(provenance.AggMax, wCP.Prov.(*provenance.Agg).Tensors...)
+	var cps []core.Checkpoint
+	summarizer, err := core.New(core.Config{
+		Policy:          wCP.Policy,
+		Estimator:       sCP.estimatorFor(sel, classKind(params.Class)),
+		WDist:           params.WDist,
+		WSize:           params.WSize,
+		MaxSteps:        params.Steps,
+		CheckpointEvery: 1,
+		CheckpointSink:  func(cp core.Checkpoint) error { cps = append(cps, cp); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := summarizer.Resume(context.Background(), sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Expr.String() != base.Expression {
+		t.Fatalf("checkpoint-producing run diverges from the API baseline:\n%s\n%s", full.Expr.String(), base.Expression)
+	}
+	if len(cps) < 3 {
+		t.Fatalf("only %d checkpoints collected, need a mid-run one", len(cps))
+	}
+	cp := cps[1] // resume from after step 2 of 4
+
+	// Forge the crashed process's store: session + running job + its
+	// latest checkpoint, with no summary.
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, put := range []error{
+		st.PutSession(&codec.SessionRecord{ID: "1", Prov: sel}),
+		st.PutJob(&codec.JobRecord{ID: "j1", SessionID: "1", State: store.JobStateRunning, Params: params, SubmittedMS: 1}),
+		st.PutCheckpoint(&codec.CheckpointRecord{JobID: "j1", Checkpoint: &cp}),
+	} {
+		if put != nil {
+			t.Fatal(put)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same directory requeues j1 from
+	// the checkpoint.
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	_, ts2 := jobsServer(t, jobsWorkload(), WithStore(st2), WithCheckpointEvery(1))
+
+	final := pollJob(t, ts2, "j1")
+	if final.State != store.JobStateDone {
+		t.Fatalf("resumed job state = %s (err %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("resumed job has no result")
+	}
+	if final.Result.Expression != base.Expression {
+		t.Fatalf("resumed summary differs from uninterrupted run:\nresumed: %s\nplain:   %s", final.Result.Expression, base.Expression)
+	}
+	if final.Result.Dist != base.Dist || final.Result.StopReason != base.StopReason {
+		t.Fatalf("resumed (dist=%v, stop=%q) != plain (dist=%v, stop=%q)",
+			final.Result.Dist, final.Result.StopReason, base.Dist, base.StopReason)
+	}
+	if !reflect.DeepEqual(final.Result.Steps, base.Steps) {
+		t.Fatalf("resumed trace differs:\n%+v\n%+v", final.Result.Steps, base.Steps)
+	}
+	if !reflect.DeepEqual(final.Result.Groups, base.Groups) {
+		t.Fatalf("resumed groups differ:\n%+v\n%+v", final.Result.Groups, base.Groups)
+	}
+
+	// The restored session serves the step navigator from the summary.
+	res, err := http.Get(ts2.URL + "/api/step?sessionId=1&n=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("step on restored session status = %d", res.StatusCode)
+	}
+}
+
+// TestShutdownRequeuesQueuedJob exercises the real shutdown path: a job
+// still queued when the server shuts down keeps its journaled queued
+// state, and the next server over the same store runs it to completion.
+func TestShutdownRequeuesQueuedJob(t *testing.T) {
+	sumReq := summarizeRequest{WDist: 0.5, WSize: 0.5, Steps: 3, ValuationClass: "annotation"}
+
+	_, tsBase := jobsServer(t, jobsWorkload())
+	req := sumReq
+	req.SessionID = selectAll(t, tsBase)
+	var base summarizeResponse
+	if res := post(t, tsBase.URL+"/api/summarize", req, &base); res.StatusCode != http.StatusOK {
+		t.Fatalf("baseline summarize status = %d", res.StatusCode)
+	}
+
+	dir := t.TempDir()
+	st1, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := jobsServer(t, jobsWorkload(), WithStore(st1), WithWorkers(1))
+	release := occupyWorker(t, s1, "blocker")
+	defer close(release)
+
+	req = sumReq
+	req.SessionID = selectAll(t, ts1)
+	var submitted jobResponse
+	if res := post(t, ts1.URL+"/api/jobs", req, &submitted); res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", res.StatusCode)
+	}
+
+	// Shut down with the job still queued: the blocker is interrupted
+	// (cause ErrShutdown, not journaled terminal) and the queued job is
+	// never run.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := st1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	_, ts2 := jobsServer(t, jobsWorkload(), WithStore(st2))
+
+	final := pollJob(t, ts2, submitted.ID)
+	if final.State != store.JobStateDone {
+		t.Fatalf("requeued job state = %s (err %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Expression != base.Expression {
+		t.Fatalf("requeued job result diverges from uninterrupted run: %+v", final.Result)
+	}
+}

@@ -16,6 +16,13 @@ type metrics struct {
 	summarizes *obs.Histogram
 	steps      *obs.Counter
 
+	// job engine instrumentation.
+	jobsQueued   *obs.Gauge
+	jobsRunning  *obs.Gauge
+	jobDur       *obs.Histogram
+	jobsFinished map[string]*obs.Counter // by terminal state
+	checkpoints  *obs.Counter
+
 	// estimator instrumentation, accumulated from per-request estimators
 	// after each summarization (see recordSummarize).
 	estEvals      *obs.Counter
@@ -44,6 +51,16 @@ func newMetrics(reg *obs.Registry) *metrics {
 		evictions:  reg.Counter("prox_sessions_evicted_total", "Sessions evicted by the oldest-first cap.", nil),
 		summarizes: reg.Histogram("prox_summarize_duration_seconds", "Wall time of full summarization runs.", nil, nil),
 		steps:      reg.Counter("prox_summarize_steps_total", "Merge steps committed by Algorithm 1.", nil),
+
+		jobsQueued:  reg.Gauge("prox_jobs_queued", "Summarization jobs waiting in the queue.", nil),
+		jobsRunning: reg.Gauge("prox_jobs_running", "Summarization jobs currently running on workers.", nil),
+		jobDur:      reg.Histogram("prox_job_duration_seconds", "Submit-to-terminal latency of summarization jobs.", nil, nil),
+		jobsFinished: map[string]*obs.Counter{
+			"done":     reg.Counter("prox_jobs_finished_total", "Jobs reaching a terminal state.", obs.Labels{"state": "done"}),
+			"failed":   reg.Counter("prox_jobs_finished_total", "Jobs reaching a terminal state.", obs.Labels{"state": "failed"}),
+			"canceled": reg.Counter("prox_jobs_finished_total", "Jobs reaching a terminal state.", obs.Labels{"state": "canceled"}),
+		},
+		checkpoints: reg.Counter("prox_checkpoints_total", "Job checkpoints journaled to the store.", nil),
 
 		estEvals:      reg.Counter("prox_estimator_evaluations_total", "VAL-FUNC summands evaluated by the distance estimator.", nil),
 		estHits:       reg.Counter("prox_estimator_cache_hits_total", "Original-expression evaluation cache hits.", nil),

@@ -19,7 +19,10 @@ func obsServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
 	cfg := datasets.DefaultMovieLensConfig()
 	cfg.Users, cfg.Movies = 10, 5
 	w := datasets.MovieLens(cfg, rand.New(rand.NewSource(5)))
-	s := New(w, opts...)
+	s, err := New(w, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

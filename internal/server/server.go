@@ -16,6 +16,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -26,40 +27,65 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/distance"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/provenance"
+	"repro/internal/store"
 	"repro/internal/valuation"
 )
 
 // DefaultMaxSessions caps in-memory sessions when no explicit cap is
-// configured; the oldest session is evicted when the cap is exceeded.
+// configured; the oldest idle session is evicted when the cap is
+// exceeded.
 const DefaultMaxSessions = 1024
 
 // Server is the PROX application server. It serves a single MovieLens
 // workload (the paper's demo dataset) and keeps per-selection sessions in
-// memory, bounded by an oldest-first eviction cap.
+// memory, bounded by an oldest-idle-first eviction cap. Summarization
+// runs asynchronously on a bounded worker pool; with a store attached,
+// sessions, jobs and checkpoints are journaled so a restarted server
+// resumes interrupted work.
 type Server struct {
-	workload    *datasets.Workload
-	reg         *obs.Registry
-	log         *obs.Logger
-	met         *metrics
-	maxSessions int
+	workload        *datasets.Workload
+	reg             *obs.Registry
+	log             *obs.Logger
+	met             *metrics
+	maxSessions     int
+	workers         int
+	queueSize       int
+	checkpointEvery int
+	st              *store.Store
+	jm              *jobs.Manager
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	order    []string // session ids in creation order, for eviction
 	nextID   int
+	jobSeq   int
+	jobMeta  map[string]*jobMeta
+	// finished holds the journaled records of jobs that reached a
+	// terminal state before a restart, so GET /api/jobs/{id} keeps
+	// answering for them.
+	finished map[string]*codec.JobRecord
 }
 
 // session is one selection of provenance being summarized and explored.
 type session struct {
+	id      string
 	prov    *provenance.Agg
 	summary *core.Summary
 	class   datasets.ClassKind
+	// universe carries the custom annotations registered by this session
+	// (for persistence; selections over the workload leave it empty).
+	universe []codec.UniverseEntry
+	// active counts this session's queued+running jobs; a session with
+	// active > 0 is pinned and never evicted.
+	active int
 }
 
 // Option configures a Server.
@@ -73,7 +99,8 @@ func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r }
 func WithLogger(l *obs.Logger) Option { return func(s *Server) { s.log = l } }
 
 // WithMaxSessions caps in-memory sessions; when a new session would
-// exceed the cap the oldest session is evicted. n <= 0 keeps the default.
+// exceed the cap the oldest idle session is evicted. n <= 0 keeps the
+// default.
 func WithMaxSessions(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
@@ -82,12 +109,55 @@ func WithMaxSessions(n int) Option {
 	}
 }
 
-// New builds a PROX server over the given MovieLens workload.
-func New(w *datasets.Workload, opts ...Option) *Server {
+// WithWorkers sets the summarization worker-pool size (default 2).
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithQueueSize sets the job backlog capacity; submissions beyond it are
+// rejected with 429 (default 32).
+func WithQueueSize(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.queueSize = n
+		}
+	}
+}
+
+// WithCheckpointEvery snapshots running jobs every k merge steps
+// (default 8; only effective with a store attached).
+func WithCheckpointEvery(k int) Option {
+	return func(s *Server) {
+		if k > 0 {
+			s.checkpointEvery = k
+		}
+	}
+}
+
+// WithStore attaches a persistence store: sessions, summaries, job
+// states and checkpoints are journaled to it, and its replayed state is
+// restored — interrupted jobs requeued from their latest checkpoint —
+// when the server starts.
+func WithStore(st *store.Store) Option { return func(s *Server) { s.st = st } }
+
+// New builds a PROX server over the given MovieLens workload. With a
+// store attached it also replays persisted sessions and requeues
+// interrupted jobs, which can fail if the store's contents do not match
+// the workload.
+func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 	s := &Server{
-		workload:    w,
-		sessions:    make(map[string]*session),
-		maxSessions: DefaultMaxSessions,
+		workload:        w,
+		sessions:        make(map[string]*session),
+		maxSessions:     DefaultMaxSessions,
+		workers:         2,
+		queueSize:       32,
+		checkpointEvery: 8,
+		jobMeta:         make(map[string]*jobMeta),
+		finished:        make(map[string]*codec.JobRecord),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -99,7 +169,25 @@ func New(w *datasets.Workload, opts ...Option) *Server {
 		s.log = obs.Nop()
 	}
 	s.met = newMetrics(s.reg)
-	return s
+	s.jm = jobs.New(jobs.Config{
+		Workers:      s.workers,
+		Queue:        s.queueSize,
+		OnTransition: s.onJobTransition,
+	})
+	if s.st != nil {
+		if err := s.restoreFromStore(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Shutdown stops the worker pool, interrupting running jobs. With a
+// store attached, interrupted and queued jobs keep their last journaled
+// state (queued/running) and requeue from their latest checkpoint on the
+// next start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jm.Shutdown(ctx)
 }
 
 // Metrics returns the server's metrics registry (for mounting /metrics
@@ -115,6 +203,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/select", s.instrument("/api/select", s.handleSelect))
 	mux.HandleFunc("POST /api/custom", s.instrument("/api/custom", s.handleCustom))
 	mux.HandleFunc("POST /api/summarize", s.instrument("/api/summarize", s.handleSummarize))
+	mux.HandleFunc("POST /api/jobs", s.instrument("/api/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /api/jobs/{id}", s.instrument("/api/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.instrument("/api/jobs/{id}/cancel", s.handleJobCancel))
 	mux.HandleFunc("GET /api/step", s.instrument("/api/step", s.handleStep))
 	mux.HandleFunc("POST /api/evaluate", s.instrument("/api/evaluate", s.handleEvaluate))
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -241,30 +332,62 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// addSession stores a new session, evicting the oldest sessions when the
-// cap is exceeded, and keeps the session gauge current.
+// addSession stores a new session, evicting the oldest *idle* sessions
+// (no queued or running jobs) when the cap is exceeded, and keeps the
+// session gauge current. When every session is pinned by an active job
+// the cap is allowed to overflow — evicting a session out from under a
+// running summarization would strand the job. With a store attached,
+// the session and any evictions are journaled.
 func (s *Server) addSession(sess *session) string {
 	s.mu.Lock()
 	s.nextID++
 	id := strconv.Itoa(s.nextID)
+	sess.id = id
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
-	var evicted []string
-	for len(s.sessions) > s.maxSessions {
-		oldest := s.order[0]
-		s.order = s.order[1:]
-		delete(s.sessions, oldest)
-		evicted = append(evicted, oldest)
-	}
+	evicted := s.evictIdleLocked()
 	count := len(s.sessions)
 	s.mu.Unlock()
 
 	s.met.sessions.Set(float64(count))
+	if s.st != nil {
+		if err := s.st.PutSession(&codec.SessionRecord{ID: id, Prov: sess.prov, Universe: sess.universe}); err != nil {
+			s.log.Error("journaling session failed", "session", id, "err", err)
+		}
+	}
 	for _, old := range evicted {
 		s.met.evictions.Inc()
 		s.log.Info("session evicted", "session", old, "cap", s.maxSessions)
+		if s.st != nil {
+			if err := s.st.DropSession(old); err != nil {
+				s.log.Error("journaling eviction failed", "session", old, "err", err)
+			}
+		}
 	}
 	return id
+}
+
+// evictIdleLocked evicts oldest-first among idle sessions until the cap
+// is met (or only pinned sessions remain). Callers hold s.mu.
+func (s *Server) evictIdleLocked() []string {
+	var evicted []string
+	for len(s.sessions) > s.maxSessions {
+		victim := -1
+		for i, id := range s.order {
+			if s.sessions[id].active == 0 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break // every session pinned: allow overflow
+		}
+		id := s.order[victim]
+		s.order = append(s.order[:victim], s.order[victim+1:]...)
+		delete(s.sessions, id)
+		evicted = append(evicted, id)
+	}
+	return evicted
 }
 
 // customRequest submits a hand-written provenance expression in the
@@ -307,10 +430,12 @@ func (s *Server) handleCustom(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "expression has no tensors")
 		return
 	}
+	entries := make([]codec.UniverseEntry, 0, len(req.Universe))
 	for _, a := range req.Universe {
 		s.workload.Universe.Add(provenance.Annotation(a.Ann), a.Table, provenance.Attrs(a.Attrs))
+		entries = append(entries, codec.UniverseEntry{Ann: a.Ann, Table: a.Table, Attrs: a.Attrs})
 	}
-	id := s.addSession(&session{prov: expr})
+	id := s.addSession(&session{prov: expr, universe: entries})
 
 	writeJSON(w, http.StatusOK, selectResponse{
 		SessionID:  id,
@@ -327,6 +452,14 @@ func (s *Server) session(id string) (*session, bool) {
 	return sess, ok
 }
 
+// summaryOf reads a session's summary under the server lock (job workers
+// write it concurrently).
+func (s *Server) summaryOf(sess *session) *core.Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sess.summary
+}
+
 // summarizeRequest carries the Algorithm 1 parameters of the
 // summarization view.
 type summarizeRequest struct {
@@ -339,6 +472,8 @@ type summarizeRequest struct {
 	// ValuationClass is "annotation" (Cancel Single Annotation) or
 	// "attribute" (Cancel Single Attribute).
 	ValuationClass string `json:"valuationClass"`
+	// TimeoutMS bounds the job's run time; 0 means no deadline.
+	TimeoutMS int64 `json:"timeoutMs"`
 }
 
 type stepInfo struct {
@@ -367,53 +502,34 @@ type summarizeResponse struct {
 	ElapsedMS  float64     `json:"elapsedMs"`
 }
 
-// handleSummarize implements the summarization service.
+// handleSummarize implements the summarization service as
+// submit-and-wait over the job engine: the request's summarization runs
+// as a job on the worker pool (subject to the same queue bound) and the
+// handler blocks until it finishes. The wait is tied to r.Context(), so
+// a client that disconnects cancels the work instead of leaving it
+// burning a worker.
 func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	var req summarizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	sess, ok := s.session(req.SessionID)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
-		return
-	}
-	if req.WDist == 0 && req.WSize == 0 {
-		req.WDist, req.WSize = 0.5, 0.5
-	}
-
-	kind := datasets.CancelSingleAnnotation
-	if req.ValuationClass == "attribute" {
-		kind = datasets.CancelSingleAttribute
-	}
-	est := s.estimatorFor(sess.prov, kind)
-
-	summarizer, err := core.New(core.Config{
-		Policy:     s.workload.Policy,
-		Estimator:  est,
-		WDist:      req.WDist,
-		WSize:      req.WSize,
-		TargetSize: req.TargetSize,
-		TargetDist: req.TargetDist,
-		MaxSteps:   req.Steps,
-	})
+	job, status, err := s.submitSummarize(&req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, status, "%v", err)
 		return
 	}
-	sum, err := summarizer.Summarize(sess.prov)
+	st, err := job.Wait(r.Context())
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		_ = s.jm.Cancel(job.ID)
+		writeErr(w, http.StatusServiceUnavailable, "request ended before summarization finished: %v", err)
 		return
 	}
-	sess.summary = sum
-	sess.class = kind
-	s.recordSummarize(sum, est)
-	s.log.Info("summarized",
-		"session", req.SessionID, "steps", len(sum.Steps), "stop", sum.StopReason,
-		"size", sum.Expr.Size(), "dist", sum.Dist, "dur", sum.Elapsed)
+	s.writeJobOutcome(w, st)
+}
 
+// summaryResponse renders a finished summary for the API.
+func (s *Server) summaryResponse(sum *core.Summary) summarizeResponse {
 	resp := summarizeResponse{
 		Expression: sum.Expr.String(),
 		Size:       sum.Expr.Size(),
@@ -447,7 +563,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Groups = append(resp.Groups, gi)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // recordSummarize folds one summarization run and its estimator's
@@ -521,28 +637,29 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown session %q", r.URL.Query().Get("sessionId"))
 		return
 	}
-	if sess.summary == nil {
+	summary := s.summaryOf(sess)
+	if summary == nil {
 		writeErr(w, http.StatusBadRequest, "no summary yet: call /api/summarize first")
 		return
 	}
 	n, err := strconv.Atoi(r.URL.Query().Get("n"))
-	if err != nil || n < 0 || n > len(sess.summary.Steps) {
-		writeErr(w, http.StatusBadRequest, "step n must be in [0, %d]", len(sess.summary.Steps))
+	if err != nil || n < 0 || n > len(summary.Steps) {
+		writeErr(w, http.StatusBadRequest, "step n must be in [0, %d]", len(summary.Steps))
 		return
 	}
 
 	var expr provenance.Expression = sess.prov
-	for _, st := range sess.summary.Steps[:n] {
+	for _, st := range summary.Steps[:n] {
 		expr = expr.Apply(provenance.MergeMapping(st.New, st.Members...))
 	}
 	resp := stepResponse{
 		Step:       n,
-		Steps:      len(sess.summary.Steps),
+		Steps:      len(summary.Steps),
 		Expression: expr.String(),
 		Size:       expr.Size(),
 	}
 	if n > 0 {
-		st := sess.summary.Steps[n-1]
+		st := summary.Steps[n-1]
 		resp.Dist = st.Dist
 		resp.Merged = fmt.Sprintf("%v -> %s", st.Members, st.New)
 	}
@@ -599,12 +716,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var expr provenance.Expression = sess.prov
 	var use provenance.Valuation = val
 	if req.Target == "summary" {
-		if sess.summary == nil {
+		summary := s.summaryOf(sess)
+		if summary == nil {
 			writeErr(w, http.StatusBadRequest, "no summary yet: call /api/summarize first")
 			return
 		}
-		expr = sess.summary.Expr
-		use = provenance.ExtendValuation(val, sess.summary.Groups, provenance.CombineOr)
+		expr = summary.Expr
+		use = provenance.ExtendValuation(val, summary.Groups, provenance.CombineOr)
 	}
 
 	start := time.Now()

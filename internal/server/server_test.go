@@ -18,7 +18,10 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	cfg := datasets.DefaultMovieLensConfig()
 	cfg.Users, cfg.Movies = 10, 5
 	w := datasets.MovieLens(cfg, rand.New(rand.NewSource(5)))
-	s := New(w)
+	s, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

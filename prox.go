@@ -513,5 +513,7 @@ func WriteSummaryJSON(w io.Writer, s *Summary) error { return codec.WriteSummary
 type ProxServer = server.Server
 
 // NewProxServer builds the PROX application server over a MovieLens
-// workload; serve its Handler with net/http.
-func NewProxServer(w *Workload) *ProxServer { return server.New(w) }
+// workload; serve its Handler with net/http. Construction can fail when
+// a persistence store is attached and its replay does not match the
+// workload.
+func NewProxServer(w *Workload) (*ProxServer, error) { return server.New(w) }
