@@ -15,6 +15,14 @@
 //	            [-shutdown-timeout 10s]
 //	            [-workers 2] [-queue 32]
 //	            [-data-dir DIR] [-checkpoint-every 8]
+//	            [-cache-entries 256] [-cache-bytes 67108864] [-cache-ttl 0]
+//
+// Completed summaries are kept in a content-addressed cache bounded by
+// -cache-entries and -cache-bytes; entries older than -cache-ttl expire
+// (0 means never). -cache-entries 0 disables caching. Flag values are
+// validated at startup: nonsensical settings (a zero worker pool, a
+// negative queue or cache bound) fail fast with exit code 2 instead of
+// misbehaving later.
 package main
 
 import (
@@ -36,6 +44,47 @@ import (
 	"repro/internal/store"
 )
 
+// settings are the runtime flags that can be nonsensical in ways the
+// flag package cannot catch (it parses -workers -3 happily). They are
+// validated before any resource is touched, so a bad value fails fast
+// with a message naming the flag instead of surfacing as a worker pool
+// that never runs anything or a cache that rejects every entry.
+type settings struct {
+	users           int
+	movies          int
+	maxSessions     int
+	workers         int
+	queue           int
+	checkpointEvery int
+	cacheEntries    int
+	cacheBytes      int64
+	cacheTTL        time.Duration
+}
+
+func (c settings) validate() error {
+	switch {
+	case c.users <= 0:
+		return fmt.Errorf("-users must be positive, got %d", c.users)
+	case c.movies <= 0:
+		return fmt.Errorf("-movies must be positive, got %d", c.movies)
+	case c.maxSessions <= 0:
+		return fmt.Errorf("-max-sessions must be positive, got %d", c.maxSessions)
+	case c.workers <= 0:
+		return fmt.Errorf("-workers must be positive, got %d", c.workers)
+	case c.queue < 0:
+		return fmt.Errorf("-queue must be non-negative, got %d", c.queue)
+	case c.checkpointEvery < 0:
+		return fmt.Errorf("-checkpoint-every must be non-negative, got %d", c.checkpointEvery)
+	case c.cacheEntries < 0:
+		return fmt.Errorf("-cache-entries must be non-negative (0 disables the cache), got %d", c.cacheEntries)
+	case c.cacheBytes < 0:
+		return fmt.Errorf("-cache-bytes must be non-negative, got %d", c.cacheBytes)
+	case c.cacheTTL < 0:
+		return fmt.Errorf("-cache-ttl must be non-negative (0 means no expiry), got %v", c.cacheTTL)
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	users := flag.Int("users", 24, "number of MovieLens users")
@@ -49,7 +98,26 @@ func main() {
 	queue := flag.Int("queue", 32, "job queue capacity (excess submissions get 429)")
 	dataDir := flag.String("data-dir", "", "durability directory (empty: in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", 8, "checkpoint running jobs every K merge steps (needs -data-dir)")
+	cacheEntries := flag.Int("cache-entries", 256, "summary-cache entry cap (0 disables caching)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "summary-cache byte cap")
+	cacheTTL := flag.Duration("cache-ttl", 0, "summary-cache entry lifetime (0: no expiry)")
 	flag.Parse()
+
+	cfgFlags := settings{
+		users:           *users,
+		movies:          *movies,
+		maxSessions:     *maxSessions,
+		workers:         *workers,
+		queue:           *queue,
+		checkpointEvery: *checkpointEvery,
+		cacheEntries:    *cacheEntries,
+		cacheBytes:      *cacheBytes,
+		cacheTTL:        *cacheTTL,
+	}
+	if err := cfgFlags.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "prox-server: %v\n", err)
+		os.Exit(2)
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -71,6 +139,7 @@ func main() {
 		server.WithWorkers(*workers),
 		server.WithQueueSize(*queue),
 		server.WithCheckpointEvery(*checkpointEvery),
+		server.WithCache(*cacheEntries, *cacheBytes, *cacheTTL),
 	}
 	var st *store.Store
 	if *dataDir != "" {

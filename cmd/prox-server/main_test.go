@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// valid are defaults every case below perturbs one field of.
+func validSettings() settings {
+	return settings{
+		users:           24,
+		movies:          8,
+		maxSessions:     1024,
+		workers:         2,
+		queue:           32,
+		checkpointEvery: 8,
+		cacheEntries:    256,
+		cacheBytes:      64 << 20,
+		cacheTTL:        0,
+	}
+}
+
+func TestValidateSettings(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*settings)
+		wantErr string // empty: must validate
+	}{
+		{"defaults", func(*settings) {}, ""},
+		{"queue zero ok", func(c *settings) { c.queue = 0 }, ""},
+		{"checkpoint zero ok", func(c *settings) { c.checkpointEvery = 0 }, ""},
+		{"cache disabled ok", func(c *settings) { c.cacheEntries = 0 }, ""},
+		{"cache ttl set ok", func(c *settings) { c.cacheTTL = time.Hour }, ""},
+
+		{"zero workers", func(c *settings) { c.workers = 0 }, "-workers"},
+		{"negative workers", func(c *settings) { c.workers = -3 }, "-workers"},
+		{"negative queue", func(c *settings) { c.queue = -1 }, "-queue"},
+		{"negative checkpoint", func(c *settings) { c.checkpointEvery = -1 }, "-checkpoint-every"},
+		{"negative cache entries", func(c *settings) { c.cacheEntries = -1 }, "-cache-entries"},
+		{"negative cache bytes", func(c *settings) { c.cacheBytes = -1 }, "-cache-bytes"},
+		{"negative cache ttl", func(c *settings) { c.cacheTTL = -time.Second }, "-cache-ttl"},
+		{"zero users", func(c *settings) { c.users = 0 }, "-users"},
+		{"zero movies", func(c *settings) { c.movies = 0 }, "-movies"},
+		{"zero max sessions", func(c *settings) { c.maxSessions = 0 }, "-max-sessions"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validSettings()
+			tc.mutate(&c)
+			err := c.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() = nil, want error naming %s", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %q, want it to name %s", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -214,6 +214,29 @@ func (r *CheckpointRecord) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// CacheEntryRecord persists one summary-cache entry: the content
+// address it is stored under (hex of the 32-byte cache key) and the
+// merge trace needed to rebuild the summary on a hit. Replay keeps the
+// last record per key, so re-putting a key refreshes its entry.
+type CacheEntryRecord struct {
+	Key        string       `json:"key"`
+	Class      string       `json:"class"`
+	Steps      []StepRecord `json:"steps"`
+	Dist       float64      `json:"dist"`
+	StopReason string       `json:"stopReason"`
+	CreatedMS  int64        `json:"createdMs"`
+}
+
+// CacheDropRecord removes a single cache entry (LRU or TTL eviction) so
+// replay does not resurrect it.
+type CacheDropRecord struct {
+	Key string `json:"key"`
+}
+
+// CacheFlushRecord removes every cache entry journaled before it — the
+// durable form of the admin flush endpoint.
+type CacheFlushRecord struct{}
+
 // Record is the tagged union of durable-state records; exactly one
 // variant must be set.
 type Record struct {
@@ -226,6 +249,9 @@ type Record struct {
 	Summary     *SummaryRecord     `json:"summary,omitempty"`
 	Job         *JobRecord         `json:"job,omitempty"`
 	Checkpoint  *CheckpointRecord  `json:"checkpoint,omitempty"`
+	CacheEntry  *CacheEntryRecord  `json:"cacheEntry,omitempty"`
+	CacheDrop   *CacheDropRecord   `json:"cacheDrop,omitempty"`
+	CacheFlush  *CacheFlushRecord  `json:"cacheFlush,omitempty"`
 }
 
 func (r *Record) variants() int {
@@ -243,6 +269,15 @@ func (r *Record) variants() int {
 		n++
 	}
 	if r.Checkpoint != nil {
+		n++
+	}
+	if r.CacheEntry != nil {
+		n++
+	}
+	if r.CacheDrop != nil {
+		n++
+	}
+	if r.CacheFlush != nil {
 		n++
 	}
 	return n

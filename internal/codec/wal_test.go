@@ -60,6 +60,16 @@ func sampleRecords(t *testing.T) []*Record {
 			Dist: 0.1, StopReason: "max-steps",
 		}},
 		{Seq: 5, SessionDrop: &SessionDropRecord{ID: "s1"}},
+		{Seq: 6, CacheEntry: &CacheEntryRecord{
+			Key: "0a1b2c3d", Class: "cancel-single",
+			Steps: []StepRecord{{
+				Members: []string{"U1", "U2"}, New: "users:gender",
+				Score: 0.42, Dist: 0.1, Size: 3,
+			}},
+			Dist: 0.1, StopReason: "max-steps", CreatedMS: 1722800001000,
+		}},
+		{Seq: 7, CacheDrop: &CacheDropRecord{Key: "0a1b2c3d"}},
+		{Seq: 8, CacheFlush: &CacheFlushRecord{}},
 	}
 }
 

@@ -8,6 +8,8 @@
 package constraints
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"math"
 	"strconv"
 
@@ -95,6 +97,40 @@ func (p *Policy) MergeName(members []provenance.Annotation) provenance.Annotatio
 		}
 	}
 	return p.Universe.Merge(members, provenance.FreshName(members))
+}
+
+// Fingerprint digests the identity of the constraint set, for use in
+// summary cache keys: the rule names in order (rule names embed their
+// parameters — e.g. "numeric-within:cost" — so distinct configurations
+// digest differently) and, when a taxonomy is attached, its full
+// structure (every concept with its parent, in sorted order). The
+// universe itself is excluded: expression-relevant annotation metadata
+// is fingerprinted separately per request via UniverseFingerprint, and
+// the universe mutates as summaries register new annotations.
+func (p *Policy) Fingerprint() [32]byte {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeStr("constraints.Policy/v1")
+	for _, r := range p.Rules {
+		writeStr(r.Name())
+	}
+	if p.Tax != nil {
+		writeStr("taxonomy")
+		writeStr(string(p.Tax.Root()))
+		for _, c := range p.Tax.Concepts() {
+			parent, _ := p.Tax.Parent(c)
+			writeStr(string(c))
+			writeStr(string(parent))
+		}
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
 }
 
 func (p *Policy) allInTaxonomy(members []provenance.Annotation) bool {

@@ -103,6 +103,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	keyed    map[string]*Job // live job per dedup key (singleflight)
 	shutdown bool
 }
 
@@ -112,6 +113,7 @@ type Job struct {
 	ID string
 
 	m       *Manager
+	key     string // dedup key, "" when not coalescible
 	task    Task
 	timeout time.Duration
 	done    chan struct{}
@@ -121,6 +123,7 @@ type Job struct {
 
 	mu        sync.Mutex
 	state     State
+	waiters   int // submissions coalesced onto this job (>= 1)
 	err       error
 	cause     error
 	result    any
@@ -145,6 +148,7 @@ func New(cfg Config) *Manager {
 		base:   base,
 		cancel: cancel,
 		jobs:   make(map[string]*Job),
+		keyed:  make(map[string]*Job),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -157,21 +161,41 @@ func New(cfg Config) *Manager {
 // deadline. Returns ErrQueueFull when the backlog is at capacity,
 // ErrShutdown after Shutdown, and ErrDuplicate if id names a live job.
 func (m *Manager) Submit(id string, timeout time.Duration, task Task) (*Job, error) {
+	j, _, err := m.SubmitCoalesced(id, "", timeout, task)
+	return j, err
+}
+
+// SubmitCoalesced is Submit with singleflight deduplication: when key
+// is non-empty and names a live job, no new job is created — the live
+// job gains a waiter and is returned with coalesced=true (id, timeout
+// and task are ignored). Otherwise a fresh job is enqueued under id
+// with one waiter. Waiters abandon the shared job via Leave; it is
+// canceled only when the last one leaves.
+func (m *Manager) SubmitCoalesced(id, key string, timeout time.Duration, task Task) (*Job, bool, error) {
 	j := &Job{
-		ID: id, m: m, task: task, timeout: timeout,
+		ID: id, m: m, key: key, task: task, timeout: timeout,
 		done: make(chan struct{}), enqueued: make(chan struct{}),
-		state: Queued, submitted: time.Now(),
+		state: Queued, waiters: 1, submitted: time.Now(),
 	}
 	m.mu.Lock()
 	if m.shutdown {
 		m.mu.Unlock()
-		return nil, ErrShutdown
+		return nil, false, ErrShutdown
+	}
+	if key != "" {
+		if prev, ok := m.keyed[key]; ok && prev.addWaiter() {
+			m.mu.Unlock()
+			return prev, true, nil
+		}
 	}
 	if prev, ok := m.jobs[id]; ok && !prev.Status().State.Terminal() {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrDuplicate, id)
+		return nil, false, fmt.Errorf("%w: %s", ErrDuplicate, id)
 	}
 	m.jobs[id] = j
+	if key != "" {
+		m.keyed[key] = j
+	}
 	m.mu.Unlock()
 
 	select {
@@ -179,12 +203,70 @@ func (m *Manager) Submit(id string, timeout time.Duration, task Task) (*Job, err
 	default:
 		m.mu.Lock()
 		delete(m.jobs, id)
+		if key != "" && m.keyed[key] == j {
+			delete(m.keyed, key)
+		}
 		m.mu.Unlock()
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	m.observe(Transition{Job: j, From: Queued, To: Queued})
 	close(j.enqueued)
-	return j, nil
+	return j, false, nil
+}
+
+// addWaiter joins a coalesced submission onto the job, failing if the
+// job is already terminal (its result may predate the caller's
+// submission; the caller should start a fresh job).
+func (j *Job) addWaiter() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.waiters++
+	return true
+}
+
+// Waiters reports how many submissions are coalesced onto the job.
+func (j *Job) Waiters() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.waiters
+}
+
+// Leave detaches one waiter from a job, returning how many remain. The
+// job itself is canceled only when the last waiter leaves — one
+// client's cancelation must not kill a computation other clients are
+// still waiting on.
+func (m *Manager) Leave(id string) (int, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	if j.waiters > 0 {
+		j.waiters--
+	}
+	remaining := j.waiters
+	j.mu.Unlock()
+	if remaining > 0 {
+		return remaining, nil
+	}
+	return 0, m.Cancel(id)
+}
+
+// dropKey retires j's singleflight registration once it is terminal,
+// so later identical submissions start a fresh job (typically after a
+// cache check).
+func (m *Manager) dropKey(j *Job) {
+	if j.key == "" {
+		return
+	}
+	m.mu.Lock()
+	if m.keyed[j.key] == j {
+		delete(m.keyed, j.key)
+	}
+	m.mu.Unlock()
 }
 
 // Get returns a job by id.
@@ -213,6 +295,7 @@ func (m *Manager) Cancel(id string) error {
 		j.finish(Canceled, ErrCanceled, ErrCanceled)
 		tr := j.transition(Queued, Canceled)
 		j.mu.Unlock()
+		m.dropKey(j)
 		m.observe(tr)
 	case Running:
 		cancel := j.cancel
@@ -322,6 +405,11 @@ func (m *Manager) run(j *Job) {
 	j.finish(to, err, cause)
 	tr = j.transition(Running, to)
 	j.mu.Unlock()
+	// Retire the singleflight key before announcing the terminal state:
+	// once observers (which publish results to caches) have run, a new
+	// identical submission must start fresh rather than attach to a
+	// finished job.
+	m.dropKey(j)
 	m.observe(tr)
 }
 

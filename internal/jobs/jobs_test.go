@@ -3,7 +3,9 @@ package jobs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -280,5 +282,176 @@ func TestParallelWorkers(t *testing.T) {
 	close(release)
 	for _, j := range js {
 		waitState(t, j, Done)
+	}
+}
+
+// TestCoalescedSubmissionsShareOneRun pins the singleflight contract: N
+// submissions under one dedup key run the task exactly once and every
+// waiter sees the shared result.
+func TestCoalescedSubmissionsShareOneRun(t *testing.T) {
+	m := New(Config{Workers: 2, Queue: 8})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	var runs int32
+	task := func(ctx context.Context) (any, error) {
+		atomic.AddInt32(&runs, 1)
+		return blockingTask(started, release, "k")(ctx)
+	}
+
+	first, coalesced, err := m.SubmitCoalesced("j1", "key", 0, task)
+	if err != nil || coalesced {
+		t.Fatalf("first submission: job=%v coalesced=%v err=%v", first, coalesced, err)
+	}
+	<-started
+
+	var dupes []*Job
+	for i := 0; i < 3; i++ {
+		j, coalesced, err := m.SubmitCoalesced("ignored", "key", 0, task)
+		if err != nil || !coalesced || j != first {
+			t.Fatalf("dupe %d: job=%p coalesced=%v err=%v, want %p true nil", i, j, coalesced, err, first)
+		}
+		dupes = append(dupes, j)
+	}
+	if n := first.Waiters(); n != 4 {
+		t.Fatalf("waiters = %d, want 4", n)
+	}
+
+	close(release)
+	for _, j := range append(dupes, first) {
+		st := waitState(t, j, Done)
+		if st.Result != "ok:k" {
+			t.Fatalf("result = %v", st.Result)
+		}
+	}
+	if got := atomic.LoadInt32(&runs); got != 1 {
+		t.Fatalf("task ran %d times, want 1", got)
+	}
+
+	// After the job is terminal the key is retired: a new submission under
+	// it starts a fresh job.
+	release2 := make(chan struct{})
+	close(release2)
+	fresh, coalesced, err := m.SubmitCoalesced("j2", "key", 0, blockingTask(nil, release2, "k2"))
+	if err != nil || coalesced {
+		t.Fatalf("post-terminal submission: coalesced=%v err=%v", coalesced, err)
+	}
+	if fresh == first {
+		t.Fatal("post-terminal submission must not reuse the finished job")
+	}
+	waitState(t, fresh, Done)
+}
+
+// TestLeaveKeepsCoalescedWaiters pins the cancel semantics of shared
+// jobs: the first waiter leaving must not kill the computation the
+// others are waiting on; the last one leaving cancels it.
+func TestLeaveKeepsCoalescedWaiters(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 8})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	j, _, err := m.SubmitCoalesced("j1", "key", 0, blockingTask(started, release, "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, coalesced, _ := m.SubmitCoalesced("x", "key", 0, nil); !coalesced {
+		t.Fatal("second submission should coalesce")
+	}
+
+	remaining, err := m.Leave("j1")
+	if err != nil || remaining != 1 {
+		t.Fatalf("first Leave: remaining=%d err=%v, want 1 nil", remaining, err)
+	}
+	select {
+	case <-j.Done():
+		t.Fatal("job must keep running while a waiter remains")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	remaining, err = m.Leave("j1")
+	if err != nil || remaining != 0 {
+		t.Fatalf("last Leave: remaining=%d err=%v, want 0 nil", remaining, err)
+	}
+	st := waitState(t, j, Canceled)
+	if !errors.Is(st.Cause, ErrCanceled) {
+		t.Fatalf("cause = %v, want ErrCanceled", st.Cause)
+	}
+}
+
+// TestLeaveQueuedCoalesced pins Leave on a job that never started: the
+// last leaver cancels it in place and it never runs.
+func TestLeaveQueuedCoalesced(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 8})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := m.Submit("busy", 0, blockingTask(started, release, "busy")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	j, _, err := m.SubmitCoalesced("j1", "key", 0, blockingTask(nil, nil, "never"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remaining, err := m.Leave("j1"); err != nil || remaining != 0 {
+		t.Fatalf("Leave: remaining=%d err=%v", remaining, err)
+	}
+	st := waitState(t, j, Canceled)
+	if st.StartedAt != (time.Time{}) {
+		t.Fatal("canceled queued job must never start")
+	}
+	// Its key is free again.
+	if _, coalesced, err := m.SubmitCoalesced("j2", "key", 0, blockingTask(nil, nil, "n2")); err != nil || coalesced {
+		t.Fatalf("key not retired: coalesced=%v err=%v", coalesced, err)
+	}
+}
+
+// TestCoalescedRace hammers concurrent identical submissions to verify
+// exactly-one-run under contention.
+func TestCoalescedRace(t *testing.T) {
+	m := New(Config{Workers: 4, Queue: 64})
+	defer m.Shutdown(context.Background())
+
+	var runs int32
+	release := make(chan struct{})
+	task := func(ctx context.Context) (any, error) {
+		atomic.AddInt32(&runs, 1)
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	const n = 32
+	jobsCh := make(chan *Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, _, err := m.SubmitCoalesced(fmt.Sprintf("j%d", i), "key", 0, task)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobsCh <- j
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+	close(jobsCh)
+	for j := range jobsCh {
+		waitState(t, j, Done)
+	}
+	if got := atomic.LoadInt32(&runs); got != 1 {
+		t.Fatalf("task ran %d times, want 1", got)
 	}
 }

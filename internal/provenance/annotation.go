@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Annotation is a basic provenance token: an abstract variable
@@ -74,8 +75,12 @@ func Shared(attrs []Attrs) Attrs {
 //
 // A Universe is mutated as summarization proceeds: each merge step
 // registers the new summary annotation with the intersection of its
-// members' attributes.
+// members' attributes. All methods are safe for concurrent use: the
+// server registers summary annotations from worker goroutines (running
+// jobs, cache-hit trace replays) while request handlers read metadata
+// and compute fingerprints.
 type Universe struct {
+	mu    sync.RWMutex
 	attrs map[Annotation]Attrs
 	table map[Annotation]string
 }
@@ -91,41 +96,64 @@ func NewUniverse() *Universe {
 // Add registers annotation a as belonging to table with the given
 // attributes. Re-adding an annotation overwrites its previous entry.
 func (u *Universe) Add(a Annotation, table string, attrs Attrs) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	u.attrs[a] = attrs.clone()
 	u.table[a] = table
 }
 
 // Table returns the table (domain) of a, or "" if unregistered.
-func (u *Universe) Table(a Annotation) string { return u.table[a] }
+func (u *Universe) Table(a Annotation) string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.table[a]
+}
 
 // AttrsOf returns the attributes of a (nil if unregistered). The returned
 // map must not be modified.
-func (u *Universe) AttrsOf(a Annotation) Attrs { return u.attrs[a] }
+func (u *Universe) AttrsOf(a Annotation) Attrs {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.attrs[a]
+}
 
 // Attr returns a single attribute value of a, or "" if absent.
-func (u *Universe) Attr(a Annotation, name string) string { return u.attrs[a][name] }
+func (u *Universe) Attr(a Annotation, name string) string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.attrs[a][name]
+}
 
 // Known reports whether a is registered.
-func (u *Universe) Known(a Annotation) bool { _, ok := u.attrs[a]; return ok }
+func (u *Universe) Known(a Annotation) bool {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	_, ok := u.attrs[a]
+	return ok
+}
 
 // Annotations returns all registered annotations in sorted order.
 func (u *Universe) Annotations() []Annotation {
+	u.mu.RLock()
 	out := make([]Annotation, 0, len(u.attrs))
 	for a := range u.attrs {
 		out = append(out, a)
 	}
+	u.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // InTable returns all registered annotations of the given table, sorted.
 func (u *Universe) InTable(table string) []Annotation {
+	u.mu.RLock()
 	var out []Annotation
 	for a, t := range u.table {
 		if t == table {
 			out = append(out, a)
 		}
 	}
+	u.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -141,6 +169,8 @@ func (u *Universe) Merge(members []Annotation, fallback Annotation) Annotation {
 	if len(members) == 0 {
 		return fallback
 	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	table := u.table[members[0]]
 	attrSets := make([]Attrs, 0, len(members))
 	for _, m := range members {
@@ -149,6 +179,7 @@ func (u *Universe) Merge(members []Annotation, fallback Annotation) Annotation {
 		}
 	}
 	shared := Shared(attrSets)
+	known := func(a Annotation) bool { _, ok := u.attrs[a]; return ok }
 	name := fallback
 	if len(shared) > 0 {
 		keys := make([]string, 0, len(shared))
@@ -161,10 +192,10 @@ func (u *Universe) Merge(members []Annotation, fallback Annotation) Annotation {
 		// attribute-derived name; disambiguate by appending a suffix when a
 		// registered annotation with that name exists and is not one of the
 		// members being replaced.
-		if u.Known(name) && !contains(members, name) {
+		if known(name) && !contains(members, name) {
 			for i := 2; ; i++ {
 				cand := Annotation(fmt.Sprintf("%s#%d", name, i))
-				if !u.Known(cand) || contains(members, cand) {
+				if !known(cand) || contains(members, cand) {
 					name = cand
 					break
 				}

@@ -1,0 +1,183 @@
+// fingerprint.go computes content addresses of provenance expressions:
+// SHA-256 digests over a canonical binary serialization, used as cache
+// keys by the summary cache. The encoding is a normal form — invariant
+// under the commutativity congruences of the semiring and of ⊕ — so two
+// expressions that are syntactically equal up to operand reordering
+// (and tensor-merging, via Simplify) fingerprint identically, while any
+// semantic difference changes the digest with overwhelming probability.
+//
+// The encoding is injective on the normal form: every node is
+// type-tagged and every variable-length field is length-prefixed, so
+// distinct normal forms cannot serialize to the same byte string (the
+// delimiter-collision problem a naive string concatenation would have).
+package provenance
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Canonical encoding tags; bumping fpVersion invalidates every stored
+// fingerprint, which is the desired effect of an encoding change.
+const (
+	fpVersion byte = 1
+
+	tagVar    byte = 'v'
+	tagConst  byte = 'c'
+	tagSum    byte = 's'
+	tagProd   byte = 'p'
+	tagCmp    byte = 'q'
+	tagAgg    byte = 'A'
+	tagOpaque byte = 'o'
+)
+
+// Fingerprint returns the SHA-256 content address of an expression's
+// canonical normal form. For *Agg the expression is simplified first
+// (zero tensors dropped, equal-polynomial tensors merged) and the
+// tensor encodings are byte-sorted, so fingerprints are invariant under
+// ⊕-operand reordering where the congruence allows it. Expression
+// implementations outside this package fall back to hashing their
+// dynamic type and String rendering, which is deterministic but only as
+// canonical as their String method.
+func Fingerprint(e Expression) [32]byte {
+	buf := []byte{fpVersion}
+	switch x := e.(type) {
+	case *Agg:
+		buf = appendCanonAgg(buf, x)
+	default:
+		buf = append(buf, tagOpaque)
+		buf = appendString(buf, fmt.Sprintf("%T", e))
+		buf = appendString(buf, e.String())
+	}
+	return sha256.Sum256(buf)
+}
+
+// FingerprintExpr returns the SHA-256 content address of a bare
+// provenance polynomial's canonical form (commutativity-invariant for
+// Sum and Prod operands).
+func FingerprintExpr(e Expr) [32]byte {
+	buf := []byte{fpVersion}
+	buf = appendCanonExpr(buf, e)
+	return sha256.Sum256(buf)
+}
+
+// UniverseFingerprint digests the constraint-relevant metadata of the
+// given annotations: for each annotation (in sorted order) its table and
+// its attribute map. Mergeability — and therefore the summary an
+// expression produces — depends on exactly this metadata, so it belongs
+// in a summary cache key alongside the expression itself: the same
+// expression over differently-attributed annotations must not share
+// cache entries.
+func UniverseFingerprint(u *Universe, anns []Annotation) [32]byte {
+	sorted := make([]Annotation, len(anns))
+	copy(sorted, anns)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	buf := []byte{fpVersion}
+	buf = appendUvarint(buf, uint64(len(sorted)))
+	for _, a := range sorted {
+		buf = appendString(buf, string(a))
+		buf = appendString(buf, u.Table(a))
+		attrs := u.AttrsOf(a)
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf = appendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = appendString(buf, k)
+			buf = appendString(buf, attrs[k])
+		}
+	}
+	return sha256.Sum256(buf)
+}
+
+// appendCanonAgg appends the canonical encoding of an aggregated
+// expression: aggregation kind, then the simplified tensors' encodings
+// in byte-sorted order, each length-prefixed.
+func appendCanonAgg(buf []byte, g *Agg) []byte {
+	s := g.Simplify()
+	encs := make([][]byte, len(s.Tensors))
+	for i, t := range s.Tensors {
+		enc := appendCanonExpr(nil, t.Prov)
+		enc = binary.BigEndian.AppendUint64(enc, math.Float64bits(t.Value))
+		enc = appendUvarint(enc, uint64(t.Count))
+		enc = appendString(enc, string(t.Group))
+		encs[i] = enc
+	}
+	sortByteSlices(encs)
+
+	buf = append(buf, tagAgg, byte(s.Agg.Kind))
+	buf = appendUvarint(buf, uint64(len(encs)))
+	for _, enc := range encs {
+		buf = appendBytes(buf, enc)
+	}
+	return buf
+}
+
+// appendCanonExpr appends the canonical encoding of a polynomial node.
+// Sum and Prod children are encoded independently and byte-sorted
+// before concatenation, which is what makes the encoding invariant
+// under operand reordering.
+func appendCanonExpr(buf []byte, e Expr) []byte {
+	switch x := e.(type) {
+	case Var:
+		buf = append(buf, tagVar)
+		return appendString(buf, string(x.Ann))
+	case Const:
+		buf = append(buf, tagConst)
+		return appendUvarint(buf, uint64(x.N))
+	case Sum:
+		return appendCanonChildren(buf, tagSum, x.Terms)
+	case Prod:
+		return appendCanonChildren(buf, tagProd, x.Factors)
+	case Cmp:
+		buf = append(buf, tagCmp)
+		buf = appendBytes(buf, appendCanonExpr(nil, x.Inner))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x.Value))
+		buf = append(buf, byte(x.Op))
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(x.Bound))
+	default:
+		// Unknown node types (none exist today): fall back to Key, which
+		// is canonical up to commutativity by construction.
+		buf = append(buf, tagOpaque)
+		return appendString(buf, e.Key())
+	}
+}
+
+func appendCanonChildren(buf []byte, tag byte, children []Expr) []byte {
+	encs := make([][]byte, len(children))
+	for i, c := range children {
+		encs[i] = appendCanonExpr(nil, c)
+	}
+	sortByteSlices(encs)
+	buf = append(buf, tag)
+	buf = appendUvarint(buf, uint64(len(encs)))
+	for _, enc := range encs {
+		buf = appendBytes(buf, enc)
+	}
+	return buf
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = appendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func sortByteSlices(encs [][]byte) {
+	sort.Slice(encs, func(i, j int) bool { return bytes.Compare(encs[i], encs[j]) < 0 })
+}

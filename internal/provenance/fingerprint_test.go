@@ -1,0 +1,211 @@
+package provenance
+
+import (
+	"testing"
+)
+
+func TestFingerprintCommutativityInvariance(t *testing.T) {
+	a := Sum{Terms: []Expr{V("a"), V("b"), Prod{Factors: []Expr{V("c"), V("d")}}}}
+	b := Sum{Terms: []Expr{Prod{Factors: []Expr{V("d"), V("c")}}, V("b"), V("a")}}
+	if FingerprintExpr(a) != FingerprintExpr(b) {
+		t.Fatal("reordered Sum/Prod operands must fingerprint identically")
+	}
+	c := Sum{Terms: []Expr{V("a"), V("b"), Prod{Factors: []Expr{V("c"), V("c")}}}}
+	if FingerprintExpr(a) == FingerprintExpr(c) {
+		t.Fatal("distinct expressions must not share a fingerprint")
+	}
+}
+
+func TestFingerprintAggTensorReordering(t *testing.T) {
+	t1 := Tensor{Prov: V("u1"), Value: 3, Count: 1, Group: "m1"}
+	t2 := Tensor{Prov: V("u2"), Value: 5, Count: 1, Group: "m1"}
+	t3 := Tensor{Prov: P("u1", "u2"), Value: 4, Count: 2, Group: "m2"}
+	a := NewAgg(AggMax, t1, t2, t3)
+	b := NewAgg(AggMax, t3, t1, t2)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("⊕-reordered tensors must fingerprint identically")
+	}
+	// The congruence merges equal-polynomial tensors; the unsimplified
+	// spelling must land on the same fingerprint as its normal form.
+	split := &Agg{
+		Agg: Aggregator{Kind: AggMax},
+		Tensors: []Tensor{
+			{Prov: V("u1"), Value: 3, Count: 1, Group: "m1"},
+			{Prov: V("u2"), Value: 5, Count: 1, Group: "m1"},
+			{Prov: P("u1", "u2"), Value: 4, Count: 2, Group: "m2"},
+			{Prov: Const{0}, Value: 9, Count: 1, Group: "m3"}, // dropped by congruence
+		},
+	}
+	if Fingerprint(a) != Fingerprint(split) {
+		t.Fatal("fingerprint must be computed over the simplified normal form")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := NewAgg(AggMax, Tensor{Prov: V("u1"), Value: 3, Count: 1, Group: "m1"})
+	mutants := []*Agg{
+		NewAgg(AggSum, Tensor{Prov: V("u1"), Value: 3, Count: 1, Group: "m1"}), // agg kind
+		NewAgg(AggMax, Tensor{Prov: V("u2"), Value: 3, Count: 1, Group: "m1"}), // annotation
+		NewAgg(AggMax, Tensor{Prov: V("u1"), Value: 4, Count: 1, Group: "m1"}), // value
+		NewAgg(AggMax, Tensor{Prov: V("u1"), Value: 3, Count: 2, Group: "m1"}), // count
+		NewAgg(AggMax, Tensor{Prov: V("u1"), Value: 3, Count: 1, Group: "m2"}), // group
+	}
+	fp := Fingerprint(base)
+	for i, m := range mutants {
+		if Fingerprint(m) == fp {
+			t.Fatalf("mutant %d fingerprints like the base expression", i)
+		}
+	}
+}
+
+func TestFingerprintEncodingUnambiguous(t *testing.T) {
+	// Naive string-joining encodings confuse Sum{ab} with Sum{a,b};
+	// length prefixes must keep them apart.
+	a := Sum{Terms: []Expr{V("ab")}}
+	b := Sum{Terms: []Expr{V("a"), V("b")}}
+	if FingerprintExpr(a) == FingerprintExpr(b) {
+		t.Fatal("length-prefixed encoding must distinguish ab from a,b")
+	}
+}
+
+func TestUniverseFingerprint(t *testing.T) {
+	u1 := NewUniverse()
+	u1.Add("a", "users", Attrs{"gender": "F", "age": "18-24"})
+	u1.Add("b", "users", Attrs{"gender": "M"})
+	u2 := NewUniverse()
+	u2.Add("b", "users", Attrs{"gender": "M"})
+	u2.Add("a", "users", Attrs{"age": "18-24", "gender": "F"})
+	anns := []Annotation{"a", "b"}
+	if UniverseFingerprint(u1, anns) != UniverseFingerprint(u2, anns) {
+		t.Fatal("registration order must not change the universe fingerprint")
+	}
+	if UniverseFingerprint(u1, []Annotation{"b", "a"}) != UniverseFingerprint(u1, anns) {
+		t.Fatal("annotation argument order must not change the fingerprint")
+	}
+	u2.Add("a", "users", Attrs{"age": "18-24", "gender": "M"})
+	if UniverseFingerprint(u1, anns) == UniverseFingerprint(u2, anns) {
+		t.Fatal("changed attribute value must change the fingerprint")
+	}
+}
+
+// reverseExpr rebuilds e with every operand list reversed — a structural
+// equality (up to commutativity) the fingerprint must be blind to.
+func reverseExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case Sum:
+		ts := make([]Expr, len(x.Terms))
+		for i, t := range x.Terms {
+			ts[len(ts)-1-i] = reverseExpr(t)
+		}
+		return Sum{Terms: ts}
+	case Prod:
+		fs := make([]Expr, len(x.Factors))
+		for i, f := range x.Factors {
+			fs[len(fs)-1-i] = reverseExpr(f)
+		}
+		return Prod{Factors: fs}
+	case Cmp:
+		return Cmp{Inner: reverseExpr(x.Inner), Value: x.Value, Op: x.Op, Bound: x.Bound}
+	default:
+		return e
+	}
+}
+
+// mutateExpr flips one semantic detail of e (chosen by sel), returning
+// the mutant and whether a mutation point was found.
+func mutateExpr(e Expr, sel *int) (Expr, bool) {
+	switch x := e.(type) {
+	case Var:
+		if *sel == 0 {
+			return Var{Ann: x.Ann + "'"}, true
+		}
+		*sel--
+		return x, false
+	case Const:
+		if *sel == 0 {
+			return Const{N: x.N + 1}, true
+		}
+		*sel--
+		return x, false
+	case Sum:
+		ts := make([]Expr, len(x.Terms))
+		copy(ts, x.Terms)
+		for i, t := range ts {
+			if m, ok := mutateExpr(t, sel); ok {
+				ts[i] = m
+				return Sum{Terms: ts}, true
+			}
+		}
+		return x, false
+	case Prod:
+		fs := make([]Expr, len(x.Factors))
+		copy(fs, x.Factors)
+		for i, f := range fs {
+			if m, ok := mutateExpr(f, sel); ok {
+				fs[i] = m
+				return Prod{Factors: fs}, true
+			}
+		}
+		return x, false
+	case Cmp:
+		if *sel == 0 {
+			return Cmp{Inner: x.Inner, Value: x.Value + 1, Op: x.Op, Bound: x.Bound}, true
+		}
+		*sel--
+		if m, ok := mutateExpr(x.Inner, sel); ok {
+			return Cmp{Inner: m, Value: x.Value, Op: x.Op, Bound: x.Bound}, true
+		}
+		return x, false
+	}
+	return e, false
+}
+
+// FuzzFingerprint is the differential fuzzer of the content-address
+// layer: for arbitrary expressions it checks that (1) structural
+// equality up to commutativity implies equal fingerprints (operand
+// reversal, tensor rotation), and (2) a semantic mutation changes the
+// fingerprint unless simplification proves the mutant is the same
+// normal form.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 3, 2, 4}, uint8(0))
+	f.Add([]byte{4, 3, 2, 1, 0, 0, 1, 2, 3, 4}, uint8(3))
+	f.Add([]byte{}, uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, sel uint8) {
+		pos := 0
+		e := buildExpr(data, &pos, 4)
+		fp := FingerprintExpr(e)
+
+		if got := FingerprintExpr(reverseExpr(e)); got != fp {
+			t.Fatalf("operand reversal changed fingerprint of %s", e)
+		}
+		if got := FingerprintExpr(SimplifyExpr(e)); got != FingerprintExpr(SimplifyExpr(reverseExpr(e))) {
+			t.Fatalf("simplified forms of commuted %s disagree", e)
+		}
+
+		// An Agg wrapping the expression must be ⊕-rotation invariant.
+		tensors := []Tensor{
+			{Prov: e, Value: 1, Count: 1, Group: "g1"},
+			{Prov: V("z"), Value: 2, Count: 1, Group: "g2"},
+			{Prov: V("y"), Value: 3, Count: 1, Group: "g1"},
+		}
+		rotated := []Tensor{tensors[2], tensors[0], tensors[1]}
+		if Fingerprint(NewAgg(AggMax, tensors...)) != Fingerprint(NewAgg(AggMax, rotated...)) {
+			t.Fatalf("tensor rotation changed Agg fingerprint for %s", e)
+		}
+
+		selN := int(sel)
+		mutant, ok := mutateExpr(e, &selN)
+		if !ok {
+			return
+		}
+		// The mutation is syntactic; if both sides simplify to the same
+		// normal form (e.g. the mutated subterm was absorbed), equal
+		// fingerprints are correct.
+		if SimplifyExpr(mutant).Key() == SimplifyExpr(e).Key() {
+			return
+		}
+		if FingerprintExpr(mutant) == fp {
+			t.Fatalf("mutation did not change fingerprint: %s vs %s", e, mutant)
+		}
+	})
+}

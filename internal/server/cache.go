@@ -1,0 +1,130 @@
+// cache.go wires the content-addressed summary cache into the server:
+// cache-key computation from the session's expression, the request
+// config and the constraint policy; replaying a cached merge trace into
+// a full summary on a hit; publishing completed runs; and the admin
+// flush endpoint. The singleflight layer that collapses concurrent
+// identical submissions lives in internal/jobs — here we only derive
+// the dedup key and count coalesced submissions.
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/provenance"
+	"repro/internal/summarycache"
+)
+
+// cacheKeyFor computes the content address of one summarization
+// request: (expression fingerprint, config fingerprint, constraint-set
+// fingerprint, annotation-metadata fingerprint). Two requests with
+// equal keys run Algorithm 1 to the same summary, so one's journaled
+// merge trace can stand in for the other's run. The annotation
+// metadata fingerprint guards persisted entries across restarts: the
+// same expression over differently-attributed annotations (another
+// seed, another workload sharing the store directory) must not share
+// entries.
+func (s *Server) cacheKeyFor(sess *session, params codec.JobParams) summarycache.Key {
+	kind := classKind(params.Class)
+	cfg := core.Config{
+		Estimator:  s.estimatorFor(sess.prov, kind),
+		WDist:      params.WDist,
+		WSize:      params.WSize,
+		TargetSize: params.TargetSize,
+		TargetDist: params.TargetDist,
+		MaxSteps:   params.Steps,
+	}
+	exprFP := provenance.Fingerprint(sess.prov)
+	cfgFP := cfg.Fingerprint()
+	annFP := provenance.UniverseFingerprint(s.workload.Universe, sess.prov.Annotations())
+	return summarycache.KeyFrom(exprFP[:], cfgFP[:], s.policyFP[:], annFP[:])
+}
+
+// serveFromCache replays a cached merge trace into a summary for sess,
+// publishing it on the session (and journaling it, with a store) just
+// as a completed job would — minus the run itself.
+func (s *Server) serveFromCache(sess *session, entry *codec.CacheEntryRecord) (*core.Summary, error) {
+	sumRec := &codec.SummaryRecord{
+		SessionID:  sess.id,
+		Class:      entry.Class,
+		Steps:      entry.Steps,
+		Dist:       entry.Dist,
+		StopReason: entry.StopReason,
+	}
+	sum, err := s.rebuildSummary(sess, sumRec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	sess.summary = sum
+	sess.class = classKind(entry.Class)
+	s.mu.Unlock()
+	if s.st != nil {
+		if err := s.st.PutSummary(sumRec); err != nil {
+			s.log.Error("journaling cached summary failed", "session", sess.id, "err", err)
+		}
+	}
+	s.met.cacheHits.Inc()
+	s.log.Info("summary served from cache", "session", sess.id, "key", entry.Key, "steps", len(entry.Steps))
+	return sum, nil
+}
+
+// publishToCache stores a completed run's merge trace under its content
+// address and journals it, so identical future requests — including
+// ones after a restart — replay the trace instead of re-running.
+func (s *Server) publishToCache(key summarycache.Key, params codec.JobParams, sum *core.Summary) {
+	rec := &codec.CacheEntryRecord{
+		Key:        key.String(),
+		Class:      params.Class,
+		Steps:      codec.StepsFromCore(sum.Steps),
+		Dist:       sum.Dist,
+		StopReason: sum.StopReason,
+		CreatedMS:  time.Now().UnixMilli(),
+	}
+	s.cache.Put(key, rec)
+	if s.st != nil {
+		if err := s.st.PutCacheEntry(rec); err != nil {
+			s.log.Error("journaling cache entry failed", "key", rec.Key, "err", err)
+		}
+	}
+	s.updateCacheGauges()
+}
+
+// onCacheEvict journals LRU/TTL evictions so replay does not resurrect
+// them. Called with the cache lock held; it must not call back into the
+// cache (gauges are refreshed at the Put/Get call sites instead).
+func (s *Server) onCacheEvict(k summarycache.Key, _ *codec.CacheEntryRecord, _ summarycache.EvictReason) {
+	s.met.cacheEvictions.Inc()
+	if s.st != nil {
+		if err := s.st.DropCacheEntry(k.String()); err != nil {
+			s.log.Error("journaling cache eviction failed", "key", k.String(), "err", err)
+		}
+	}
+}
+
+func (s *Server) updateCacheGauges() {
+	st := s.cache.Stats()
+	s.met.cacheBytes.Set(float64(st.Bytes))
+	s.met.cacheEntries.Set(float64(st.Entries))
+}
+
+// handleCacheFlush implements POST /api/cache/flush: drop every cached
+// summary (admin operation, e.g. after a constraint or dataset change
+// that fingerprints alone cannot see).
+func (s *Server) handleCacheFlush(w http.ResponseWriter, _ *http.Request) {
+	if s.cache == nil {
+		writeErr(w, http.StatusConflict, "summary cache is disabled")
+		return
+	}
+	n := s.cache.Flush()
+	if s.st != nil {
+		if err := s.st.FlushCache(); err != nil {
+			s.log.Error("journaling cache flush failed", "err", err)
+		}
+	}
+	s.updateCacheGauges()
+	s.log.Info("summary cache flushed", "entries", n)
+	writeJSON(w, http.StatusOK, map[string]int{"flushed": n})
+}

@@ -22,15 +22,26 @@ import (
 	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/store"
+	"repro/internal/summarycache"
 )
 
 // jobMeta is the server-side context of a job: which session it
 // belongs to and the parameters to journal (and to rebuild the task
-// from after a restart).
+// from after a restart). Coalesced duplicate submissions register
+// their sessions in attached; the terminal transition fans the result
+// out to them and unpins each.
 type jobMeta struct {
 	sessionID   string
 	params      codec.JobParams
 	submittedMS int64
+	// attached are the sessions of coalesced submissions (possibly
+	// repeating the primary session); each is pinned until the job ends.
+	attached []*session
+	// finished flips when the terminal transition has been processed;
+	// a coalesced submission attaching after that must self-serve from
+	// the job's result instead of waiting for a fan-out that already ran.
+	// Guarded by s.mu, like attached.
+	finished bool
 }
 
 func classKind(class string) datasets.ClassKind {
@@ -40,9 +51,24 @@ func classKind(class string) datasets.ClassKind {
 	return datasets.CancelSingleAnnotation
 }
 
-// submitSummarize validates a summarize request and enqueues it as a
-// job. The returned int is the HTTP status for the error, if any.
-func (s *Server) submitSummarize(req *summarizeRequest) (*jobs.Job, int, error) {
+// summarizeOutcome is what a summarize submission resolved to: a
+// cached summary served without running anything, or a job — fresh
+// (cacheState "miss") or shared with identical in-flight submissions
+// (cacheState "inflight"). cacheState is "" when caching is disabled.
+type summarizeOutcome struct {
+	sess       *session
+	params     codec.JobParams
+	job        *jobs.Job
+	cached     *core.Summary
+	cacheState string
+}
+
+// submitSummarize validates a summarize request and resolves it
+// against the summary cache: a hit replays the cached trace, a miss
+// enqueues a job under the request's content address so identical
+// concurrent submissions coalesce onto it. The returned int is the
+// HTTP status for the error, if any.
+func (s *Server) submitSummarize(req *summarizeRequest) (*summarizeOutcome, int, error) {
 	sess, ok := s.session(req.SessionID)
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", req.SessionID)
@@ -59,7 +85,32 @@ func (s *Server) submitSummarize(req *summarizeRequest) (*jobs.Job, int, error) 
 		Class:      req.ValuationClass,
 		TimeoutMS:  req.TimeoutMS,
 	}
-	job, err := s.submitJob(sess, "", params, nil)
+	out := &summarizeOutcome{sess: sess, params: params}
+
+	var key *summarycache.Key
+	if s.cache != nil {
+		k := s.cacheKeyFor(sess, params)
+		key = &k
+		if entry, ok := s.cache.Get(k); ok {
+			sum, err := s.serveFromCache(sess, entry)
+			if err == nil {
+				out.cached, out.cacheState = sum, "hit"
+				return out, 0, nil
+			}
+			// A trace that no longer replays (e.g. the session's expression
+			// changed out from under a stale entry) is dropped and recomputed.
+			s.log.Error("cached summary replay failed; recomputing", "key", entry.Key, "err", err)
+			s.cache.Drop(k)
+			if s.st != nil {
+				if derr := s.st.DropCacheEntry(entry.Key); derr != nil {
+					s.log.Error("journaling cache drop failed", "key", entry.Key, "err", derr)
+				}
+			}
+		}
+		s.updateCacheGauges()
+	}
+
+	job, coalesced, err := s.submitJob(sess, "", params, nil, key)
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
@@ -70,14 +121,27 @@ func (s *Server) submitSummarize(req *summarizeRequest) (*jobs.Job, int, error) 
 			return nil, http.StatusBadRequest, err
 		}
 	}
-	return job, 0, nil
+	out.job = job
+	if s.cache != nil {
+		if coalesced {
+			out.cacheState = "inflight"
+			s.met.cacheCoalesced.Inc()
+		} else {
+			out.cacheState = "miss"
+			s.met.cacheMisses.Inc()
+		}
+	}
+	return out, 0, nil
 }
 
 // submitJob enqueues one summarization job for sess, pinning the
 // session against eviction for the job's lifetime. An empty id draws a
 // fresh one; a resumed job passes its persisted id and latest
-// checkpoint.
-func (s *Server) submitJob(sess *session, id string, params codec.JobParams, cp *core.Checkpoint) (*jobs.Job, error) {
+// checkpoint. A non-nil cache key makes the submission coalescible:
+// when an identical job is already in flight, no new job starts — the
+// session attaches to the running one (coalesced=true) and receives
+// its summary when it completes.
+func (s *Server) submitJob(sess *session, id string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key) (*jobs.Job, bool, error) {
 	s.mu.Lock()
 	if id == "" {
 		s.jobSeq++
@@ -92,22 +156,53 @@ func (s *Server) submitJob(sess *session, id string, params codec.JobParams, cp 
 	sess.active++
 	s.mu.Unlock()
 
-	job, err := s.jm.Submit(id, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, id, params, cp))
+	dedupKey := ""
+	if key != nil {
+		dedupKey = "c:" + key.String()
+	}
+	job, coalesced, err := s.jm.SubmitCoalesced(id, dedupKey, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, id, params, cp, key))
 	if err != nil {
 		s.mu.Lock()
 		delete(s.jobMeta, id)
 		sess.active--
 		s.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
-	return job, nil
+	if coalesced {
+		// The fresh id never became a job; this submission rides on
+		// job.ID instead. Attach the session so the shared job's terminal
+		// transition publishes to it and unpins it — unless that
+		// transition has already run, in which case serve directly.
+		s.mu.Lock()
+		delete(s.jobMeta, id)
+		shared := s.jobMeta[job.ID]
+		if shared != nil && !shared.finished {
+			shared.attached = append(shared.attached, sess)
+			s.mu.Unlock()
+		} else {
+			sess.active--
+			s.mu.Unlock()
+			if st := job.Status(); st.State == jobs.Done {
+				if sum, ok := st.Result.(*core.Summary); ok {
+					s.mu.Lock()
+					sess.summary = sum
+					sess.class = classKind(params.Class)
+					s.mu.Unlock()
+				}
+			}
+		}
+	}
+	return job, coalesced, nil
 }
 
 // summarizeTask builds the worker-pool task for one job: construct the
 // summarizer (with a checkpoint sink when a store is attached), run —
 // resuming from cp if the job was interrupted before a restart — and
-// publish the summary on the session.
-func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobParams, cp *core.Checkpoint) jobs.Task {
+// publish the summary on the session and (with a key) in the summary
+// cache. The cache publish happens before the job goes terminal, so a
+// submission never observes a finished job it cannot coalesce onto
+// without also finding the entry it would have computed.
+func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key) jobs.Task {
 	return func(ctx context.Context) (any, error) {
 		kind := classKind(params.Class)
 		est := s.estimatorFor(sess.prov, kind)
@@ -142,6 +237,9 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 		sess.summary = sum
 		sess.class = kind
 		s.mu.Unlock()
+		if s.cache != nil && key != nil {
+			s.publishToCache(*key, params, sum)
+		}
 		s.recordSummarize(sum, est)
 		s.log.Info("summarized",
 			"session", sess.id, "job", jobID, "steps", len(sum.Steps), "stop", sum.StopReason,
@@ -159,16 +257,35 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 // checkpoint.
 func (s *Server) onJobTransition(tr jobs.Transition) {
 	id := tr.Job.ID
+	var fanout []*session
 	s.mu.Lock()
 	meta := s.jobMeta[id]
 	if tr.To.Terminal() {
 		if meta != nil {
+			meta.finished = true
 			if sess, ok := s.sessions[meta.sessionID]; ok {
 				sess.active--
 			}
+			for _, as := range meta.attached {
+				as.active--
+			}
+			fanout = meta.attached
 		}
 	}
 	s.mu.Unlock()
+
+	// Fan the shared result out to coalesced waiters' sessions.
+	if tr.To == jobs.Done && len(fanout) > 0 && meta != nil {
+		if sum, ok := tr.Job.Status().Result.(*core.Summary); ok {
+			kind := classKind(meta.params.Class)
+			s.mu.Lock()
+			for _, as := range fanout {
+				as.summary = sum
+				as.class = kind
+			}
+			s.mu.Unlock()
+		}
+	}
 
 	switch {
 	case tr.From == jobs.Queued && tr.To == jobs.Queued:
@@ -197,15 +314,27 @@ func (s *Server) onJobTransition(tr jobs.Transition) {
 	}
 	if tr.To == jobs.Done {
 		if sum, ok := tr.Job.Status().Result.(*core.Summary); ok {
-			rec := &codec.SummaryRecord{
-				SessionID:  meta.sessionID,
-				Class:      meta.params.Class,
-				Steps:      codec.StepsFromCore(sum.Steps),
-				Dist:       sum.Dist,
-				StopReason: sum.StopReason,
+			// One summary record per distinct session sharing the job: the
+			// primary submitter plus any coalesced waiters.
+			sessionIDs := []string{meta.sessionID}
+			seen := map[string]bool{meta.sessionID: true}
+			for _, as := range fanout {
+				if !seen[as.id] {
+					seen[as.id] = true
+					sessionIDs = append(sessionIDs, as.id)
+				}
 			}
-			if err := s.st.PutSummary(rec); err != nil {
-				s.log.Error("journaling summary failed", "job", id, "err", err)
+			for _, sid := range sessionIDs {
+				rec := &codec.SummaryRecord{
+					SessionID:  sid,
+					Class:      meta.params.Class,
+					Steps:      codec.StepsFromCore(sum.Steps),
+					Dist:       sum.Dist,
+					StopReason: sum.StopReason,
+				}
+				if err := s.st.PutSummary(rec); err != nil {
+					s.log.Error("journaling summary failed", "job", id, "session", sid, "err", err)
+				}
 			}
 		}
 	}
@@ -234,6 +363,9 @@ type jobResponse struct {
 	StartedAt   string             `json:"startedAt,omitempty"`
 	FinishedAt  string             `json:"finishedAt,omitempty"`
 	Result      *summarizeResponse `json:"result,omitempty"`
+	// Cached marks a submission answered from the summary cache without
+	// running a job.
+	Cached bool `json:"cached,omitempty"`
 }
 
 func rfc3339OrEmpty(t time.Time) string {
@@ -270,19 +402,64 @@ func (s *Server) jobResponseFor(st jobs.Status) jobResponse {
 }
 
 // handleJobSubmit implements POST /api/jobs: enqueue a summarization and
-// return immediately with the job id.
+// return immediately with the job id. A cache hit synthesizes an
+// already-done job carrying the cached result; a submission identical
+// to an in-flight job returns that job's id (the duplicate attaches to
+// it rather than queueing a second run).
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req summarizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	job, status, err := s.submitSummarize(&req)
+	out, status, err := s.submitSummarize(&req)
 	if err != nil {
 		writeErr(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, s.jobResponseFor(job.Status()))
+	if out.cacheState != "" {
+		w.Header().Set("X-Prox-Cache", out.cacheState)
+	}
+	if out.cached != nil {
+		writeJSON(w, http.StatusOK, s.cachedJobResponse(out))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobResponseFor(out.job.Status()))
+}
+
+// cachedJobResponse registers a synthetic, already-done job for a
+// cache hit, so the async API keeps its invariant that every accepted
+// submission has a pollable job id.
+func (s *Server) cachedJobResponse(out *summarizeOutcome) jobResponse {
+	now := time.Now()
+	s.mu.Lock()
+	s.jobSeq++
+	id := "j" + strconv.Itoa(s.jobSeq)
+	rec := &codec.JobRecord{
+		ID:          id,
+		SessionID:   out.sess.id,
+		State:       store.JobStateDone,
+		Params:      out.params,
+		SubmittedMS: now.UnixMilli(),
+	}
+	s.finished[id] = rec
+	s.mu.Unlock()
+	if s.st != nil {
+		if err := s.st.PutJob(rec); err != nil {
+			s.log.Error("journaling cached job failed", "job", id, "err", err)
+		}
+	}
+	sr := s.summaryResponse(out.cached)
+	sr.Cached = true
+	return jobResponse{
+		ID:          id,
+		SessionID:   out.sess.id,
+		State:       store.JobStateDone,
+		SubmittedAt: rfc3339OrEmpty(now),
+		FinishedAt:  rfc3339OrEmpty(now),
+		Result:      &sr,
+		Cached:      true,
+	}
 }
 
 // handleJobGet implements GET /api/jobs/{id}. Jobs that finished before
@@ -307,10 +484,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobResponseFor(job.Status()))
 }
 
-// handleJobCancel implements POST /api/jobs/{id}/cancel.
+// handleJobCancel implements POST /api/jobs/{id}/cancel. Cancelation
+// is per-waiter: on a job shared by coalesced identical submissions,
+// each cancel detaches one waiter, and only the last one actually
+// cancels the computation.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.jm.Cancel(id); err != nil {
+	if _, err := s.jm.Leave(id); err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -370,6 +550,21 @@ func (s *Server) restoreFromStore() error {
 	}
 	s.met.sessions.Set(float64(len(s.sessions)))
 
+	// Warm-start the summary cache from its journaled entries (in
+	// first-append order, so replayed LRU displacement keeps the most
+	// recently journaled entries when bounds shrank across the restart).
+	if s.cache != nil {
+		for _, rec := range state.CacheEntries {
+			k, err := summarycache.ParseKey(rec.Key)
+			if err != nil {
+				s.log.Error("dropping unparseable cache key from store", "key", rec.Key, "err", err)
+				continue
+			}
+			s.cache.Put(k, rec)
+		}
+		s.updateCacheGauges()
+	}
+
 	var requeue []*codec.JobRecord
 	for _, rec := range state.Jobs {
 		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "j")); err == nil && n > s.jobSeq {
@@ -395,8 +590,33 @@ func (s *Server) restoreFromStore() error {
 		if cp != nil {
 			step = cp.Step
 		}
-		if _, err := s.submitJob(sess, rec.ID, rec.Params, cp); err != nil {
+		var key *summarycache.Key
+		if s.cache != nil {
+			k := s.cacheKeyFor(sess, rec.Params)
+			key = &k
+		}
+		job, coalesced, err := s.submitJob(sess, rec.ID, rec.Params, cp, key)
+		if err != nil {
 			return fmt.Errorf("server: requeueing interrupted job %s: %w", rec.ID, err)
+		}
+		if coalesced {
+			// Two interrupted jobs with the same content address: this one
+			// rides on the first's run. Retire its journaled record so it is
+			// not requeued forever.
+			done := &codec.JobRecord{
+				ID:          rec.ID,
+				SessionID:   rec.SessionID,
+				State:       store.JobStateCanceled,
+				Error:       "coalesced into " + job.ID,
+				Params:      rec.Params,
+				SubmittedMS: rec.SubmittedMS,
+			}
+			s.finished[rec.ID] = done
+			if err := s.st.PutJob(done); err != nil {
+				s.log.Error("journaling coalesced requeue failed", "job", rec.ID, "err", err)
+			}
+			s.log.Info("requeued job coalesced onto identical in-flight job", "job", rec.ID, "into", job.ID)
+			continue
 		}
 		s.log.Info("requeued interrupted job", "job", rec.ID, "session", rec.SessionID, "fromStep", step)
 	}

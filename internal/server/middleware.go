@@ -23,6 +23,14 @@ type metrics struct {
 	jobsFinished map[string]*obs.Counter // by terminal state
 	checkpoints  *obs.Counter
 
+	// summary-cache instrumentation.
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheCoalesced *obs.Counter
+	cacheBytes     *obs.Gauge
+	cacheEntries   *obs.Gauge
+
 	// estimator instrumentation, accumulated from per-request estimators
 	// after each summarization (see recordSummarize).
 	estEvals      *obs.Counter
@@ -61,6 +69,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"canceled": reg.Counter("prox_jobs_finished_total", "Jobs reaching a terminal state.", obs.Labels{"state": "canceled"}),
 		},
 		checkpoints: reg.Counter("prox_checkpoints_total", "Job checkpoints journaled to the store.", nil),
+
+		cacheHits:      reg.Counter("prox_cache_hits_total", "Summarize requests served from the summary cache.", nil),
+		cacheMisses:    reg.Counter("prox_cache_misses_total", "Summarize requests that missed the summary cache.", nil),
+		cacheEvictions: reg.Counter("prox_cache_evictions_total", "Summary-cache entries displaced by the LRU/TTL bounds.", nil),
+		cacheCoalesced: reg.Counter("prox_cache_inflight_coalesced_total", "Submissions coalesced onto an in-flight identical job.", nil),
+		cacheBytes:     reg.Gauge("prox_cache_bytes", "Bytes held by the summary cache.", nil),
+		cacheEntries:   reg.Gauge("prox_cache_entries", "Entries held by the summary cache.", nil),
 
 		estEvals:      reg.Counter("prox_estimator_evaluations_total", "VAL-FUNC summands evaluated by the distance estimator.", nil),
 		estHits:       reg.Counter("prox_estimator_cache_hits_total", "Original-expression evaluation cache hits.", nil),

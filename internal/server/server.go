@@ -36,6 +36,7 @@ import (
 	"repro/internal/parse"
 	"repro/internal/provenance"
 	"repro/internal/store"
+	"repro/internal/summarycache"
 	"repro/internal/valuation"
 )
 
@@ -61,6 +62,15 @@ type Server struct {
 	checkpointEvery int
 	st              *store.Store
 	jm              *jobs.Manager
+
+	// Summary cache: content-addressed LRU of completed merge traces,
+	// keyed by (expression, config, policy, annotation metadata)
+	// fingerprints. nil when disabled via WithCache(0, ...).
+	cache        *summarycache.Cache
+	cacheEntries int
+	cacheBytes   int64
+	cacheTTL     time.Duration
+	policyFP     [32]byte
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -139,10 +149,30 @@ func WithCheckpointEvery(k int) Option {
 }
 
 // WithStore attaches a persistence store: sessions, summaries, job
-// states and checkpoints are journaled to it, and its replayed state is
-// restored — interrupted jobs requeued from their latest checkpoint —
-// when the server starts.
+// states, checkpoints and summary-cache entries are journaled to it,
+// and its replayed state is restored — interrupted jobs requeued from
+// their latest checkpoint, the cache warm-started — when the server
+// starts.
 func WithStore(st *store.Store) Option { return func(s *Server) { s.st = st } }
+
+// WithCache bounds the summary cache: at most entries summaries,
+// at most bytes of journaled trace data, each expiring ttl after
+// creation (ttl <= 0 means no expiry). entries == 0 disables caching
+// entirely; negative values keep the defaults (256 entries, 64 MiB,
+// no expiry).
+func WithCache(entries int, bytes int64, ttl time.Duration) Option {
+	return func(s *Server) {
+		if entries >= 0 {
+			s.cacheEntries = entries
+		}
+		if bytes >= 0 {
+			s.cacheBytes = bytes
+		}
+		if ttl >= 0 {
+			s.cacheTTL = ttl
+		}
+	}
+}
 
 // New builds a PROX server over the given MovieLens workload. With a
 // store attached it also replays persisted sessions and requeues
@@ -156,6 +186,8 @@ func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 		workers:         2,
 		queueSize:       32,
 		checkpointEvery: 8,
+		cacheEntries:    256,
+		cacheBytes:      64 << 20,
 		jobMeta:         make(map[string]*jobMeta),
 		finished:        make(map[string]*codec.JobRecord),
 	}
@@ -169,6 +201,15 @@ func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 		s.log = obs.Nop()
 	}
 	s.met = newMetrics(s.reg)
+	s.policyFP = w.Policy.Fingerprint()
+	if s.cacheEntries > 0 {
+		s.cache = summarycache.New(summarycache.Config{
+			MaxEntries: s.cacheEntries,
+			MaxBytes:   s.cacheBytes,
+			TTL:        s.cacheTTL,
+			OnEvict:    s.onCacheEvict,
+		})
+	}
 	s.jm = jobs.New(jobs.Config{
 		Workers:      s.workers,
 		Queue:        s.queueSize,
@@ -206,6 +247,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/jobs", s.instrument("/api/jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /api/jobs/{id}", s.instrument("/api/jobs/{id}", s.handleJobGet))
 	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.instrument("/api/jobs/{id}/cancel", s.handleJobCancel))
+	mux.HandleFunc("POST /api/cache/flush", s.instrument("/api/cache/flush", s.handleCacheFlush))
 	mux.HandleFunc("GET /api/step", s.instrument("/api/step", s.handleStep))
 	mux.HandleFunc("POST /api/evaluate", s.instrument("/api/evaluate", s.handleEvaluate))
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -500,28 +542,42 @@ type summarizeResponse struct {
 	Steps      []stepInfo  `json:"steps"`
 	Groups     []groupInfo `json:"groups"`
 	ElapsedMS  float64     `json:"elapsedMs"`
+	// Cached is true when the summary was replayed from the summary
+	// cache instead of running Algorithm 1.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // handleSummarize implements the summarization service as
 // submit-and-wait over the job engine: the request's summarization runs
 // as a job on the worker pool (subject to the same queue bound) and the
-// handler blocks until it finishes. The wait is tied to r.Context(), so
-// a client that disconnects cancels the work instead of leaving it
-// burning a worker.
+// handler blocks until it finishes. Identical requests are served from
+// the summary cache (X-Prox-Cache: hit) or coalesced onto an in-flight
+// identical job (X-Prox-Cache: inflight). The wait is tied to
+// r.Context(), so a client that disconnects leaves the job — which may
+// have other waiters — and cancels it only when it was the last waiter.
 func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	var req summarizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	job, status, err := s.submitSummarize(&req)
+	out, status, err := s.submitSummarize(&req)
 	if err != nil {
 		writeErr(w, status, "%v", err)
 		return
 	}
-	st, err := job.Wait(r.Context())
+	if out.cacheState != "" {
+		w.Header().Set("X-Prox-Cache", out.cacheState)
+	}
+	if out.cached != nil {
+		resp := s.summaryResponse(out.cached)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	st, err := out.job.Wait(r.Context())
 	if err != nil {
-		_ = s.jm.Cancel(job.ID)
+		_, _ = s.jm.Leave(out.job.ID)
 		writeErr(w, http.StatusServiceUnavailable, "request ended before summarization finished: %v", err)
 		return
 	}

@@ -1,6 +1,7 @@
-// Package store persists server state — sessions, summaries, jobs and
-// job checkpoints — to an append-only log plus snapshot file, both in
-// the CRC-framed record format of internal/codec. Opening a store
+// Package store persists server state — sessions, summaries, jobs, job
+// checkpoints and summary-cache entries — to an append-only log plus
+// snapshot file, both in the CRC-framed record format of
+// internal/codec. Opening a store
 // replays the snapshot and then the log, truncating any torn tail left
 // by a crash, so a restarted prox-server resumes with every session and
 // every queued or mid-run job intact.
@@ -81,6 +82,8 @@ type Store struct {
 	jobs         map[string]*codec.JobRecord
 	jobOrder     []string
 	checkpoints  map[string]*codec.CheckpointRecord
+	cacheEntries map[string]*codec.CacheEntryRecord
+	cacheOrder   []string
 }
 
 // State is the replayed contents of a store at open time. Slices are in
@@ -88,10 +91,11 @@ type Store struct {
 // order); the server uses this ordering to rebuild its eviction queue
 // and requeue interrupted jobs fairly.
 type State struct {
-	Sessions    []*codec.SessionRecord
-	Summaries   map[string]*codec.SummaryRecord    // by session id
-	Jobs        []*codec.JobRecord                 // latest record per job
-	Checkpoints map[string]*codec.CheckpointRecord // latest per job id
+	Sessions     []*codec.SessionRecord
+	Summaries    map[string]*codec.SummaryRecord    // by session id
+	Jobs         []*codec.JobRecord                 // latest record per job
+	Checkpoints  map[string]*codec.CheckpointRecord // latest per job id
+	CacheEntries []*codec.CacheEntryRecord          // latest record per key
 }
 
 // Open replays dir's snapshot and log, truncates any torn log tail, and
@@ -101,12 +105,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:         dir,
-		opts:        opts,
-		sessions:    make(map[string]*codec.SessionRecord),
-		summaries:   make(map[string]*codec.SummaryRecord),
-		jobs:        make(map[string]*codec.JobRecord),
-		checkpoints: make(map[string]*codec.CheckpointRecord),
+		dir:          dir,
+		opts:         opts,
+		sessions:     make(map[string]*codec.SessionRecord),
+		summaries:    make(map[string]*codec.SummaryRecord),
+		jobs:         make(map[string]*codec.JobRecord),
+		checkpoints:  make(map[string]*codec.CheckpointRecord),
+		cacheEntries: make(map[string]*codec.CacheEntryRecord),
 	}
 
 	if err := s.replayFile(filepath.Join(dir, snapshotName), false); err != nil {
@@ -206,6 +211,21 @@ func (s *Store) apply(rec *codec.Record) {
 		}
 	case rec.Checkpoint != nil:
 		s.checkpoints[rec.Checkpoint.JobID] = rec.Checkpoint
+	case rec.CacheEntry != nil:
+		key := rec.CacheEntry.Key
+		if _, ok := s.cacheEntries[key]; !ok {
+			s.cacheOrder = append(s.cacheOrder, key)
+		}
+		s.cacheEntries[key] = rec.CacheEntry
+	case rec.CacheDrop != nil:
+		key := rec.CacheDrop.Key
+		if _, ok := s.cacheEntries[key]; ok {
+			delete(s.cacheEntries, key)
+			s.cacheOrder = removeString(s.cacheOrder, key)
+		}
+	case rec.CacheFlush != nil:
+		s.cacheEntries = make(map[string]*codec.CacheEntryRecord)
+		s.cacheOrder = nil
 	}
 }
 
@@ -237,6 +257,9 @@ func (s *Store) State() *State {
 	}
 	for id, cp := range s.checkpoints {
 		st.Checkpoints[id] = cp
+	}
+	for _, key := range s.cacheOrder {
+		st.CacheEntries = append(st.CacheEntries, s.cacheEntries[key])
 	}
 	return st
 }
@@ -295,6 +318,22 @@ func (s *Store) PutCheckpoint(rec *codec.CheckpointRecord) error {
 	return s.append(&codec.Record{Checkpoint: rec})
 }
 
+// PutCacheEntry journals one summary-cache entry under its content
+// address; re-putting a key replaces its entry on replay.
+func (s *Store) PutCacheEntry(rec *codec.CacheEntryRecord) error {
+	return s.append(&codec.Record{CacheEntry: rec})
+}
+
+// DropCacheEntry journals a single cache eviction.
+func (s *Store) DropCacheEntry(key string) error {
+	return s.append(&codec.Record{CacheDrop: &codec.CacheDropRecord{Key: key}})
+}
+
+// FlushCache journals the removal of every cache entry.
+func (s *Store) FlushCache() error {
+	return s.append(&codec.Record{CacheFlush: &codec.CacheFlushRecord{}})
+}
+
 // Compact rewrites the current state as a fresh snapshot (atomically,
 // via rename) and truncates the log. Log space held by superseded
 // records — stale checkpoints especially — is reclaimed.
@@ -332,6 +371,11 @@ func (s *Store) Compact() error {
 			if err := write(&codec.Record{Checkpoint: cp}); err != nil {
 				return fmt.Errorf("store: compact: %w", err)
 			}
+		}
+	}
+	for _, key := range s.cacheOrder {
+		if err := write(&codec.Record{CacheEntry: s.cacheEntries[key]}); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
 		}
 	}
 	if err := tmp.Sync(); err != nil {

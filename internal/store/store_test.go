@@ -145,6 +145,65 @@ func TestTerminalJobDropsCheckpoint(t *testing.T) {
 	}
 }
 
+// TestCacheEntryLifecycle pins the summary-cache persistence contract:
+// entries replay in first-append order with last-write-wins per key,
+// drops remove single entries, a flush clears everything, and entries
+// survive compaction.
+func TestCacheEntryLifecycle(t *testing.T) {
+	entry := func(key string, dist float64) *codec.CacheEntryRecord {
+		return &codec.CacheEntryRecord{
+			Key: key, Class: "cancel-single",
+			Steps: []codec.StepRecord{{
+				Members: []string{"a", "b"}, New: "ab", Dist: dist, Size: 2,
+			}},
+			Dist: dist, StopReason: "max-steps", CreatedMS: 100,
+		}
+	}
+
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for _, err := range []error{
+		s.PutCacheEntry(entry("k1", 0.1)),
+		s.PutCacheEntry(entry("k2", 0.2)),
+		s.PutCacheEntry(entry("k3", 0.3)),
+		s.PutCacheEntry(entry("k1", 0.15)), // refresh keeps first-append order
+		s.DropCacheEntry("k2"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.State()
+	if len(st.CacheEntries) != 2 || st.CacheEntries[0].Key != "k1" || st.CacheEntries[1].Key != "k3" {
+		t.Fatalf("cache entries = %+v, want k1 then k3", st.CacheEntries)
+	}
+	if st.CacheEntries[0].Dist != 0.15 {
+		t.Fatalf("k1 dist = %v, want refreshed 0.15", st.CacheEntries[0].Dist)
+	}
+
+	// Entries survive compaction.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, Options{})
+	if st := s3.State(); len(st.CacheEntries) != 2 {
+		t.Fatalf("post-compact cache entries = %+v", st.CacheEntries)
+	}
+
+	// A flush clears everything, durably.
+	if err := s3.FlushCache(); err != nil {
+		t.Fatal(err)
+	}
+	s3.Close()
+	if st := mustOpen(t, dir, Options{}).State(); len(st.CacheEntries) != 0 {
+		t.Fatalf("post-flush cache entries = %+v, want none", st.CacheEntries)
+	}
+}
+
 // TestTornTailTruncated simulates a crash mid-append: garbage (or a
 // partial frame) at the end of the log is discarded on open, the file is
 // truncated back to the last whole record, and appends continue cleanly.

@@ -1,0 +1,268 @@
+// Package summarycache is a bounded, byte-accounted LRU cache of
+// summarization results keyed by content address: the SHA-256 over
+// (expression fingerprint, config fingerprint, constraint-set
+// fingerprint). Entries are codec.CacheEntryRecord values — the merge
+// trace of a completed run — so a hit is replayed into a full summary
+// by the caller instead of re-running Algorithm 1.
+//
+// The cache itself is a passive store with LRU+TTL eviction; the
+// singleflight layer that collapses concurrent identical submissions
+// lives in internal/jobs (it needs the job lifecycle), and persistence
+// lives in internal/store (the server journals puts and evictions via
+// the OnEvict hook). This split keeps the package dependency-light and
+// separately testable.
+package summarycache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// Key is the 32-byte content address of a summarization request.
+type Key [32]byte
+
+// String renders the key as lowercase hex — the form journaled in
+// cache records and shown in logs.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("summarycache: bad key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("summarycache: bad key %q: got %d bytes, want %d", s, len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// KeyFrom combines component fingerprints into a cache key. Each part
+// is length-prefixed before hashing so distinct part boundaries cannot
+// collide.
+func KeyFrom(parts ...[]byte) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// EvictReason tells the OnEvict hook why an entry left the cache.
+type EvictReason string
+
+const (
+	EvictLRU EvictReason = "lru" // displaced by the entry/byte bounds
+	EvictTTL EvictReason = "ttl" // expired
+)
+
+// Config bounds and instruments a cache. The zero value gets the
+// defaults below.
+type Config struct {
+	// MaxEntries bounds the entry count (default 256).
+	MaxEntries int
+	// MaxBytes bounds the summed entry sizes (default 64 MiB). An entry
+	// is accounted at the length of its JSON encoding — the same bytes
+	// the store journals for it.
+	MaxBytes int64
+	// TTL expires entries this long after their CreatedMS stamp; <= 0
+	// means entries never expire.
+	TTL time.Duration
+	// Now overrides the clock for TTL checks (tests). Defaults to
+	// time.Now.
+	Now func() time.Time
+	// OnEvict, when set, observes every eviction (LRU and TTL, not
+	// Flush). It is called with the cache lock held and must not call
+	// back into the cache.
+	OnEvict func(Key, *codec.CacheEntryRecord, EvictReason)
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64 // LRU displacements
+	Expirations uint64 // TTL expiries
+	Entries     int
+	Bytes       int64
+}
+
+type entry struct {
+	key  Key
+	rec  *codec.CacheEntryRecord
+	size int64
+}
+
+// Cache is the LRU store. All methods are safe for concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used; values are *entry
+	items map[Key]*list.Element
+	bytes int64
+	stats Stats
+}
+
+// New builds a cache with the given bounds.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 256
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Cache{
+		cfg:   cfg,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the entry stored under k, bumping its recency. An entry
+// past its TTL is evicted on the spot and reported as a miss.
+func (c *Cache) Get(k Key) (*codec.CacheEntryRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.expired(e.rec) {
+		c.remove(el, EvictTTL)
+		c.stats.Expirations++
+		c.stats.Misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return e.rec, true
+}
+
+// Put stores rec under k, evicting least-recently-used entries until
+// the bounds hold again. An entry larger than MaxBytes on its own is
+// not stored. Re-putting a key replaces its entry.
+func (c *Cache) Put(k Key, rec *codec.CacheEntryRecord) {
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return // records are plain structs; cannot happen
+	}
+	size := int64(len(enc))
+	if size > c.cfg.MaxBytes {
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.rec, e.size = rec, size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: k, rec: rec, size: size})
+		c.items[k] = el
+		c.bytes += size
+	}
+	for c.ll.Len() > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back, EvictLRU)
+		c.stats.Evictions++
+	}
+}
+
+// Drop removes the entry under k without invoking OnEvict, returning
+// whether it was present. Use it when the caller owns the removal's
+// side effects (e.g. it is already journaling the drop).
+func (c *Cache) Drop(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+	return true
+}
+
+// Flush empties the cache and returns how many entries were removed.
+// OnEvict is not called: the caller journals the flush as one record
+// rather than per-entry drops.
+func (c *Cache) Flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+	c.bytes = 0
+	return n
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the current byte account.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.ll.Len()
+	st.Bytes = c.bytes
+	return st
+}
+
+func (c *Cache) expired(rec *codec.CacheEntryRecord) bool {
+	if c.cfg.TTL <= 0 {
+		return false
+	}
+	created := time.UnixMilli(rec.CreatedMS)
+	return c.cfg.Now().Sub(created) > c.cfg.TTL
+}
+
+// remove unlinks el and reports the eviction. Caller holds c.mu.
+func (c *Cache) remove(el *list.Element, reason EvictReason) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+	if c.cfg.OnEvict != nil {
+		c.cfg.OnEvict(e.key, e.rec, reason)
+	}
+}

@@ -1,0 +1,206 @@
+package summarycache
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+)
+
+func key(s string) Key { return KeyFrom([]byte(s)) }
+
+func rec(dist float64) *codec.CacheEntryRecord {
+	return &codec.CacheEntryRecord{
+		Key: "deadbeef", Class: "cancel-single",
+		Steps: []codec.StepRecord{{
+			Members: []string{"a", "b"}, New: "ab", Dist: dist, Size: 2,
+		}},
+		Dist: dist, StopReason: "max-steps", CreatedMS: 1000,
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	k := KeyFrom([]byte("expr"), []byte("cfg"), []byte("policy"))
+	parsed, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != k {
+		t.Fatalf("ParseKey(%q) = %v, want %v", k.String(), parsed, k)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("non-hex key must not parse")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Fatal("short key must not parse")
+	}
+	// Length prefixes keep part boundaries apart.
+	if KeyFrom([]byte("ab"), []byte("c")) == KeyFrom([]byte("a"), []byte("bc")) {
+		t.Fatal("KeyFrom must distinguish part boundaries")
+	}
+}
+
+func TestGetPutLRU(t *testing.T) {
+	var evicted []Key
+	c := New(Config{
+		MaxEntries: 2,
+		OnEvict: func(k Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+			if reason != EvictLRU {
+				t.Errorf("reason = %q, want lru", reason)
+			}
+			evicted = append(evicted, k)
+		},
+	})
+
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put(key("a"), rec(0.1))
+	c.Put(key("b"), rec(0.2))
+	if got, ok := c.Get(key("a")); !ok || got.Dist != 0.1 {
+		t.Fatalf("Get(a) = %+v, %v", got, ok)
+	}
+
+	// "b" is now least recently used; inserting "c" must displace it.
+	c.Put(key("c"), rec(0.3))
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if len(evicted) != 1 || evicted[0] != key("b") {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a should have survived")
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestByteBound(t *testing.T) {
+	one := rec(0.1)
+	size := int64(len(mustJSON(t, one)))
+
+	c := New(Config{MaxEntries: 100, MaxBytes: 2 * size})
+	c.Put(key("a"), rec(0.1))
+	c.Put(key("b"), rec(0.2))
+	if c.Len() != 2 || c.Bytes() > 2*size {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	c.Put(key("c"), rec(0.3))
+	if c.Len() != 2 {
+		t.Fatalf("byte bound must displace an entry, len=%d", c.Len())
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("a was least recently used and should be gone")
+	}
+
+	// An entry that alone exceeds the bound is not stored.
+	tiny := New(Config{MaxEntries: 100, MaxBytes: size - 1})
+	tiny.Put(key("a"), rec(0.1))
+	if tiny.Len() != 0 {
+		t.Fatal("oversized entry must not be stored")
+	}
+
+	// Re-putting a key replaces the entry and reaccounts its bytes.
+	c.Put(key("b"), rec(0.4))
+	if got, _ := c.Get(key("b")); got.Dist != 0.4 {
+		t.Fatalf("re-put did not replace: %+v", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("re-put must not grow the cache, len=%d", c.Len())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.UnixMilli(1000)
+	var mu sync.Mutex
+	expired := 0
+	c := New(Config{
+		TTL: 500 * time.Millisecond,
+		Now: func() time.Time { mu.Lock(); defer mu.Unlock(); return now },
+		OnEvict: func(_ Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+			if reason == EvictTTL {
+				expired++
+			}
+		},
+	})
+	c.Put(key("a"), rec(0.1)) // CreatedMS = 1000
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("fresh entry must hit")
+	}
+	mu.Lock()
+	now = time.UnixMilli(1600)
+	mu.Unlock()
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("expired entry must miss")
+	}
+	if expired != 1 || c.Len() != 0 {
+		t.Fatalf("expired=%d len=%d, want lazy eviction", expired, c.Len())
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlushAndDrop(t *testing.T) {
+	evictions := 0
+	c := New(Config{OnEvict: func(Key, *codec.CacheEntryRecord, EvictReason) { evictions++ }})
+	c.Put(key("a"), rec(0.1))
+	c.Put(key("b"), rec(0.2))
+
+	if !c.Drop(key("a")) {
+		t.Fatal("Drop(a) should report presence")
+	}
+	if c.Drop(key("a")) {
+		t.Fatal("second Drop(a) should report absence")
+	}
+
+	if n := c.Flush(); n != 1 {
+		t.Fatalf("Flush = %d, want 1", n)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("len=%d bytes=%d after flush", c.Len(), c.Bytes())
+	}
+	if evictions != 0 {
+		t.Fatalf("Drop/Flush must not invoke OnEvict, got %d calls", evictions)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{MaxEntries: 16})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				k := key(fmt.Sprintf("k%d", (i+j)%32))
+				if j%3 == 0 {
+					c.Put(k, rec(float64(j)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len=%d exceeds bound", c.Len())
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: run the scoring-layout and summary-cache
+# benchmarks, compare each ns/op against the recorded baseline in
+# BENCH_core.json, and fail only on a gross slowdown (> FACTOR x the
+# baseline, default 2.0 — CI runners are noisy, so the gate catches
+# an accidentally quadratic hot path, not a 10% wobble).
+#
+# Environment:
+#   FACTOR     slowdown multiple that fails the gate (default 2.0)
+#   BENCH_OUT  file receiving the raw `go test -bench` output, kept as
+#              a CI artifact (default bench_gate_output.txt)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FACTOR="${FACTOR:-2.0}"
+BENCH_OUT="${BENCH_OUT:-bench_gate_output.txt}"
+BASELINE="BENCH_core.json"
+
+command -v jq >/dev/null || { echo "bench_gate: jq is required" >&2; exit 1; }
+
+: >"$BENCH_OUT"
+run_bench() { # $1 = -bench regexp, $2 = -benchtime, $3 = package
+  echo "== go test -bench='$1' -benchtime=$2 $3" | tee -a "$BENCH_OUT"
+  go test -run='^$' -bench="$1" -benchtime="$2" "$3" | tee -a "$BENCH_OUT"
+}
+
+# Short fixed iteration counts: the gate wants one honest sample per
+# benchmark, not a publication-grade measurement (BENCH_core.json keeps
+# those, from -benchtime=3s runs).
+run_bench 'SummarizeStepScoring' 5x ./internal/distance/
+run_bench 'SummarizeScoring(Sequential|Batch|Delta)$' 2x .
+run_bench 'ServerSummarizeCache' 20x ./internal/server/
+
+status=0
+while IFS=$'\t' read -r name baseline; do
+  # benchmark lines look like: BenchmarkFoo-8  5  123456 ns/op
+  measured=$(awk -v b="$name" '$1 ~ "^"b"(-[0-9]+)?$" && $4 == "ns/op" { print $3; exit }' "$BENCH_OUT")
+  if [ -z "$measured" ]; then
+    echo "WARN  $name: in $BASELINE but not measured (renamed or not run?)"
+    continue
+  fi
+  ratio=$(awk -v m="$measured" -v b="$baseline" 'BEGIN { printf "%.2f", m / b }')
+  if awk -v m="$measured" -v b="$baseline" -v f="$FACTOR" 'BEGIN { exit !(m > b * f) }'; then
+    echo "FAIL  $name: ${measured} ns/op vs baseline ${baseline} (${ratio}x > ${FACTOR}x)"
+    status=1
+  else
+    echo "ok    $name: ${measured} ns/op vs baseline ${baseline} (${ratio}x)"
+  fi
+done < <(jq -r '.benchmarks[] | [.name, (.ns_per_op | tostring)] | @tsv' "$BASELINE")
+
+if [ "$status" -ne 0 ]; then
+  echo "bench_gate: regression beyond ${FACTOR}x baseline (raw output in $BENCH_OUT)" >&2
+else
+  echo "bench_gate: all benchmarks within ${FACTOR}x of $BASELINE"
+fi
+exit "$status"

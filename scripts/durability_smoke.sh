@@ -15,8 +15,20 @@ BIN="$DIR/prox-server"
 PID=""
 
 cleanup() {
+  status=$?
+  # Under `set -e` any failing curl/jq exits silently; dump the server
+  # logs so a CI failure is diagnosable from the job output alone.
+  if [ "$status" -ne 0 ]; then
+    echo "durability smoke FAILED (exit $status); server logs:" >&2
+    for log in "$DIR"/run*.log; do
+      [ -f "$log" ] || continue
+      echo "--- $log ---" >&2
+      cat "$log" >&2
+    done
+  fi
   [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
   rm -rf "$DIR"
+  exit "$status"
 }
 trap cleanup EXIT
 
