@@ -16,13 +16,27 @@
 //	            [-workers 2] [-queue 32]
 //	            [-data-dir DIR] [-checkpoint-every 8]
 //	            [-cache-entries 256] [-cache-bytes 67108864] [-cache-ttl 0]
+//	            [-trace-dir DIR] [-trace-capacity 256]
+//	            [-slo-http-p99 0] [-slo-summarize-p99 0] [-slo-objective 0.99]
+//	            [-flight-profile 0]
 //
 // Completed summaries are kept in a content-addressed cache bounded by
 // -cache-entries and -cache-bytes; entries older than -cache-ttl expire
-// (0 means never). -cache-entries 0 disables caching. Flag values are
-// validated at startup: nonsensical settings (a zero worker pool, a
-// negative queue or cache bound) fail fast with exit code 2 instead of
-// misbehaving later.
+// (0 means never). -cache-entries 0 disables caching.
+//
+// Every request is traced (W3C traceparent in, X-Prox-Trace out;
+// browse via GET /api/traces). With -trace-dir set, finished spans are
+// journaled to DIR/spans.jsonl — replayed on startup, so a trace spans
+// a crash — and a flight recorder writes post-mortem bundles (span
+// tree, goroutine dump, optional -flight-profile CPU profile) to
+// DIR/flight on SLO breaches and job failures. -slo-http-p99 and
+// -slo-summarize-p99 enable latency SLOs whose good/bad counters and
+// burn-rate gauges appear on /metrics as prox_slo_*.
+//
+// Flag values are validated at startup: nonsensical settings (a zero
+// worker pool, a negative queue or cache bound, an SLO objective
+// outside (0,1)) fail fast with exit code 2 instead of misbehaving
+// later.
 package main
 
 import (
@@ -35,6 +49,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -59,6 +74,11 @@ type settings struct {
 	cacheEntries    int
 	cacheBytes      int64
 	cacheTTL        time.Duration
+	traceCapacity   int
+	sloHTTP         time.Duration
+	sloSummarize    time.Duration
+	sloObjective    float64
+	flightProfile   time.Duration
 }
 
 func (c settings) validate() error {
@@ -81,6 +101,16 @@ func (c settings) validate() error {
 		return fmt.Errorf("-cache-bytes must be non-negative, got %d", c.cacheBytes)
 	case c.cacheTTL < 0:
 		return fmt.Errorf("-cache-ttl must be non-negative (0 means no expiry), got %v", c.cacheTTL)
+	case c.traceCapacity <= 0:
+		return fmt.Errorf("-trace-capacity must be positive, got %d", c.traceCapacity)
+	case c.sloHTTP < 0:
+		return fmt.Errorf("-slo-http-p99 must be non-negative (0 disables), got %v", c.sloHTTP)
+	case c.sloSummarize < 0:
+		return fmt.Errorf("-slo-summarize-p99 must be non-negative (0 disables), got %v", c.sloSummarize)
+	case c.sloObjective <= 0 || c.sloObjective >= 1:
+		return fmt.Errorf("-slo-objective must be in (0, 1), got %v", c.sloObjective)
+	case c.flightProfile < 0:
+		return fmt.Errorf("-flight-profile must be non-negative (0 disables), got %v", c.flightProfile)
 	}
 	return nil
 }
@@ -101,6 +131,12 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 256, "summary-cache entry cap (0 disables caching)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "summary-cache byte cap")
 	cacheTTL := flag.Duration("cache-ttl", 0, "summary-cache entry lifetime (0: no expiry)")
+	traceDir := flag.String("trace-dir", "", "tracing directory: span journal and flight-recorder bundles (empty: in-memory tracing only)")
+	traceCapacity := flag.Int("trace-capacity", 256, "traces retained in memory (oldest evicted first)")
+	sloHTTP := flag.Duration("slo-http-p99", 0, "per-route HTTP latency SLO threshold (0 disables)")
+	sloSummarize := flag.Duration("slo-summarize-p99", 0, "summarize-job submit-to-terminal latency SLO threshold (0 disables)")
+	sloObjective := flag.Float64("slo-objective", 0.99, "SLO objective: target fraction of good events, in (0, 1)")
+	flightProfile := flag.Duration("flight-profile", 0, "CPU-profile duration added to flight-recorder bundles (0 disables)")
 	flag.Parse()
 
 	cfgFlags := settings{
@@ -113,6 +149,11 @@ func main() {
 		cacheEntries:    *cacheEntries,
 		cacheBytes:      *cacheBytes,
 		cacheTTL:        *cacheTTL,
+		traceCapacity:   *traceCapacity,
+		sloHTTP:         *sloHTTP,
+		sloSummarize:    *sloSummarize,
+		sloObjective:    *sloObjective,
+		flightProfile:   *flightProfile,
 	}
 	if err := cfgFlags.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "prox-server: %v\n", err)
@@ -132,6 +173,40 @@ func main() {
 	w := datasets.MovieLens(cfg, rand.New(rand.NewSource(*seed)))
 
 	reg := obs.NewRegistry()
+
+	// Tracing: always on in memory; with -trace-dir, finished spans are
+	// additionally journaled to spans.jsonl (unbuffered appends, so they
+	// survive a kill -9 via the OS page cache) and replayed on startup —
+	// which is what lets a crash-resumed job's spans land in the trace
+	// its original request started.
+	tracerCfg := obs.TracerConfig{MaxTraces: *traceCapacity}
+	var spanSink *os.File
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			log.Error("creating trace dir failed", "dir", *traceDir, "err", err)
+			os.Exit(1)
+		}
+		spanPath := filepath.Join(*traceDir, "spans.jsonl")
+		spanSink, err = os.OpenFile(spanPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Error("opening span journal failed", "path", spanPath, "err", err)
+			os.Exit(1)
+		}
+		tracerCfg.Sink = spanSink
+	}
+	tracer := obs.NewTracer(tracerCfg)
+	if *traceDir != "" {
+		spanPath := filepath.Join(*traceDir, "spans.jsonl")
+		if f, ferr := os.Open(spanPath); ferr == nil {
+			n, lerr := tracer.LoadJSONL(f)
+			_ = f.Close()
+			if lerr != nil {
+				log.Warn("span journal replay incomplete", "path", spanPath, "err", lerr)
+			}
+			log.Info("span journal replayed", "path", spanPath, "spans", n)
+		}
+	}
+
 	opts := []server.Option{
 		server.WithRegistry(reg),
 		server.WithLogger(log),
@@ -140,6 +215,25 @@ func main() {
 		server.WithQueueSize(*queue),
 		server.WithCheckpointEvery(*checkpointEvery),
 		server.WithCache(*cacheEntries, *cacheBytes, *cacheTTL),
+		server.WithTracer(tracer),
+		server.WithHTTPSLO(*sloHTTP),
+		server.WithSummarizeSLO(*sloSummarize),
+		server.WithSLOObjective(*sloObjective),
+	}
+	if *traceDir != "" {
+		fr, ferr := obs.NewFlightRecorder(reg, obs.FlightRecorderConfig{
+			Dir:        filepath.Join(*traceDir, "flight"),
+			Tracer:     tracer,
+			Log:        log,
+			CPUProfile: *flightProfile,
+		})
+		if ferr != nil {
+			log.Error("flight recorder setup failed", "err", ferr)
+			os.Exit(1)
+		}
+		opts = append(opts, server.WithFlightRecorder(fr))
+		log.Info("tracing enabled", "dir", *traceDir,
+			"capacity", *traceCapacity, "flight_profile", *flightProfile)
 	}
 	var st *store.Store
 	if *dataDir != "" {
@@ -219,6 +313,9 @@ func main() {
 			if err := st.Close(); err != nil {
 				log.Warn("store close failed", "err", err)
 			}
+		}
+		if spanSink != nil {
+			_ = spanSink.Close()
 		}
 		log.Info("drained cleanly", "after", time.Since(start))
 	}

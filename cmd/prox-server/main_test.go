@@ -18,6 +18,11 @@ func validSettings() settings {
 		cacheEntries:    256,
 		cacheBytes:      64 << 20,
 		cacheTTL:        0,
+		traceCapacity:   256,
+		sloHTTP:         0,
+		sloSummarize:    0,
+		sloObjective:    0.99,
+		flightProfile:   0,
 	}
 }
 
@@ -43,6 +48,15 @@ func TestValidateSettings(t *testing.T) {
 		{"zero users", func(c *settings) { c.users = 0 }, "-users"},
 		{"zero movies", func(c *settings) { c.movies = 0 }, "-movies"},
 		{"zero max sessions", func(c *settings) { c.maxSessions = 0 }, "-max-sessions"},
+
+		{"slo thresholds set ok", func(c *settings) { c.sloHTTP = time.Second; c.sloSummarize = time.Minute }, ""},
+		{"flight profile set ok", func(c *settings) { c.flightProfile = 5 * time.Second }, ""},
+		{"zero trace capacity", func(c *settings) { c.traceCapacity = 0 }, "-trace-capacity"},
+		{"negative http slo", func(c *settings) { c.sloHTTP = -time.Second }, "-slo-http-p99"},
+		{"negative summarize slo", func(c *settings) { c.sloSummarize = -time.Second }, "-slo-summarize-p99"},
+		{"zero slo objective", func(c *settings) { c.sloObjective = 0 }, "-slo-objective"},
+		{"slo objective one", func(c *settings) { c.sloObjective = 1 }, "-slo-objective"},
+		{"negative flight profile", func(c *settings) { c.flightProfile = -time.Second }, "-flight-profile"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

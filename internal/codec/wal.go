@@ -157,6 +157,10 @@ type JobRecord struct {
 	Error       string    `json:"error,omitempty"`
 	Params      JobParams `json:"params"`
 	SubmittedMS int64     `json:"submittedMs,omitempty"`
+	// Trace is the opaque trace context (W3C traceparent) of the
+	// request that submitted the job, so a requeued job resumes under
+	// its original trace id.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CheckpointRecord persists the latest resumable snapshot of a running
@@ -173,6 +177,7 @@ type checkpointRecordJSON struct {
 	InitDist     float64      `json:"initDist"`
 	RandState    *uint64      `json:"randState,omitempty"`
 	EstRandState *uint64      `json:"estRandState,omitempty"`
+	TraceParent  string       `json:"traceParent,omitempty"`
 }
 
 // MarshalJSON flattens the core checkpoint into the record.
@@ -187,6 +192,7 @@ func (r CheckpointRecord) MarshalJSON() ([]byte, error) {
 		InitDist:     r.Checkpoint.InitDist,
 		RandState:    r.Checkpoint.RandState,
 		EstRandState: r.Checkpoint.EstRandState,
+		TraceParent:  r.Checkpoint.TraceParent,
 	})
 }
 
@@ -210,6 +216,7 @@ func (r *CheckpointRecord) UnmarshalJSON(data []byte) error {
 		InitDist:     in.InitDist,
 		RandState:    in.RandState,
 		EstRandState: in.EstRandState,
+		TraceParent:  in.TraceParent,
 	}
 	return nil
 }

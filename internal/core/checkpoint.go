@@ -37,6 +37,11 @@ type Checkpoint struct {
 	// EstRandState is the position of Estimator.RandSrc (Monte-Carlo
 	// sampling); nil when the run enumerates the valuation class.
 	EstRandState *uint64
+	// TraceParent is the opaque trace context (a W3C traceparent value)
+	// of the run that emitted the snapshot, copied from
+	// Config.TraceParent. It plays no part in the computation; it lets a
+	// resumed run rejoin the distributed trace of the original request.
+	TraceParent string
 }
 
 // clone deep-copies a checkpoint so the caller and the summarizer never
@@ -95,9 +100,10 @@ func (s *Summarizer) emitCheckpoint(res *Summary, initDist float64) error {
 		return nil
 	}
 	cp := Checkpoint{
-		Step:     len(res.Steps),
-		Steps:    cloneSteps(res.Steps),
-		InitDist: initDist,
+		Step:        len(res.Steps),
+		Steps:       cloneSteps(res.Steps),
+		InitDist:    initDist,
+		TraceParent: cfg.TraceParent,
 	}
 	if cfg.RandSrc != nil {
 		state := cfg.RandSrc.State()

@@ -120,6 +120,12 @@ type Config struct {
 	// mutates an emitted snapshot).
 	CheckpointSink func(Checkpoint) error
 
+	// TraceParent is an opaque trace context (a W3C traceparent value)
+	// identifying the request this run belongs to. The summarizer never
+	// interprets it; it is copied into every emitted Checkpoint so a
+	// crash-resumed run can rejoin the original distributed trace.
+	TraceParent string
+
 	// MergeArity generalizes the algorithm to map k annotations to a new
 	// annotation per step instead of 2 (the thesis's future-work
 	// extension, Ch. 9). 0 and 2 give the paper's pairwise algorithm;
@@ -323,6 +329,10 @@ func (s *Summarizer) run(ctx context.Context, p0 provenance.Expression, cp *Chec
 		}
 
 		candsBefore, probeBefore := res.CandidatesEvaluated, res.CandidateTime
+		var skipsBefore uint64
+		if cfg.StepObserver != nil {
+			skipsBefore = cfg.Estimator.Stats().DeltaSkips
+		}
 		best, ok := s.bestCandidate(p0, cur, cum, origAnns, origSize, res)
 		if !ok {
 			res.StopReason = "no-candidates"
@@ -349,6 +359,7 @@ func (s *Summarizer) run(ctx context.Context, p0 provenance.Expression, cp *Chec
 				Size:          size,
 				Candidates:    res.CandidatesEvaluated - candsBefore,
 				CandidateTime: res.CandidateTime - probeBefore,
+				DeltaSkips:    cfg.Estimator.Stats().DeltaSkips - skipsBefore,
 				Elapsed:       time.Since(start),
 			})
 		}

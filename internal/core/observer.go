@@ -31,6 +31,9 @@ type StepEvent struct {
 	// (summed across workers when Parallelism > 1, so it can exceed the
 	// step's elapsed wall time).
 	CandidateTime time.Duration
+	// DeltaSkips counts candidates the delta-scoring engine pruned this
+	// step without a distance evaluation (0 under other engines).
+	DeltaSkips uint64
 	// Elapsed is the wall time since Summarize started, measured when the
 	// step was committed.
 	Elapsed time.Duration

@@ -114,6 +114,7 @@ type Job struct {
 
 	m       *Manager
 	key     string // dedup key, "" when not coalescible
+	trace   string // opaque trace context (W3C traceparent), "" when untraced
 	task    Task
 	timeout time.Duration
 	done    chan struct{}
@@ -172,8 +173,19 @@ func (m *Manager) Submit(id string, timeout time.Duration, task Task) (*Job, err
 // with one waiter. Waiters abandon the shared job via Leave; it is
 // canceled only when the last one leaves.
 func (m *Manager) SubmitCoalesced(id, key string, timeout time.Duration, task Task) (*Job, bool, error) {
+	return m.SubmitTraced(id, key, "", timeout, task)
+}
+
+// SubmitTraced is SubmitCoalesced carrying an opaque trace context (a
+// W3C traceparent value) that the worker injects into the task's
+// context — retrievable there via TraceFromContext — so a job executes
+// under the trace of the request that submitted it, across queueing and
+// even across a restart when the trace is persisted with the job
+// record. Coalesced submissions keep the live job's original trace;
+// callers can read it back with Trace.
+func (m *Manager) SubmitTraced(id, key, trace string, timeout time.Duration, task Task) (*Job, bool, error) {
 	j := &Job{
-		ID: id, m: m, key: key, task: task, timeout: timeout,
+		ID: id, m: m, key: key, trace: trace, task: task, timeout: timeout,
 		done: make(chan struct{}), enqueued: make(chan struct{}),
 		state: Queued, waiters: 1, submitted: time.Now(),
 	}
@@ -363,6 +375,9 @@ func (m *Manager) run(j *Job) {
 	<-j.enqueued
 	ctx, cancel := context.WithCancelCause(m.base)
 	defer cancel(nil)
+	if j.trace != "" {
+		ctx = ContextWithTrace(ctx, j.trace)
+	}
 	if j.timeout > 0 {
 		var tcancel context.CancelFunc
 		ctx, tcancel = context.WithTimeout(ctx, j.timeout)
@@ -458,6 +473,25 @@ func (j *Job) Status() Status {
 		ID: j.ID, State: j.state, Err: j.err, Cause: j.cause, Result: j.result,
 		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
 	}
+}
+
+// Trace returns the opaque trace context the job was submitted with
+// ("" when untraced). Immutable after submission, so no lock is needed.
+func (j *Job) Trace() string { return j.trace }
+
+// traceKey carries a job's trace context into its task.
+type traceKey struct{}
+
+// ContextWithTrace returns ctx carrying an opaque trace context string.
+func ContextWithTrace(ctx context.Context, trace string) context.Context {
+	return context.WithValue(ctx, traceKey{}, trace)
+}
+
+// TraceFromContext returns the trace context injected by the worker
+// ("" when the job was submitted untraced).
+func TraceFromContext(ctx context.Context) string {
+	s, _ := ctx.Value(traceKey{}).(string)
+	return s
 }
 
 // Done is closed when the job reaches a terminal state.

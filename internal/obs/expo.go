@@ -11,7 +11,10 @@ import (
 
 // WriteText writes every family in Prometheus text exposition format
 // (version 0.0.4): families in registration order, series in label order,
-// histograms as cumulative _bucket/_sum/_count series.
+// histograms as cumulative _bucket/_sum/_count series. Buckets carrying
+// an exemplar append it in OpenMetrics syntax
+// (`# {trace_id="..."} value timestamp`), which Prometheus ingests when
+// exemplar storage is enabled and plain-text consumers ignore.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.order))
@@ -41,37 +44,49 @@ func (r *Registry) WriteText(w io.Writer) error {
 func writeSeries(w io.Writer, fam *family, s *series) error {
 	switch v := s.value.(type) {
 	case *Counter:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", 0), formatValue(v.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", ""), formatValue(v.Value()))
 		return err
 	case *Gauge:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", 0), formatValue(v.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", ""), formatValue(v.Value()))
 		return err
 	case *Histogram:
 		var cum uint64
 		for i, b := range v.bounds {
 			cum += v.buckets[i].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, labelString(s.labels, "le", b), cum); err != nil {
+			if err := writeBucket(w, fam.name, s.labels, formatValue(b), cum, v.exemplars[i].Load()); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, labelString(s.labels, "le", infBucket), v.Count()); err != nil {
+		if err := writeBucket(w, fam.name, s.labels, "+Inf", v.Count(), v.exemplars[len(v.bounds)].Load()); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelString(s.labels, "", 0), formatValue(v.Sum())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelString(s.labels, "", ""), formatValue(v.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelString(s.labels, "", 0), v.Count())
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelString(s.labels, "", ""), v.Count())
 		return err
 	}
 	return nil
 }
 
-// infBucket sentinels the +Inf histogram bucket in labelString.
-const infBucket = -1
+// writeBucket emits one cumulative histogram bucket line, with its
+// exemplar appended in OpenMetrics syntax when one is present.
+func writeBucket(w io.Writer, name string, labels Labels, le string, cum uint64, ex *exemplar) error {
+	if ex == nil {
+		_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, "le", le), cum)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d # {trace_id=\"%s\"} %s %s\n",
+		name, labelString(labels, "le", le), cum,
+		escapeLabelValue(ex.trace), formatValue(ex.value),
+		strconv.FormatFloat(float64(ex.ts.UnixNano())/1e9, 'f', 3, 64))
+	return err
+}
 
-// labelString renders {k="v",...}, optionally appending an le bucket
-// label (le < 0 renders +Inf). Returns "" for no labels.
-func labelString(labels Labels, leName string, le float64) string {
+// labelString renders {k="v",...}, optionally appending an extra label
+// (the histogram le bound, already formatted). Returns "" when there are
+// no labels at all.
+func labelString(labels Labels, extraName, extraVal string) string {
 	names := make([]string, 0, len(labels))
 	for k := range labels {
 		names = append(names, k)
@@ -79,14 +94,10 @@ func labelString(labels Labels, leName string, le float64) string {
 	sort.Strings(names)
 	var parts []string
 	for _, k := range names {
-		parts = append(parts, k+"="+strconv.Quote(labels[k]))
+		parts = append(parts, k+`="`+escapeLabelValue(labels[k])+`"`)
 	}
-	if leName != "" {
-		v := "+Inf"
-		if le >= 0 {
-			v = formatValue(le)
-		}
-		parts = append(parts, leName+"="+strconv.Quote(v))
+	if extraName != "" {
+		parts = append(parts, extraName+`="`+escapeLabelValue(extraVal)+`"`)
 	}
 	if len(parts) == 0 {
 		return ""
@@ -94,9 +105,37 @@ func labelString(labels Labels, leName string, le float64) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// escapeLabelValue escapes exactly what the exposition format requires
+// in label values: backslash, double quote and newline. Anything else —
+// tabs, UTF-8 — passes through verbatim (unlike strconv.Quote, which
+// would over-escape and corrupt non-ASCII label values).
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
 // formatValue renders a sample value the way Prometheus clients do:
-// shortest round-trip representation.
+// shortest round-trip representation, with NaN/+Inf/-Inf spelled the
+// way the format requires.
 func formatValue(v float64) string {
+	// strconv renders infinities as "+Inf"/"-Inf" and NaN as "NaN",
+	// which matches the exposition format exactly.
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionEdgeCasesGolden pins the text-format corner cases
+// against a golden file: NaN/±Inf sample values, label values needing
+// escaping (newline, quote, backslash — and tab/UTF-8 which must NOT be
+// escaped), negative histogram bounds, an explicit +Inf bound (filtered
+// at registration), NaN observations (dropped), and bucket exemplars.
+func TestExpositionEdgeCasesGolden(t *testing.T) {
+	r := NewRegistry()
+
+	r.Gauge("prox_edge_values", "Non-finite sample values.", Labels{"kind": "nan"}).Set(math.NaN())
+	r.Gauge("prox_edge_values", "Non-finite sample values.", Labels{"kind": "neg"}).Set(math.Inf(-1))
+	r.Gauge("prox_edge_values", "Non-finite sample values.", Labels{"kind": "pos"}).Set(math.Inf(1))
+
+	for _, path := range []string{
+		"a\nb",
+		`back\slash`,
+		`say "hi"`,
+		"tab\tand-ünïcode",
+	} {
+		r.Counter("prox_edge_labels_total", "Label-value escaping.", Labels{"path": path}).Inc()
+	}
+
+	h := r.Histogram("prox_edge_delta", "Negative bounds and an explicit +Inf bound.",
+		[]float64{-1, 0, 2.5, math.Inf(1)}, nil)
+	for _, v := range []float64{-3, -1, 1, 99} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped: must not touch count or sum
+	h.observe(0.5, "4bf92f3577b34da6a3ce929d0e0e4736", time.Unix(1_700_000_000, 500_000_000).UTC())
+	h.observe(1e6, "00f067aa0ba902b74bf92f3577b34da6", time.Unix(1_700_000_001, 0).UTC())
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "exposition_edge.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

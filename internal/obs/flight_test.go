@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderCapture(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(TracerConfig{})
+	_, sp := tr.StartSpan(context.Background(), "doomed-request")
+	sp.End()
+
+	now := time.Unix(1_700_000_000, 0)
+	r := NewRegistry()
+	fr, err := NewFlightRecorder(r, FlightRecorderConfig{
+		Dir:    dir,
+		Tracer: tr,
+		Clock:  func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bundle, err := fr.Capture("slo-breach:http:/api/summarize", sp.TraceID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle == "" {
+		t.Fatal("first capture was rate-limited")
+	}
+	if base := filepath.Base(bundle); strings.ContainsAny(base, "/:") {
+		t.Fatalf("bundle dir %q not filesystem-safe", base)
+	}
+
+	var meta flightMeta
+	raw, err := os.ReadFile(filepath.Join(bundle, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason != "slo-breach:http:/api/summarize" || meta.Trace != sp.TraceID().String() {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	g, err := os.ReadFile(filepath.Join(bundle, "goroutines.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(g), "goroutine") {
+		t.Fatalf("goroutine dump looks empty: %q", string(g[:min(len(g), 80)]))
+	}
+
+	traceRaw, err := os.ReadFile(filepath.Join(bundle, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traceRaw), "doomed-request") {
+		t.Fatalf("trace.json lacks span tree: %s", traceRaw)
+	}
+
+	// Within MinInterval a second capture is suppressed.
+	if again, err := fr.Capture("job-failure", TraceID{}); err != nil || again != "" {
+		t.Fatalf("rate limit: got %q, %v", again, err)
+	}
+	// After the interval it is allowed again, and a zero trace id
+	// captures the full trace listing.
+	now = now.Add(time.Minute)
+	again, err := fr.Capture("job-failure", TraceID{})
+	if err != nil || again == "" {
+		t.Fatalf("second capture: %q, %v", again, err)
+	}
+	if v := r.Counter("prox_flight_captures_total", "", nil).Value(); v != 2 {
+		t.Fatalf("captures counter = %g, want 2", v)
+	}
+
+	var nilFR *FlightRecorder
+	if d, err := nilFR.Capture("x", TraceID{}); d != "" || err != nil {
+		t.Fatal("nil recorder captured")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Labels attaches Prometheus-style dimensions to a metric. A nil or empty
@@ -94,19 +95,48 @@ var DefBuckets = []float64{
 // Histogram is a cumulative bucketed distribution, typically of latencies
 // in seconds. Observations are lock-free.
 type Histogram struct {
-	bounds  []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	bounds  []float64 // sorted finite upper bounds; an implicit +Inf bucket follows
 	buckets []atomic.Uint64
-	count   atomic.Uint64
-	sum     atomicFloat
+	// exemplars holds the most recent exemplar per bucket (the slot at
+	// len(bounds) belongs to +Inf), published with atomic pointer swaps.
+	exemplars []atomic.Pointer[exemplar]
+	count     atomic.Uint64
+	sum       atomicFloat
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// exemplar ties one observed value to the trace that produced it, per
+// the OpenMetrics exemplar model.
+type exemplar struct {
+	value float64
+	trace string
+	ts    time.Time
+}
+
+// Observe records one value. NaN observations are dropped: they would
+// land in no bucket and poison the sum forever.
+func (h *Histogram) Observe(v float64) { h.observe(v, "", time.Time{}) }
+
+// ObserveExemplar records one value and remembers the originating trace
+// id as the exemplar of the bucket the value falls into, so dashboards
+// can jump from a latency bucket to a concrete trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.observe(v, traceID, time.Now())
+}
+
+func (h *Histogram) observe(v float64, trace string, ts time.Time) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := len(h.bounds) // +Inf slot
 	for i, b := range h.bounds {
 		if v <= b {
 			h.buckets[i].Add(1)
+			idx = i
 			break
 		}
+	}
+	if trace != "" {
+		h.exemplars[idx].Store(&exemplar{value: v, trace: trace, ts: ts})
 	}
 	h.count.Add(1)
 	h.sum.add(v)
@@ -240,8 +270,19 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels)
 		if bounds == nil {
 			bounds = DefBuckets
 		}
-		sorted := append([]float64(nil), bounds...)
+		sorted := make([]float64, 0, len(bounds))
+		for _, b := range bounds {
+			// +Inf is implicit and NaN bounds are meaningless; keeping
+			// either would corrupt the cumulative bucket exposition.
+			if !math.IsInf(b, 0) && !math.IsNaN(b) {
+				sorted = append(sorted, b)
+			}
+		}
 		sort.Float64s(sorted)
-		return &Histogram{bounds: sorted, buckets: make([]atomic.Uint64, len(sorted))}
+		return &Histogram{
+			bounds:    sorted,
+			buckets:   make([]atomic.Uint64, len(sorted)),
+			exemplars: make([]atomic.Pointer[exemplar], len(sorted)+1),
+		}
 	}).(*Histogram)
 }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOBurnRateAndBreach(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	breaches := make(chan float64, 8)
+	r := NewRegistry()
+	s := NewSLO(r, SLOConfig{
+		Name:       "http:/api/x",
+		Threshold:  100 * time.Millisecond,
+		Objective:  0.9, // 10% error budget
+		BreachBurn: 5,
+		OnBreach:   func(_ string, burn float64) { breaches <- burn },
+		Clock:      clock,
+	})
+
+	for i := 0; i < 9; i++ {
+		s.Observe(10*time.Millisecond, false)
+	}
+	// 9 good, 1 bad → bad fraction 0.1 → burn exactly 1: no breach.
+	s.Observe(500*time.Millisecond, false)
+	select {
+	case b := <-breaches:
+		t.Fatalf("breach at burn 1 (got %g)", b)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Failures count as bad regardless of latency. Push bad fraction to
+	// 11/19 ≈ 0.58 → burn ≈ 5.8 ≥ 5: breach fires once.
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Millisecond, true)
+	}
+	select {
+	case b := <-breaches:
+		if b < 5 {
+			t.Fatalf("breach burn = %g, want ≥ 5", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("breach callback never fired")
+	}
+	// Rate limit: further bad events within BreachEvery stay silent.
+	s.Observe(time.Millisecond, true)
+	select {
+	case <-breaches:
+		t.Fatal("breach not rate-limited")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	if g := r.Counter("prox_slo_good_total", "", Labels{"slo": "http:/api/x"}).Value(); g != 9 {
+		t.Fatalf("good = %g, want 9", g)
+	}
+	if b := r.Counter("prox_slo_bad_total", "", Labels{"slo": "http:/api/x"}).Value(); b != 12 {
+		t.Fatalf("bad = %g, want 12", b)
+	}
+
+	// Events older than the short window stop counting toward the 5m
+	// burn but remain in the 1h burn.
+	now = now.Add(10 * time.Minute)
+	s.Update()
+	if v := r.Gauge("prox_slo_burn_rate", "", Labels{"slo": "http:/api/x", "window": "5m"}).Value(); v != 0 {
+		t.Fatalf("5m burn after window = %g, want 0", v)
+	}
+	if v := r.Gauge("prox_slo_burn_rate", "", Labels{"slo": "http:/api/x", "window": "1h"}).Value(); v <= 0 {
+		t.Fatalf("1h burn after 10m = %g, want > 0", v)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`prox_slo_good_total{slo="http:/api/x"} 9`,
+		`prox_slo_bad_total{slo="http:/api/x"} 12`,
+		`prox_slo_burn_rate{slo="http:/api/x",window="5m"}`,
+		`prox_slo_objective{slo="http:/api/x"} 0.9`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, sb.String())
+		}
+	}
+
+	var nilSLO *SLO
+	nilSLO.Observe(time.Second, true) // must not panic
+	nilSLO.Update()
+}

@@ -1,0 +1,593 @@
+// Distributed tracing for the PROX service, stdlib only. A trace is a
+// tree of spans identified by a W3C trace-context pair (16-byte trace
+// id, 8-byte span id); context propagation uses the standard
+// `traceparent` header so external callers and downstream services can
+// join traces without any SDK.
+//
+// The Tracer keeps finished and in-flight spans in a bounded in-memory
+// ring (oldest traces evicted first) for the /api/traces endpoints, and
+// optionally journals every finished span as one JSON line to a Sink.
+// The sink write is unbuffered, so spans written before a hard kill
+// survive in the OS page cache like the WAL does — a crash-resumed job
+// that continues under its original trace ID therefore yields one span
+// tree covering both processes once the journal is reloaded with
+// LoadJSONL.
+package obs
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceID is a 16-byte trace identifier, rendered as 32 lowercase hex
+// digits. The zero value is invalid per the W3C trace-context spec.
+type TraceID [16]byte
+
+// SpanID is an 8-byte span identifier, rendered as 16 lowercase hex
+// digits. The zero value is invalid.
+type SpanID [8]byte
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the id is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// ParseTraceID reads a 32-hex-digit trace id.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return t, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	if t.IsZero() {
+		return t, errors.New("obs: trace id is all zero")
+	}
+	return t, nil
+}
+
+// NewTraceID returns a random non-zero trace id.
+func NewTraceID() TraceID {
+	var t TraceID
+	fillRandom(t[:])
+	return t
+}
+
+// NewSpanID returns a random non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	fillRandom(s[:])
+	return s
+}
+
+// fillRandom fills b with cryptographically random bytes, guaranteeing a
+// non-zero result so generated ids are always valid.
+func fillRandom(b []byte) {
+	for {
+		if _, err := rand.Read(b); err != nil {
+			panic("obs: crypto/rand failed: " + err.Error())
+		}
+		for _, x := range b {
+			if x != 0 {
+				return
+			}
+		}
+	}
+}
+
+// SpanContext is the propagated position in a trace: which trace, which
+// span is the current parent, and whether the trace is sampled.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether both ids are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context as a version-00 W3C traceparent header
+// value: 00-<trace-id>-<span-id>-<flags>.
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Per the level-1
+// spec: four dash-separated lowercase-hex fields (version, trace-id,
+// parent-id, flags); version ff is invalid; version 00 must have exactly
+// four fields; a higher version may carry extra fields after the flags,
+// which are ignored. All-zero trace or span ids are rejected.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	// version trace-id parent-id flags = 2+1+32+1+16+1+2 = 55 bytes.
+	if len(h) < 55 {
+		return sc, fmt.Errorf("obs: traceparent %q too short", h)
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, fmt.Errorf("obs: traceparent %q: malformed separators", h)
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], lowerHexOnly(h[0:2])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent version: %w", err)
+	}
+	if version[0] == 0xff {
+		return sc, errors.New("obs: traceparent version ff is invalid")
+	}
+	if version[0] == 0 && len(h) != 55 {
+		return sc, fmt.Errorf("obs: version-00 traceparent must be 55 bytes, got %d", len(h))
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return sc, fmt.Errorf("obs: traceparent %q: trailing garbage", h)
+	}
+	if _, err := hex.Decode(sc.TraceID[:], lowerHexOnly(h[3:35])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(sc.SpanID[:], lowerHexOnly(h[36:52])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent parent-id: %w", err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], lowerHexOnly(h[53:55])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent flags: %w", err)
+	}
+	if sc.TraceID.IsZero() {
+		return sc, errors.New("obs: traceparent trace-id is all zero")
+	}
+	if sc.SpanID.IsZero() {
+		return sc, errors.New("obs: traceparent parent-id is all zero")
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	return sc, nil
+}
+
+// lowerHexOnly returns s as bytes for hex.Decode, poisoning uppercase
+// digits (valid hex to the stdlib, forbidden by the trace-context spec).
+func lowerHexOnly(s string) []byte {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'F' {
+			b[i] = 'x' // force a hex.Decode error
+		}
+	}
+	return b
+}
+
+// Attr is one key/value annotation on a span. Values are rendered to
+// strings at creation so spans are cheap to snapshot and serialize.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// KV builds an Attr, rendering the value like the logger does.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: renderValue(value)} }
+
+// Span is one timed operation inside a trace. A nil *Span is a valid
+// no-op receiver, so instrumented code never needs nil checks when
+// tracing is disabled.
+type Span struct {
+	tracer *Tracer
+	name   string
+	sc     SpanContext
+	parent SpanID
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	end   time.Time
+	ended bool
+}
+
+// Context returns the span's trace position, for propagation.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the id of the trace this span belongs to.
+func (s *Span) TraceID() TraceID { return s.Context().TraceID }
+
+// SetAttr annotates the span. Safe on a nil or ended span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, KV(key, value))
+	s.mu.Unlock()
+}
+
+// End stamps the span's end time and journals it to the tracer's sink.
+// Safe on a nil span; a second End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = s.tracer.now()
+	s.mu.Unlock()
+	s.tracer.sink(s.snapshot())
+}
+
+// snapshot renders the span to its serializable record form.
+func (s *Span) snapshot() SpanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := SpanRecord{
+		Trace: s.sc.TraceID.String(),
+		Span:  s.sc.SpanID.String(),
+		Name:  s.name,
+		Start: s.start,
+		DurUS: -1,
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	if s.ended {
+		rec.DurUS = s.end.Sub(s.start).Microseconds()
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	return rec
+}
+
+// SpanRecord is the serialized form of a span — one JSONL line in the
+// trace journal and one node in /api/traces/{id}. DurUS is -1 while the
+// span is still running.
+type SpanRecord struct {
+	Trace  string            `json:"trace"`
+	Span   string            `json:"span"`
+	Parent string            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	DurUS  int64             `json:"durUs"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// spanContextKey carries the active *Span; remoteContextKey carries a
+// SpanContext extracted from an incoming traceparent (or a job record)
+// before any local span exists.
+type spanContextKey struct{}
+type remoteContextKey struct{}
+
+// ContextWithSpan returns ctx with sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanContextKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanContextKey{}).(*Span)
+	return sp
+}
+
+// ContextWithSpanContext returns ctx carrying a remote parent position,
+// as parsed from an incoming traceparent header or a persisted job
+// record. The next StartSpan continues that trace.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteContextKey{}, sc)
+}
+
+// SpanContextFromContext returns the current trace position: the active
+// span's context if one exists, else any remote parent, else the zero
+// SpanContext.
+func SpanContextFromContext(ctx context.Context) SpanContext {
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.Context()
+	}
+	sc, _ := ctx.Value(remoteContextKey{}).(SpanContext)
+	return sc
+}
+
+// TracerConfig configures a Tracer. The zero value is usable.
+type TracerConfig struct {
+	// MaxTraces bounds the number of traces retained in memory; the
+	// oldest trace is evicted when a new one arrives. Default 256.
+	MaxTraces int
+	// MaxSpans bounds the spans retained per trace; excess spans are
+	// counted as dropped but still journaled to Sink. Default 512.
+	MaxSpans int
+	// Sink, when non-nil, receives one JSON line per finished span.
+	// Writes are serialized by the tracer and unbuffered.
+	Sink io.Writer
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// Tracer creates spans and retains them in a bounded per-trace ring. A
+// nil *Tracer is a valid no-op, so tracing can be disabled by wiring
+// nothing.
+type Tracer struct {
+	maxTraces int
+	maxSpans  int
+	clock     func() time.Time
+
+	mu     sync.Mutex
+	traces map[TraceID]*traceEntry
+	order  []TraceID // insertion order, oldest first, for eviction
+
+	sinkMu sync.Mutex
+	out    io.Writer
+}
+
+type traceEntry struct {
+	spans   []*Span
+	dropped int
+}
+
+// NewTracer returns a tracer with the given config.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 256
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 512
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Tracer{
+		maxTraces: cfg.MaxTraces,
+		maxSpans:  cfg.MaxSpans,
+		clock:     cfg.Clock,
+		traces:    make(map[TraceID]*traceEntry),
+		out:       cfg.Sink,
+	}
+}
+
+func (t *Tracer) now() time.Time {
+	if t == nil {
+		return time.Now()
+	}
+	return t.clock()
+}
+
+// StartSpan starts a span named name. If ctx carries a trace position
+// (an active span or a remote parent) the new span joins that trace as a
+// child; otherwise it roots a new trace. The returned context carries
+// the new span. Call End on the span when the operation finishes. A nil
+// tracer returns (ctx, nil) — both safe to use.
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := SpanContextFromContext(ctx)
+	sc := SpanContext{SpanID: NewSpanID(), Sampled: true}
+	var parentID SpanID
+	if parent.Valid() {
+		sc.TraceID = parent.TraceID
+		sc.Sampled = parent.Sampled
+		parentID = parent.SpanID
+	} else {
+		sc.TraceID = NewTraceID()
+	}
+	sp := &Span{tracer: t, name: name, sc: sc, parent: parentID, start: t.now(), attrs: attrs}
+	t.record(sp)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// AddSpan records an already-finished span with explicit start/end
+// times, parented to the trace position in ctx. Used for operations
+// whose duration is known after the fact (merge steps reported by the
+// StepObserver) and for instantaneous events (enqueue markers).
+func (t *Tracer) AddSpan(ctx context.Context, name string, start, end time.Time, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.AddSpanUnder(SpanContextFromContext(ctx), name, start, end, attrs...)
+}
+
+// AddSpanUnder is AddSpan with an explicit parent position, for linking
+// a span into a trace not carried by any context at hand (a coalesced
+// waiter attaching an event to the leader's trace).
+func (t *Tracer) AddSpanUnder(parent SpanContext, name string, start, end time.Time, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sc := SpanContext{SpanID: NewSpanID(), Sampled: true}
+	var parentID SpanID
+	if parent.Valid() {
+		sc.TraceID = parent.TraceID
+		sc.Sampled = parent.Sampled
+		parentID = parent.SpanID
+	} else {
+		sc.TraceID = NewTraceID()
+	}
+	sp := &Span{tracer: t, name: name, sc: sc, parent: parentID, start: start, end: end, ended: true, attrs: attrs}
+	t.record(sp)
+	t.sink(sp.snapshot())
+	return sp
+}
+
+// record inserts sp into its trace's ring, evicting the oldest trace if
+// the trace cap is exceeded.
+func (t *Tracer) record(sp *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.traces[sp.sc.TraceID]
+	if !ok {
+		e = &traceEntry{}
+		t.traces[sp.sc.TraceID] = e
+		t.order = append(t.order, sp.sc.TraceID)
+		for len(t.order) > t.maxTraces {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	if len(e.spans) >= t.maxSpans {
+		e.dropped++
+		return
+	}
+	e.spans = append(e.spans, sp)
+}
+
+// sink writes one finished span to the JSONL journal, if configured.
+func (t *Tracer) sink(rec SpanRecord) {
+	if t == nil || t.out == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	t.sinkMu.Lock()
+	_, _ = t.out.Write(line)
+	t.sinkMu.Unlock()
+}
+
+// LoadJSONL replays a span journal written by a previous process into
+// the tracer's in-memory store (without re-journaling), so traces span
+// process restarts. Unparseable lines — e.g. a torn tail from a hard
+// kill — are skipped. Returns the number of spans loaded.
+func (t *Tracer) LoadJSONL(r io.Reader) (int, error) {
+	if t == nil {
+		return 0, nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		tid, err := ParseTraceID(rec.Trace)
+		if err != nil {
+			continue
+		}
+		var sid SpanID
+		if len(rec.Span) != 16 {
+			continue
+		}
+		if _, err := hex.Decode(sid[:], []byte(rec.Span)); err != nil {
+			continue
+		}
+		var pid SpanID
+		if len(rec.Parent) == 16 {
+			_, _ = hex.Decode(pid[:], []byte(rec.Parent))
+		}
+		var attrs []Attr
+		for k, v := range rec.Attrs {
+			attrs = append(attrs, Attr{Key: k, Value: v})
+		}
+		sp := &Span{
+			tracer: t,
+			name:   rec.Name,
+			sc:     SpanContext{TraceID: tid, SpanID: sid, Sampled: true},
+			parent: pid,
+			start:  rec.Start,
+			ended:  rec.DurUS >= 0,
+			attrs:  attrs,
+		}
+		if sp.ended {
+			sp.end = rec.Start.Add(time.Duration(rec.DurUS) * time.Microsecond)
+		}
+		t.record(sp)
+		n++
+	}
+	return n, sc.Err()
+}
+
+// TraceSummary describes one retained trace for /api/traces listings.
+type TraceSummary struct {
+	ID      string    `json:"id"`
+	Root    string    `json:"root"` // name of the earliest span
+	Start   time.Time `json:"start"`
+	DurUS   int64     `json:"durUs"` // max span end − min span start; -1 if any span is active
+	Spans   int       `json:"spans"`
+	Dropped int       `json:"dropped,omitempty"`
+}
+
+// Traces lists retained traces, newest first.
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(t.order))
+	for i := len(t.order) - 1; i >= 0; i-- {
+		id := t.order[i]
+		e := t.traces[id]
+		if e == nil || len(e.spans) == 0 {
+			continue
+		}
+		sum := TraceSummary{ID: id.String(), Spans: len(e.spans), Dropped: e.dropped}
+		var start, end time.Time
+		active := false
+		for _, sp := range e.spans {
+			rec := sp.snapshot()
+			if start.IsZero() || rec.Start.Before(start) {
+				start = rec.Start
+				sum.Root = rec.Name
+			}
+			if rec.DurUS < 0 {
+				active = true
+				continue
+			}
+			if e := rec.Start.Add(time.Duration(rec.DurUS) * time.Microsecond); e.After(end) {
+				end = e
+			}
+		}
+		sum.Start = start
+		sum.DurUS = -1
+		if !active {
+			sum.DurUS = end.Sub(start).Microseconds()
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Spans returns snapshots of the retained spans of one trace in start
+// order, plus the count of spans dropped by the per-trace cap. The
+// second return is false when the trace is unknown (or evicted).
+func (t *Tracer) Spans(id TraceID) (spans []SpanRecord, dropped int, ok bool) {
+	if t == nil {
+		return nil, 0, false
+	}
+	t.mu.Lock()
+	e := t.traces[id]
+	if e == nil {
+		t.mu.Unlock()
+		return nil, 0, false
+	}
+	live := append([]*Span(nil), e.spans...)
+	dropped = e.dropped
+	t.mu.Unlock()
+	spans = make([]SpanRecord, 0, len(live))
+	for _, sp := range live {
+		spans = append(spans, sp.snapshot())
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans, dropped, true
+}

@@ -66,9 +66,11 @@ type summarizeOutcome struct {
 // submitSummarize validates a summarize request and resolves it
 // against the summary cache: a hit replays the cached trace, a miss
 // enqueues a job under the request's content address so identical
-// concurrent submissions coalesce onto it. The returned int is the
-// HTTP status for the error, if any.
-func (s *Server) submitSummarize(req *summarizeRequest) (*summarizeOutcome, int, error) {
+// concurrent submissions coalesce onto it. The request's trace context
+// (from ctx) rides along with the job so worker-side spans land in the
+// submitter's trace. The returned int is the HTTP status for the
+// error, if any.
+func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest) (*summarizeOutcome, int, error) {
 	sess, ok := s.session(req.SessionID)
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", req.SessionID)
@@ -110,7 +112,11 @@ func (s *Server) submitSummarize(req *summarizeRequest) (*summarizeOutcome, int,
 		s.updateCacheGauges()
 	}
 
-	job, coalesced, err := s.submitJob(sess, "", params, nil, key)
+	trace := ""
+	if sc := obs.SpanContextFromContext(ctx); sc.Valid() {
+		trace = sc.Traceparent()
+	}
+	job, coalesced, err := s.submitJob(sess, "", trace, params, nil, key)
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
@@ -122,6 +128,25 @@ func (s *Server) submitSummarize(req *summarizeRequest) (*summarizeOutcome, int,
 		}
 	}
 	out.job = job
+	now := time.Now()
+	if coalesced {
+		// This submission rides on another request's job. Cross-link the
+		// traces: mark the request span with the leader's job, and drop a
+		// waiter marker into the leader's trace so its tree shows every
+		// party sharing the run.
+		if span := obs.SpanFromContext(ctx); span != nil {
+			span.SetAttr("coalescedInto", job.ID)
+		}
+		if lsc, perr := obs.ParseTraceparent(job.Trace()); perr == nil {
+			attrs := []obs.Attr{obs.KV("job", job.ID)}
+			if trace != "" {
+				attrs = append(attrs, obs.KV("waiterTrace", traceIDOf(trace)))
+			}
+			s.tracer.AddSpanUnder(lsc, "job.coalesced-waiter", now, now, attrs...)
+		}
+	} else {
+		s.tracer.AddSpan(ctx, "job.enqueue", now, now, obs.KV("job", job.ID))
+	}
 	if s.cache != nil {
 		if coalesced {
 			out.cacheState = "inflight"
@@ -137,11 +162,14 @@ func (s *Server) submitSummarize(req *summarizeRequest) (*summarizeOutcome, int,
 // submitJob enqueues one summarization job for sess, pinning the
 // session against eviction for the job's lifetime. An empty id draws a
 // fresh one; a resumed job passes its persisted id and latest
-// checkpoint. A non-nil cache key makes the submission coalescible:
-// when an identical job is already in flight, no new job starts — the
-// session attaches to the running one (coalesced=true) and receives
-// its summary when it completes.
-func (s *Server) submitJob(sess *session, id string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key) (*jobs.Job, bool, error) {
+// checkpoint. trace is the submitter's opaque W3C traceparent ("" when
+// untraced); it is carried by the job and journaled with it, so the
+// worker's spans — and a post-restart resume's spans — join the
+// original trace. A non-nil cache key makes the submission
+// coalescible: when an identical job is already in flight, no new job
+// starts — the session attaches to the running one (coalesced=true)
+// and receives its summary when it completes.
+func (s *Server) submitJob(sess *session, id, trace string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key) (*jobs.Job, bool, error) {
 	s.mu.Lock()
 	if id == "" {
 		s.jobSeq++
@@ -160,7 +188,7 @@ func (s *Server) submitJob(sess *session, id string, params codec.JobParams, cp 
 	if key != nil {
 		dedupKey = "c:" + key.String()
 	}
-	job, coalesced, err := s.jm.SubmitCoalesced(id, dedupKey, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, id, params, cp, key))
+	job, coalesced, err := s.jm.SubmitTraced(id, dedupKey, trace, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, id, params, cp, key))
 	if err != nil {
 		s.mu.Lock()
 		delete(s.jobMeta, id)
@@ -204,8 +232,32 @@ func (s *Server) submitJob(sess *session, id string, params codec.JobParams, cp 
 // without also finding the entry it would have computed.
 func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key) jobs.Task {
 	return func(ctx context.Context) (any, error) {
+		// Rejoin the submitter's trace: the job carries the original
+		// traceparent (or, after a restart, the pre-kill run's job span),
+		// so spans from this worker — and from a crash-resumed successor —
+		// all land under one trace ID.
+		tp := jobs.TraceFromContext(ctx)
+		if sc, perr := obs.ParseTraceparent(tp); perr == nil {
+			ctx = obs.ContextWithSpanContext(ctx, sc)
+		}
+		name := "job.run"
+		if cp != nil {
+			name = "job.resume"
+		}
+		ctx, span := s.tracer.StartSpan(ctx, name,
+			obs.KV("job", jobID), obs.KV("session", sess.id))
+		defer span.End()
+		jlog := s.log.With("job", jobID)
+		if span != nil {
+			jlog = jlog.With("trace", span.TraceID().String())
+			if cp != nil {
+				span.SetAttr("fromStep", cp.Step)
+			}
+		}
+
 		kind := classKind(params.Class)
 		est := s.estimatorFor(sess.prov, kind)
+		stepStart := time.Now()
 		cfg := core.Config{
 			Policy:     s.workload.Policy,
 			Estimator:  est,
@@ -214,25 +266,46 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 			TargetSize: params.TargetSize,
 			TargetDist: params.TargetDist,
 			MaxSteps:   params.Steps,
+			// Checkpoints persist the job span's context (not the original
+			// request's) so a resume's spans nest under the run they
+			// continue, while still sharing the request's trace ID.
+			TraceParent: tp,
+			StepObserver: func(ev core.StepEvent) {
+				now := time.Now()
+				s.tracer.AddSpan(ctx, "merge-step", stepStart, now,
+					obs.KV("step", ev.Step), obs.KV("new", ev.New),
+					obs.KV("candidates", ev.Candidates), obs.KV("deltaSkips", ev.DeltaSkips),
+					obs.KV("score", ev.Score), obs.KV("dist", ev.RDist), obs.KV("size", ev.Size))
+				stepStart = now
+			},
+		}
+		if span != nil {
+			cfg.TraceParent = span.Context().Traceparent()
 		}
 		if s.st != nil {
 			cfg.CheckpointEvery = s.checkpointEvery
 			cfg.CheckpointSink = func(c core.Checkpoint) error {
+				cpStart := time.Now()
 				if err := s.st.PutCheckpoint(&codec.CheckpointRecord{JobID: jobID, Checkpoint: &c}); err != nil {
 					return err
 				}
 				s.met.checkpoints.Inc()
+				s.tracer.AddSpan(ctx, "checkpoint", cpStart, time.Now(), obs.KV("step", c.Step))
 				return nil
 			}
 		}
 		summarizer, err := core.New(cfg)
 		if err != nil {
+			span.SetAttr("error", err)
 			return nil, err
 		}
 		sum, err := summarizer.Resume(ctx, sess.prov, cp)
 		if err != nil {
+			span.SetAttr("error", err)
 			return nil, err
 		}
+		span.SetAttr("steps", len(sum.Steps))
+		span.SetAttr("stop", sum.StopReason)
 		s.mu.Lock()
 		sess.summary = sum
 		sess.class = kind
@@ -241,7 +314,7 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 			s.publishToCache(*key, params, sum)
 		}
 		s.recordSummarize(sum, est)
-		s.log.Info("summarized",
+		jlog.Info("summarized",
 			"session", sess.id, "job", jobID, "steps", len(sum.Steps), "stop", sum.StopReason,
 			"size", sum.Expr.Size(), "dist", sum.Dist, "dur", sum.Elapsed)
 		return sum, nil
@@ -299,9 +372,30 @@ func (s *Server) onJobTransition(tr jobs.Transition) {
 		s.met.jobsRunning.Dec()
 	}
 	if tr.To.Terminal() {
-		s.met.jobDur.Observe(tr.Latency.Seconds())
+		trace := tr.Job.Trace()
+		if tid := traceIDOf(trace); tid != "" {
+			s.met.jobDur.ObserveExemplar(tr.Latency.Seconds(), tid)
+		} else {
+			s.met.jobDur.Observe(tr.Latency.Seconds())
+		}
 		if c, ok := s.met.jobsFinished[tr.To.String()]; ok {
 			c.Inc()
+		}
+		// SLO and flight recorder: shutdown interruptions are requeues,
+		// not failures, so they count neither as bad events nor as
+		// capture triggers.
+		genuineFailure := tr.To == jobs.Failed && !errors.Is(tr.Cause, jobs.ErrShutdown)
+		s.sloJob.Observe(tr.Latency, genuineFailure)
+		if genuineFailure {
+			var tid obs.TraceID
+			if sc, perr := obs.ParseTraceparent(trace); perr == nil {
+				tid = sc.TraceID
+			}
+			if dir, ferr := s.fr.Capture("job-failure", tid); ferr != nil {
+				s.log.Error("flight capture failed", "job", id, "err", ferr)
+			} else if dir != "" {
+				s.log.Info("flight bundle captured", "job", id, "dir", dir)
+			}
 		}
 	}
 
@@ -344,6 +438,7 @@ func (s *Server) onJobTransition(tr jobs.Transition) {
 		State:       tr.To.String(),
 		Params:      meta.params,
 		SubmittedMS: meta.submittedMS,
+		Trace:       tr.Job.Trace(),
 	}
 	if tr.Err != nil {
 		rec.Error = tr.Err.Error()
@@ -363,6 +458,9 @@ type jobResponse struct {
 	StartedAt   string             `json:"startedAt,omitempty"`
 	FinishedAt  string             `json:"finishedAt,omitempty"`
 	Result      *summarizeResponse `json:"result,omitempty"`
+	// Trace is the hex trace ID the job's spans are recorded under
+	// (look it up via GET /api/traces/{id}); empty for untraced jobs.
+	Trace string `json:"trace,omitempty"`
 	// Cached marks a submission answered from the summary cache without
 	// running a job.
 	Cached bool `json:"cached,omitempty"`
@@ -375,7 +473,8 @@ func rfc3339OrEmpty(t time.Time) string {
 	return t.UTC().Format(time.RFC3339Nano)
 }
 
-func (s *Server) jobResponseFor(st jobs.Status) jobResponse {
+func (s *Server) jobResponseFor(job *jobs.Job) jobResponse {
+	st := job.Status()
 	s.mu.Lock()
 	meta := s.jobMeta[st.ID]
 	s.mu.Unlock()
@@ -385,6 +484,7 @@ func (s *Server) jobResponseFor(st jobs.Status) jobResponse {
 		SubmittedAt: rfc3339OrEmpty(st.SubmittedAt),
 		StartedAt:   rfc3339OrEmpty(st.StartedAt),
 		FinishedAt:  rfc3339OrEmpty(st.FinishedAt),
+		Trace:       traceIDOf(job.Trace()),
 	}
 	if meta != nil {
 		resp.SessionID = meta.sessionID
@@ -412,7 +512,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	out, status, err := s.submitSummarize(&req)
+	out, status, err := s.submitSummarize(r.Context(), &req)
 	if err != nil {
 		writeErr(w, status, "%v", err)
 		return
@@ -424,7 +524,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.cachedJobResponse(out))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, s.jobResponseFor(out.job.Status()))
+	writeJSON(w, http.StatusAccepted, s.jobResponseFor(out.job))
 }
 
 // cachedJobResponse registers a synthetic, already-done job for a
@@ -478,10 +578,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, jobResponse{
 			ID: rec.ID, SessionID: rec.SessionID, State: rec.State, Error: rec.Error,
 			SubmittedAt: rfc3339OrEmpty(time.UnixMilli(rec.SubmittedMS)),
+			Trace:       traceIDOf(rec.Trace),
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.jobResponseFor(job.Status()))
+	writeJSON(w, http.StatusOK, s.jobResponseFor(job))
 }
 
 // handleJobCancel implements POST /api/jobs/{id}/cancel. Cancelation
@@ -499,7 +600,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.jobResponseFor(job.Status()))
+	writeJSON(w, http.StatusOK, s.jobResponseFor(job))
 }
 
 // writeJobOutcome renders a terminal job status for submit-and-wait.
@@ -595,7 +696,15 @@ func (s *Server) restoreFromStore() error {
 			k := s.cacheKeyFor(sess, rec.Params)
 			key = &k
 		}
-		job, coalesced, err := s.submitJob(sess, rec.ID, rec.Params, cp, key)
+		// Resume under the interrupted run's trace: prefer the
+		// checkpoint's traceparent (the pre-kill job span, so resume
+		// spans nest under it) and fall back to the traceparent journaled
+		// at submission.
+		trace := rec.Trace
+		if cp != nil && cp.TraceParent != "" {
+			trace = cp.TraceParent
+		}
+		job, coalesced, err := s.submitJob(sess, rec.ID, trace, rec.Params, cp, key)
 		if err != nil {
 			return fmt.Errorf("server: requeueing interrupted job %s: %w", rec.ID, err)
 		}
@@ -661,17 +770,24 @@ type storeObserver struct {
 	appends   *obs.Counter
 	bytes     *obs.Counter
 	fsyncs    *obs.Counter
+	fsyncDur  *obs.Histogram
 	truncated *obs.Counter
 }
 
+// fsyncBuckets spans the fsync latency range from page-cache-absorbed
+// (~50µs) to a seriously stalled disk (1s).
+var fsyncBuckets = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+
 // NewStoreObserver returns a store.Observer publishing append/fsync/
-// truncation counters to reg (pass the same registry as WithRegistry so
-// everything lands on one /metrics page).
+// truncation counters and the fsync latency histogram to reg (pass the
+// same registry as WithRegistry so everything lands on one /metrics
+// page).
 func NewStoreObserver(reg *obs.Registry) store.Observer {
 	return &storeObserver{
 		appends:   reg.Counter("prox_store_appends_total", "Records appended to the durability log.", nil),
 		bytes:     reg.Counter("prox_store_append_bytes_total", "Framed bytes appended to the durability log.", nil),
 		fsyncs:    reg.Counter("prox_store_fsyncs_total", "fsync calls issued by the durability store.", nil),
+		fsyncDur:  reg.Histogram("prox_store_fsync_seconds", "Latency of fsync calls issued by the durability store.", fsyncBuckets, nil),
 		truncated: reg.Counter("prox_store_truncated_bytes_total", "Torn-tail bytes discarded when opening the log.", nil),
 	}
 }
@@ -680,5 +796,8 @@ func (o *storeObserver) Appended(n int) {
 	o.appends.Inc()
 	o.bytes.Add(float64(n))
 }
-func (o *storeObserver) Synced()           { o.fsyncs.Inc() }
+func (o *storeObserver) Synced(d time.Duration) {
+	o.fsyncs.Inc()
+	o.fsyncDur.Observe(d.Seconds())
+}
 func (o *storeObserver) Truncated(n int64) { o.truncated.Add(float64(n)) }

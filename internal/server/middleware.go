@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -126,10 +127,17 @@ func statusClass(code int) string {
 
 // instrument wraps a handler with the observability middleware: per-route
 // request counting by status class, a per-route latency histogram, the
-// in-flight gauge, and a debug-level request log line. The route label is
-// the registered pattern, not the raw URL, so cardinality stays fixed;
-// all series are pre-registered here so the request path never takes the
+// in-flight gauge, distributed tracing, the optional per-route latency
+// SLO, and a debug-level request log line. The route label is the
+// registered pattern, not the raw URL, so cardinality stays fixed; all
+// series are pre-registered here so the request path never takes the
 // registry lock.
+//
+// Tracing: an incoming W3C `traceparent` header joins the caller's
+// trace; otherwise a fresh trace is rooted. The request span wraps the
+// handler, the trace ID is echoed in `X-Prox-Trace`, attached to the
+// latency histogram as an exemplar, and stamped on the request-scoped
+// logger carried in the context (see Server.logFor).
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.reg.Histogram("prox_http_request_duration_seconds",
 		"HTTP request latency by route.", nil, obs.Labels{"route": route})
@@ -139,16 +147,38 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			"HTTP requests by route and status class.",
 			obs.Labels{"route": route, "code": class})
 	}
+	slo := s.sloForRoute(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.met.inFlight.Inc()
 		defer s.met.inFlight.Dec()
+		ctx := r.Context()
+		if sc, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+			ctx = obs.ContextWithSpanContext(ctx, sc)
+		}
+		ctx, span := s.tracer.StartSpan(ctx, "http "+route,
+			obs.KV("route", route), obs.KV("method", r.Method))
+		log := s.log
+		traceID := ""
+		if span != nil {
+			traceID = span.TraceID().String()
+			w.Header().Set("X-Prox-Trace", traceID)
+			log = log.With("trace", traceID, "span", span.Context().SpanID.String())
+			ctx = context.WithValue(ctx, reqLogKey{}, log)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(rec, r)
+		h(rec, r.WithContext(ctx))
 		elapsed := time.Since(start)
+		span.SetAttr("status", rec.status)
+		span.End()
 		byClass[statusClass(rec.status)].Inc()
-		hist.Observe(elapsed.Seconds())
-		s.log.Debug("request",
+		if traceID != "" {
+			hist.ObserveExemplar(elapsed.Seconds(), traceID)
+		} else {
+			hist.Observe(elapsed.Seconds())
+		}
+		slo.Observe(elapsed, rec.status >= 500)
+		log.Debug("request",
 			"route", route, "method", r.Method, "status", rec.status, "dur", elapsed)
 	}
 }

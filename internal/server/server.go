@@ -63,6 +63,19 @@ type Server struct {
 	st              *store.Store
 	jm              *jobs.Manager
 
+	// Tracing, SLOs and post-mortem capture.
+	tracer  *obs.Tracer
+	fr      *obs.FlightRecorder
+	runtime *obs.RuntimeCollector
+	// httpSLO/jobSLO are latency thresholds (0 disables); sloObjective
+	// is the target good fraction shared by every SLO.
+	httpSLO      time.Duration
+	jobSLO       time.Duration
+	sloObjective float64
+	sloJob       *obs.SLO
+	sloMu        sync.Mutex
+	sloAll       []*obs.SLO // every SLO, refreshed on each /metrics scrape
+
 	// Summary cache: content-addressed LRU of completed merge traces,
 	// keyed by (expression, config, policy, annotation metadata)
 	// fingerprints. nil when disabled via WithCache(0, ...).
@@ -148,6 +161,39 @@ func WithCheckpointEvery(k int) Option {
 	}
 }
 
+// WithTracer uses the given tracer instead of a private in-memory one.
+// Pass a tracer with a Sink to journal spans across restarts (the
+// prox-server binary does this under -trace-dir).
+func WithTracer(t *obs.Tracer) Option { return func(s *Server) { s.tracer = t } }
+
+// WithFlightRecorder attaches a flight recorder; the server captures a
+// bundle (span tree, goroutine dump, optional CPU profile) on SLO
+// breaches and job failures.
+func WithFlightRecorder(fr *obs.FlightRecorder) Option { return func(s *Server) { s.fr = fr } }
+
+// WithHTTPSLO enables a per-route latency SLO: requests slower than
+// threshold (or failing with 5xx) count as bad events for that route's
+// prox_slo_* series. threshold <= 0 disables.
+func WithHTTPSLO(threshold time.Duration) Option {
+	return func(s *Server) { s.httpSLO = threshold }
+}
+
+// WithSummarizeSLO enables a submit-to-terminal latency SLO for
+// summarization jobs. threshold <= 0 disables.
+func WithSummarizeSLO(threshold time.Duration) Option {
+	return func(s *Server) { s.jobSLO = threshold }
+}
+
+// WithSLOObjective sets the target good fraction shared by every SLO
+// (default 0.99). Values outside (0, 1) keep the default.
+func WithSLOObjective(objective float64) Option {
+	return func(s *Server) {
+		if objective > 0 && objective < 1 {
+			s.sloObjective = objective
+		}
+	}
+}
+
 // WithStore attaches a persistence store: sessions, summaries, job
 // states, checkpoints and summary-cache entries are journaled to it,
 // and its replayed state is restored — interrupted jobs requeued from
@@ -200,6 +246,22 @@ func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 	if s.log == nil {
 		s.log = obs.Nop()
 	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(obs.TracerConfig{})
+	}
+	if s.sloObjective == 0 {
+		s.sloObjective = 0.99
+	}
+	s.runtime = obs.NewRuntimeCollector(s.reg)
+	if s.jobSLO > 0 {
+		s.sloJob = obs.NewSLO(s.reg, obs.SLOConfig{
+			Name:      "summarize",
+			Threshold: s.jobSLO,
+			Objective: s.sloObjective,
+			OnBreach:  s.onSLOBreach,
+		})
+		s.sloAll = append(s.sloAll, s.sloJob)
+	}
 	s.met = newMetrics(s.reg)
 	s.policyFP = w.Policy.Fingerprint()
 	if s.cacheEntries > 0 {
@@ -250,9 +312,79 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/cache/flush", s.instrument("/api/cache/flush", s.handleCacheFlush))
 	mux.HandleFunc("GET /api/step", s.instrument("/api/step", s.handleStep))
 	mux.HandleFunc("POST /api/evaluate", s.instrument("/api/evaluate", s.handleEvaluate))
-	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /api/traces", s.instrument("/api/traces", s.handleTraces))
+	mux.HandleFunc("GET /api/traces/{id}", s.instrument("/api/traces/{id}", s.handleTraceGet))
+	metricsH := s.reg.Handler()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.scrape()
+		metricsH.ServeHTTP(w, r)
+	})
 	mux.HandleFunc("GET /", s.instrument("/", s.handleUI))
 	return mux
+}
+
+// scrape refreshes sampled series (runtime gauges, SLO burn rates)
+// immediately before a /metrics exposition.
+func (s *Server) scrape() {
+	s.runtime.Collect()
+	s.sloMu.Lock()
+	slos := append([]*obs.SLO(nil), s.sloAll...)
+	s.sloMu.Unlock()
+	for _, slo := range slos {
+		slo.Update()
+	}
+}
+
+// sloForRoute builds the latency SLO for one route (nil when per-route
+// SLOs are disabled). Called once per route when the handler is built.
+func (s *Server) sloForRoute(route string) *obs.SLO {
+	if s.httpSLO <= 0 {
+		return nil
+	}
+	slo := obs.NewSLO(s.reg, obs.SLOConfig{
+		Name:      "http:" + route,
+		Threshold: s.httpSLO,
+		Objective: s.sloObjective,
+		OnBreach:  s.onSLOBreach,
+	})
+	s.sloMu.Lock()
+	s.sloAll = append(s.sloAll, slo)
+	s.sloMu.Unlock()
+	return slo
+}
+
+// onSLOBreach logs a fast-burning SLO and captures a flight-recorder
+// bundle (rate-limited by the recorder itself).
+func (s *Server) onSLOBreach(name string, burn float64) {
+	s.log.Error("slo breach", "slo", name, "burn5m", burn)
+	if dir, err := s.fr.Capture("slo-breach-"+name, obs.TraceID{}); err != nil {
+		s.log.Error("flight capture failed", "slo", name, "err", err)
+	} else if dir != "" {
+		s.log.Info("flight bundle captured", "slo", name, "dir", dir)
+	}
+}
+
+// reqLogKey carries the request-scoped logger (annotated with trace and
+// span IDs by the middleware) through context.
+type reqLogKey struct{}
+
+// logFor returns the request-scoped logger from ctx, falling back to the
+// server logger.
+func (s *Server) logFor(ctx context.Context) *obs.Logger {
+	if l, ok := ctx.Value(reqLogKey{}).(*obs.Logger); ok && l != nil {
+		return l
+	}
+	return s.log
+}
+
+// traceIDOf extracts the hex trace ID from an opaque traceparent string,
+// or "" when absent/invalid.
+func traceIDOf(traceparent string) string {
+	sc, err := obs.ParseTraceparent(traceparent)
+	if err != nil {
+		return ""
+	}
+	return sc.TraceID.String()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -561,7 +693,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	out, status, err := s.submitSummarize(&req)
+	out, status, err := s.submitSummarize(r.Context(), &req)
 	if err != nil {
 		writeErr(w, status, "%v", err)
 		return

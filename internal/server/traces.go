@@ -1,0 +1,74 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleTraces lists the traces retained by the in-memory span store,
+// newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	sums := s.tracer.Traces()
+	if sums == nil {
+		sums = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": sums})
+}
+
+// spanNode is one span rendered into the trace tree of
+// GET /api/traces/{id}. Children are ordered by start time.
+type spanNode struct {
+	Name     string            `json:"name"`
+	Span     string            `json:"span"`
+	Parent   string            `json:"parent,omitempty"`
+	Start    time.Time         `json:"start"`
+	DurUS    int64             `json:"durUs"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*spanNode       `json:"children,omitempty"`
+}
+
+// handleTraceGet renders one trace as a span tree. Spans whose parent is
+// missing from the store (dropped by the per-trace cap, or belonging to
+// a remote caller) surface as additional roots rather than vanishing.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad trace id: %v", err)
+		return
+	}
+	spans, dropped, ok := s.tracer.Spans(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown trace %s", id)
+		return
+	}
+	byID := make(map[string]*spanNode, len(spans))
+	for _, sp := range spans {
+		byID[sp.Span] = &spanNode{
+			Name:   sp.Name,
+			Span:   sp.Span,
+			Parent: sp.Parent,
+			Start:  sp.Start,
+			DurUS:  sp.DurUS,
+			Attrs:  sp.Attrs,
+		}
+	}
+	var roots []*spanNode
+	for _, sp := range spans { // spans is start-ordered, so children are too
+		node := byID[sp.Span]
+		if parent, ok := byID[sp.Parent]; ok && sp.Parent != sp.Span {
+			parent.Children = append(parent.Children, node)
+		} else {
+			roots = append(roots, node)
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id.String(),
+		"spans":   len(spans),
+		"dropped": dropped,
+		"roots":   roots,
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 )
@@ -52,8 +53,10 @@ func TerminalJobState(state string) bool {
 type Observer interface {
 	// Appended reports one record written to the log, with its framed size.
 	Appended(bytes int)
-	// Synced reports one fsync of the log or snapshot.
-	Synced()
+	// Synced reports one fsync of the log or snapshot and how long the
+	// kernel took to acknowledge it — the tail-latency floor of every
+	// durable append.
+	Synced(d time.Duration)
 	// Truncated reports bytes of torn tail discarded during open.
 	Truncated(bytes int64)
 }
@@ -280,12 +283,22 @@ func (s *Store) append(rec *codec.Record) error {
 		s.opts.Observer.Appended(n)
 	}
 	if !s.opts.NoSync {
-		if err := s.log.Sync(); err != nil {
-			return fmt.Errorf("store: fsync: %w", err)
+		if err := s.sync("store: fsync"); err != nil {
+			return err
 		}
-		if s.opts.Observer != nil {
-			s.opts.Observer.Synced()
-		}
+	}
+	return nil
+}
+
+// sync fsyncs the log, timing the call for the observer. Callers hold
+// s.mu.
+func (s *Store) sync(errPrefix string) error {
+	start := time.Now()
+	if err := s.log.Sync(); err != nil {
+		return fmt.Errorf("%s: %w", errPrefix, err)
+	}
+	if s.opts.Observer != nil {
+		s.opts.Observer.Synced(time.Since(start))
 	}
 	return nil
 }
@@ -378,11 +391,12 @@ func (s *Store) Compact() error {
 			return fmt.Errorf("store: compact: %w", err)
 		}
 	}
+	snapStart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	if s.opts.Observer != nil {
-		s.opts.Observer.Synced()
+		s.opts.Observer.Synced(time.Since(snapStart))
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
@@ -394,11 +408,8 @@ func (s *Store) Compact() error {
 		return fmt.Errorf("store: compact: truncating log: %w", err)
 	}
 	if !s.opts.NoSync {
-		if err := s.log.Sync(); err != nil {
-			return fmt.Errorf("store: compact: %w", err)
-		}
-		if s.opts.Observer != nil {
-			s.opts.Observer.Synced()
+		if err := s.sync("store: compact"); err != nil {
+			return err
 		}
 	}
 	return nil

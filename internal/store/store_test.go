@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -360,7 +361,7 @@ func (o *recordingObserver) Appended(n int) {
 	o.appended += n
 	o.mu.Unlock()
 }
-func (o *recordingObserver) Synced() {
+func (o *recordingObserver) Synced(time.Duration) {
 	o.mu.Lock()
 	o.syncs++
 	o.mu.Unlock()

@@ -3,7 +3,11 @@
 # prox-server with a data dir, submit a summarization job, kill the
 # process hard (no drain, no compaction), restart it over the same
 # directory, and assert the interrupted job resumes to completion and
-# its session survives with a working summary.
+# its session survives with a working summary. With -trace-dir the span
+# journal survives the crash too, so the test also asserts the resumed
+# run continues under the original request's trace ID: the restarted
+# server logs it, GET /api/traces/{id} shows the resume spans, and
+# /metrics carries it as a latency-histogram exemplar.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +40,7 @@ go build -o "$BIN" ./cmd/prox-server
 
 start_server() { # $1 = log file
   "$BIN" -addr ":$PORT" -data-dir "$DIR/data" -checkpoint-every 1 \
+         -trace-dir "$DIR/data/trace" -log-level info \
          -workers 1 -users 64 -movies 12 >"$1" 2>&1 &
   PID=$!
   for _ in $(seq 1 100); do
@@ -50,11 +55,13 @@ start_server() { # $1 = log file
 start_server "$DIR/run1.log"
 
 SESSION=$(curl -sf -X POST "$BASE/api/select" -d '{}' | jq -r .sessionId)
-JOB=$(curl -sf -X POST "$BASE/api/jobs" -d "{
+SUBMIT=$(curl -sf -X POST "$BASE/api/jobs" -d "{
   \"sessionId\": \"$SESSION\", \"wDist\": 0.5, \"wSize\": 0.5,
   \"steps\": 60, \"valuationClass\": \"annotation\"
-}" | jq -r .id)
-echo "submitted job $JOB on session $SESSION"
+}")
+JOB=$(echo "$SUBMIT" | jq -r .id)
+TRACE=$(echo "$SUBMIT" | jq -r .trace)
+echo "submitted job $JOB on session $SESSION (trace $TRACE)"
 
 sleep 0.5            # let the merge loop take a few checkpoints
 kill -9 "$PID"       # simulated crash
@@ -63,10 +70,12 @@ PID=""
 echo "killed server mid-run (state before crash: $(tail -1 "$DIR/run1.log"))"
 
 start_server "$DIR/run2.log"
+RESUMED=1
 if REQUEUE=$(grep -o 'requeued interrupted job.*' "$DIR/run2.log"); then
   echo "$REQUEUE"
 else
   echo "note: job had already finished before the crash"
+  RESUMED=0
 fi
 
 STATE=""
@@ -87,6 +96,36 @@ if [ "$STATE" != done ]; then
   exit 1
 fi
 echo "job $JOB reached done after restart"
+
+# Trace continuity across the crash: the resumed run must still be
+# working under the pre-kill trace ID — visible in the restarted
+# server's logs, in its trace store (with the resume span), and as a
+# latency-histogram exemplar on /metrics.
+if [ "$RESUMED" = 1 ]; then
+  if ! grep -q "$TRACE" "$DIR/run2.log"; then
+    echo "restarted server never logged pre-kill trace id $TRACE" >&2
+    cat "$DIR/run2.log" >&2
+    exit 1
+  fi
+  curl -sf "$BASE/api/traces/$TRACE" |
+    jq -e 'tostring | test("job.resume") and test("merge-step")' >/dev/null
+  # The exemplar lands when the terminal-transition hook runs, which is
+  # a moment after the job state reads done (the hook journals the
+  # record first) — poll briefly instead of racing it.
+  EXEMPLAR=0
+  for _ in $(seq 1 50); do
+    if curl -sf "$BASE/metrics" | grep -q "trace_id=\"$TRACE\""; then
+      EXEMPLAR=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$EXEMPLAR" != 1 ]; then
+    echo "no exemplar with trace_id=$TRACE on /metrics after resume" >&2
+    exit 1
+  fi
+  echo "trace $TRACE contiguous across crash (logs, span tree, exemplar)"
+fi
 
 # the restored session must serve the evaluator over the resumed summary
 curl -sf -X POST "$BASE/api/evaluate" \
