@@ -9,7 +9,7 @@
 //	               [-target-size 1] [-target-dist 1]
 //	               [-scale 1] [-seed 1] [-v]
 //	               [-arity 2] [-parallel 1] [-samples 0]
-//	               [-scoring delta|batch|seq]
+//	               [-scoring delta|batch|seq] [-legacy-eval]
 //	               [-save bundle.json] [-load bundle.json] [-json out.json]
 //	               [-trace steps.jsonl]
 //
@@ -18,7 +18,9 @@
 // materializes every candidate and evaluates it in full, "seq" scores
 // candidate-major with one Distance call each. All three choose
 // bit-identical summaries. The deprecated -seq-scoring flag is an alias
-// for -scoring=seq.
+// for -scoring=seq. -legacy-eval scores on the recursive tree evaluator
+// instead of the compiled arena (implies -scoring=batch or seq); it
+// exists for A/B comparison and chooses the same summaries.
 //
 // With -trace, every merge step of Algorithm 1 is appended to the given
 // file as one JSON object per line (score, distance, size ratio,
@@ -61,6 +63,7 @@ func main() {
 	samples := flag.Int("samples", 0, "Monte-Carlo valuation samples per distance (0 = enumerate the class)")
 	scoring := flag.String("scoring", "delta", "candidate scoring engine: delta (incremental, default) | batch (materialize every candidate) | seq (candidate-major)")
 	seqScoring := flag.Bool("seq-scoring", false, "deprecated alias for -scoring=seq")
+	legacyEval := flag.Bool("legacy-eval", false, "score on the recursive tree evaluator instead of the compiled arena (A/B switch; disables the delta engine)")
 	saveBundle := flag.String("save", "", "write the generated workload as a JSON bundle to this file")
 	loadBundle := flag.String("load", "", "summarize a saved JSON bundle instead of generating a dataset")
 	jsonOut := flag.String("json", "", "write the summary trace as JSON to this file (- for stdout)")
@@ -155,6 +158,7 @@ func main() {
 	default:
 		fatal("unknown -scoring %q (want delta, batch or seq)", *scoring)
 	}
+	cfg.LegacyEval = *legacyEval
 	var traceClose func()
 	if *traceOut != "" {
 		var err error

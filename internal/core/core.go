@@ -96,6 +96,15 @@ type Config struct {
 	// already bypasses both cohort scorers.
 	FullEvalScoring bool
 
+	// LegacyEval runs scoring on the recursive interface-dispatch
+	// evaluator instead of the flat arena
+	// (distance.Estimator.LegacyEval). Because the delta scorer is
+	// arena-native, setting it also disables the delta path: cohorts are
+	// scored through the materialized batch sweep (or candidate-major
+	// with SequentialScoring). Bit-identical to arena scoring; the flag
+	// exists for A/B comparison and the arena differential tests.
+	LegacyEval bool
+
 	// StepObserver, when non-nil, receives a StepEvent after every
 	// committed merge step (and never for the free Prop. 4.2.1
 	// equivalence pre-step, which performs no candidate search). When a
@@ -242,6 +251,7 @@ func New(cfg Config) (*Summarizer, error) {
 		// The batch path's workers live inside the estimator's sweep.
 		cfg.Estimator.Parallelism = cfg.Parallelism
 	}
+	cfg.Estimator.LegacyEval = cfg.LegacyEval
 	return &Summarizer{cfg: cfg}, nil
 }
 
@@ -523,10 +533,11 @@ func (s *Summarizer) probeAll(p0, cur provenance.Expression, cum provenance.Mapp
 // through the incremental delta engine (Estimator.DistanceDelta), which
 // probes every merge against the shared current expression without
 // materializing candidates; when the expression cannot be planned, or
-// Config.FullEvalScoring is set, it falls back to materialized batch
-// scoring. Both produce bit-identical candidates.
+// Config.FullEvalScoring or Config.LegacyEval is set, it falls back to
+// materialized batch scoring. All paths produce bit-identical
+// candidates.
 func (s *Summarizer) probeCohort(p0, cur provenance.Expression, cum provenance.Mapping, base provenance.Groups, origSize int, members [][]provenance.Annotation, res *Summary) []candidate {
-	if !s.cfg.FullEvalScoring {
+	if !s.cfg.FullEvalScoring && !s.cfg.LegacyEval {
 		if cands, ok := s.probeDelta(p0, cur, cum, base, origSize, members, res); ok {
 			return cands
 		}

@@ -42,7 +42,7 @@ func mlSummaryKey(t *testing.T, sum *core.Summary) string {
 // rendered expression. The delta runs must actually exercise the delta
 // engine (counters move), not silently fall back.
 func TestMovieLensScoringModesIdentical(t *testing.T) {
-	run := func(seqScoring, fullEval bool, workers int, wantDelta bool) string {
+	run := func(seqScoring, fullEval, legacy bool, workers int, wantDelta bool) string {
 		w := movieLens(t)
 		est := w.Estimator(datasets.CancelSingleAnnotation)
 		s, err := core.New(core.Config{
@@ -53,6 +53,7 @@ func TestMovieLensScoringModesIdentical(t *testing.T) {
 			MaxSteps:          6,
 			SequentialScoring: seqScoring,
 			FullEvalScoring:   fullEval,
+			LegacyEval:        legacy,
 			Parallelism:       workers,
 		})
 		if err != nil {
@@ -74,20 +75,28 @@ func TestMovieLensScoringModesIdentical(t *testing.T) {
 		}
 		return mlSummaryKey(t, sum)
 	}
-	want := run(true, false, 1, false)
+	want := run(true, false, false, 1, false)
 	for _, tc := range []struct {
-		name      string
-		seq, full bool
-		workers   int
+		name              string
+		seq, full, legacy bool
+		workers           int
 	}{
-		{"sequential-parallel", true, false, 4},
-		{"full-eval-batch", false, true, 1},
-		{"full-eval-batch-parallel", false, true, 4},
-		{"delta", false, false, 1},
-		{"delta-parallel", false, false, 4},
+		{"sequential-parallel", true, false, false, 4},
+		{"full-eval-batch", false, true, false, 1},
+		{"full-eval-batch-parallel", false, true, false, 4},
+		{"delta", false, false, false, 1},
+		{"delta-parallel", false, false, false, 4},
+		// LegacyEval disables the arena evaluators (and the delta path):
+		// the recursive reference must reproduce the arena runs
+		// byte-for-byte, in both remaining scoring layouts.
+		{"legacy-sequential", true, false, true, 1},
+		{"legacy-sequential-parallel", true, false, true, 4},
+		{"legacy-batch", false, false, true, 1},
+		{"legacy-batch-parallel", false, false, true, 4},
+		{"legacy-full-eval-batch", false, true, true, 1},
 	} {
-		wantDelta := !tc.seq && !tc.full
-		if got := run(tc.seq, tc.full, tc.workers, wantDelta); got != want {
+		wantDelta := !tc.seq && !tc.full && !tc.legacy
+		if got := run(tc.seq, tc.full, tc.legacy, tc.workers, wantDelta); got != want {
 			t.Fatalf("%s diverged from candidate-major sequential:\n%s\n--- want ---\n%s", tc.name, got, want)
 		}
 	}
@@ -100,7 +109,7 @@ func TestMovieLensScoringModesIdentical(t *testing.T) {
 // before the candidate fan-out — on the default delta path and on the
 // materialized batch path alike.
 func TestMovieLensSampledParallelIdentical(t *testing.T) {
-	run := func(fullEval bool, workers int) string {
+	run := func(fullEval, legacy bool, workers int) string {
 		w := movieLens(t)
 		est := w.Estimator(datasets.CancelSingleAnnotation)
 		est.Samples = 8
@@ -112,6 +121,7 @@ func TestMovieLensSampledParallelIdentical(t *testing.T) {
 			WSize:           0.3,
 			MaxSteps:        5,
 			FullEvalScoring: fullEval,
+			LegacyEval:      legacy,
 			Parallelism:     workers,
 		})
 		if err != nil {
@@ -123,15 +133,20 @@ func TestMovieLensSampledParallelIdentical(t *testing.T) {
 		}
 		return mlSummaryKey(t, sum)
 	}
-	want := run(false, 1)
+	want := run(false, false, 1)
 	for _, workers := range []int{2, 6} {
-		if got := run(false, workers); got != want {
+		if got := run(false, false, workers); got != want {
 			t.Fatalf("delta workers=%d diverged from sequential sampled run:\n%s\n--- want ---\n%s", workers, got, want)
 		}
 	}
 	for _, workers := range []int{1, 6} {
-		if got := run(true, workers); got != want {
+		if got := run(true, false, workers); got != want {
 			t.Fatalf("full-eval workers=%d diverged from delta sampled run:\n%s\n--- want ---\n%s", workers, got, want)
+		}
+	}
+	for _, workers := range []int{1, 6} {
+		if got := run(false, true, workers); got != want {
+			t.Fatalf("legacy-eval workers=%d diverged from delta sampled run:\n%s\n--- want ---\n%s", workers, got, want)
 		}
 	}
 }

@@ -61,13 +61,26 @@ func (e *Estimator) DistanceBatch(p0 provenance.Expression, cands []BatchCandida
 	for _, v := range vals {
 		e.evalOriginal(v, p0)
 	}
+	// Compile each candidate into its arena once, amortized over the
+	// whole valuation sweep. A nil entry (non-Agg candidate, unknown
+	// node, or LegacyEval) falls back to interface dispatch per
+	// candidate.
+	var arenas []*provenance.Arena
+	if !e.LegacyEval {
+		arenas = make([]*provenance.Arena, len(cands))
+		for i := range cands {
+			if g, ok := cands[i].Expr.(*provenance.Agg); ok {
+				arenas[i] = provenance.CompileArena(g)
+			}
+		}
+	}
 
 	workers := e.Parallelism
 	if workers > len(cands) {
 		workers = len(cands)
 	}
 	if workers <= 1 {
-		e.batchSweep(p0, cands, vals, out, 0, len(cands))
+		e.batchSweep(p0, cands, arenas, vals, out, 0, len(cands))
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -76,7 +89,7 @@ func (e *Estimator) DistanceBatch(p0 provenance.Expression, cands []BatchCandida
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				e.batchSweep(p0, cands, vals, out, lo, hi)
+				e.batchSweep(p0, cands, arenas, vals, out, lo, hi)
 			}(lo, hi)
 		}
 		wg.Wait()
@@ -116,9 +129,24 @@ func (e *Estimator) batchValuations() []provenance.Valuation {
 // batchSweep scores cands[lo:hi] against every valuation, valuation-major.
 // Within a sweep, the φ-combined truth of each group is memoized by
 // member-slice identity, so groups shared across candidates are combined
-// once per valuation.
-func (e *Estimator) batchSweep(p0 provenance.Expression, cands []BatchCandidate, vals []provenance.Valuation, out []float64, lo, hi int) {
+// once per valuation. Candidates with a compiled arena evaluate through
+// a truth-bitset fill (one memoized Truth per interned annotation) and
+// an iterative node pass; the rest fall back to the tree walk. The two
+// paths are bit-identical.
+func (e *Estimator) batchSweep(p0 provenance.Expression, cands []BatchCandidate, arenas []*provenance.Arena, vals []provenance.Valuation, out []float64, lo, hi int) {
 	ext := &memoExtendedValuation{phi: e.Phi}
+	var scratches []*provenance.ArenaScratch
+	var bits []provenance.Bitset
+	if arenas != nil {
+		scratches = make([]*provenance.ArenaScratch, hi-lo)
+		bits = make([]provenance.Bitset, hi-lo)
+		for ci := lo; ci < hi; ci++ {
+			if ar := arenas[ci]; ar != nil {
+				scratches[ci-lo] = ar.NewScratch()
+				bits[ci-lo] = ar.NewTruths()
+			}
+		}
+	}
 	for _, v := range vals {
 		orig := e.evalOriginal(v, p0) // cache hit after the prewarm above
 		ext.reset(v)
@@ -129,7 +157,15 @@ func (e *Estimator) batchSweep(p0 provenance.Expression, cands []BatchCandidate,
 			if needsAlign(orig, c.Cumulative) {
 				aligned = c.Expr.AlignResult(orig, c.Cumulative)
 			}
-			summ := c.Expr.Eval(ext)
+			var summ provenance.Result
+			if arenas != nil && arenas[ci] != nil {
+				ar := arenas[ci]
+				b := bits[ci-lo]
+				ar.FillTruths(b, ext.Truth)
+				summ = ar.Eval(b, scratches[ci-lo])
+			} else {
+				summ = c.Expr.Eval(ext)
+			}
 			out[ci] += e.VF.F(v, aligned, summ)
 			e.stats.evaluations.Add(1)
 		}

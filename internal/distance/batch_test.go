@@ -260,3 +260,17 @@ func BenchmarkSummarizeStepScoringBatch(b *testing.B) {
 		e.DistanceBatch(sc.p0, sc.cands)
 	}
 }
+
+// BenchmarkSummarizeStepScoringLegacyBatch is the arena A/B partner of
+// BenchmarkSummarizeStepScoringBatch: the same cohort sweep with
+// LegacyEval forcing recursive interface-dispatch evaluation. The gap
+// between the pair is the compiled-arena speedup on the batch path.
+func BenchmarkSummarizeStepScoringLegacyBatch(b *testing.B) {
+	sc := benchStep(b)
+	e := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	e.LegacyEval = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DistanceBatch(sc.p0, sc.cands)
+	}
+}

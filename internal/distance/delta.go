@@ -13,9 +13,13 @@ import (
 // alignment, and — only then — the composed cumulative mapping.
 type deltaProbe struct {
 	pr *provenance.Probe
-	// flat is the union of the base groups of the probed members: the
-	// original annotations whose φ-combined truth the merged group gets.
-	flat []provenance.Annotation
+	// memberIDs are the dense arena ids of pr.Members (-1 when a member
+	// does not occur in the planned expression).
+	memberIDs []int32
+	// flatIDs are the base-interner ids of the union of the base groups
+	// of the probed members: the original annotations whose φ-combined
+	// truth the merged group gets.
+	flatIDs []int32
 	// noSkip blocks the truth-delta short-circuit: the candidate renames
 	// a vector coordinate or an aligned original coordinate, so its
 	// result differs from the base even when no truth changes.
@@ -29,26 +33,108 @@ type deltaProbe struct {
 	composed     provenance.Mapping
 }
 
-// deltaTruths memoizes the step's extended valuation v^{h,φ} per base
-// valuation: ext returns the φ-combined truth of base-group annotations
-// and the raw truth of everything else, as 0/1 for the plan evaluator.
+// deltaTruths holds the step's extended valuation v^{h,φ} in dense form:
+// one int8 truth per interned annotation id plus the matching bitset the
+// arena evaluator reads. The base-group members (original annotations)
+// are interned separately, so per-valuation reset pulls each raw truth
+// exactly once and every per-candidate φ-combine is pure array indexing
+// — no string hashing on the hot path. names, members, and baseIn are
+// shared read-only across workers (built once per DistanceDelta call);
+// the per-valuation state (baseTruth, ext, bits, extra) is per worker.
 type deltaTruths struct {
-	v       provenance.Valuation
+	names   []provenance.Annotation // interned annotations in id order
+	members [][]int32               // per id: baseIn ids of its base-group members, nil → raw truth
+	baseIn  *provenance.Interner    // interned base-group member annotations
 	groups  provenance.Groups
 	phi     provenance.Combiner
-	memo    map[provenance.Annotation]int8
-	scratch []bool
+
+	v         provenance.Valuation
+	baseTruth []bool // per baseIn id: raw truth under v
+	ext       []int8 // per plan-ann id: 0/1 truth under v^{h,φ}
+	bits      provenance.Bitset
+	scratch   []bool
+	extra     map[provenance.Annotation]int8 // memo for non-interned annotations
+}
+
+func newDeltaTruths(plan *provenance.Plan, base provenance.Groups, phi provenance.Combiner) *deltaTruths {
+	names := plan.Annotations()
+	baseIn := provenance.NewInterner()
+	members := make([][]int32, len(names))
+	for id, ann := range names {
+		if ms, ok := base[ann]; ok && len(ms) > 0 {
+			ids := make([]int32, len(ms))
+			for i, m := range ms {
+				ids[i] = baseIn.Intern(m)
+			}
+			members[id] = ids
+		}
+	}
+	return &deltaTruths{names: names, members: members, baseIn: baseIn, groups: base, phi: phi}
+}
+
+// internFlat interns the flattened member list of one probe.
+func (d *deltaTruths) internFlat(flat []provenance.Annotation) []int32 {
+	ids := make([]int32, len(flat))
+	for i, m := range flat {
+		ids[i] = d.baseIn.Intern(m)
+	}
+	return ids
+}
+
+// fork returns a worker-private view sharing the read-only name/member
+// tables but owning its valuation state.
+func (d *deltaTruths) fork() *deltaTruths {
+	return &deltaTruths{
+		names: d.names, members: d.members, baseIn: d.baseIn,
+		groups: d.groups, phi: d.phi,
+		baseTruth: make([]bool, d.baseIn.Len()),
+		ext:       make([]int8, len(d.names)),
+		bits:      provenance.NewBitset(len(d.names)),
+	}
 }
 
 func (d *deltaTruths) reset(v provenance.Valuation) {
 	d.v = v
-	if d.memo == nil {
-		d.memo = make(map[provenance.Annotation]int8)
-	} else {
-		clear(d.memo)
+	if len(d.extra) > 0 {
+		clear(d.extra)
+	}
+	for i, a := range d.baseIn.Annotations() {
+		d.baseTruth[i] = v.Truth(a)
+	}
+	for id := range d.names {
+		var t int8
+		if ids := d.members[id]; ids != nil {
+			t = int8(d.combineIDs(ids))
+		} else if v.Truth(d.names[id]) {
+			t = 1
+		}
+		d.ext[id] = t
+		if t != 0 {
+			d.bits.Set(int32(id))
+		} else {
+			d.bits.Clear(int32(id))
+		}
 	}
 }
 
+// combineIDs φ-combines the precomputed raw truths of interned base
+// members.
+func (d *deltaTruths) combineIDs(ids []int32) int {
+	if cap(d.scratch) < len(ids) {
+		d.scratch = make([]bool, len(ids))
+	}
+	truths := d.scratch[:len(ids)]
+	for i, id := range ids {
+		truths[i] = d.baseTruth[id]
+	}
+	if d.phi.Combine(truths) {
+		return 1
+	}
+	return 0
+}
+
+// combine φ-combines raw truths of arbitrary annotations (the slow
+// fallback for non-interned members).
 func (d *deltaTruths) combine(members []provenance.Annotation) int {
 	if cap(d.scratch) < len(members) {
 		d.scratch = make([]bool, len(members))
@@ -63,17 +149,25 @@ func (d *deltaTruths) combine(members []provenance.Annotation) int {
 	return 0
 }
 
-func (d *deltaTruths) ext(a provenance.Annotation) int {
-	if t, ok := d.memo[a]; ok {
+// truthOf returns the extended truth of m, whose dense id is id (-1 when
+// m is not interned; the rare fallback memoizes in extra).
+func (d *deltaTruths) truthOf(m provenance.Annotation, id int32) int {
+	if id >= 0 {
+		return int(d.ext[id])
+	}
+	if t, ok := d.extra[m]; ok {
 		return int(t)
 	}
 	var t int
-	if members, ok := d.groups[a]; ok && len(members) > 0 {
+	if members, ok := d.groups[m]; ok && len(members) > 0 {
 		t = d.combine(members)
-	} else if d.v.Truth(a) {
+	} else if d.v.Truth(m) {
 		t = 1
 	}
-	d.memo[a] = int8(t)
+	if d.extra == nil {
+		d.extra = make(map[provenance.Annotation]int8)
+	}
+	d.extra[m] = int8(t)
 	return t
 }
 
@@ -108,6 +202,7 @@ func (e *Estimator) DistanceDelta(p0, cur provenance.Expression, cum provenance.
 	if plan == nil {
 		return nil, nil, false
 	}
+	truths := newDeltaTruths(plan, base, e.Phi)
 	probes := make([]*deltaProbe, len(cohort))
 	for i, ms := range cohort {
 		pr := plan.Probe(ms, newAnn)
@@ -118,7 +213,15 @@ func (e *Estimator) DistanceDelta(p0, cur provenance.Expression, cum provenance.
 		for _, m := range ms {
 			flat = append(flat, base.Members(m)...)
 		}
-		probes[i] = &deltaProbe{pr: pr, flat: flat}
+		ids := make([]int32, len(pr.Members))
+		for k, m := range pr.Members {
+			id, ok := plan.AnnID(m)
+			if !ok {
+				id = -1
+			}
+			ids[k] = id
+		}
+		probes[i] = &deltaProbe{pr: pr, memberIDs: ids, flatIDs: truths.internFlat(flat)}
 	}
 
 	t0 := time.Now()
@@ -186,7 +289,7 @@ func (e *Estimator) DistanceDelta(p0, cur provenance.Expression, cum provenance.
 		workers = len(cohort)
 	}
 	if workers <= 1 {
-		e.deltaSweep(p0, cur, cum, base, plan, probes, vals, baseNeedsAlign, out, 0, len(cohort))
+		e.deltaSweep(p0, cur, cum, truths, plan, probes, vals, baseNeedsAlign, out, 0, len(cohort))
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -195,7 +298,7 @@ func (e *Estimator) DistanceDelta(p0, cur provenance.Expression, cum provenance.
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				e.deltaSweep(p0, cur, cum, base, plan, probes, vals, baseNeedsAlign, out, lo, hi)
+				e.deltaSweep(p0, cur, cum, truths, plan, probes, vals, baseNeedsAlign, out, lo, hi)
 			}(lo, hi)
 		}
 		wg.Wait()
@@ -216,18 +319,17 @@ func (e *Estimator) DistanceDelta(p0, cur provenance.Expression, cum provenance.
 }
 
 // deltaSweep scores probes[lo:hi] against every valuation. Each call
-// owns its scratch and truth memo, so concurrent sweeps over disjoint
-// ranges share only the read-only plan, probes, and prewarmed original
-// cache, plus the atomic counters.
-func (e *Estimator) deltaSweep(p0, cur provenance.Expression, cum provenance.Mapping, base provenance.Groups, plan *provenance.Plan, probes []*deltaProbe, vals []provenance.Valuation, baseNeedsAlign bool, out []float64, lo, hi int) {
-	truths := &deltaTruths{groups: base, phi: e.Phi}
+// forks its own truth table and scratch, so concurrent sweeps over
+// disjoint ranges share only the read-only plan, probes, truth name
+// tables, and prewarmed original cache, plus the atomic counters.
+func (e *Estimator) deltaSweep(p0, cur provenance.Expression, cum provenance.Mapping, shared *deltaTruths, plan *provenance.Plan, probes []*deltaProbe, vals []provenance.Valuation, baseNeedsAlign bool, out []float64, lo, hi int) {
+	truths := shared.fork()
 	scratch := plan.NewScratch()
-	assign := truths.ext
 	var skips, fulls uint64
 	for _, v := range vals {
 		truths.reset(v)
 		orig := e.evalOriginal(v, p0) // cache hit after the prewarm above
-		baseVec := plan.BaseEval(assign, scratch)
+		baseVec := plan.BaseEval(truths.bits, scratch)
 		baseAligned := orig
 		if baseNeedsAlign {
 			baseAligned = cur.AlignResult(orig, cum)
@@ -236,10 +338,10 @@ func (e *Estimator) deltaSweep(p0, cur provenance.Expression, cum provenance.Map
 		baseVFReady := false
 		for ci := lo; ci < hi; ci++ {
 			dp := probes[ci]
-			mergedN := truths.combine(dp.flat)
+			mergedN := truths.combineIDs(dp.flatIDs)
 			changed := false
-			for _, m := range dp.pr.Members {
-				if truths.ext(m) != mergedN {
+			for k, m := range dp.pr.Members {
+				if truths.truthOf(m, dp.memberIDs[k]) != mergedN {
 					changed = true
 					break
 				}
@@ -253,7 +355,7 @@ func (e *Estimator) deltaSweep(p0, cur provenance.Expression, cum provenance.Map
 				skips++
 				continue
 			}
-			summ := dp.pr.CandEval(assign, mergedN, baseVec, scratch)
+			summ := dp.pr.CandEval(mergedN, baseVec, scratch)
 			aligned := baseAligned
 			if dp.alignTouched {
 				if dp.needsAlign {

@@ -143,6 +143,11 @@ func FuzzDistanceDelta(f *testing.F) {
 			}
 			b := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean()}
 			batch := b.DistanceBatch(p0, cands)
+			// Legacy references force the recursive tree evaluator, so the
+			// fuzzer is also an arena-vs-legacy differential oracle.
+			refLegacy := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean(), LegacyEval: true}
+			bLegacy := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean(), LegacyEval: true}
+			batchLegacy := bLegacy.DistanceBatch(p0, cands)
 			ref := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean()}
 			for i, c := range cands {
 				want := ref.Distance(p0, c.Expr, c.Cumulative, c.Groups)
@@ -151,6 +156,12 @@ func FuzzDistanceDelta(f *testing.F) {
 				}
 				if got[i] != batch[i] {
 					t.Fatalf("φ=%s candidate %d (%v): delta %v != batch %v\ncur=%v", phi.Name(), i, sets[i], got[i], batch[i], cur)
+				}
+				if legacy := refLegacy.Distance(p0, c.Expr, c.Cumulative, c.Groups); got[i] != legacy {
+					t.Fatalf("φ=%s candidate %d (%v): arena %v != legacy distance %v\ncur=%v", phi.Name(), i, sets[i], got[i], legacy, cur)
+				}
+				if got[i] != batchLegacy[i] {
+					t.Fatalf("φ=%s candidate %d (%v): arena %v != legacy batch %v\ncur=%v", phi.Name(), i, sets[i], got[i], batchLegacy[i], cur)
 				}
 				if want := c.Expr.Size(); sizes[i] != want {
 					t.Fatalf("φ=%s candidate %d (%v): incremental size %d != Apply size %d", phi.Name(), i, sets[i], sizes[i], want)

@@ -52,6 +52,13 @@ type Estimator struct {
 	// order, so batched results are bit-identical at any worker count.
 	// Distance (single-candidate) is unaffected.
 	Parallelism int
+	// LegacyEval forces the recursive interface-dispatch evaluator for
+	// Distance and DistanceBatch instead of compiling candidates into
+	// the flat arena (provenance.CompileArena). Results are
+	// bit-identical either way; the flag exists as an A/B switch and for
+	// the arena-vs-legacy differential tests. DistanceDelta is
+	// unaffected: the plan/probe engine is arena-native.
+	LegacyEval bool
 
 	origCache map[string]provenance.Result
 	cachedFor provenance.Expression
@@ -181,6 +188,7 @@ func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance
 		e.stats.distanceCalls.Add(1)
 		e.stats.distanceNanos.Add(int64(time.Since(t0)))
 	}()
+	ev := e.candEvaluator(pc)
 	var total float64
 	var n int
 	if e.Samples > 0 {
@@ -190,12 +198,12 @@ func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance
 		for i := 0; i < e.Samples; i++ {
 			v := e.Class.Sample(e.Rand)
 			e.stats.samples.Add(1)
-			total += e.valFuncAt(v, p0, pc, cumulative, groups)
+			total += e.valFuncAt(v, p0, pc, cumulative, groups, ev)
 			n++
 		}
 	} else {
 		for _, v := range e.Class.Valuations() {
-			total += e.valFuncAt(v, p0, pc, cumulative, groups)
+			total += e.valFuncAt(v, p0, pc, cumulative, groups, ev)
 			n++
 		}
 	}
@@ -212,14 +220,57 @@ func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance
 	return d
 }
 
-// valFuncAt evaluates one summand of Definition 3.2.2.
-func (e *Estimator) valFuncAt(v provenance.Valuation, p0, pc provenance.Expression, cumulative provenance.Mapping, groups provenance.Groups) float64 {
+// valFuncAt evaluates one summand of Definition 3.2.2. When ev is
+// non-nil the candidate evaluates on its compiled arena (one bitset
+// fill plus an iterative pass over the node arrays) instead of the
+// recursive tree walk; the two are bit-identical.
+func (e *Estimator) valFuncAt(v provenance.Valuation, p0, pc provenance.Expression, cumulative provenance.Mapping, groups provenance.Groups, ev *arenaEvaluator) float64 {
 	e.stats.evaluations.Add(1)
 	orig := e.evalOriginal(v, p0)
 	aligned := pc.AlignResult(orig, cumulative)
 	ext := provenance.ExtendValuation(v, groups, e.Phi)
-	summ := pc.Eval(ext)
+	var summ provenance.Result
+	if ev != nil {
+		summ = ev.eval(ext)
+	} else {
+		summ = pc.Eval(ext)
+	}
 	return e.VF.F(v, aligned, summ)
+}
+
+// arenaEvaluator owns the compiled arena of one candidate expression
+// plus the per-evaluator truth bitset and scratch. It amortizes the one
+// CompileArena pass over every valuation of a Distance call.
+type arenaEvaluator struct {
+	ar   *provenance.Arena
+	s    *provenance.ArenaScratch
+	bits provenance.Bitset
+}
+
+// candEvaluator compiles pc for arena evaluation, or returns nil — and
+// the caller falls back to interface dispatch — when LegacyEval is set
+// or pc is not a compilable aggregated expression.
+func (e *Estimator) candEvaluator(pc provenance.Expression) *arenaEvaluator {
+	if e.LegacyEval {
+		return nil
+	}
+	g, ok := pc.(*provenance.Agg)
+	if !ok {
+		return nil
+	}
+	ar := provenance.CompileArena(g)
+	if ar == nil {
+		return nil
+	}
+	return &arenaEvaluator{ar: ar, s: ar.NewScratch(), bits: ar.NewTruths()}
+}
+
+// eval evaluates the compiled candidate under the extended valuation:
+// truths are pulled once per interned annotation (instead of once per
+// occurrence) and the node pass is iterative.
+func (ae *arenaEvaluator) eval(ext provenance.Valuation) provenance.Result {
+	ae.ar.FillTruths(ae.bits, ext.Truth)
+	return ae.ar.Eval(ae.bits, ae.s)
 }
 
 // comparableExpr reports whether an Expression's dynamic type supports

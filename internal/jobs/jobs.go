@@ -204,23 +204,25 @@ func (m *Manager) SubmitTraced(id, key, trace string, timeout time.Duration, tas
 		m.mu.Unlock()
 		return nil, false, fmt.Errorf("%w: %s", ErrDuplicate, id)
 	}
+	// Reserve the queue slot before the job becomes discoverable. The
+	// send cannot block (default branch), and ordering it before the map
+	// registration closes a rollback race: were the job published first
+	// and then rolled back on a full queue, a concurrent SubmitCoalesced
+	// could join it via m.keyed in the window and wait forever on a job
+	// no worker will ever run. The worker parks on j.enqueued, so taking
+	// the slot under m.mu does not let the job start early.
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
 	m.jobs[id] = j
 	if key != "" {
 		m.keyed[key] = j
 	}
 	m.mu.Unlock()
 
-	select {
-	case m.queue <- j:
-	default:
-		m.mu.Lock()
-		delete(m.jobs, id)
-		if key != "" && m.keyed[key] == j {
-			delete(m.keyed, key)
-		}
-		m.mu.Unlock()
-		return nil, false, ErrQueueFull
-	}
 	m.observe(Transition{Job: j, From: Queued, To: Queued})
 	close(j.enqueued)
 	return j, false, nil

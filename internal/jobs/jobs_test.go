@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -453,5 +454,97 @@ func TestCoalescedRace(t *testing.T) {
 	}
 	if got := atomic.LoadInt32(&runs); got != 1 {
 		t.Fatalf("task ran %d times, want 1", got)
+	}
+}
+
+// TestQueueFullRollbackNoOrphanedCoalesce pins the SubmitTraced
+// rollback ordering: a submission rejected for a full queue must never
+// become discoverable under its dedup key, even transiently. Before the
+// fix the job was registered in m.jobs/m.keyed first and rolled back
+// after the failed queue send, so a concurrent SubmitCoalesced could
+// join the doomed job inside that window and wait forever on a job no
+// worker would ever run. The test saturates the queue, then hammers one
+// dedup key from several goroutines (yielding so the race window gets
+// scheduled even on GOMAXPROCS=1): every submission must be rejected
+// with ErrQueueFull, so any coalesced join is a join onto a doomed
+// registration — it must still be tracked by the manager and must
+// terminate once the backlog drains.
+func TestQueueFullRollbackNoOrphanedCoalesce(t *testing.T) {
+	m := New(Config{Workers: 1, Queue: 1})
+	defer m.Shutdown(context.Background())
+
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	if _, err := m.Submit("running", 0, blockingTask(started, release, "running")); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker occupied
+	if _, err := m.Submit("queued", 0, blockingTask(nil, release, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	// The queue is now saturated and stays saturated: nothing drains
+	// until release closes, so every further submission must be
+	// rejected — atomically, without a visible registration window.
+
+	var (
+		mu     sync.Mutex
+		joined []*Job
+		nJoins atomic.Int64
+		stop   = make(chan struct{})
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j, coalesced, err := m.SubmitCoalesced(fmt.Sprintf("b%d-%d", w, i), "k", 0, blockingTask(nil, release, "b"))
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						t.Errorf("spinner %d: err = %v, want ErrQueueFull", w, err)
+					}
+					continue
+				}
+				if !coalesced {
+					t.Errorf("spinner %d created a fresh job on a saturated queue", w)
+					continue
+				}
+				if nJoins.Add(1) <= 16 {
+					mu.Lock()
+					joined = append(joined, j)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for i := 0; nJoins.Load() == 0 && time.Now().Before(deadline); i++ {
+		if _, _, err := m.SubmitTraced(fmt.Sprintf("a%d", i), "k", "", 0, blockingTask(nil, release, "a")); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("traced submission %d on a full queue: err = %v, want ErrQueueFull", i, err)
+		}
+		if i%8 == 0 {
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Joining a live keyed job is only legal if that job is real:
+	// tracked by the manager and destined to run.
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, j := range joined {
+		if _, err := m.Get(j.ID); err != nil {
+			t.Fatalf("coalesced onto untracked job %s: %v", j.ID, err)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatalf("coalesced job %s never terminated: %v", j.ID, err)
+		}
 	}
 }

@@ -112,6 +112,13 @@ func (s *SLO) Observe(latency time.Duration, failed bool) {
 	if breach {
 		s.lastBreach = now
 	}
+	// The burn gauges must be set while s.mu is still held: two Observe
+	// calls that compute burns A then B (in lock order) could otherwise
+	// publish B before A, leaving a stale value on the gauge until the
+	// next event. The counters can stay outside — they are monotonic
+	// atomics, so publication order cannot regress them.
+	s.short.Set(shortBurn)
+	s.long.Set(longBurn)
 	s.mu.Unlock()
 
 	if good {
@@ -119,8 +126,6 @@ func (s *SLO) Observe(latency time.Duration, failed bool) {
 	} else {
 		s.bad.Inc()
 	}
-	s.short.Set(shortBurn)
-	s.long.Set(longBurn)
 	if breach && s.cfg.OnBreach != nil {
 		go s.cfg.OnBreach(s.cfg.Name, shortBurn)
 	}
@@ -135,9 +140,12 @@ func (s *SLO) Update() {
 	sec := s.cfg.Clock().Unix()
 	s.mu.Lock()
 	shortBurn, longBurn := s.burnLocked(sec)
-	s.mu.Unlock()
+	// Set under the lock for the same reason as Observe: compute-then-
+	// publish must be atomic or a concurrent caller can overwrite a
+	// fresher burn with a staler one.
 	s.short.Set(shortBurn)
 	s.long.Set(longBurn)
+	s.mu.Unlock()
 }
 
 // Name returns the configured SLO name.

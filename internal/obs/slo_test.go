@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -88,4 +90,70 @@ func TestSLOBurnRateAndBreach(t *testing.T) {
 	var nilSLO *SLO
 	nilSLO.Observe(time.Second, true) // must not panic
 	nilSLO.Update()
+}
+
+// TestSLOBurnGaugePublishOrder pins that the burn gauges are published
+// under the tracker's lock. Burn computation and gauge publication must
+// be atomic: two racing Observes that compute burns A then B (in lock
+// order) could otherwise publish B before A, regressing the gauge and
+// leaving a stale value until the next event. With a frozen clock and
+// only bad events after the seed, the true burn is strictly increasing,
+// so (1) every gauge read must be >= the previous read, and (2) at the
+// final quiet point the gauge must equal the burn recomputed from the
+// ring. Two observer goroutines hammer the tracker while the main
+// goroutine samples; a second scheduler thread gives the lost-update
+// window a chance to be preempted mid-publish.
+func TestSLOBurnGaugePublishOrder(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	r := NewRegistry()
+	s := NewSLO(r, SLOConfig{
+		Name:       "http:/api/race",
+		Threshold:  time.Second,
+		Objective:  0.9,
+		BreachBurn: 1e18, // never fires
+		Clock:      clock,
+	})
+	s.Observe(time.Millisecond, false) // seed: burn stays below 1/budget
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Observe(time.Millisecond, true)
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	prev := 0.0
+	for time.Now().Before(deadline) {
+		got := s.short.Value()
+		if got < prev {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("short burn gauge regressed from %g to %g: stale publish after lock release", prev, got)
+		}
+		prev = got
+	}
+	close(stop)
+	wg.Wait()
+
+	s.mu.Lock()
+	wantShort, wantLong := s.burnLocked(now.Unix())
+	s.mu.Unlock()
+	if got := s.short.Value(); got != wantShort {
+		t.Fatalf("short burn gauge %g != recomputed burn %g (stale publish)", got, wantShort)
+	}
+	if got := s.long.Value(); got != wantLong {
+		t.Fatalf("long burn gauge %g != recomputed burn %g (stale publish)", got, wantLong)
+	}
 }

@@ -1,0 +1,335 @@
+package provenance
+
+// This file implements the flat evaluation arena: annotations are
+// interned to dense integer ids, polynomial nodes live in
+// structure-of-arrays slices compiled once per expression, truth
+// valuations are bitsets over annotation ids, and evaluation is an
+// iterative loop over node spans instead of recursive interface
+// dispatch. Nodes are laid out in post-order (children strictly before
+// parents), so one forward pass over the node arrays evaluates the
+// whole expression with no recursion and no stamp bookkeeping.
+//
+// The Expr interface remains the construction/IO surface; CompileArena
+// is the one-way bridge into the arena. The Plan/Probe layer (plan.go)
+// and the scoring engines (internal/distance) run entirely on top of
+// this representation.
+
+type nodeKind uint8
+
+const (
+	nodeVar nodeKind = iota
+	nodeConst
+	nodeSum
+	nodeProd
+	nodeCmp
+)
+
+// Interner assigns dense int32 ids to annotations. Ids are allocated in
+// first-intern order and never reused. The zero value is not usable;
+// call NewInterner.
+type Interner struct {
+	ids  map[Annotation]int32
+	anns []Annotation
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Annotation]int32)}
+}
+
+// Intern returns a's id, allocating the next dense id on first sight.
+func (in *Interner) Intern(a Annotation) int32 {
+	if id, ok := in.ids[a]; ok {
+		return id
+	}
+	id := int32(len(in.anns))
+	in.ids[a] = id
+	in.anns = append(in.anns, a)
+	return id
+}
+
+// ID returns a's id and whether a has been interned.
+func (in *Interner) ID(a Annotation) (int32, bool) {
+	id, ok := in.ids[a]
+	return id, ok
+}
+
+// Ann returns the annotation with the given id.
+func (in *Interner) Ann(id int32) Annotation { return in.anns[id] }
+
+// Len returns the number of interned annotations.
+func (in *Interner) Len() int { return len(in.anns) }
+
+// Annotations returns the interned annotations in id order. The slice
+// is the interner's backing store; callers must not modify it.
+func (in *Interner) Annotations() []Annotation { return in.anns }
+
+// Bitset is a fixed-size bitset over dense annotation ids.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int32) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int32) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int32) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Reset clears every bit.
+func (b Bitset) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// arenaTensor is one tensor of the compiled expression: the root node of
+// its polynomial (the last node of the tensor's contiguous span), the
+// tensor value, and the dense slot of its group coordinate.
+type arenaTensor struct {
+	root  int32
+	value float64
+	slot  int32 // index into Arena.groupKeys
+}
+
+// Arena is the columnar compiled form of one aggregated expression.
+// Node fields are parallel slices indexed by node id; kids are flat with
+// per-node [kidOff[id], kidOff[id+1]) spans. Node ids are a global
+// post-order: every child id is smaller than its parent's, so a single
+// forward pass over the arrays evaluates every node bottom-up. The
+// arena is read-only after CompileArena; all mutable evaluation state
+// lives in ArenaScratch.
+type Arena struct {
+	in *Interner
+
+	kind   []nodeKind
+	ann    []int32 // nodeVar: annotation id, else -1
+	constN []int32 // nodeConst
+	value  []float64
+	bound  []float64
+	op     []CmpOp
+	kidOff []int32 // len(nodes)+1 offsets into kids
+	kids   []int32
+	parent []int32 // -1 for tensor roots
+
+	tensors   []arenaTensor
+	groupKeys []Annotation // distinct tensor groups in first-appearance order
+
+	agg Aggregator
+	bad bool
+}
+
+// CompileArena compiles g into an arena. It returns nil when g is nil or
+// a polynomial contains an unknown node type; callers must fall back to
+// interface-dispatch evaluation.
+func CompileArena(g *Agg) *Arena {
+	if g == nil {
+		return nil
+	}
+	a := &Arena{
+		in:      NewInterner(),
+		kidOff:  []int32{0},
+		tensors: make([]arenaTensor, 0, len(g.Tensors)),
+		agg:     g.Agg,
+	}
+	slots := make(map[Annotation]int32)
+	for i := range g.Tensors {
+		t := &g.Tensors[i]
+		root := a.compile(t.Prov)
+		slot, ok := slots[t.Group]
+		if !ok {
+			slot = int32(len(a.groupKeys))
+			slots[t.Group] = slot
+			a.groupKeys = append(a.groupKeys, t.Group)
+		}
+		a.tensors = append(a.tensors, arenaTensor{root: root, value: t.Value, slot: slot})
+		if t.Group != "" {
+			a.in.Intern(t.Group)
+		}
+	}
+	if a.bad {
+		return nil
+	}
+	return a
+}
+
+// compile appends e's nodes in post-order and returns the root id.
+func (a *Arena) compile(e Expr) int32 {
+	switch n := e.(type) {
+	case Var:
+		return a.push(nodeVar, a.in.Intern(n.Ann), 0, nil, 0, 0, 0)
+	case Const:
+		return a.push(nodeConst, -1, int32(n.N), nil, 0, 0, 0)
+	case Sum:
+		kids := make([]int32, len(n.Terms))
+		for i, t := range n.Terms {
+			kids[i] = a.compile(t)
+		}
+		return a.push(nodeSum, -1, 0, kids, 0, 0, 0)
+	case Prod:
+		kids := make([]int32, len(n.Factors))
+		for i, f := range n.Factors {
+			kids[i] = a.compile(f)
+		}
+		return a.push(nodeProd, -1, 0, kids, 0, 0, 0)
+	case Cmp:
+		kids := []int32{a.compile(n.Inner)}
+		return a.push(nodeCmp, -1, 0, kids, n.Value, n.Bound, n.Op)
+	default:
+		a.bad = true
+		return a.push(nodeConst, -1, 0, nil, 0, 0, 0)
+	}
+}
+
+// push appends one node after its children, keeping the post-order
+// invariant (kids already exist, so every kid id < the new id).
+func (a *Arena) push(kind nodeKind, annID, constN int32, kids []int32, value, bound float64, op CmpOp) int32 {
+	id := int32(len(a.kind))
+	a.kind = append(a.kind, kind)
+	a.ann = append(a.ann, annID)
+	a.constN = append(a.constN, constN)
+	a.value = append(a.value, value)
+	a.bound = append(a.bound, bound)
+	a.op = append(a.op, op)
+	a.kids = append(a.kids, kids...)
+	a.kidOff = append(a.kidOff, int32(len(a.kids)))
+	a.parent = append(a.parent, -1)
+	for _, k := range kids {
+		a.parent[k] = id
+	}
+	return id
+}
+
+// NumNodes returns the number of compiled nodes.
+func (a *Arena) NumNodes() int { return len(a.kind) }
+
+// NumAnns returns the number of interned annotations (polynomial
+// variables plus non-empty group coordinates).
+func (a *Arena) NumAnns() int { return a.in.Len() }
+
+// Annotations returns the interned annotations in id order; the backing
+// slice must not be modified.
+func (a *Arena) Annotations() []Annotation { return a.in.Annotations() }
+
+// AnnID returns the dense id of ann and whether it occurs in the
+// expression (as a variable or group coordinate).
+func (a *Arena) AnnID(ann Annotation) (int32, bool) { return a.in.ID(ann) }
+
+// NewTruths returns a truth bitset sized for the arena's annotations.
+func (a *Arena) NewTruths() Bitset { return NewBitset(a.in.Len()) }
+
+// FillTruths sets bits to truth(ann) for every interned annotation.
+func (a *Arena) FillTruths(bits Bitset, truth func(Annotation) bool) {
+	for id, ann := range a.in.anns {
+		if truth(ann) {
+			bits.Set(int32(id))
+		} else {
+			bits.Clear(int32(id))
+		}
+	}
+}
+
+// ArenaScratch holds the per-evaluator mutable state: flat node-value
+// tables indexed by node id and the group-contribution flags of the
+// fold. One scratch per concurrent evaluator; the arena stays
+// read-only.
+type ArenaScratch struct {
+	vals        []int  // base evaluation of the current valuation
+	sub         []int  // probe evaluation with member substitution
+	contributed []bool // per group slot, reset by each fold
+
+	// SubtreeEvals counts nodes re-evaluated by substituted (dirty-
+	// subtree) candidate evaluation since the scratch was created.
+	SubtreeEvals uint64
+}
+
+// NewScratch returns a scratch sized for the arena.
+func (a *Arena) NewScratch() *ArenaScratch {
+	return &ArenaScratch{
+		vals:        make([]int, len(a.kind)),
+		sub:         make([]int, len(a.kind)),
+		contributed: make([]bool, len(a.groupKeys)),
+	}
+}
+
+// evalAll evaluates every node under the truth bitset into vals with one
+// forward pass: post-order ids guarantee children are computed before
+// their parents.
+func (a *Arena) evalAll(bits Bitset, vals []int) {
+	for i := range a.kind {
+		switch a.kind[i] {
+		case nodeVar:
+			v := 0
+			if bits.Get(a.ann[i]) {
+				v = 1
+			}
+			vals[i] = v
+		case nodeConst:
+			vals[i] = int(a.constN[i])
+		case nodeSum:
+			v := 0
+			for _, k := range a.kids[a.kidOff[i]:a.kidOff[i+1]] {
+				v += vals[k]
+			}
+			vals[i] = v
+		case nodeProd:
+			v := 1
+			for _, k := range a.kids[a.kidOff[i]:a.kidOff[i+1]] {
+				v *= vals[k]
+				if v == 0 {
+					break
+				}
+			}
+			vals[i] = v
+		case nodeCmp:
+			lhs := 0.0
+			if vals[a.kids[a.kidOff[i]]] != 0 {
+				lhs = a.value[i]
+			}
+			v := 0
+			if a.op[i].holds(lhs, a.bound[i]) {
+				v = 1
+			}
+			vals[i] = v
+		}
+	}
+}
+
+// Eval evaluates the compiled expression under the truth bitset,
+// filling s.vals as a side effect. The returned vector is op-for-op
+// identical to Agg.Eval: tensors fold in slice order and a group's
+// first nonzero contribution replaces the identity placeholder.
+func (a *Arena) Eval(bits Bitset, s *ArenaScratch) Vector {
+	a.evalAll(bits, s.vals)
+	return a.fold(s)
+}
+
+// fold replays Agg.Eval's tensor fold from the node values in s.vals.
+func (a *Arena) fold(s *ArenaScratch) Vector {
+	for i := range s.contributed {
+		s.contributed[i] = false
+	}
+	vec := make(Vector, len(a.groupKeys))
+	for i := range a.tensors {
+		t := &a.tensors[i]
+		g := a.groupKeys[t.slot]
+		if _, ok := vec[g]; !ok {
+			vec[g] = a.agg.Identity()
+		}
+		n := s.vals[t.root]
+		if n == 0 {
+			continue
+		}
+		contrib := a.agg.Scale(t.value, n)
+		if s.contributed[t.slot] {
+			vec[g] = a.agg.Combine(vec[g], contrib)
+		} else {
+			vec[g] = contrib
+			s.contributed[t.slot] = true
+		}
+	}
+	return vec
+}

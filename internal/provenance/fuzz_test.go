@@ -80,6 +80,63 @@ func FuzzSimplifyExpr(f *testing.F) {
 	})
 }
 
+// FuzzArenaEval checks the compiled-arena evaluator against the
+// reference tree evaluator on arbitrary aggregated expressions: every
+// tensor polynomial is decoded from the fuzz input, groups are drawn
+// from the annotation pool (including the scalar "" coordinate), and
+// the resulting vectors must match coordinate-for-coordinate under
+// every decoded truth assignment.
+func FuzzArenaEval(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 3, 2, 4, 9, 8, 7}, uint8(5), uint8(1))
+	f.Add([]byte{4, 3, 2, 1, 0, 0, 1, 2, 3, 4}, uint8(0), uint8(2))
+	f.Add([]byte{}, uint8(255), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, mask uint8, kindByte uint8) {
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		groups := []Annotation{"", "g1", "g2", "a"}
+		nt := int(next())%4 + 1
+		tensors := make([]Tensor, nt)
+		for i := range tensors {
+			tensors[i] = Tensor{
+				Prov:  buildExpr(data, &pos, 3),
+				Value: float64(next() % 10),
+				Count: int(next())%3 + 1,
+				Group: groups[int(next())%len(groups)],
+			}
+		}
+		kind := AggKind(int(kindByte) % 4)
+		g := NewAgg(kind, tensors...)
+		ar := CompileArena(g)
+		if ar == nil {
+			t.Fatalf("CompileArena returned nil for a pure-Expr aggregation: %s", g)
+		}
+
+		assign := map[Annotation]bool{}
+		for i, a := range []Annotation{"a", "b", "c", "d", "g1", "g2"} {
+			assign[a] = mask&(1<<uint(i)) != 0
+		}
+		v := MapValuation{Assign: assign, Label: "fuzz"}
+		want, ok := g.Eval(v).(Vector)
+		if !ok {
+			t.Fatalf("Agg.Eval did not return a Vector for %s", g)
+		}
+		bits := ar.NewTruths()
+		ar.FillTruths(bits, v.Truth)
+		got := ar.Eval(bits, ar.NewScratch())
+		if !vecEqual(got, want) {
+			t.Fatalf("arena diverged from tree evaluator on %s under mask %08b: %v != %v",
+				g, mask, got, want)
+		}
+	})
+}
+
 // FuzzMappingHomomorphism checks that applying a mapping commutes with
 // simplification at the level of evaluation: eval(h(e)) under v equals
 // eval(e) under v∘h for mappings into fresh annotations.

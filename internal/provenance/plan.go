@@ -3,39 +3,46 @@ package provenance
 import "sort"
 
 // This file implements the incremental candidate-evaluation engine: a
-// Plan compiles an aggregated expression once per summarization step into
-// flat node arrays with an annotation→node dependency index, and a Probe
+// Plan compiles an aggregated expression once per summarization step
+// into the flat arena (arena.go) with annotation→node and
+// annotation→tensor dependency indexes in CSR form, and a Probe
 // compiles the structural delta of one candidate merge (members ↦ fresh
 // annotation) without materializing the candidate expression.
 //
 // Soundness rests on the homomorphism identity Eval(h(p), v') =
 // Eval(p, v'∘h): a candidate h renames only the probed members, so its
-// evaluation equals the shared expression's evaluation with the members'
-// truths substituted by the merged group's φ-truth. The Plan memoizes
-// per-node values of the shared expression per valuation; a Probe marks
-// the subtrees containing member occurrences dirty and re-evaluates only
-// those, reusing every unaffected sibling from the memo.
+// evaluation equals the shared expression's evaluation with the
+// members' truths substituted by the merged group's φ-truth. BaseEval
+// fills a flat per-node value table for the valuation in one forward
+// pass; a Probe precomputes the ascending list of nodes on a path to a
+// member occurrence and re-evaluates only those, reading every clean
+// sibling from the table.
 
-type nodeKind uint8
+// annIndex is a CSR index from dense annotation ids to int32 spans
+// (node ids or tensor ids).
+type annIndex struct {
+	off  []int32 // len = numAnns+1
+	flat []int32
+}
 
-const (
-	nodeVar nodeKind = iota
-	nodeConst
-	nodeSum
-	nodeProd
-	nodeCmp
-)
+// span returns the ids indexed under annotation id.
+func (ix *annIndex) span(id int32) []int32 {
+	return ix.flat[ix.off[id]:ix.off[id+1]]
+}
 
-// planNode is one flattened polynomial node. kids index into Plan.nodes;
-// a Cmp node stores its Inner as kids[0].
-type planNode struct {
-	kind  nodeKind
-	ann   Annotation // nodeVar
-	n     int        // nodeConst
-	kids  []int32
-	value float64 // nodeCmp
-	bound float64 // nodeCmp
-	op    CmpOp   // nodeCmp
+// buildIndex flattens per-annotation lists into CSR form.
+func buildIndex(lists [][]int32) annIndex {
+	ix := annIndex{off: make([]int32, len(lists)+1)}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	ix.flat = make([]int32, 0, total)
+	for i, l := range lists {
+		ix.flat = append(ix.flat, l...)
+		ix.off[i+1] = int32(len(ix.flat))
+	}
+	return ix
 }
 
 // planTensor mirrors one tensor of the planned expression with its
@@ -56,18 +63,22 @@ type planTensor struct {
 // lives in PlanScratch, so one Plan serves concurrent evaluators.
 type Plan struct {
 	agg     *Agg
-	nodes   []planNode
-	parent  []int32 // parent[id] is id's parent node, -1 for roots
+	ar      *Arena
 	tensors []planTensor
 
-	annVars      map[Annotation][]int32 // annotation → Var node ids
-	annTensors   map[Annotation][]int32 // annotation → ascending tensor ids whose polynomial mentions it
-	groupTensors map[Annotation][]int32 // group → ascending tensor ids
-	anns         map[Annotation]struct{}
+	varNodes      annIndex // ann id → ascending Var node ids
+	annTensors    annIndex // ann id → ascending tensor ids whose polynomial mentions it
+	groupTensors  annIndex // ann id → ascending tensor ids with that group
+	scalarTensors []int32  // ascending tensor ids of the scalar ("") coordinate
 
 	size int
-	bad  bool
 }
+
+// PlanScratch holds the per-evaluator mutable state of plan evaluation:
+// flat node-value tables indexed by arena node id. Each concurrent
+// evaluator owns one scratch; the Plan and its Probes stay read-only
+// after construction.
+type PlanScratch = ArenaScratch
 
 // NewPlan compiles e into a Plan. It returns nil when e cannot be planned
 // — it is not an aggregated expression (*Agg), or a polynomial contains
@@ -77,180 +88,108 @@ func NewPlan(e Expression) *Plan {
 	if !ok || g == nil {
 		return nil
 	}
-	p := &Plan{
-		agg:          g,
-		tensors:      make([]planTensor, len(g.Tensors)),
-		annVars:      make(map[Annotation][]int32),
-		annTensors:   make(map[Annotation][]int32),
-		groupTensors: make(map[Annotation][]int32),
-		anns:         make(map[Annotation]struct{}),
-		size:         g.Size(),
+	ar := CompileArena(g)
+	if ar == nil {
+		return nil
 	}
+	p := &Plan{
+		agg:     g,
+		ar:      ar,
+		tensors: make([]planTensor, len(g.Tensors)),
+		size:    g.Size(),
+	}
+	numAnns := ar.NumAnns()
+	varsBy := make([][]int32, numAnns)
+	for id := range ar.kind {
+		if ar.kind[id] == nodeVar {
+			a := ar.ann[id]
+			varsBy[a] = append(varsBy[a], int32(id))
+		}
+	}
+	tensBy := make([][]int32, numAnns)
+	grpBy := make([][]int32, numAnns)
 	scratch := make(map[Annotation]struct{})
 	for i, t := range g.Tensors {
-		root := p.compile(t.Prov, -1)
 		p.tensors[i] = planTensor{
-			root: root, prov: t.Prov, value: t.Value, count: t.Count,
+			root: ar.tensors[i].root, prov: t.Prov, value: t.Value, count: t.Count,
 			group: t.Group, key: t.Prov.Key() + "|" + string(t.Group), size: t.Prov.Size(),
 		}
 		clear(scratch)
 		t.Prov.CollectAnns(scratch)
 		for a := range scratch {
-			p.annTensors[a] = append(p.annTensors[a], int32(i))
-			p.anns[a] = struct{}{}
+			id, _ := ar.AnnID(a)
+			tensBy[id] = append(tensBy[id], int32(i))
 		}
-		p.groupTensors[t.Group] = append(p.groupTensors[t.Group], int32(i))
-		if t.Group != "" {
-			p.anns[t.Group] = struct{}{}
+		if t.Group == "" {
+			p.scalarTensors = append(p.scalarTensors, int32(i))
+		} else {
+			id, _ := ar.AnnID(t.Group)
+			grpBy[id] = append(grpBy[id], int32(i))
 		}
 	}
-	if p.bad {
-		return nil
-	}
+	p.varNodes = buildIndex(varsBy)
+	p.annTensors = buildIndex(tensBy)
+	p.groupTensors = buildIndex(grpBy)
 	return p
 }
 
 // Expr returns the expression the plan was compiled from.
 func (p *Plan) Expr() *Agg { return p.agg }
 
-func (p *Plan) compile(e Expr, parent int32) int32 {
-	id := int32(len(p.nodes))
-	p.nodes = append(p.nodes, planNode{})
-	p.parent = append(p.parent, parent)
-	switch n := e.(type) {
-	case Var:
-		p.nodes[id] = planNode{kind: nodeVar, ann: n.Ann}
-		p.annVars[n.Ann] = append(p.annVars[n.Ann], id)
-	case Const:
-		p.nodes[id] = planNode{kind: nodeConst, n: n.N}
-	case Sum:
-		kids := make([]int32, len(n.Terms))
-		for i, t := range n.Terms {
-			kids[i] = p.compile(t, id)
-		}
-		p.nodes[id] = planNode{kind: nodeSum, kids: kids}
-	case Prod:
-		kids := make([]int32, len(n.Factors))
-		for i, f := range n.Factors {
-			kids[i] = p.compile(f, id)
-		}
-		p.nodes[id] = planNode{kind: nodeProd, kids: kids}
-	case Cmp:
-		kids := []int32{p.compile(n.Inner, id)}
-		p.nodes[id] = planNode{kind: nodeCmp, kids: kids, value: n.Value, bound: n.Bound, op: n.Op}
-	default:
-		p.bad = true
-		p.nodes[id] = planNode{kind: nodeConst}
-	}
-	return id
-}
+// Arena returns the plan's compiled arena.
+func (p *Plan) Arena() *Arena { return p.ar }
 
-// PlanScratch holds the per-evaluator mutable state of plan evaluation:
-// the generation-stamped node-value memo of the current valuation and the
-// subtree-evaluation counter. Each concurrent evaluator owns one scratch;
-// the Plan and its Probes stay read-only after construction.
-type PlanScratch struct {
-	vals        []int
-	stamp       []uint32
-	gen         uint32
-	contributed map[Annotation]bool
+// Annotations returns the interned annotations in dense-id order; the
+// backing slice must not be modified.
+func (p *Plan) Annotations() []Annotation { return p.ar.Annotations() }
 
-	// SubtreeEvals counts nodes re-evaluated by substituted (dirty-
-	// subtree) candidate evaluation since the scratch was created.
-	SubtreeEvals uint64
-}
+// AnnID returns the dense id of ann and whether it occurs in the
+// expression (as a polynomial variable or a group coordinate).
+func (p *Plan) AnnID(a Annotation) (int32, bool) { return p.ar.AnnID(a) }
 
 // NewScratch returns a scratch sized for the plan.
-func (p *Plan) NewScratch() *PlanScratch {
-	return &PlanScratch{
-		vals:        make([]int, len(p.nodes)),
-		stamp:       make([]uint32, len(p.nodes)),
-		contributed: make(map[Annotation]bool, len(p.groupTensors)),
-	}
+func (p *Plan) NewScratch() *PlanScratch { return p.ar.NewScratch() }
+
+// NewTruths returns a truth bitset sized for the plan's annotations.
+func (p *Plan) NewTruths() Bitset { return p.ar.NewTruths() }
+
+// FillTruths sets bits to truth(ann) for every annotation of the plan.
+func (p *Plan) FillTruths(bits Bitset, truth func(Annotation) bool) {
+	p.ar.FillTruths(bits, truth)
 }
 
-func (s *PlanScratch) begin() {
-	s.gen++
-	if s.gen == 0 { // wraparound: invalidate every stamp explicitly
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.gen = 1
+// tensorsOfAnn returns the ascending tensor ids whose polynomial
+// mentions a.
+func (p *Plan) tensorsOfAnn(a Annotation) []int32 {
+	if id, ok := p.ar.AnnID(a); ok {
+		return p.annTensors.span(id)
 	}
+	return nil
 }
 
-// evalNode evaluates node id under assign, memoized per valuation
-// generation. Lazily filled: a Prod short-circuiting at 0 leaves later
-// factors unstamped, and they are computed on demand if a probe needs
-// them.
-func (p *Plan) evalNode(id int32, assign func(Annotation) int, s *PlanScratch) int {
-	if s.stamp[id] == s.gen {
-		return s.vals[id]
+// tensorsOfGroup returns the ascending tensor ids whose group is g.
+func (p *Plan) tensorsOfGroup(g Annotation) []int32 {
+	if g == "" {
+		return p.scalarTensors
 	}
-	nd := &p.nodes[id]
-	var v int
-	switch nd.kind {
-	case nodeVar:
-		v = assign(nd.ann)
-	case nodeConst:
-		v = nd.n
-	case nodeSum:
-		for _, k := range nd.kids {
-			v += p.evalNode(k, assign, s)
-		}
-	case nodeProd:
-		v = 1
-		for _, k := range nd.kids {
-			v *= p.evalNode(k, assign, s)
-			if v == 0 {
-				break
-			}
-		}
-	case nodeCmp:
-		lhs := 0.0
-		if p.evalNode(nd.kids[0], assign, s) != 0 {
-			lhs = nd.value
-		}
-		if nd.op.holds(lhs, nd.bound) {
-			v = 1
-		}
+	if id, ok := p.ar.AnnID(g); ok {
+		return p.groupTensors.span(id)
 	}
-	s.vals[id] = v
-	s.stamp[id] = s.gen
-	return v
+	return nil
 }
 
-// BaseEval evaluates the planned expression under assign (the 0/1 truth
-// assignment of the step's extended valuation), starting a new memo
-// generation and filling it as a side effect. The returned vector is
-// op-for-op identical to Agg.Eval: tensors fold in slice order, a group's
-// first nonzero contribution replaces the identity placeholder.
-func (p *Plan) BaseEval(assign func(Annotation) int, s *PlanScratch) Vector {
-	s.begin()
-	clear(s.contributed)
-	vec := make(Vector, len(p.groupTensors))
-	for i := range p.tensors {
-		t := &p.tensors[i]
-		if _, ok := vec[t.group]; !ok {
-			vec[t.group] = p.agg.Agg.Identity()
-		}
-		n := p.evalNode(t.root, assign, s)
-		if n == 0 {
-			continue
-		}
-		contrib := p.agg.Agg.Scale(t.value, n)
-		if s.contributed[t.group] {
-			vec[t.group] = p.agg.Agg.Combine(vec[t.group], contrib)
-		} else {
-			vec[t.group] = contrib
-			s.contributed[t.group] = true
-		}
-	}
-	return vec
+// BaseEval evaluates the planned expression under the truth bitset (the
+// 0/1 assignment of the step's extended valuation), filling the
+// scratch's node-value table in one forward pass as a side effect. The
+// returned vector is op-for-op identical to Agg.Eval: tensors fold in
+// slice order, a group's first nonzero contribution replaces the
+// identity placeholder.
+func (p *Plan) BaseEval(bits Bitset, s *PlanScratch) Vector {
+	return p.ar.Eval(bits, s)
 }
 
 // foldEntry is one tensor of an affected coordinate's re-fold: either an
-// unaffected tensor evaluated from the base memo (sub == false) or a
+// unaffected tensor evaluated from the base table (sub == false) or a
 // rewritten tensor evaluated with member substitution (sub == true).
 // Entries are ordered by the candidate expression's tensor key, so the
 // fold replays the exact combine order of the materialized candidate.
@@ -285,10 +224,11 @@ type Probe struct {
 	// never reuse the base evaluation even when no truth changes.
 	RenamesGroup bool
 
-	plan    *Plan
-	dirty   []bool       // per node: lies on a path to a member occurrence
-	removed []Annotation // coordinates that disappear (member groups)
-	folds   []groupFold  // re-fold programs for the affected coordinates
+	plan       *Plan
+	dirty      Bitset       // per node: lies on a path to a member occurrence
+	dirtyNodes []int32      // ascending dirty node ids (children before parents)
+	removed    []Annotation // coordinates that disappear (member groups)
+	folds      []groupFold  // re-fold programs for the affected coordinates
 }
 
 // Probe compiles the candidate that merges members into newAnn. It
@@ -300,32 +240,43 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 	if newAnn == "" || newAnn == Zero || newAnn == One {
 		return nil
 	}
-	if _, ok := p.anns[newAnn]; ok {
+	if _, ok := p.ar.AnnID(newAnn); ok {
 		return nil
 	}
-	memberSet := make(map[Annotation]struct{}, len(members))
 	for _, m := range members {
 		if m == Zero || m == One || m == newAnn {
 			return nil
 		}
-		memberSet[m] = struct{}{}
+	}
+	// Member sets are merge-arity sized (2-3 annotations), so linear
+	// scans beat hashed sets throughout the compile.
+	memberOf := func(a Annotation) bool {
+		for _, m := range members {
+			if a == m {
+				return true
+			}
+		}
+		return false
 	}
 
 	// Affected tensors: polynomial mentions a member, or the group is a
 	// member. Ascending tensor ids preserve the expression's tensor order
 	// for value merging below.
-	affectedSet := make(map[int32]struct{})
-	for _, m := range members {
-		for _, tid := range p.annTensors[m] {
-			affectedSet[tid] = struct{}{}
-		}
-		for _, tid := range p.groupTensors[m] {
-			affectedSet[tid] = struct{}{}
+	affectedMark := make([]bool, len(p.tensors))
+	var affected []int32
+	mark := func(tid int32) {
+		if !affectedMark[tid] {
+			affectedMark[tid] = true
+			affected = append(affected, tid)
 		}
 	}
-	affected := make([]int32, 0, len(affectedSet))
-	for tid := range affectedSet {
-		affected = append(affected, tid)
+	for _, m := range members {
+		for _, tid := range p.tensorsOfAnn(m) {
+			mark(tid)
+		}
+		for _, tid := range p.tensorsOfGroup(m) {
+			mark(tid)
+		}
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 
@@ -336,7 +287,7 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 	// Eval(h(q), v') = Eval(q, v'∘h), and merged duplicates share a key,
 	// hence an EvalNat value.
 	rename := func(a Annotation) Annotation {
-		if _, ok := memberSet[a]; ok {
+		if memberOf(a) {
 			return newAnn
 		}
 		return a
@@ -360,10 +311,8 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 			continue
 		}
 		group := t.group
-		if group != "" {
-			if _, ok := memberSet[group]; ok {
-				group = newAnn
-			}
+		if group != "" && memberOf(group) {
+			group = newAnn
 		}
 		key := prov.Key() + "|" + string(group)
 		if i, ok := rewIdx[key]; ok {
@@ -385,7 +334,7 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 	// NewAnn.
 	var removed []Annotation
 	for _, m := range members {
-		if len(p.groupTensors[m]) > 0 {
+		if len(p.tensorsOfGroup(m)) > 0 {
 			removed = append(removed, m)
 		}
 	}
@@ -397,7 +346,7 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 	outGroups := make(map[Annotation]struct{})
 	for _, tid := range affected {
 		g := p.tensors[tid].group
-		if _, ok := memberSet[g]; ok && g != "" {
+		if g != "" && memberOf(g) {
 			continue // coordinate moves to newAnn, covered by its rewrittens
 		}
 		outGroups[g] = struct{}{}
@@ -414,8 +363,8 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 	for _, g := range names {
 		var entries []foldEntry
 		if g != newAnn {
-			for _, tid := range p.groupTensors[g] {
-				if _, ok := affectedSet[tid]; ok {
+			for _, tid := range p.tensorsOfGroup(g) {
+				if affectedMark[tid] {
 					continue
 				}
 				t := &p.tensors[tid]
@@ -433,19 +382,26 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 
 	// Dirty marking: every node on a path from a member occurrence to its
 	// tensor root is re-evaluated under substitution; everything else
-	// reads the base memo.
-	dirty := make([]bool, len(p.nodes))
+	// reads the base table. The ascending dirty-node list drives an
+	// iterative bottom-up re-evaluation (post-order ids put children
+	// before parents).
+	dirty := NewBitset(p.ar.NumNodes())
+	var dirtyNodes []int32
 	for _, m := range members {
-		for _, id := range p.annVars[m] {
-			for n := id; n != -1 && !dirty[n]; n = p.parent[n] {
-				dirty[n] = true
+		if id, ok := p.ar.AnnID(m); ok {
+			for _, nd := range p.varNodes.span(id) {
+				for n := nd; n != -1 && !dirty.Get(n); n = p.ar.parent[n] {
+					dirty.Set(n)
+					dirtyNodes = append(dirtyNodes, n)
+				}
 			}
 		}
 	}
+	sort.Slice(dirtyNodes, func(i, j int) bool { return dirtyNodes[i] < dirtyNodes[j] })
 
 	renamesGroup := false
 	for _, m := range members {
-		if len(p.groupTensors[m]) > 0 {
+		if len(p.tensorsOfGroup(m)) > 0 {
 			renamesGroup = true
 			break
 		}
@@ -458,62 +414,22 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 		RenamesGroup: renamesGroup,
 		plan:         p,
 		dirty:        dirty,
+		dirtyNodes:   dirtyNodes,
 		removed:      removed,
 		folds:        folds,
 	}
 }
 
-// evalSub evaluates node id with every member occurrence substituted by
-// mergedN (the merged group's φ-truth). Non-dirty subtrees read the base
-// memo; dirty nodes are recomputed and counted in s.SubtreeEvals.
-func (pr *Probe) evalSub(id int32, assign func(Annotation) int, mergedN int, s *PlanScratch) int {
-	if !pr.dirty[id] {
-		return pr.plan.evalNode(id, assign, s)
-	}
-	s.SubtreeEvals++
-	nd := &pr.plan.nodes[id]
-	switch nd.kind {
-	case nodeVar:
-		// A dirty Var is a member occurrence: it evaluates to the merged
-		// group's truth.
-		return mergedN
-	case nodeConst:
-		return nd.n
-	case nodeSum:
-		v := 0
-		for _, k := range nd.kids {
-			v += pr.evalSub(k, assign, mergedN, s)
-		}
-		return v
-	case nodeProd:
-		v := 1
-		for _, k := range nd.kids {
-			v *= pr.evalSub(k, assign, mergedN, s)
-			if v == 0 {
-				return 0
-			}
-		}
-		return v
-	case nodeCmp:
-		lhs := 0.0
-		if pr.evalSub(nd.kids[0], assign, mergedN, s) != 0 {
-			lhs = nd.value
-		}
-		if nd.op.holds(lhs, nd.bound) {
-			return 1
-		}
-	}
-	return 0
-}
-
 // CandEval returns the candidate expression's evaluation vector under the
 // candidate's extended valuation, without materializing the candidate:
 // unaffected coordinates are copied from base (the plan's BaseEval for
-// the same valuation, whose memo must still be current in s), removed
-// coordinates are dropped, and affected coordinates are re-folded with
-// only the dirty subtrees re-evaluated. assign must be the assignment
-// base was computed with; mergedN is the merged group's φ-truth.
-func (pr *Probe) CandEval(assign func(Annotation) int, mergedN int, base Vector, s *PlanScratch) Vector {
+// the same valuation, whose node table must still be current in s),
+// removed coordinates are dropped, and affected coordinates are
+// re-folded with only the dirty nodes re-evaluated. Unlike the old
+// recursive engine, no truth assignment is needed here: BaseEval's
+// forward pass filled every node value, so the only new input is
+// mergedN, the merged group's φ-truth.
+func (pr *Probe) CandEval(mergedN int, base Vector, s *PlanScratch) Vector {
 	out := make(Vector, len(base)+1)
 	for k, v := range base {
 		out[k] = v
@@ -521,6 +437,58 @@ func (pr *Probe) CandEval(assign func(Annotation) int, mergedN int, base Vector,
 	for _, g := range pr.removed {
 		delete(out, g)
 	}
+	ar := pr.plan.ar
+	// Substituted re-evaluation of the dirty nodes, bottom-up in one
+	// pass: dirty kids read s.sub, clean kids read the base table. A
+	// dirty Var is a member occurrence and evaluates to the merged
+	// group's truth.
+	for _, id := range pr.dirtyNodes {
+		switch ar.kind[id] {
+		case nodeVar:
+			s.sub[id] = mergedN
+		case nodeConst:
+			s.sub[id] = int(ar.constN[id])
+		case nodeSum:
+			v := 0
+			for _, k := range ar.kids[ar.kidOff[id]:ar.kidOff[id+1]] {
+				if pr.dirty.Get(k) {
+					v += s.sub[k]
+				} else {
+					v += s.vals[k]
+				}
+			}
+			s.sub[id] = v
+		case nodeProd:
+			v := 1
+			for _, k := range ar.kids[ar.kidOff[id]:ar.kidOff[id+1]] {
+				if pr.dirty.Get(k) {
+					v *= s.sub[k]
+				} else {
+					v *= s.vals[k]
+				}
+				if v == 0 {
+					break
+				}
+			}
+			s.sub[id] = v
+		case nodeCmp:
+			k := ar.kids[ar.kidOff[id]]
+			n := s.vals[k]
+			if pr.dirty.Get(k) {
+				n = s.sub[k]
+			}
+			lhs := 0.0
+			if n != 0 {
+				lhs = ar.value[id]
+			}
+			v := 0
+			if ar.op[id].holds(lhs, ar.bound[id]) {
+				v = 1
+			}
+			s.sub[id] = v
+		}
+	}
+	s.SubtreeEvals += uint64(len(pr.dirtyNodes))
 	agg := pr.plan.agg.Agg
 	for fi := range pr.folds {
 		f := &pr.folds[fi]
@@ -529,10 +497,10 @@ func (pr *Probe) CandEval(assign func(Annotation) int, mergedN int, base Vector,
 		for i := range f.entries {
 			en := &f.entries[i]
 			var n int
-			if en.sub {
-				n = pr.evalSub(en.root, assign, mergedN, s)
+			if en.sub && pr.dirty.Get(en.root) {
+				n = s.sub[en.root]
 			} else {
-				n = pr.plan.evalNode(en.root, assign, s)
+				n = s.vals[en.root]
 			}
 			if n == 0 {
 				continue

@@ -31,13 +31,12 @@ func planValuation(mask int) Valuation {
 	return MapValuation{Assign: assign, Default: true, Label: fmt.Sprintf("mask%d", mask)}
 }
 
-func truthAssign(v Valuation) func(Annotation) int {
-	return func(a Annotation) int {
-		if v.Truth(a) {
-			return 1
-		}
-		return 0
-	}
+// planTruths fills a fresh truth bitset for v over the plan's interned
+// annotations.
+func planTruths(plan *Plan, v Valuation) Bitset {
+	bits := plan.NewTruths()
+	plan.FillTruths(bits, v.Truth)
+	return bits
 }
 
 func vecEqual(a, b Vector) bool {
@@ -63,7 +62,7 @@ func TestPlanBaseEvalMatchesEval(t *testing.T) {
 		s := plan.NewScratch()
 		for mask := 0; mask < 1<<len(planAnns); mask++ {
 			v := planValuation(mask)
-			got := plan.BaseEval(truthAssign(v), s)
+			got := plan.BaseEval(planTruths(plan, v), s)
 			want := cur.Eval(v).(Vector)
 			if !vecEqual(got, want) {
 				t.Fatalf("%v mask %d: BaseEval %v != Eval %v", kind, mask, got, want)
@@ -111,8 +110,8 @@ func TestProbeMatchesApply(t *testing.T) {
 					if phi.Combine(truths) {
 						mergedN = 1
 					}
-					base := plan.BaseEval(truthAssign(v), s)
-					got := pr.CandEval(truthAssign(v), mergedN, base, s)
+					base := plan.BaseEval(planTruths(plan, v), s)
+					got := pr.CandEval(mergedN, base, s)
 					wantVec := want.Eval(ext).(Vector)
 					if !vecEqual(got, wantVec) {
 						t.Fatalf("%v φ=%s probe %v mask %d:\n CandEval %v\n Eval     %v",
@@ -167,11 +166,11 @@ func TestProbeMatchesApplyMidRun(t *testing.T) {
 			if CombineOr.Combine(truths) {
 				mergedN = 1
 			}
-			baseVec := plan.BaseEval(truthAssign(baseExt), s)
+			baseVec := plan.BaseEval(planTruths(plan, baseExt), s)
 			if !vecEqual(baseVec, cur.Eval(baseExt).(Vector)) {
 				t.Fatalf("probe %v mask %d: BaseEval disagrees with Eval", ms, mask)
 			}
-			got := pr.CandEval(truthAssign(baseExt), mergedN, baseVec, s)
+			got := pr.CandEval(mergedN, baseVec, s)
 			wantVec := want.Eval(candExt).(Vector)
 			if !vecEqual(got, wantVec) {
 				t.Fatalf("probe %v mask %d:\n CandEval %v\n Eval     %v", ms, mask, got, wantVec)
@@ -185,10 +184,10 @@ func TestProbeSubtreeEvalsCounted(t *testing.T) {
 	plan := NewPlan(cur)
 	s := plan.NewScratch()
 	v := planValuation(0x1f) // all true
-	base := plan.BaseEval(truthAssign(v), s)
+	base := plan.BaseEval(planTruths(plan, v), s)
 	pr := plan.Probe([]Annotation{"u1", "u2"}, "Z")
 	before := s.SubtreeEvals
-	pr.CandEval(truthAssign(v), 1, base, s)
+	pr.CandEval(1, base, s)
 	if s.SubtreeEvals <= before {
 		t.Fatal("substituted evaluation did not count any subtree node")
 	}

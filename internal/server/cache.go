@@ -83,7 +83,15 @@ func (s *Server) publishToCache(key summarycache.Key, params codec.JobParams, su
 		StopReason: sum.StopReason,
 		CreatedMS:  time.Now().UnixMilli(),
 	}
-	s.cache.Put(key, rec)
+	if !s.cache.Put(key, rec) {
+		// Journaling a rejected entry would resurrect it on replay (or
+		// grow the WAL for an entry the cache never held): count it and
+		// skip the store.
+		s.met.cacheRejected.Inc()
+		s.log.Warn("cache rejected summary entry", "key", rec.Key, "steps", len(rec.Steps))
+		s.updateCacheGauges()
+		return
+	}
 	if s.st != nil {
 		if err := s.st.PutCacheEntry(rec); err != nil {
 			s.log.Error("journaling cache entry failed", "key", rec.Key, "err", err)

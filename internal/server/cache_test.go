@@ -410,3 +410,56 @@ func benchSummarize(b *testing.B, ts *httptest.Server, sid string) {
 		b.Fatalf("summarize status = %d", res.StatusCode)
 	}
 }
+
+// TestCacheRejectedPutNotJournaled pins the rejection path end to end:
+// when the summary cache refuses an entry (here: MaxBytes smaller than
+// any entry), the server must count it on prox_cache_rejected_total and
+// must NOT journal the entry to the store — journaling it would grow
+// the WAL with records the cache never held and resurrect them into
+// replay on every restart. Before the fix Put dropped the entry
+// silently and the server journaled it anyway.
+func TestCacheRejectedPutNotJournaled(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := jobsServer(t, jobsWorkload(), WithStore(st), WithCache(8, 1, 0))
+	sid := selectAll(t, ts)
+
+	var resp summarizeResponse
+	if res := post(t, ts.URL+"/api/summarize", cacheSummarizeReq(sid), &resp); res.StatusCode != http.StatusOK {
+		t.Fatalf("summarize status = %d", res.StatusCode)
+	}
+	out := scrape(t, ts)
+	if got := metricValue(t, out, "prox_cache_rejected_total"); got != 1 {
+		t.Fatalf("prox_cache_rejected_total = %v, want 1", got)
+	}
+	if n := s.cache.Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after a rejected put", n)
+	}
+	if entries := st.State().CacheEntries; len(entries) != 0 {
+		t.Fatalf("rejected put was journaled: %+v", entries)
+	}
+
+	// A second identical request misses (nothing was cached) and is
+	// rejected again — still without touching the journal.
+	if res := post(t, ts.URL+"/api/summarize", cacheSummarizeReq(sid), &resp); res.StatusCode != http.StatusOK {
+		t.Fatalf("second summarize status = %d", res.StatusCode)
+	}
+	out = scrape(t, ts)
+	if got := metricValue(t, out, "prox_cache_rejected_total"); got != 2 {
+		t.Fatalf("prox_cache_rejected_total after second run = %v, want 2", got)
+	}
+	if entries := st.State().CacheEntries; len(entries) != 0 {
+		t.Fatalf("second rejected put was journaled: %+v", entries)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

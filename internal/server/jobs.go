@@ -661,7 +661,10 @@ func (s *Server) restoreFromStore() error {
 				s.log.Error("dropping unparseable cache key from store", "key", rec.Key, "err", err)
 				continue
 			}
-			s.cache.Put(k, rec)
+			if !s.cache.Put(k, rec) {
+				s.met.cacheRejected.Inc()
+				s.log.Warn("cache rejected journaled entry on restore", "key", rec.Key)
+			}
 		}
 		s.updateCacheGauges()
 	}

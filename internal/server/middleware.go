@@ -28,6 +28,7 @@ type metrics struct {
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
+	cacheRejected  *obs.Counter
 	cacheCoalesced *obs.Counter
 	cacheBytes     *obs.Gauge
 	cacheEntries   *obs.Gauge
@@ -74,6 +75,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cacheHits:      reg.Counter("prox_cache_hits_total", "Summarize requests served from the summary cache.", nil),
 		cacheMisses:    reg.Counter("prox_cache_misses_total", "Summarize requests that missed the summary cache.", nil),
 		cacheEvictions: reg.Counter("prox_cache_evictions_total", "Summary-cache entries displaced by the LRU/TTL bounds.", nil),
+		cacheRejected:  reg.Counter("prox_cache_rejected_total", "Summary-cache puts rejected (oversized entry or marshal failure).", nil),
 		cacheCoalesced: reg.Counter("prox_cache_inflight_coalesced_total", "Submissions coalesced onto an in-flight identical job.", nil),
 		cacheBytes:     reg.Gauge("prox_cache_bytes", "Bytes held by the summary cache.", nil),
 		cacheEntries:   reg.Gauge("prox_cache_entries", "Entries held by the summary cache.", nil),

@@ -98,6 +98,7 @@ type Stats struct {
 	Misses      uint64
 	Evictions   uint64 // LRU displacements
 	Expirations uint64 // TTL expiries
+	Rejected    uint64 // Puts refused (oversized entry or marshal failure)
 	Entries     int
 	Bytes       int64
 }
@@ -160,16 +161,21 @@ func (c *Cache) Get(k Key) (*codec.CacheEntryRecord, bool) {
 }
 
 // Put stores rec under k, evicting least-recently-used entries until
-// the bounds hold again. An entry larger than MaxBytes on its own is
-// not stored. Re-putting a key replaces its entry.
-func (c *Cache) Put(k Key, rec *codec.CacheEntryRecord) {
+// the bounds hold again, and reports whether the entry was accepted.
+// An entry larger than MaxBytes on its own (or one whose record fails
+// to marshal) is rejected: not stored, counted in Stats.Rejected, and
+// reported false so callers do not journal an entry the cache never
+// held. Re-putting a key replaces its entry.
+func (c *Cache) Put(k Key, rec *codec.CacheEntryRecord) bool {
 	enc, err := json.Marshal(rec)
 	if err != nil {
-		return // records are plain structs; cannot happen
+		c.reject()
+		return false
 	}
 	size := int64(len(enc))
 	if size > c.cfg.MaxBytes {
-		return
+		c.reject()
+		return false
 	}
 
 	c.mu.Lock()
@@ -192,6 +198,14 @@ func (c *Cache) Put(k Key, rec *codec.CacheEntryRecord) {
 		c.remove(back, EvictLRU)
 		c.stats.Evictions++
 	}
+	return true
+}
+
+// reject counts a refused Put.
+func (c *Cache) reject() {
+	c.mu.Lock()
+	c.stats.Rejected++
+	c.mu.Unlock()
 }
 
 // Drop removes the entry under k without invoking OnEvict, returning

@@ -204,3 +204,40 @@ func mustJSON(t *testing.T, v any) []byte {
 	}
 	return b
 }
+
+// TestPutRejectedAccounting pins Put's accept/reject contract: an entry
+// larger than MaxBytes on its own is refused — reported false, counted
+// in Stats.Rejected, and absent from the cache — while an accepted put
+// reports true and leaves the rejection counter alone. Before the fix
+// Put returned nothing and dropped oversized entries silently, so
+// callers journaled entries the cache never held.
+func TestPutRejectedAccounting(t *testing.T) {
+	one := rec(0.1)
+	size := int64(len(mustJSON(t, one)))
+
+	c := New(Config{MaxEntries: 4, MaxBytes: size})
+	if !c.Put(key("a"), rec(0.1)) {
+		t.Fatal("exact-size entry must be accepted")
+	}
+	if st := c.Stats(); st.Rejected != 0 {
+		t.Fatalf("accepted put counted as rejected: %+v", st)
+	}
+
+	tiny := New(Config{MaxEntries: 4, MaxBytes: size - 1})
+	if tiny.Put(key("a"), rec(0.1)) {
+		t.Fatal("oversized entry must be rejected")
+	}
+	if tiny.Put(key("b"), rec(0.2)) {
+		t.Fatal("second oversized entry must be rejected")
+	}
+	if _, ok := tiny.Get(key("a")); ok {
+		t.Fatal("rejected entry must not be stored")
+	}
+	st := tiny.Stats()
+	if st.Rejected != 2 {
+		t.Fatalf("Rejected = %d, want 2 (stats = %+v)", st.Rejected, st)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("rejected puts changed the account: %+v", st)
+	}
+}

@@ -28,6 +28,7 @@ run_bench() { # $1 = -bench regexp, $2 = -benchtime, $3 = package
 # Short fixed iteration counts: the gate wants one honest sample per
 # benchmark, not a publication-grade measurement (BENCH_core.json keeps
 # those, from -benchtime=3s runs).
+run_bench 'ArenaEval|AggEval' 1000x ./internal/provenance/
 run_bench 'SummarizeStepScoring' 5x ./internal/distance/
 run_bench 'SummarizeScoring(Sequential|Batch|Delta)$' 2x .
 run_bench 'ServerSummarizeCache' 20x ./internal/server/
