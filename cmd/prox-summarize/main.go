@@ -10,6 +10,7 @@
 //	               [-scale 1] [-seed 1] [-v]
 //	               [-arity 2] [-parallel 1] [-samples 0]
 //	               [-scoring delta|batch|seq] [-legacy-eval]
+//	               [-block-eval on|off]
 //	               [-save bundle.json] [-load bundle.json] [-json out.json]
 //	               [-trace steps.jsonl]
 //
@@ -21,6 +22,9 @@
 // for -scoring=seq. -legacy-eval scores on the recursive tree evaluator
 // instead of the compiled arena (implies -scoring=batch or seq); it
 // exists for A/B comparison and chooses the same summaries.
+// -block-eval=off disables the valuation-blocked kernel (64 valuations
+// per word-level node op) in favor of one scalar arena pass per
+// valuation — another bit-identical A/B switch.
 //
 // With -trace, every merge step of Algorithm 1 is appended to the given
 // file as one JSON object per line (score, distance, size ratio,
@@ -64,6 +68,7 @@ func main() {
 	scoring := flag.String("scoring", "delta", "candidate scoring engine: delta (incremental, default) | batch (materialize every candidate) | seq (candidate-major)")
 	seqScoring := flag.Bool("seq-scoring", false, "deprecated alias for -scoring=seq")
 	legacyEval := flag.Bool("legacy-eval", false, "score on the recursive tree evaluator instead of the compiled arena (A/B switch; disables the delta engine)")
+	blockEval := flag.String("block-eval", "on", "valuation-blocked evaluation kernel: on (64 valuations per word op, default) | off (one scalar arena pass per valuation); bit-identical either way")
 	saveBundle := flag.String("save", "", "write the generated workload as a JSON bundle to this file")
 	loadBundle := flag.String("load", "", "summarize a saved JSON bundle instead of generating a dataset")
 	jsonOut := flag.String("json", "", "write the summary trace as JSON to this file (- for stdout)")
@@ -159,6 +164,13 @@ func main() {
 		fatal("unknown -scoring %q (want delta, batch or seq)", *scoring)
 	}
 	cfg.LegacyEval = *legacyEval
+	switch *blockEval {
+	case "on", "":
+	case "off":
+		cfg.ScalarEval = true
+	default:
+		fatal("unknown -block-eval %q (want on or off)", *blockEval)
+	}
 	var traceClose func()
 	if *traceOut != "" {
 		var err error

@@ -105,6 +105,13 @@ type Config struct {
 	// exists for A/B comparison and the arena differential tests.
 	LegacyEval bool
 
+	// ScalarEval runs scoring one valuation at a time on the scalar arena
+	// path instead of the valuation-blocked kernel
+	// (provenance.Arena.EvalBlock; distance.Estimator.ScalarEval).
+	// Bit-identical to blocked scoring; the flag exists for A/B
+	// comparison and the block-vs-scalar differential tests.
+	ScalarEval bool
+
 	// StepObserver, when non-nil, receives a StepEvent after every
 	// committed merge step (and never for the free Prop. 4.2.1
 	// equivalence pre-step, which performs no candidate search). When a
@@ -252,6 +259,7 @@ func New(cfg Config) (*Summarizer, error) {
 		cfg.Estimator.Parallelism = cfg.Parallelism
 	}
 	cfg.Estimator.LegacyEval = cfg.LegacyEval
+	cfg.Estimator.ScalarEval = cfg.ScalarEval
 	return &Summarizer{cfg: cfg}, nil
 }
 
@@ -715,6 +723,9 @@ func (s *Summarizer) commitCandidate(cur provenance.Expression, cum provenance.M
 	step := provenance.MergeMapping(c.newAnn, c.members...)
 	c.cum = cum.Compose(step)
 	c.expr = cur.Apply(step)
+	// Let the estimator patch its cached delta plan in place instead of
+	// recompiling the whole expression on the next step's first probe.
+	s.cfg.Estimator.CommitMerge(cur, c.expr, c.members, c.newAnn)
 	return c
 }
 

@@ -42,7 +42,7 @@ func mlSummaryKey(t *testing.T, sum *core.Summary) string {
 // rendered expression. The delta runs must actually exercise the delta
 // engine (counters move), not silently fall back.
 func TestMovieLensScoringModesIdentical(t *testing.T) {
-	run := func(seqScoring, fullEval, legacy bool, workers int, wantDelta bool) string {
+	run := func(seqScoring, fullEval, legacy, scalar bool, workers int, wantDelta bool) string {
 		w := movieLens(t)
 		est := w.Estimator(datasets.CancelSingleAnnotation)
 		s, err := core.New(core.Config{
@@ -54,6 +54,7 @@ func TestMovieLensScoringModesIdentical(t *testing.T) {
 			SequentialScoring: seqScoring,
 			FullEvalScoring:   fullEval,
 			LegacyEval:        legacy,
+			ScalarEval:        scalar,
 			Parallelism:       workers,
 		})
 		if err != nil {
@@ -75,30 +76,85 @@ func TestMovieLensScoringModesIdentical(t *testing.T) {
 		}
 		return mlSummaryKey(t, sum)
 	}
-	want := run(true, false, false, 1, false)
+	want := run(true, false, false, false, 1, false)
 	for _, tc := range []struct {
-		name              string
-		seq, full, legacy bool
-		workers           int
+		name                      string
+		seq, full, legacy, scalar bool
+		workers                   int
 	}{
-		{"sequential-parallel", true, false, false, 4},
-		{"full-eval-batch", false, true, false, 1},
-		{"full-eval-batch-parallel", false, true, false, 4},
-		{"delta", false, false, false, 1},
-		{"delta-parallel", false, false, false, 4},
+		{"sequential-parallel", true, false, false, false, 4},
+		{"full-eval-batch", false, true, false, false, 1},
+		{"full-eval-batch-parallel", false, true, false, false, 4},
+		{"delta", false, false, false, false, 1},
+		{"delta-parallel", false, false, false, false, 4},
 		// LegacyEval disables the arena evaluators (and the delta path):
 		// the recursive reference must reproduce the arena runs
 		// byte-for-byte, in both remaining scoring layouts.
-		{"legacy-sequential", true, false, true, 1},
-		{"legacy-sequential-parallel", true, false, true, 4},
-		{"legacy-batch", false, false, true, 1},
-		{"legacy-batch-parallel", false, false, true, 4},
-		{"legacy-full-eval-batch", false, true, true, 1},
+		{"legacy-sequential", true, false, true, false, 1},
+		{"legacy-sequential-parallel", true, false, true, false, 4},
+		{"legacy-batch", false, false, true, false, 1},
+		{"legacy-batch-parallel", false, false, true, false, 4},
+		{"legacy-full-eval-batch", false, true, true, false, 1},
+		// ScalarEval disables only the valuation-blocked kernel: every
+		// scoring layout falls back to per-valuation arena evaluation
+		// and must reproduce the blocked runs byte-for-byte.
+		{"scalar-sequential", true, false, false, true, 1},
+		{"scalar-sequential-parallel", true, false, false, true, 4},
+		{"scalar-full-eval-batch", false, true, false, true, 1},
+		{"scalar-full-eval-batch-parallel", false, true, false, true, 4},
+		{"scalar-delta", false, false, false, true, 1},
+		{"scalar-delta-parallel", false, false, false, true, 4},
 	} {
 		wantDelta := !tc.seq && !tc.full && !tc.legacy
-		if got := run(tc.seq, tc.full, tc.legacy, tc.workers, wantDelta); got != want {
+		if got := run(tc.seq, tc.full, tc.legacy, tc.scalar, tc.workers, wantDelta); got != want {
 			t.Fatalf("%s diverged from candidate-major sequential:\n%s\n--- want ---\n%s", tc.name, got, want)
 		}
+	}
+}
+
+// TestMovieLensMergePatchEquivalence is the acceptance test for
+// Plan.ApplyMerge: a full seeded MovieLens run with in-place merge
+// patching (the default) must be byte-identical to the same run with
+// NoMergePatch forcing a plan recompile after every commit — and the
+// default run must actually patch (MergePatches moves). Some commits
+// may still recompile by design: ApplyMerge bails when the patch would
+// be unsound or leave the arena more than half dead.
+func TestMovieLensMergePatchEquivalence(t *testing.T) {
+	run := func(noPatch bool, workers int) (string, uint64, uint64) {
+		w := movieLens(t)
+		est := w.Estimator(datasets.CancelSingleAnnotation)
+		est.NoMergePatch = noPatch
+		s, err := core.New(core.Config{
+			Policy:      w.Policy,
+			Estimator:   est,
+			WDist:       0.7,
+			WSize:       0.3,
+			MaxSteps:    6,
+			Parallelism: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := s.Summarize(w.Prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := est.Stats()
+		return mlSummaryKey(t, sum), st.MergePatches, st.MergeRecompiles
+	}
+	want, patches, _ := run(false, 1)
+	if patches == 0 {
+		t.Fatal("default run never patched a plan in place")
+	}
+	got, patches, recompiles := run(true, 1)
+	if got != want {
+		t.Fatalf("recompile-per-step run diverged from patched run:\n%s\n--- want ---\n%s", got, want)
+	}
+	if patches != 0 || recompiles == 0 {
+		t.Fatalf("NoMergePatch run: patches=%d recompiles=%d, want 0/>0", patches, recompiles)
+	}
+	if got, _, _ := run(false, 4); got != want {
+		t.Fatalf("patched parallel run diverged:\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

@@ -75,12 +75,16 @@ func (e *Estimator) DistanceBatch(p0 provenance.Expression, cands []BatchCandida
 		}
 	}
 
+	sweep := e.batchSweep
+	if arenas != nil && !e.ScalarEval {
+		sweep = e.batchSweepBlock
+	}
 	workers := e.Parallelism
 	if workers > len(cands) {
 		workers = len(cands)
 	}
 	if workers <= 1 {
-		e.batchSweep(p0, cands, arenas, vals, out, 0, len(cands))
+		sweep(p0, cands, arenas, vals, out, 0, len(cands))
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -89,7 +93,7 @@ func (e *Estimator) DistanceBatch(p0 provenance.Expression, cands []BatchCandida
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				e.batchSweep(p0, cands, arenas, vals, out, lo, hi)
+				sweep(p0, cands, arenas, vals, out, lo, hi)
 			}(lo, hi)
 		}
 		wg.Wait()
@@ -170,6 +174,74 @@ func (e *Estimator) batchSweep(p0 provenance.Expression, cands []BatchCandidate,
 			e.stats.evaluations.Add(1)
 		}
 	}
+}
+
+// batchSweepBlock is batchSweep's valuation-blocked variant: the
+// valuations split into blocks of up to 64 lanes, and each blockable
+// candidate packs the block's extended truths into words and evaluates
+// all lanes in one Arena.EvalBlock pass (node-major, word-level truth
+// ops) instead of one scalar arena pass per valuation. Workers still
+// partition candidates (out columns stay disjoint); within a worker the
+// blocks run outermost so the per-lane φ-memos fill once per block and
+// serve every candidate. Per-candidate sums accumulate lane-ascending
+// per block, i.e. in valuation order — bit-identical to batchSweep.
+// Candidates without a blockable arena fall back to the tree walk per
+// lane, which the arena differential tests pin to the same bits.
+func (e *Estimator) batchSweepBlock(p0 provenance.Expression, cands []BatchCandidate, arenas []*provenance.Arena, vals []provenance.Valuation, out []float64, lo, hi int) {
+	exts := make([]*memoExtendedValuation, 64)
+	for j := range exts {
+		exts[j] = &memoExtendedValuation{phi: e.Phi}
+	}
+	tb := provenance.NewTruthBlock()
+	bs := provenance.NewBlockScratch()
+	summ := make([]provenance.Vector, 64)
+	var evals uint64
+	for lo64 := 0; lo64 < len(vals); lo64 += 64 {
+		block := vals[lo64:min(len(vals), lo64+64)]
+		for j, v := range block {
+			exts[j].reset(v)
+		}
+		for ci := lo; ci < hi; ci++ {
+			c := cands[ci]
+			for j := range block {
+				exts[j].groups = c.Groups
+			}
+			ar := arenas[ci]
+			if ar == nil || !ar.Blockable() {
+				for j, v := range block {
+					orig := e.evalOriginal(v, p0)
+					aligned := orig
+					if needsAlign(orig, c.Cumulative) {
+						aligned = c.Expr.AlignResult(orig, c.Cumulative)
+					}
+					out[ci] += e.VF.F(v, aligned, c.Expr.Eval(exts[j]))
+					evals++
+				}
+				continue
+			}
+			tb.Reset(ar.NumAnns(), len(block))
+			for id, ann := range ar.Annotations() {
+				var w uint64
+				for j := range block {
+					if exts[j].Truth(ann) {
+						w |= 1 << uint(j)
+					}
+				}
+				tb.SetWord(int32(id), w)
+			}
+			ar.EvalBlock(tb, bs, summ[:len(block)])
+			for j, v := range block {
+				orig := e.evalOriginal(v, p0)
+				aligned := orig
+				if needsAlign(orig, c.Cumulative) {
+					aligned = c.Expr.AlignResult(orig, c.Cumulative)
+				}
+				out[ci] += e.VF.F(v, aligned, summ[j])
+				evals++
+			}
+		}
+	}
+	e.stats.evaluations.Add(evals)
 }
 
 // needsAlign reports whether AlignResult can change orig under m.

@@ -148,6 +148,16 @@ func FuzzDistanceDelta(f *testing.F) {
 			refLegacy := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean(), LegacyEval: true}
 			bLegacy := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean(), LegacyEval: true}
 			batchLegacy := bLegacy.DistanceBatch(p0, cands)
+			// Scalar-arena references (ScalarEval) pin the valuation-
+			// blocked kernel to the per-valuation arena path: the
+			// block-vs-scalar differential oracle on both cohort engines.
+			dScalar := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean(), ScalarEval: true}
+			scalarDelta, _, ok := dScalar.DistanceDelta(p0, cur, cum, base, sets, "Z")
+			if !ok {
+				t.Fatal("scalar DistanceDelta fell back on a plain aggregation")
+			}
+			bScalar := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean(), ScalarEval: true}
+			scalarBatch := bScalar.DistanceBatch(p0, cands)
 			ref := &Estimator{Class: valuation.NewCancelSingleAnnotation(anns), Phi: phi, VF: Euclidean()}
 			for i, c := range cands {
 				want := ref.Distance(p0, c.Expr, c.Cumulative, c.Groups)
@@ -162,6 +172,12 @@ func FuzzDistanceDelta(f *testing.F) {
 				}
 				if got[i] != batchLegacy[i] {
 					t.Fatalf("φ=%s candidate %d (%v): arena %v != legacy batch %v\ncur=%v", phi.Name(), i, sets[i], got[i], batchLegacy[i], cur)
+				}
+				if got[i] != scalarDelta[i] {
+					t.Fatalf("φ=%s candidate %d (%v): blocked delta %v != scalar delta %v\ncur=%v", phi.Name(), i, sets[i], got[i], scalarDelta[i], cur)
+				}
+				if batch[i] != scalarBatch[i] {
+					t.Fatalf("φ=%s candidate %d (%v): blocked batch %v != scalar batch %v\ncur=%v", phi.Name(), i, sets[i], batch[i], scalarBatch[i], cur)
 				}
 				if want := c.Expr.Size(); sizes[i] != want {
 					t.Fatalf("φ=%s candidate %d (%v): incremental size %d != Apply size %d", phi.Name(), i, sets[i], sizes[i], want)

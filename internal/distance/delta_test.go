@@ -267,10 +267,193 @@ func TestEvalOriginalNonComparableExpression(t *testing.T) {
 func BenchmarkSummarizeStepScoringDelta(b *testing.B) {
 	sc := benchStep(b)
 	e := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, ok := e.DistanceDelta(sc.p0, sc.cur, sc.cum, sc.base, sc.sets, "Z"); !ok {
 			b.Fatal("DistanceDelta fell back")
+		}
+	}
+}
+
+// BenchmarkSummarizeStepScoringDeltaScalar is the block-eval A/B partner
+// of BenchmarkSummarizeStepScoringDelta: the same cohort with ScalarEval
+// forcing one scalar arena pass per valuation. The gap between the pair
+// is the valuation-blocked kernel's speedup on the delta path.
+func BenchmarkSummarizeStepScoringDeltaScalar(b *testing.B) {
+	sc := benchStep(b)
+	e := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	e.ScalarEval = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := e.DistanceDelta(sc.p0, sc.cur, sc.cum, sc.base, sc.sets, "Z"); !ok {
+			b.Fatal("DistanceDelta fell back")
+		}
+	}
+}
+
+// TestBlockedScalarBitIdentical pins the valuation-blocked kernel to its
+// per-valuation scalar A/B partner (ScalarEval) on a mid-run step: all
+// three scoring engines must produce byte-identical distances either
+// way, sequential and parallel.
+func TestBlockedScalarBitIdentical(t *testing.T) {
+	sc := benchStep(t)
+	for _, workers := range []int{1, 4} {
+		blocked := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+		blocked.Parallelism = workers
+		scalar := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+		scalar.Parallelism = workers
+		scalar.ScalarEval = true
+
+		got, _, ok := blocked.DistanceDelta(sc.p0, sc.cur, sc.cum, sc.base, sc.sets, "Z")
+		if !ok {
+			t.Fatalf("workers=%d: blocked DistanceDelta fell back", workers)
+		}
+		want, _, ok := scalar.DistanceDelta(sc.p0, sc.cur, sc.cum, sc.base, sc.sets, "Z")
+		if !ok {
+			t.Fatalf("workers=%d: scalar DistanceDelta fell back", workers)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d delta candidate %d: blocked %v != scalar %v", workers, i, got[i], want[i])
+			}
+		}
+
+		gotBatch := blocked.DistanceBatch(sc.p0, sc.cands)
+		wantBatch := scalar.DistanceBatch(sc.p0, sc.cands)
+		for i := range wantBatch {
+			if gotBatch[i] != wantBatch[i] {
+				t.Fatalf("workers=%d batch candidate %d: blocked %v != scalar %v", workers, i, gotBatch[i], wantBatch[i])
+			}
+		}
+
+		for i, c := range sc.cands[:4] {
+			gd := blocked.Distance(sc.p0, c.Expr, c.Cumulative, c.Groups)
+			wd := scalar.Distance(sc.p0, c.Expr, c.Cumulative, c.Groups)
+			if gd != wd {
+				t.Fatalf("workers=%d distance candidate %d: blocked %v != scalar %v", workers, i, gd, wd)
+			}
+		}
+	}
+}
+
+// countingValuation counts Truth calls through to its inner valuation.
+type countingValuation struct {
+	inner provenance.Valuation
+	calls *int
+}
+
+func (c countingValuation) Truth(a provenance.Annotation) bool {
+	*c.calls++
+	return c.inner.Truth(a)
+}
+
+func (c countingValuation) Name() string { return c.inner.Name() }
+
+// TestDeltaTruthsResetPullsEachRawTruthOnce pins the shared-interner
+// contract of deltaTruths: per reset, the valuation is queried exactly
+// once per interned base annotation — group members and the plan's raw
+// annotations share one truth table, so no raw truth is pulled through
+// the valuation twice, on the first reset or any later one.
+func TestDeltaTruthsResetPullsEachRawTruthOnce(t *testing.T) {
+	p0 := provenance.NewAgg(provenance.AggSum,
+		provenance.Tensor{Prov: provenance.V("a"), Value: 1, Count: 1, Group: "u"},
+		provenance.Tensor{Prov: provenance.V("b"), Value: 2, Count: 1, Group: "u"},
+		provenance.Tensor{Prov: provenance.V("c"), Value: 3, Count: 1, Group: "u"},
+	)
+	cum := provenance.MergeMapping("S", "a", "c")
+	cur, ok := p0.Apply(cum).(*provenance.Agg)
+	if !ok {
+		t.Fatal("Apply did not return an aggregation")
+	}
+	base := provenance.GroupsOf(p0.Annotations(), cum)
+	plan := provenance.NewPlan(cur)
+	shared := newDeltaTruths(plan, base, provenance.CombineOr)
+	if want := 4; shared.baseIn.Len() != want {
+		t.Fatalf("interned %d base annotations, want %d (members a,c plus raw b and group key u)", shared.baseIn.Len(), want)
+	}
+	e := &Estimator{}
+	d := e.forkTruths(shared)
+	for round := 1; round <= 2; round++ {
+		calls := 0
+		d.reset(countingValuation{inner: provenance.CancelAnnotation("a"), calls: &calls})
+		if want := shared.baseIn.Len(); calls != want {
+			t.Fatalf("reset round %d made %d Truth calls, want %d (one per interned base annotation)", round, calls, want)
+		}
+	}
+	// And the dense extension is still correct: S = a ∨ c with a
+	// cancelled is true, raw b is true.
+	for _, ann := range []provenance.Annotation{"S", "b"} {
+		id, ok := plan.AnnID(ann)
+		if !ok {
+			t.Fatalf("annotation %s not interned in the plan", ann)
+		}
+		if got := d.truthOf(ann, id); got != 1 {
+			t.Fatalf("extended truth of %s = %d, want 1", ann, got)
+		}
+	}
+}
+
+// TestCommitMergePatchesPlan pins the arena-reuse contract of the merge
+// commit: after CommitMerge the cached plan is patched in place
+// (MergePatches counts it, nothing recompiles), and scoring the next
+// step on the patched plan is bit-identical to a fresh estimator that
+// compiles the committed expression from scratch. NoMergePatch forces
+// the recompile path and must also score identically.
+func TestCommitMergePatchesPlan(t *testing.T) {
+	sc := benchStep(t)
+	members := sc.sets[0]
+	newAnn := provenance.Annotation("M1")
+	step := provenance.MergeMapping(newAnn, members...)
+	next := sc.cur.Apply(step)
+	nextCum := sc.cum.Compose(step)
+	nextBase := provenance.GroupsOf(sc.anns, nextCum)
+	summaries := next.Annotations()
+	var nextSets [][]provenance.Annotation
+	for i := 0; i < len(summaries); i++ {
+		for j := i + 1; j < len(summaries); j++ {
+			nextSets = append(nextSets, []provenance.Annotation{summaries[i], summaries[j]})
+		}
+	}
+
+	run := func(e *Estimator) []float64 {
+		t.Helper()
+		if _, _, ok := e.DistanceDelta(sc.p0, sc.cur, sc.cum, sc.base, sc.sets, "Z"); !ok {
+			t.Fatal("DistanceDelta fell back on the first step")
+		}
+		e.CommitMerge(sc.cur, next, members, newAnn)
+		got, _, ok := e.DistanceDelta(sc.p0, next, nextCum, nextBase, nextSets, "Z")
+		if !ok {
+			t.Fatal("DistanceDelta fell back on the committed step")
+		}
+		return got
+	}
+
+	patched := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	got := run(patched)
+	if st := patched.Stats(); st.MergePatches != 1 || st.MergeRecompiles != 0 {
+		t.Fatalf("patched estimator: patches=%d recompiles=%d, want 1/0", st.MergePatches, st.MergeRecompiles)
+	}
+
+	recompiled := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	recompiled.NoMergePatch = true
+	gotRecompiled := run(recompiled)
+	if st := recompiled.Stats(); st.MergePatches != 0 || st.MergeRecompiles != 1 {
+		t.Fatalf("recompiling estimator: patches=%d recompiles=%d, want 0/1", st.MergePatches, st.MergeRecompiles)
+	}
+
+	fresh := estimator(valuation.NewCancelSingleAnnotation(sc.anns), Euclidean())
+	want, _, ok := fresh.DistanceDelta(sc.p0, next, nextCum, nextBase, nextSets, "Z")
+	if !ok {
+		t.Fatal("fresh DistanceDelta fell back")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %d (%v): patched-plan %v != fresh-plan %v", i, nextSets[i], got[i], want[i])
+		}
+		if gotRecompiled[i] != want[i] {
+			t.Fatalf("candidate %d (%v): recompiled %v != fresh %v", i, nextSets[i], gotRecompiled[i], want[i])
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,14 +60,42 @@ type Estimator struct {
 	// the arena-vs-legacy differential tests. DistanceDelta is
 	// unaffected: the plan/probe engine is arena-native.
 	LegacyEval bool
+	// ScalarEval forces per-valuation scalar arena evaluation instead of
+	// the valuation-blocked kernel (provenance.Arena.EvalBlock) in
+	// Distance, DistanceBatch and DistanceDelta. Results are
+	// bit-identical either way; the flag exists as an A/B switch and for
+	// the block-vs-scalar differential tests. Arenas that are not
+	// Blockable (negative compiled constants) take the scalar path
+	// regardless of the flag.
+	ScalarEval bool
+	// NoMergePatch disables CommitMerge's in-place plan patching
+	// (provenance.Plan.ApplyMerge), so every summarization step
+	// recompiles its plan from the committed expression. The flag exists
+	// as an A/B switch for the patch-vs-recompile equivalence tests.
+	NoMergePatch bool
 
 	origCache map[string]provenance.Result
 	cachedFor provenance.Expression
+
+	// truthCols memoizes, per raw annotation, its packed truth column
+	// over the enumerated valuation class: word b bit j is the truth
+	// under valuation 64*b+j. Valid only in enumeration mode, where the
+	// class — like the per-valuation results origCache keys by name — is
+	// immutable for the estimator's lifetime. Filled sequentially by
+	// deltaBlocked's prewarm, read concurrently by its sweep workers.
+	truthCols map[provenance.Annotation][]uint64
 
 	// plan caches the compiled evaluation plan of the current expression
 	// for DistanceDelta, keyed by expression identity like origCache.
 	plan    *provenance.Plan
 	planFor provenance.Expression
+
+	// forkPool recycles the per-worker valuation state of scalar delta
+	// sweeps (deltaTruths), and blockStatePool the per-worker state of
+	// blocked delta sweeps (word columns, lane vectors, VAL-FUNC caches),
+	// so mid-run steps allocate no per-worker slabs in steady state.
+	forkPool       sync.Pool
+	blockStatePool sync.Pool
 
 	stats estimatorCounters
 }
@@ -94,6 +123,9 @@ type estimatorCounters struct {
 	deltaSkips        atomic.Uint64
 	deltaSubtreeEvals atomic.Uint64
 	deltaFullEvals    atomic.Uint64
+
+	mergePatches    atomic.Uint64
+	mergeRecompiles atomic.Uint64
 }
 
 // Stats is a snapshot of the estimator's instrumentation counters: the
@@ -131,6 +163,11 @@ type Stats struct {
 	// those evaluations recomputed — the rest came from the per-valuation
 	// node-result memo.
 	DeltaSkips, DeltaSubtreeEvals, DeltaFullEvals uint64
+	// MergePatches counts committed merges that CommitMerge patched into
+	// the cached plan's arena in place (provenance.Plan.ApplyMerge);
+	// MergeRecompiles counts commits where the patch was refused and the
+	// next step recompiled the plan from scratch.
+	MergePatches, MergeRecompiles uint64
 }
 
 // Stats returns a snapshot of the estimator's counters. Counters survive
@@ -155,6 +192,9 @@ func (e *Estimator) Stats() Stats {
 		DeltaSkips:        e.stats.deltaSkips.Load(),
 		DeltaSubtreeEvals: e.stats.deltaSubtreeEvals.Load(),
 		DeltaFullEvals:    e.stats.deltaFullEvals.Load(),
+
+		MergePatches:    e.stats.mergePatches.Load(),
+		MergeRecompiles: e.stats.mergeRecompiles.Load(),
 	}
 }
 
@@ -189,6 +229,9 @@ func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance
 		e.stats.distanceNanos.Add(int64(time.Since(t0)))
 	}()
 	ev := e.candEvaluator(pc)
+	if ev != nil && !e.ScalarEval && ev.ar.Blockable() {
+		return e.distanceBlocked(p0, pc, cumulative, groups, ev.ar)
+	}
 	var total float64
 	var n int
 	if e.Samples > 0 {
@@ -218,6 +261,85 @@ func (e *Estimator) Distance(p0, pc provenance.Expression, cumulative provenance
 		}
 	}
 	return d
+}
+
+// distanceBlocked is Distance's valuation-blocked path: the class (or
+// the drawn sample set) is packed into 64-lane truth blocks and the
+// candidate evaluates once per block through Arena.EvalBlock instead of
+// once per valuation on the scalar arena. VAL-FUNC summands accumulate
+// in valuation order, so the result is bit-identical to the scalar path.
+func (e *Estimator) distanceBlocked(p0, pc provenance.Expression, cumulative provenance.Mapping, groups provenance.Groups, ar *provenance.Arena) float64 {
+	vals := e.batchValuations()
+	if len(vals) == 0 {
+		return 0
+	}
+	tb := provenance.NewTruthBlock()
+	bs := ar.GetBlockScratch()
+	defer ar.PutBlockScratch(bs)
+	anns := ar.Annotations()
+	exts := make([]provenance.Valuation, 64)
+	summ := make([]provenance.Vector, 64)
+	var total float64
+	for lo := 0; lo < len(vals); lo += 64 {
+		block := vals[lo:min(len(vals), lo+64)]
+		for j, v := range block {
+			exts[j] = provenance.ExtendValuation(v, groups, e.Phi)
+		}
+		tb.Reset(len(anns), len(block))
+		for id, ann := range anns {
+			var w uint64
+			for j := range block {
+				if exts[j].Truth(ann) {
+					w |= 1 << uint(j)
+				}
+			}
+			tb.SetWord(int32(id), w)
+		}
+		ar.EvalBlock(tb, bs, summ[:len(block)])
+		for j, v := range block {
+			e.stats.evaluations.Add(1)
+			orig := e.evalOriginal(v, p0)
+			aligned := pc.AlignResult(orig, cumulative)
+			total += e.VF.F(v, aligned, summ[j])
+		}
+	}
+	d := total / float64(len(vals))
+	if e.MaxError > 0 {
+		d /= e.MaxError
+		if d > 1 {
+			d = 1
+		}
+	}
+	return d
+}
+
+// CommitMerge tells the estimator that the summarizer committed the merge
+// of members into newAnn, turning cur into next. When the cached delta
+// plan is for cur, the plan is patched in place
+// (provenance.Plan.ApplyMerge) and rekeyed to next, so the next step's
+// DistanceDelta reuses the compiled arena instead of recompiling the
+// whole expression. ApplyMerge self-verifies against next; a refused
+// patch (or NoMergePatch) just drops the cached plan and the next step
+// recompiles — either way results are unchanged.
+func (e *Estimator) CommitMerge(cur, next provenance.Expression, members []provenance.Annotation, newAnn provenance.Annotation) {
+	if e.plan == nil || !comparableExpr(cur) || e.planFor != cur {
+		return
+	}
+	ng, ok := next.(*provenance.Agg)
+	if !ok || e.NoMergePatch || !comparableExpr(next) {
+		e.plan = nil
+		e.planFor = nil
+		e.stats.mergeRecompiles.Add(1)
+		return
+	}
+	if e.plan.ApplyMerge(ng, members, newAnn) {
+		e.planFor = next
+		e.stats.mergePatches.Add(1)
+	} else {
+		e.plan = nil
+		e.planFor = nil
+		e.stats.mergeRecompiles.Add(1)
+	}
 }
 
 // valFuncAt evaluates one summand of Definition 3.2.2. When ev is
@@ -324,8 +446,35 @@ func (e *Estimator) ResetCache() {
 	}
 	e.origCache = nil
 	e.cachedFor = nil
+	e.truthCols = nil
 	e.plan = nil
 	e.planFor = nil
+}
+
+// truthColumn returns annotation a's packed truth column over vals
+// (word j>>6, bit j&63 = vals[j].Truth(a)), memoized across calls in
+// enumeration mode. Sampling mode redraws valuations per sweep, so its
+// columns are computed fresh and never cached.
+func (e *Estimator) truthColumn(a provenance.Annotation, vals []provenance.Valuation) []uint64 {
+	words := (len(vals) + 63) / 64
+	if e.Samples <= 0 {
+		if col, ok := e.truthCols[a]; ok && len(col) == words {
+			return col
+		}
+	}
+	col := make([]uint64, words)
+	for j, v := range vals {
+		if v.Truth(a) {
+			col[j>>6] |= 1 << uint(j&63)
+		}
+	}
+	if e.Samples <= 0 {
+		if e.truthCols == nil {
+			e.truthCols = make(map[provenance.Annotation][]uint64)
+		}
+		e.truthCols[a] = col
+	}
+	return col
 }
 
 // planOf returns the compiled evaluation plan for cur, cached by

@@ -1,5 +1,7 @@
 package provenance
 
+import "sync"
+
 // This file implements the flat evaluation arena: annotations are
 // interned to dense integer ids, polynomial nodes live in
 // structure-of-arrays slices compiled once per expression, truth
@@ -35,6 +37,19 @@ type Interner struct {
 // NewInterner returns an empty interner.
 func NewInterner() *Interner {
 	return &Interner{ids: make(map[Annotation]int32)}
+}
+
+// NewInternerSize returns an empty interner pre-sized for n annotations,
+// avoiding incremental map growth when the caller knows the annotation
+// count up front.
+func NewInternerSize(n int) *Interner {
+	if n < 0 {
+		n = 0
+	}
+	return &Interner{
+		ids:  make(map[Annotation]int32, n),
+		anns: make([]Annotation, 0, n),
+	}
 }
 
 // Intern returns a's id, allocating the next dense id on first sight.
@@ -81,8 +96,23 @@ func (b Bitset) Get(i int32) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
 
 // Reset clears every bit.
 func (b Bitset) Reset() {
-	for i := range b {
-		b[i] = 0
+	clear(b)
+}
+
+// FillWords sets bit i to vals[i] != 0, packing 64 entries per word
+// instead of branching through Set/Clear per bit. The bitset must hold
+// at least len(vals) bits; trailing bits of the last touched word are
+// cleared.
+func (b Bitset) FillWords(vals []int8) {
+	for wi := 0; wi*64 < len(vals); wi++ {
+		end := min(len(vals), wi*64+64)
+		var w uint64
+		for j, v := range vals[wi*64 : end] {
+			if v != 0 {
+				w |= 1 << uint(j)
+			}
+		}
+		b[wi] = w
 	}
 }
 
@@ -120,6 +150,31 @@ type Arena struct {
 
 	agg Aggregator
 	bad bool
+
+	// negConst records whether any compiled constant is negative. The
+	// word-level nonzero propagation of EvalBlock assumes sums of
+	// nonzero naturals stay nonzero, which negative constants break, so
+	// such arenas report Blockable() == false and engines fall back to
+	// the scalar path.
+	negConst bool
+
+	// Numeric cone of EvalBlock's per-lane sweep: the Sum/Prod nodes
+	// whose exact natural value (not just its zeroness) is consumed by a
+	// tensor fold or by a cone parent. coneSlot maps a node id to its
+	// dense row in the block scratch's numeric slab (-1 outside the
+	// cone); coneNodes lists the cone ascending (children before
+	// parents). Recomputed by ApplyMerge when the tensor set changes.
+	coneSlot  []int32
+	coneNodes []int32
+
+	// deadNodes counts nodes no longer reachable from any tensor after
+	// in-place ApplyMerge patches; the spans stay allocated (and are
+	// still swept by evalAll/EvalBlock) until the garbage fraction makes
+	// the caller recompile.
+	deadNodes int
+
+	scratchPool sync.Pool // *ArenaScratch
+	blockPool   sync.Pool // *BlockScratch
 }
 
 // CompileArena compiles g into an arena. It returns nil when g is nil or
@@ -130,7 +185,7 @@ func CompileArena(g *Agg) *Arena {
 		return nil
 	}
 	a := &Arena{
-		in:      NewInterner(),
+		in:      NewInternerSize(len(g.Tensors)),
 		kidOff:  []int32{0},
 		tensors: make([]arenaTensor, 0, len(g.Tensors)),
 		agg:     g.Agg,
@@ -153,7 +208,61 @@ func CompileArena(g *Agg) *Arena {
 	if a.bad {
 		return nil
 	}
+	a.computeCone()
 	return a
+}
+
+// Blockable reports whether the arena is sound for the word-level
+// valuation-blocked kernel (EvalBlock): every compiled constant is
+// non-negative, so a Sum of nonzero naturals is itself nonzero and the
+// per-word nonzero masks of the guard sweep are exact.
+func (a *Arena) Blockable() bool { return !a.bad && !a.negConst }
+
+// computeCone marks the numeric cone: Sum/Prod nodes whose natural value
+// feeds a tensor fold (SUM/COUNT scale by it) or a cone parent, so the
+// blocked sweep must materialize their per-lane values. Everything else
+// is fully determined by the word-level nonzero masks: Var/Cmp values
+// are their 0/1 mask bit, Const values are compile-time constants, and a
+// Sum/Prod outside the cone is only ever consumed in zero-testing
+// contexts (a Cmp guard or a MAX/MIN fold). MAX/MIN aggregations scale
+// idempotently, so their cone is empty.
+func (a *Arena) computeCone() {
+	n := len(a.kind)
+	if cap(a.coneSlot) < n {
+		a.coneSlot = make([]int32, n)
+	}
+	a.coneSlot = a.coneSlot[:n]
+	for i := range a.coneSlot {
+		a.coneSlot[i] = -1
+	}
+	a.coneNodes = a.coneNodes[:0]
+	numeric := a.agg.Kind == AggSum || a.agg.Kind == AggCount
+	if !numeric {
+		return
+	}
+	need := make([]bool, n)
+	for i := range a.tensors {
+		r := a.tensors[i].root
+		if a.kind[r] == nodeSum || a.kind[r] == nodeProd {
+			need[r] = true
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !need[i] {
+			continue
+		}
+		for _, k := range a.kids[a.kidOff[i]:a.kidOff[i+1]] {
+			if a.kind[k] == nodeSum || a.kind[k] == nodeProd {
+				need[k] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if need[i] {
+			a.coneSlot[i] = int32(len(a.coneNodes))
+			a.coneNodes = append(a.coneNodes, int32(i))
+		}
+	}
 }
 
 // compile appends e's nodes in post-order and returns the root id.
@@ -187,6 +296,9 @@ func (a *Arena) compile(e Expr) int32 {
 // push appends one node after its children, keeping the post-order
 // invariant (kids already exist, so every kid id < the new id).
 func (a *Arena) push(kind nodeKind, annID, constN int32, kids []int32, value, bound float64, op CmpOp) int32 {
+	if kind == nodeConst && constN < 0 {
+		a.negConst = true
+	}
 	id := int32(len(a.kind))
 	a.kind = append(a.kind, kind)
 	a.ann = append(a.ann, annID)
@@ -254,6 +366,113 @@ func (a *Arena) NewScratch() *ArenaScratch {
 		contributed: make([]bool, len(a.groupKeys)),
 	}
 }
+
+// GetScratch returns a pooled scratch sized for the arena. Pair with
+// PutScratch to make steady-state evaluation allocation-free.
+func (a *Arena) GetScratch() *ArenaScratch {
+	s, ok := a.scratchPool.Get().(*ArenaScratch)
+	if !ok {
+		return a.NewScratch()
+	}
+	// Group count can change across ApplyMerge patches; node count is
+	// stable for the arena's lifetime but pooled entries may predate a
+	// patch, so re-fit everything.
+	s.vals = fitInts(s.vals, len(a.kind))
+	s.sub = fitInts(s.sub, len(a.kind))
+	s.contributed = fitBools(s.contributed, len(a.groupKeys))
+	s.SubtreeEvals = 0
+	return s
+}
+
+// PutScratch returns a scratch obtained from GetScratch to the pool.
+func (a *Arena) PutScratch(s *ArenaScratch) {
+	if s != nil {
+		a.scratchPool.Put(s)
+	}
+}
+
+func fitInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func fitBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func fitFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func fitWords(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func fitInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// ApplyMerge patches a committed merge into the live arena in place
+// instead of recompiling: member Var occurrences are retargeted to
+// newAnn's dense id (allocated here), and the tensor fold table and
+// group-key slots are rebuilt from the post-merge tensor list (roots,
+// values and groups in the new fold order; every root must be an
+// existing node id). Node ids stay stable, so node-indexed state — plan
+// indexes, scratch tables, dirty spans — survives the step. Nodes whose
+// spans no longer back any tensor become garbage: they are still swept
+// by evalAll/EvalBlock (reading well-defined truths) but never folded;
+// liveNodes lets the arena track the garbage fraction so callers can
+// decide when to recompile. Returns newAnn's id.
+func (a *Arena) ApplyMerge(memberIDs []int32, newAnn Annotation, roots []int32, values []float64, groups []Annotation, liveNodes int) int32 {
+	newID := a.in.Intern(newAnn)
+	for id := range a.kind {
+		if a.kind[id] != nodeVar {
+			continue
+		}
+		for _, m := range memberIDs {
+			if a.ann[id] == m {
+				a.ann[id] = newID
+				break
+			}
+		}
+	}
+	a.tensors = a.tensors[:0]
+	a.groupKeys = a.groupKeys[:0]
+	slots := make(map[Annotation]int32, len(groups))
+	for i := range roots {
+		slot, ok := slots[groups[i]]
+		if !ok {
+			slot = int32(len(a.groupKeys))
+			slots[groups[i]] = slot
+			a.groupKeys = append(a.groupKeys, groups[i])
+		}
+		a.tensors = append(a.tensors, arenaTensor{root: roots[i], value: values[i], slot: slot})
+		if groups[i] != "" {
+			a.in.Intern(groups[i])
+		}
+	}
+	a.deadNodes = len(a.kind) - liveNodes
+	a.computeCone()
+	return newID
+}
+
+// DeadNodes returns the number of garbage nodes accumulated by in-place
+// ApplyMerge patches.
+func (a *Arena) DeadNodes() int { return a.deadNodes }
 
 // evalAll evaluates every node under the truth bitset into vals with one
 // forward pass: post-order ids guarantee children are computed before

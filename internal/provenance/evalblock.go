@@ -1,0 +1,428 @@
+package provenance
+
+import "math/bits"
+
+// This file implements the valuation-blocked evaluation kernel: the hot
+// loop of candidate scoring transposed from valuation-major to
+// node-major. A TruthBlock packs the truths of up to 64 valuations into
+// one uint64 word per annotation id (bit j = valuation lane j), and
+// Arena.EvalBlock evaluates every lane in a single forward sweep over
+// the columnar node arrays:
+//
+//	scalar path:  for v in valuations:  for node in arena:  eval(node, v)
+//	block  path:  for node in arena:    one word op / 64 lanes (guards)
+//	              for node in cone:     per-lane numeric rows
+//	              for lane in block:    fold  (identical to Arena.fold)
+//
+// Phase A computes, for every node, the word of lanes on which the node
+// is nonzero — Var is its truth word, Sum is the OR of its kids (a sum
+// of nonzero naturals is nonzero), Prod the AND, and Cmp a two-constant
+// mask expression — 64 valuations per operation straight from the
+// packed truth words. That word layer is exact only when no compiled
+// constant is negative (Arena.Blockable); engines keep the scalar path
+// for the rest. Phase B then materializes exact natural values only for
+// the numeric cone (computeCone): the Sum/Prod nodes whose magnitude,
+// not just zeroness, reaches a SUM/COUNT tensor fold — and only on
+// their nonzero lanes. MAX/MIN aggregations scale idempotently, so
+// their numeric phase is empty and evaluation is pure word ops plus the
+// fold.
+//
+// Probe.CandEvalBlock applies the same transposition to delta scoring:
+// the probe's dirty nodes are re-swept at word level with the merged
+// group's truth word substituted for member occurrences, and only the
+// lanes whose truths actually changed pay the per-lane refold.
+
+// TruthBlock holds the packed truths of one valuation block: words[id]
+// bit j is the truth of annotation id under the block's j-th valuation.
+// A block holds 1..64 lanes; Mask has the low Lanes bits set.
+type TruthBlock struct {
+	words []uint64
+	n     int
+	mask  uint64
+}
+
+// NewTruthBlock returns an empty truth block; Reset sizes it.
+func NewTruthBlock() *TruthBlock { return &TruthBlock{} }
+
+// Reset prepares the block for numAnns annotations and lanes valuations
+// (1..64), clearing every truth word.
+func (tb *TruthBlock) Reset(numAnns, lanes int) {
+	if lanes < 1 || lanes > 64 {
+		panic("provenance: TruthBlock lanes out of range")
+	}
+	tb.words = fitWords(tb.words, numAnns)
+	clear(tb.words)
+	tb.n = lanes
+	tb.mask = ^uint64(0) >> uint(64-lanes)
+}
+
+// SetWord sets annotation id's packed truths; bits above the lane count
+// are discarded.
+func (tb *TruthBlock) SetWord(id int32, w uint64) { tb.words[id] = w & tb.mask }
+
+// Word returns annotation id's packed truths.
+func (tb *TruthBlock) Word(id int32) uint64 { return tb.words[id] }
+
+// Lanes returns the number of valuations in the block.
+func (tb *TruthBlock) Lanes() int { return tb.n }
+
+// Mask returns the word with the low Lanes bits set.
+func (tb *TruthBlock) Mask() uint64 { return tb.mask }
+
+// BlockScratch is the per-evaluator mutable state of one blocked
+// evaluation: the word-level nonzero masks of every node, the numeric
+// rows of the cone, and their substituted twins for probe evaluation.
+// EvalBlock sizes it for its arena on entry, so one scratch can serve
+// arenas of different shapes sequentially.
+type BlockScratch struct {
+	nz          []uint64 // per node: lanes with a nonzero value
+	num         []int    // cone rows, indexed coneSlot*64 + lane
+	subNz       []uint64 // probe sweep: substituted nonzero masks
+	subNum      []int    // probe sweep: substituted cone rows
+	contributed []bool    // per group slot, reset by each fold
+	acc         []float64 // per group slot, fold accumulator
+	mask        uint64    // lane mask of the last EvalBlock
+	lanes       int
+
+	// SubtreeEvals counts dirty (node, lane) re-evaluations by
+	// CandEvalBlock since the scratch was created or taken from a pool.
+	SubtreeEvals uint64
+}
+
+// NewBlockScratch returns an empty block scratch; EvalBlock sizes it.
+func NewBlockScratch() *BlockScratch { return &BlockScratch{} }
+
+func (s *BlockScratch) fit(a *Arena) {
+	s.nz = fitWords(s.nz, len(a.kind))
+	s.subNz = fitWords(s.subNz, len(a.kind))
+	s.num = fitInts(s.num, len(a.coneNodes)*64)
+	s.subNum = fitInts(s.subNum, len(a.coneNodes)*64)
+	s.contributed = fitBools(s.contributed, len(a.groupKeys))
+	s.acc = fitFloats(s.acc, len(a.groupKeys))
+}
+
+// GetBlockScratch returns a pooled block scratch. Pair with
+// PutBlockScratch to make steady-state blocked evaluation allocation-
+// free.
+func (a *Arena) GetBlockScratch() *BlockScratch {
+	s, ok := a.blockPool.Get().(*BlockScratch)
+	if !ok {
+		s = NewBlockScratch()
+	}
+	s.SubtreeEvals = 0
+	return s
+}
+
+// PutBlockScratch returns a scratch obtained from GetBlockScratch.
+func (a *Arena) PutBlockScratch(s *BlockScratch) {
+	if s != nil {
+		a.blockPool.Put(s)
+	}
+}
+
+// EvalBlock evaluates the compiled expression under every lane of the
+// truth block in one node-major sweep, writing lane j's result vector
+// into out[j] (a nil entry is allocated, a non-nil one is cleared and
+// refilled in place). Each lane's vector is op-for-op identical to
+// Arena.Eval under that lane's truths. The arena must be Blockable.
+func (a *Arena) EvalBlock(tb *TruthBlock, s *BlockScratch, out []Vector) {
+	if !a.Blockable() {
+		panic("provenance: EvalBlock on a non-blockable arena (negative constants)")
+	}
+	s.fit(a)
+	s.mask = tb.mask
+	s.lanes = tb.n
+	a.sweepNz(tb, s)
+	a.sweepCone(s)
+	for j := 0; j < tb.n; j++ {
+		out[j] = a.foldLane(s, j, out[j])
+	}
+}
+
+// sweepNz is Phase A: per-node words of nonzero lanes, one forward pass.
+func (a *Arena) sweepNz(tb *TruthBlock, s *BlockScratch) {
+	mask := tb.mask
+	nz := s.nz
+	for i := range a.kind {
+		switch a.kind[i] {
+		case nodeVar:
+			nz[i] = tb.words[a.ann[i]] & mask
+		case nodeConst:
+			if a.constN[i] != 0 {
+				nz[i] = mask
+			} else {
+				nz[i] = 0
+			}
+		case nodeSum:
+			var w uint64
+			for _, k := range a.kids[a.kidOff[i]:a.kidOff[i+1]] {
+				w |= nz[k]
+			}
+			nz[i] = w
+		case nodeProd:
+			w := mask
+			for _, k := range a.kids[a.kidOff[i]:a.kidOff[i+1]] {
+				w &= nz[k]
+				if w == 0 {
+					break
+				}
+			}
+			nz[i] = w
+		case nodeCmp:
+			inner := nz[a.kids[a.kidOff[i]]]
+			var w uint64
+			if a.op[i].holds(a.value[i], a.bound[i]) {
+				w = inner
+			}
+			if a.op[i].holds(0, a.bound[i]) {
+				w |= ^inner & mask
+			}
+			nz[i] = w
+		}
+	}
+}
+
+// sweepCone is Phase B: exact natural values for the numeric cone, only
+// on the lanes where the node is nonzero (zero lanes stay 0).
+func (a *Arena) sweepCone(s *BlockScratch) {
+	for _, id := range a.coneNodes {
+		row := s.num[int(a.coneSlot[id])*64:][:64]
+		for j := 0; j < s.lanes; j++ {
+			row[j] = 0
+		}
+		kids := a.kids[a.kidOff[id]:a.kidOff[id+1]]
+		if a.kind[id] == nodeSum {
+			for w := s.nz[id]; w != 0; w &= w - 1 {
+				j := bits.TrailingZeros64(w)
+				v := 0
+				for _, k := range kids {
+					v += a.laneVal(s, k, j)
+				}
+				row[j] = v
+			}
+		} else { // nodeProd: every kid is nonzero on these lanes
+			for w := s.nz[id]; w != 0; w &= w - 1 {
+				j := bits.TrailingZeros64(w)
+				v := 1
+				for _, k := range kids {
+					v *= a.laneVal(s, k, j)
+				}
+				row[j] = v
+			}
+		}
+	}
+}
+
+// laneVal returns node id's exact natural value on a lane: cone nodes
+// read their numeric row, constants their compile-time value, and
+// everything else its 0/1 nonzero bit — exact for Var/Cmp, and for
+// Sum/Prod outside the cone by construction (such nodes are only
+// consumed in zero-testing contexts).
+func (a *Arena) laneVal(s *BlockScratch, id int32, lane int) int {
+	if slot := a.coneSlot[id]; slot >= 0 {
+		return s.num[int(slot)*64+lane]
+	}
+	if a.kind[id] == nodeConst {
+		return int(a.constN[id])
+	}
+	return int((s.nz[id] >> uint(lane)) & 1)
+}
+
+// subLaneVal is laneVal over the probe sweep's substituted tables.
+func (a *Arena) subLaneVal(s *BlockScratch, id int32, lane int) int {
+	if slot := a.coneSlot[id]; slot >= 0 {
+		return s.subNum[int(slot)*64+lane]
+	}
+	if a.kind[id] == nodeConst {
+		return int(a.constN[id])
+	}
+	return int((s.subNz[id] >> uint(lane)) & 1)
+}
+
+// foldLane replays Arena.fold for one lane, reusing vec when non-nil.
+// Contributions accumulate in dense per-slot scratch (combine order is
+// tensor order, like Arena.fold) and hit the vector map once per group
+// instead of once per tensor.
+func (a *Arena) foldLane(s *BlockScratch, lane int, vec Vector) Vector {
+	if vec == nil {
+		vec = make(Vector, len(a.groupKeys))
+	} else {
+		clear(vec)
+	}
+	for i := range s.contributed {
+		s.contributed[i] = false
+	}
+	acc := s.acc
+	for i := range a.tensors {
+		t := &a.tensors[i]
+		n := a.laneVal(s, t.root, lane)
+		if n == 0 {
+			continue
+		}
+		contrib := a.agg.Scale(t.value, n)
+		if s.contributed[t.slot] {
+			acc[t.slot] = a.agg.Combine(acc[t.slot], contrib)
+		} else {
+			acc[t.slot] = contrib
+			s.contributed[t.slot] = true
+		}
+	}
+	for slot, g := range a.groupKeys {
+		if s.contributed[slot] {
+			vec[g] = acc[slot]
+		} else {
+			vec[g] = a.agg.Identity()
+		}
+	}
+	return vec
+}
+
+// CandEvalBlock is CandEval over a valuation block: it evaluates the
+// probed candidate on every lane set in lanes, writing lane j's vector
+// into out[j] (nil entries are allocated, others cleared and refilled).
+// mergedW is the merged group's packed φ-truth word; base[j] must be
+// lane j's base vector from the EvalBlock whose node state is still in
+// s. Lanes outside the set are left untouched — the caller reuses the
+// base result for them. Each evaluated lane is op-for-op identical to
+// CandEval on that lane's valuation.
+func (pr *Probe) CandEvalBlock(mergedW, lanes uint64, base []Vector, s *BlockScratch, out []Vector) {
+	pr.compileEval()
+	ar := pr.plan.ar
+	mergedW &= s.mask
+	lanes &= s.mask
+	if lanes == 0 {
+		return
+	}
+	// Word-level substituted sweep over the dirty nodes: dirty kids read
+	// the substituted tables, clean kids the base sweep's.
+	for _, id := range pr.dirtyNodes {
+		switch ar.kind[id] {
+		case nodeVar:
+			s.subNz[id] = mergedW
+		case nodeConst:
+			s.subNz[id] = s.nz[id]
+		case nodeSum:
+			var w uint64
+			for _, k := range ar.kids[ar.kidOff[id]:ar.kidOff[id+1]] {
+				if pr.dirty.Get(k) {
+					w |= s.subNz[k]
+				} else {
+					w |= s.nz[k]
+				}
+			}
+			s.subNz[id] = w
+		case nodeProd:
+			w := s.mask
+			for _, k := range ar.kids[ar.kidOff[id]:ar.kidOff[id+1]] {
+				if pr.dirty.Get(k) {
+					w &= s.subNz[k]
+				} else {
+					w &= s.nz[k]
+				}
+				if w == 0 {
+					break
+				}
+			}
+			s.subNz[id] = w
+		case nodeCmp:
+			k := ar.kids[ar.kidOff[id]]
+			inner := s.nz[k]
+			if pr.dirty.Get(k) {
+				inner = s.subNz[k]
+			}
+			var w uint64
+			if ar.op[id].holds(ar.value[id], ar.bound[id]) {
+				w = inner
+			}
+			if ar.op[id].holds(0, ar.bound[id]) {
+				w |= ^inner & s.mask
+			}
+			s.subNz[id] = w
+		}
+	}
+	// Substituted numeric rows for the dirty cone nodes, on the
+	// evaluated lanes only.
+	for _, id := range pr.dirtyNodes {
+		slot := ar.coneSlot[id]
+		if slot < 0 {
+			continue
+		}
+		row := s.subNum[int(slot)*64:][:64]
+		for w := lanes; w != 0; w &= w - 1 {
+			row[bits.TrailingZeros64(w)] = 0
+		}
+		kids := ar.kids[ar.kidOff[id]:ar.kidOff[id+1]]
+		if ar.kind[id] == nodeSum {
+			for w := s.subNz[id] & lanes; w != 0; w &= w - 1 {
+				j := bits.TrailingZeros64(w)
+				v := 0
+				for _, k := range kids {
+					if pr.dirty.Get(k) {
+						v += ar.subLaneVal(s, k, j)
+					} else {
+						v += ar.laneVal(s, k, j)
+					}
+				}
+				row[j] = v
+			}
+		} else { // nodeProd
+			for w := s.subNz[id] & lanes; w != 0; w &= w - 1 {
+				j := bits.TrailingZeros64(w)
+				v := 1
+				for _, k := range kids {
+					if pr.dirty.Get(k) {
+						v *= ar.subLaneVal(s, k, j)
+					} else {
+						v *= ar.laneVal(s, k, j)
+					}
+				}
+				row[j] = v
+			}
+		}
+	}
+	s.SubtreeEvals += uint64(len(pr.dirtyNodes)) * uint64(bits.OnesCount64(lanes))
+	// Per evaluated lane: copy the base vector, drop removed
+	// coordinates, refold the affected ones — CandEval's exact fold.
+	agg := pr.plan.agg.Agg
+	for w := lanes; w != 0; w &= w - 1 {
+		j := bits.TrailingZeros64(w)
+		vec := out[j]
+		if vec == nil {
+			vec = make(Vector, len(base[j])+1)
+		} else {
+			clear(vec)
+		}
+		for k, v := range base[j] {
+			vec[k] = v
+		}
+		for _, g := range pr.removed {
+			delete(vec, g)
+		}
+		for fi := range pr.folds {
+			f := &pr.folds[fi]
+			acc := agg.Identity()
+			contributed := false
+			for i := range f.entries {
+				en := &f.entries[i]
+				var n int
+				if en.sub && pr.dirty.Get(en.root) {
+					n = pr.plan.ar.subLaneVal(s, en.root, j)
+				} else {
+					n = pr.plan.ar.laneVal(s, en.root, j)
+				}
+				if n == 0 {
+					continue
+				}
+				contrib := agg.Scale(en.value, n)
+				if contributed {
+					acc = agg.Combine(acc, contrib)
+				} else {
+					acc = contrib
+					contributed = true
+				}
+			}
+			vec[f.group] = acc
+		}
+		out[j] = vec
+	}
+}

@@ -137,6 +137,94 @@ func FuzzArenaEval(f *testing.F) {
 	})
 }
 
+// FuzzEvalBlock is the differential fuzzer of the valuation-blocked
+// kernel: on arbitrary aggregated expressions and arbitrary valuation
+// blocks (including lane counts that are not multiples of 64), every
+// lane of EvalBlock must match both the scalar arena evaluator and the
+// reference tree evaluator bit for bit.
+func FuzzEvalBlock(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 3, 2, 4, 9, 8, 7}, uint64(5), uint8(1), uint8(7))
+	f.Add([]byte{4, 3, 2, 1, 0, 0, 1, 2, 3, 4}, uint64(0), uint8(2), uint8(64))
+	f.Add([]byte{}, uint64(1<<63|255), uint8(3), uint8(63))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64, kindByte uint8, laneByte uint8) {
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		groups := []Annotation{"", "g1", "g2", "a"}
+		nt := int(next())%4 + 1
+		tensors := make([]Tensor, nt)
+		for i := range tensors {
+			tensors[i] = Tensor{
+				Prov:  buildExpr(data, &pos, 3),
+				Value: float64(next() % 10),
+				Count: int(next())%3 + 1,
+				Group: groups[int(next())%len(groups)],
+			}
+		}
+		kind := AggKind(int(kindByte) % 4)
+		g := NewAgg(kind, tensors...)
+		ar := CompileArena(g)
+		if ar == nil {
+			t.Fatalf("CompileArena returned nil for a pure-Expr aggregation: %s", g)
+		}
+		if !ar.Blockable() {
+			t.Fatalf("buildExpr produced a non-blockable arena: %s", g)
+		}
+
+		lanes := int(laneByte)%64 + 1
+		// Lane j's truth for annotation id i is a seed-derived hash so the
+		// block mixes unrelated valuations.
+		truth := func(id, lane int) bool {
+			x := seed ^ uint64(id)*0x9e3779b97f4a7c15 ^ uint64(lane)*0xbf58476d1ce4e5b9
+			x ^= x >> 33
+			return x&1 != 0
+		}
+		tb := NewTruthBlock()
+		tb.Reset(ar.NumAnns(), lanes)
+		for id := 0; id < ar.NumAnns(); id++ {
+			var w uint64
+			for j := 0; j < lanes; j++ {
+				if truth(id, j) {
+					w |= 1 << uint(j)
+				}
+			}
+			tb.SetWord(int32(id), w)
+		}
+		out := make([]Vector, lanes)
+		ar.EvalBlock(tb, ar.GetBlockScratch(), out)
+
+		s := ar.NewScratch()
+		bits := ar.NewTruths()
+		for j := 0; j < lanes; j++ {
+			assign := make(map[Annotation]bool, ar.NumAnns())
+			for id, ann := range ar.Annotations() {
+				assign[ann] = truth(id, j)
+			}
+			v := MapValuation{Assign: assign, Label: "fuzz-lane"}
+			ar.FillTruths(bits, v.Truth)
+			scalar := ar.Eval(bits, s)
+			if !vecEqual(out[j], scalar) {
+				t.Fatalf("lane %d/%d: EvalBlock diverged from scalar arena on %s: %v != %v",
+					j, lanes, g, out[j], scalar)
+			}
+			tree, ok := g.Eval(v).(Vector)
+			if !ok {
+				t.Fatalf("Agg.Eval did not return a Vector for %s", g)
+			}
+			if !vecEqual(out[j], tree) {
+				t.Fatalf("lane %d/%d: EvalBlock diverged from tree evaluator on %s: %v != %v",
+					j, lanes, g, out[j], tree)
+			}
+		}
+	})
+}
+
 // FuzzMappingHomomorphism checks that applying a mapping commutes with
 // simplification at the level of evaluation: eval(h(e)) under v equals
 // eval(e) under v∘h for mappings into fresh annotations.

@@ -1,6 +1,10 @@
 package provenance
 
-import "sort"
+import (
+	"slices"
+	"sort"
+	"sync"
+)
 
 // This file implements the incremental candidate-evaluation engine: a
 // Plan compiles an aggregated expression once per summarization step
@@ -46,9 +50,13 @@ func buildIndex(lists [][]int32) annIndex {
 }
 
 // planTensor mirrors one tensor of the planned expression with its
-// compiled polynomial root and the Simplify merge key.
+// compiled polynomial root and the Simplify merge key. lo is the first
+// node id of the tensor's contiguous arena span [lo, root]; ApplyMerge
+// uses the spans to re-derive the live node set after tensors are
+// dropped or merged in place.
 type planTensor struct {
 	root  int32
+	lo    int32
 	prov  Expr
 	value float64
 	count int
@@ -98,39 +106,64 @@ func NewPlan(e Expression) *Plan {
 		tensors: make([]planTensor, len(g.Tensors)),
 		size:    g.Size(),
 	}
+	for i, t := range g.Tensors {
+		lo := int32(0)
+		if i > 0 {
+			lo = ar.tensors[i-1].root + 1
+		}
+		p.tensors[i] = planTensor{
+			root: ar.tensors[i].root, lo: lo, prov: t.Prov, value: t.Value, count: t.Count,
+			group: t.Group, key: t.Prov.Key() + "|" + string(t.Group), size: t.Prov.Size(),
+		}
+	}
+	p.reindex()
+	return p
+}
+
+// reindex rebuilds the plan's dependency indexes from its tensor list:
+// the annotation→Var-node index from the live tensor spans (so garbage
+// spans left behind by ApplyMerge never enter future dirty sets) and
+// the annotation→tensor and group→tensor indexes from the tensor
+// polynomials. Per-annotation lists come out ascending, which Probe
+// relies on.
+func (p *Plan) reindex() {
+	ar := p.ar
 	numAnns := ar.NumAnns()
 	varsBy := make([][]int32, numAnns)
-	for id := range ar.kind {
-		if ar.kind[id] == nodeVar {
-			a := ar.ann[id]
-			varsBy[a] = append(varsBy[a], int32(id))
+	spans := make([][2]int32, len(p.tensors))
+	for i := range p.tensors {
+		spans[i] = [2]int32{p.tensors[i].lo, p.tensors[i].root}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	for _, sp := range spans {
+		for id := sp[0]; id <= sp[1]; id++ {
+			if ar.kind[id] == nodeVar {
+				varsBy[ar.ann[id]] = append(varsBy[ar.ann[id]], id)
+			}
 		}
 	}
 	tensBy := make([][]int32, numAnns)
 	grpBy := make([][]int32, numAnns)
+	p.scalarTensors = p.scalarTensors[:0]
 	scratch := make(map[Annotation]struct{})
-	for i, t := range g.Tensors {
-		p.tensors[i] = planTensor{
-			root: ar.tensors[i].root, prov: t.Prov, value: t.Value, count: t.Count,
-			group: t.Group, key: t.Prov.Key() + "|" + string(t.Group), size: t.Prov.Size(),
-		}
+	for i := range p.tensors {
+		t := &p.tensors[i]
 		clear(scratch)
-		t.Prov.CollectAnns(scratch)
+		t.prov.CollectAnns(scratch)
 		for a := range scratch {
 			id, _ := ar.AnnID(a)
 			tensBy[id] = append(tensBy[id], int32(i))
 		}
-		if t.Group == "" {
+		if t.group == "" {
 			p.scalarTensors = append(p.scalarTensors, int32(i))
 		} else {
-			id, _ := ar.AnnID(t.Group)
+			id, _ := ar.AnnID(t.group)
 			grpBy[id] = append(grpBy[id], int32(i))
 		}
 	}
 	p.varNodes = buildIndex(varsBy)
 	p.annTensors = buildIndex(tensBy)
 	p.groupTensors = buildIndex(grpBy)
-	return p
 }
 
 // Expr returns the expression the plan was compiled from.
@@ -156,6 +189,170 @@ func (p *Plan) NewTruths() Bitset { return p.ar.NewTruths() }
 // FillTruths sets bits to truth(ann) for every annotation of the plan.
 func (p *Plan) FillTruths(bits Bitset, truth func(Annotation) bool) {
 	p.ar.FillTruths(bits, truth)
+}
+
+// ApplyMerge patches a committed merge step into the live plan and its
+// arena in place, instead of recompiling both from the merged
+// expression: members are the merged annotations, newAnn the summary
+// annotation they map to, and next the committed candidate expression
+// (cur.Apply(MergeMapping(newAnn, members...)), which the caller has
+// already materialized to commit the step). Member Var nodes are
+// retargeted to newAnn's dense id, affected tensors are rewritten and
+// re-merged exactly the way Apply+Simplify would, and the dependency
+// indexes are rebuilt over the surviving spans — node ids stay stable,
+// so pooled scratches and the arena's compiled structure survive the
+// step.
+//
+// The patch is self-verifying: the rewritten tensor list is matched
+// one-to-one against next.Tensors (key, value, count, group) before any
+// mutation, so a successful ApplyMerge leaves the plan observationally
+// identical to NewPlan(next) up to garbage spans. On any mismatch, a
+// reserved or already-interned annotation, or a garbage fraction above
+// one half of the arena, it returns false without mutating anything and
+// the caller must recompile.
+func (p *Plan) ApplyMerge(next *Agg, members []Annotation, newAnn Annotation) bool {
+	if next == nil || newAnn == "" || newAnn == Zero || newAnn == One {
+		return false
+	}
+	if _, ok := p.ar.AnnID(newAnn); ok {
+		return false
+	}
+	for _, m := range members {
+		if m == Zero || m == One || m == newAnn {
+			return false
+		}
+	}
+	memberOf := func(a Annotation) bool {
+		for _, m := range members {
+			if a == m {
+				return true
+			}
+		}
+		return false
+	}
+	affectedMark := make([]bool, len(p.tensors))
+	var affected []int32
+	mark := func(tid int32) {
+		if !affectedMark[tid] {
+			affectedMark[tid] = true
+			affected = append(affected, tid)
+		}
+	}
+	for _, m := range members {
+		for _, tid := range p.tensorsOfAnn(m) {
+			mark(tid)
+		}
+		for _, tid := range p.tensorsOfGroup(m) {
+			mark(tid)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+	// Rewrite the affected tensors exactly as Probe (and Apply+Simplify)
+	// does: rename members, simplify, drop zeros, merge duplicates by
+	// key in tensor order. The representative keeps the first
+	// duplicate's span.
+	rename := func(a Annotation) Annotation {
+		if memberOf(a) {
+			return newAnn
+		}
+		return a
+	}
+	type rewritten struct {
+		root, lo int32
+		value    float64
+		count    int
+		group    Annotation
+	}
+	var rews []rewritten
+	rewIdx := make(map[string]int)
+	for _, tid := range affected {
+		t := &p.tensors[tid]
+		prov := SimplifyExpr(t.prov.MapAnn(rename))
+		if c, ok := prov.(Const); ok && c.N == 0 {
+			continue
+		}
+		group := t.group
+		if group != "" && memberOf(group) {
+			group = newAnn
+		}
+		key := prov.Key() + "|" + string(group)
+		if i, ok := rewIdx[key]; ok {
+			rews[i].value = p.agg.Agg.Combine(rews[i].value, t.value)
+			rews[i].count += t.count
+		} else {
+			rewIdx[key] = len(rews)
+			rews = append(rews, rewritten{root: t.root, lo: t.lo, value: t.value, count: t.count, group: group})
+		}
+	}
+	survivors := make(map[string]int32, len(p.tensors)-len(affected))
+	for tid := range p.tensors {
+		if !affectedMark[tid] {
+			survivors[p.tensors[tid].key] = int32(tid)
+		}
+	}
+	if len(next.Tensors) != len(survivors)+len(rews) {
+		return false
+	}
+
+	// Match next's (sorted, simplified) tensor list against survivors
+	// and rewrites, building the new plan tensors in next's fold order.
+	// Every entry must be consumed exactly once with identical value,
+	// count and group, or the patch is unsound and we bail untouched.
+	newTensors := make([]planTensor, len(next.Tensors))
+	liveNodes := 0
+	for i := range next.Tensors {
+		nt := &next.Tensors[i]
+		key := nt.Prov.Key() + "|" + string(nt.Group)
+		if tid, ok := survivors[key]; ok {
+			src := &p.tensors[tid]
+			if src.value != nt.Value || src.count != nt.Count || src.group != nt.Group {
+				return false
+			}
+			newTensors[i] = planTensor{
+				root: src.root, lo: src.lo, prov: nt.Prov, value: nt.Value,
+				count: nt.Count, group: nt.Group, key: key, size: src.size,
+			}
+			delete(survivors, key)
+		} else if ri, ok := rewIdx[key]; ok {
+			r := &rews[ri]
+			if r.value != nt.Value || r.count != nt.Count || r.group != nt.Group {
+				return false
+			}
+			newTensors[i] = planTensor{
+				root: r.root, lo: r.lo, prov: nt.Prov, value: nt.Value,
+				count: nt.Count, group: nt.Group, key: key, size: nt.Prov.Size(),
+			}
+			delete(rewIdx, key)
+		} else {
+			return false
+		}
+		liveNodes += int(newTensors[i].root - newTensors[i].lo + 1)
+	}
+	if dead := p.ar.NumNodes() - liveNodes; dead*2 > p.ar.NumNodes() {
+		return false
+	}
+
+	memberIDs := make([]int32, 0, len(members))
+	for _, m := range members {
+		if id, ok := p.ar.AnnID(m); ok {
+			memberIDs = append(memberIDs, id)
+		}
+	}
+	roots := make([]int32, len(newTensors))
+	values := make([]float64, len(newTensors))
+	groups := make([]Annotation, len(newTensors))
+	for i := range newTensors {
+		roots[i] = newTensors[i].root
+		values[i] = newTensors[i].value
+		groups[i] = newTensors[i].group
+	}
+	p.ar.ApplyMerge(memberIDs, newAnn, roots, values, groups, liveNodes)
+	p.agg = next
+	p.tensors = newTensors
+	p.size = next.Size()
+	p.reindex()
+	return true
 }
 
 // tensorsOfAnn returns the ascending tensor ids whose polynomial
@@ -207,7 +404,8 @@ type groupFold struct {
 
 // Probe is the compiled structural delta of one candidate merge: mapping
 // Members to the fresh annotation NewAnn over the plan's expression. It
-// is read-only after construction and safe for concurrent evaluation
+// is read-only after construction (the lazily-built evaluation program
+// is synchronized by a sync.Once) and safe for concurrent evaluation
 // with per-evaluator scratches.
 type Probe struct {
 	// Members are the merged (current) annotations; NewAnn the summary
@@ -224,11 +422,45 @@ type Probe struct {
 	// never reuse the base evaluation even when no truth changes.
 	RenamesGroup bool
 
-	plan       *Plan
+	plan *Plan
+
+	// Evaluation-program state, built lazily on first CandEval /
+	// CandEvalBlock by compileEval: skip-dominated delta sweeps discard
+	// most probes after the word-level truth comparison, so only probes
+	// that are actually evaluated pay for the dirty closure and re-fold
+	// plans. The compile inputs (affected, affectedMark, rews) are
+	// retained from Probe's eager pass.
+	compileOnce  sync.Once
+	affected     []int32
+	affectedMark []bool
+	rews         []probeRewritten
+
 	dirty      Bitset       // per node: lies on a path to a member occurrence
 	dirtyNodes []int32      // ascending dirty node ids (children before parents)
 	removed    []Annotation // coordinates that disappear (member groups)
 	folds      []groupFold  // re-fold programs for the affected coordinates
+}
+
+// probeRewritten is one affected tensor after the merge rewrite: its
+// representative root, simplified polynomial, combined value, and
+// destination group in the candidate expression. The Simplify key is
+// built on demand (lazyKey): most probes never need it — dedup
+// prefilters on (group, size), and fold ordering only happens for
+// probes that are actually evaluated.
+type probeRewritten struct {
+	root  int32
+	value float64
+	group Annotation
+	prov  Expr
+	key   string
+	size  int
+}
+
+func (r *probeRewritten) lazyKey() string {
+	if r.key == "" {
+		r.key = r.prov.Key() + "|" + string(r.group)
+	}
+	return r.key
 }
 
 // Probe compiles the candidate that merges members into newAnn. It
@@ -278,7 +510,7 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 			mark(tid)
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	slices.Sort(affected)
 
 	// Rewrite affected tensors through the merge and re-merge them by
 	// Simplify's key, combining values in tensor order — the exact work
@@ -292,16 +524,7 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 		}
 		return a
 	}
-	type rewritten struct {
-		root  int32
-		value float64
-		count int
-		group Annotation
-		key   string
-		size  int
-	}
-	var rews []rewritten
-	rewIdx := make(map[string]int)
+	rews := make([]probeRewritten, 0, len(affected))
 	size := p.size
 	for _, tid := range affected {
 		t := &p.tensors[tid]
@@ -314,15 +537,30 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 		if group != "" && memberOf(group) {
 			group = newAnn
 		}
-		key := prov.Key() + "|" + string(group)
-		if i, ok := rewIdx[key]; ok {
-			rews[i].value = p.agg.Agg.Combine(rews[i].value, t.value)
-			rews[i].count += t.count
-		} else {
-			rewIdx[key] = len(rews)
-			rews = append(rews, rewritten{
-				root: t.root, value: t.value, count: t.count,
-				group: group, key: key, size: prov.Size(),
+		// Rewritten sets are affected-tensor sized (a handful), so a
+		// linear scan beats a hashed index. Equal keys imply equal
+		// (group, size), so the cheap pair prefilters before any key
+		// string is materialized.
+		sz := prov.Size()
+		key := ""
+		dup := false
+		for i := range rews {
+			if rews[i].group != group || rews[i].size != sz {
+				continue
+			}
+			if key == "" {
+				key = prov.Key() + "|" + string(group)
+			}
+			if rews[i].lazyKey() == key {
+				rews[i].value = p.agg.Agg.Combine(rews[i].value, t.value)
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			rews = append(rews, probeRewritten{
+				root: t.root, value: t.value,
+				group: group, prov: prov, key: key, size: sz,
 			})
 		}
 	}
@@ -339,46 +577,106 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 		}
 	}
 
+	return &Probe{
+		Members:      append([]Annotation(nil), members...),
+		NewAnn:       newAnn,
+		Size:         size,
+		RenamesGroup: len(removed) > 0,
+		plan:         p,
+		affected:     affected,
+		affectedMark: affectedMark,
+		rews:         rews,
+		removed:      removed,
+	}
+}
+
+// compileEval builds the probe's evaluation program — the re-fold plans
+// and the dirty-node closure — on first use. It reads the plan's tensor
+// tables, so a probe must be evaluated before any subsequent ApplyMerge
+// patches its plan (a delta sweep's probes never outlive their step).
+func (pr *Probe) compileEval() {
+	pr.compileOnce.Do(pr.compileEvalSlow)
+}
+
+func (pr *Probe) compileEvalSlow() {
+	p := pr.plan
+	memberOf := func(a Annotation) bool {
+		for _, m := range pr.Members {
+			if a == m {
+				return true
+			}
+		}
+		return false
+	}
+
 	// Re-fold programs for every affected coordinate: the unaffected
-	// survivors of the group plus the rewrittens that land in it, sorted
+	// survivors of the group plus the rewrittens that land in it, ordered
 	// by the candidate's tensor key (the materialized candidate's
-	// per-group combine order).
-	outGroups := make(map[Annotation]struct{})
-	for _, tid := range affected {
+	// per-group combine order). Simplify sorts the planned expression's
+	// tensors by that same key, so a group's survivor span arrives
+	// key-ascending and only the appended rewrittens need placing — the
+	// insertion sort below touches survivors not at all and is stable,
+	// preserving key order on the (sound-probe) distinct keys.
+	type outGroup struct {
+		g        Annotation
+		affected int32 // affected tensors with this group (survivor exclusions)
+		rews     int32 // rewrittens landing in this group
+	}
+	var outs []outGroup
+	find := func(g Annotation) *outGroup {
+		for i := range outs {
+			if outs[i].g == g {
+				return &outs[i]
+			}
+		}
+		outs = append(outs, outGroup{g: g})
+		return &outs[len(outs)-1]
+	}
+	for _, tid := range pr.affected {
 		g := p.tensors[tid].group
 		if g != "" && memberOf(g) {
 			continue // coordinate moves to newAnn, covered by its rewrittens
 		}
-		outGroups[g] = struct{}{}
+		find(g).affected++
 	}
-	for i := range rews {
-		outGroups[rews[i].group] = struct{}{}
+	for i := range pr.rews {
+		find(pr.rews[i].group).rews++
 	}
-	names := make([]Annotation, 0, len(outGroups))
-	for g := range outGroups {
-		names = append(names, g)
+	total := 0
+	for i := range outs {
+		if outs[i].g != pr.NewAnn {
+			total += len(p.tensorsOfGroup(outs[i].g)) - int(outs[i].affected)
+		}
+		total += int(outs[i].rews)
 	}
-	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
-	folds := make([]groupFold, 0, len(names))
-	for _, g := range names {
-		var entries []foldEntry
-		if g != newAnn {
+	entriesBuf := make([]foldEntry, 0, total)
+	folds := make([]groupFold, 0, len(outs))
+	for _, og := range outs {
+		g := og.g
+		start := len(entriesBuf)
+		if g != pr.NewAnn {
 			for _, tid := range p.tensorsOfGroup(g) {
-				if affectedMark[tid] {
+				if pr.affectedMark[tid] {
 					continue
 				}
 				t := &p.tensors[tid]
-				entries = append(entries, foldEntry{key: t.key, value: t.value, root: t.root})
+				entriesBuf = append(entriesBuf, foldEntry{key: t.key, value: t.value, root: t.root})
 			}
 		}
-		for i := range rews {
-			if rews[i].group == g {
-				entries = append(entries, foldEntry{key: rews[i].key, value: rews[i].value, root: rews[i].root, sub: true})
+		for i := range pr.rews {
+			if pr.rews[i].group == g {
+				entriesBuf = append(entriesBuf, foldEntry{key: pr.rews[i].lazyKey(), value: pr.rews[i].value, root: pr.rews[i].root, sub: true})
 			}
 		}
-		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+		entries := entriesBuf[start:len(entriesBuf):len(entriesBuf)]
+		for i := int(og.rews); i > 0; i-- {
+			for j := len(entries) - i; j > 0 && entries[j].key < entries[j-1].key; j-- {
+				entries[j], entries[j-1] = entries[j-1], entries[j]
+			}
+		}
 		folds = append(folds, groupFold{group: g, entries: entries})
 	}
+	pr.folds = folds
 
 	// Dirty marking: every node on a path from a member occurrence to its
 	// tensor root is re-evaluated under substitution; everything else
@@ -387,7 +685,7 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 	// before parents).
 	dirty := NewBitset(p.ar.NumNodes())
 	var dirtyNodes []int32
-	for _, m := range members {
+	for _, m := range pr.Members {
 		if id, ok := p.ar.AnnID(m); ok {
 			for _, nd := range p.varNodes.span(id) {
 				for n := nd; n != -1 && !dirty.Get(n); n = p.ar.parent[n] {
@@ -397,27 +695,9 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 			}
 		}
 	}
-	sort.Slice(dirtyNodes, func(i, j int) bool { return dirtyNodes[i] < dirtyNodes[j] })
-
-	renamesGroup := false
-	for _, m := range members {
-		if len(p.tensorsOfGroup(m)) > 0 {
-			renamesGroup = true
-			break
-		}
-	}
-
-	return &Probe{
-		Members:      append([]Annotation(nil), members...),
-		NewAnn:       newAnn,
-		Size:         size,
-		RenamesGroup: renamesGroup,
-		plan:         p,
-		dirty:        dirty,
-		dirtyNodes:   dirtyNodes,
-		removed:      removed,
-		folds:        folds,
-	}
+	slices.Sort(dirtyNodes)
+	pr.dirty = dirty
+	pr.dirtyNodes = dirtyNodes
 }
 
 // CandEval returns the candidate expression's evaluation vector under the
@@ -430,6 +710,7 @@ func (p *Plan) Probe(members []Annotation, newAnn Annotation) *Probe {
 // forward pass filled every node value, so the only new input is
 // mergedN, the merged group's φ-truth.
 func (pr *Probe) CandEval(mergedN int, base Vector, s *PlanScratch) Vector {
+	pr.compileEval()
 	out := make(Vector, len(base)+1)
 	for k, v := range base {
 		out[k] = v

@@ -128,6 +128,18 @@ type Combiner interface {
 	Name() string
 }
 
+// WordCombiner is an optional fast path a Combiner can implement for the
+// valuation-blocked evaluation kernel: each uint64 word holds the truths
+// of one member under up to 64 valuations (bit j = valuation j), and
+// CombineWords φ-combines them lane-wise. mask has the low n bits set for
+// the n valuations in flight; the result must be identical, bit by bit,
+// to calling Combine on each lane's bool column (including the empty
+// member list). Combiners without this interface fall back to the
+// per-lane bool path.
+type WordCombiner interface {
+	CombineWords(words []uint64, mask uint64) uint64
+}
+
 // CombineOr cancels a summary annotation only when ALL of its members are
 // cancelled (φ = logical OR) — the combiner used throughout the paper's
 // experiments.
@@ -149,6 +161,16 @@ func (orCombiner) Combine(ts []bool) bool {
 }
 func (orCombiner) Name() string { return "OR" }
 
+// CombineWords implements WordCombiner: a lane is true iff some member
+// lane is true; an empty member list is false everywhere, like Combine.
+func (orCombiner) CombineWords(words []uint64, mask uint64) uint64 {
+	var w uint64
+	for _, m := range words {
+		w |= m
+	}
+	return w & mask
+}
+
 type andCombiner struct{}
 
 func (andCombiner) Combine(ts []bool) bool {
@@ -160,6 +182,16 @@ func (andCombiner) Combine(ts []bool) bool {
 	return true
 }
 func (andCombiner) Name() string { return "AND" }
+
+// CombineWords implements WordCombiner: a lane is true iff every member
+// lane is true; an empty member list is true everywhere, like Combine.
+func (andCombiner) CombineWords(words []uint64, mask uint64) uint64 {
+	w := mask
+	for _, m := range words {
+		w &= m
+	}
+	return w
+}
 
 // Result is the value of a provenance expression under a valuation.
 // Concrete results are Scalar (a single aggregated value), Vector (one

@@ -52,6 +52,9 @@ type metrics struct {
 	estDeltaSkips   *obs.Counter
 	estDeltaSubtree *obs.Counter
 	estDeltaFull    *obs.Counter
+
+	estMergePatches    *obs.Counter
+	estMergeRecompiles *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -97,6 +100,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		estDeltaSkips:   reg.Counter("prox_estimator_delta_skips_total", "Candidate-valuation pairs short-circuited by the truth-delta check (base VAL-FUNC value reused).", nil),
 		estDeltaSubtree: reg.Counter("prox_estimator_delta_subtree_evals_total", "Expression nodes recomputed by dirty-subtree candidate evaluations.", nil),
 		estDeltaFull:    reg.Counter("prox_estimator_delta_full_evals_total", "Candidate-valuation pairs that needed a candidate evaluation (not short-circuited).", nil),
+
+		estMergePatches:    reg.Counter("prox_estimator_merge_patches_total", "Committed merges whose cached evaluation plan was patched in place (Plan.ApplyMerge).", nil),
+		estMergeRecompiles: reg.Counter("prox_estimator_merge_recompiles_total", "Committed merges that forced a plan recompile on the next step (patch refused or disabled).", nil),
 	}
 }
 

@@ -777,6 +777,8 @@ func (s *Server) recordSummarize(sum *core.Summary, est *distance.Estimator) {
 	s.met.estDeltaSkips.Add(float64(st.DeltaSkips))
 	s.met.estDeltaSubtree.Add(float64(st.DeltaSubtreeEvals))
 	s.met.estDeltaFull.Add(float64(st.DeltaFullEvals))
+	s.met.estMergePatches.Add(float64(st.MergePatches))
+	s.met.estMergeRecompiles.Add(float64(st.MergeRecompiles))
 }
 
 // estimatorFor builds the estimator over the selection's annotations,

@@ -22,20 +22,23 @@ command -v jq >/dev/null || { echo "bench_gate: jq is required" >&2; exit 1; }
 : >"$BENCH_OUT"
 run_bench() { # $1 = -bench regexp, $2 = -benchtime, $3 = package
   echo "== go test -bench='$1' -benchtime=$2 $3" | tee -a "$BENCH_OUT"
-  go test -run='^$' -bench="$1" -benchtime="$2" "$3" | tee -a "$BENCH_OUT"
+  go test -run='^$' -bench="$1" -benchtime="$2" -benchmem "$3" | tee -a "$BENCH_OUT"
 }
 
-# Short fixed iteration counts: the gate wants one honest sample per
+# Fixed iteration counts: the gate wants one honest sample per
 # benchmark, not a publication-grade measurement (BENCH_core.json keeps
-# those, from -benchtime=3s runs).
-run_bench 'ArenaEval|AggEval' 1000x ./internal/provenance/
-run_bench 'SummarizeStepScoring' 5x ./internal/distance/
-run_bench 'SummarizeScoring(Sequential|Batch|Delta)$' 2x .
-run_bench 'ServerSummarizeCache' 20x ./internal/server/
+# those, from -benchtime=3s runs). The counts are sized so warmup —
+# pool population, page faults, dataset generation — amortizes below
+# the gate's noise budget; single-digit counts measured 2-3x high.
+# -benchmem feeds the allocs/op gate below.
+run_bench 'ArenaEval|AggEval|EvalBlock' 20000x ./internal/provenance/
+run_bench 'SummarizeStepScoring' 50x ./internal/distance/
+run_bench 'SummarizeScoring(Sequential|Batch|Delta)$' 5x .
+run_bench 'ServerSummarizeCache' 100x ./internal/server/
 
 status=0
 while IFS=$'\t' read -r name baseline; do
-  # benchmark lines look like: BenchmarkFoo-8  5  123456 ns/op
+  # benchmark lines look like: BenchmarkFoo-8  5  123456 ns/op  512 B/op  9 allocs/op
   measured=$(awk -v b="$name" '$1 ~ "^"b"(-[0-9]+)?$" && $4 == "ns/op" { print $3; exit }' "$BENCH_OUT")
   if [ -z "$measured" ]; then
     echo "WARN  $name: in $BASELINE but not measured (renamed or not run?)"
@@ -49,6 +52,25 @@ while IFS=$'\t' read -r name baseline; do
     echo "ok    $name: ${measured} ns/op vs baseline ${baseline} (${ratio}x)"
   fi
 done < <(jq -r '.benchmarks[] | [.name, (.ns_per_op | tostring)] | @tsv' "$BASELINE")
+
+# Allocation gate: benchmarks that record allocs_per_op must not grow
+# past ALLOC_FACTOR x the baseline. Allocation counts are deterministic
+# (no runner-noise excuse), so the factor is tighter than the ns gate —
+# it catches a hot path silently losing its pooled/zero-alloc property.
+ALLOC_FACTOR="${ALLOC_FACTOR:-1.5}"
+while IFS=$'\t' read -r name baseline; do
+  measured=$(awk -v b="$name" '$1 ~ "^"b"(-[0-9]+)?$" && $8 == "allocs/op" { print $7; exit }' "$BENCH_OUT")
+  if [ -z "$measured" ]; then
+    echo "WARN  $name: allocs_per_op in $BASELINE but not measured"
+    continue
+  fi
+  if awk -v m="$measured" -v b="$baseline" -v f="$ALLOC_FACTOR" 'BEGIN { exit !(m > b * f) }'; then
+    echo "FAIL  $name: ${measured} allocs/op vs baseline ${baseline} (> ${ALLOC_FACTOR}x)"
+    status=1
+  else
+    echo "ok    $name: ${measured} allocs/op vs baseline ${baseline}"
+  fi
+done < <(jq -r '.benchmarks[] | select(.allocs_per_op != null) | [.name, (.allocs_per_op | tostring)] | @tsv' "$BASELINE")
 
 if [ "$status" -ne 0 ]; then
   echo "bench_gate: regression beyond ${FACTOR}x baseline (raw output in $BENCH_OUT)" >&2
