@@ -10,6 +10,7 @@ package prox_test
 // classes) follow.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -400,6 +401,127 @@ func BenchmarkEquivalenceClasses(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.EquivalenceClasses(anns, class)
+	}
+}
+
+// --- Streaming warm-start: Extend vs from-scratch re-summarize ---
+// The streaming scenario behind core.Summarizer.Extend: a summarized
+// MovieLens workload grows by ~7% (3 of 42 tensors arrive after the
+// first summary) and needs re-summarizing to the same TARGET-SIZE.
+// Cold rebuilds the whole merge chain from singletons; Warm seeds the
+// greedy search with the base summary's partition and only searches
+// for the merges the appended tensors still need.
+
+// extendWorkload splits the MovieLens workload into a base expression
+// (all but the last 1/12 of its tensors) and the full one.
+func extendWorkload(tb testing.TB) (*datasets.Workload, *provenance.Agg, *provenance.Agg) {
+	tb.Helper()
+	w := datasets.MovieLens(datasets.DefaultMovieLensConfig(), rand.New(rand.NewSource(1)))
+	full := w.Prov.(*provenance.Agg)
+	held := len(full.Tensors) / 12
+	if held < 1 {
+		held = 1
+	}
+	base := provenance.NewAgg(full.Agg.Kind, full.Tensors[:len(full.Tensors)-held]...)
+	return w, base, full
+}
+
+// extendConfig stops on TARGET-SIZE = half the full expression, so the
+// step count measures how much merge work each path actually does.
+func extendConfig(w *datasets.Workload, full *provenance.Agg) core.Config {
+	return core.Config{
+		Policy:     w.Policy,
+		Estimator:  w.Estimator(datasets.CancelSingleAnnotation),
+		WDist:      1,
+		TargetSize: full.Size() / 2,
+	}
+}
+
+func BenchmarkSummarizeExtendCold(b *testing.B) {
+	w, _, full := extendWorkload(b)
+	steps := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(extendConfig(w, full))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, err := s.Summarize(full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = len(sum.Steps)
+	}
+	b.ReportMetric(float64(steps), "merge-steps")
+}
+
+func BenchmarkSummarizeExtendWarm(b *testing.B) {
+	w, base, full := extendWorkload(b)
+	s0, err := core.New(extendConfig(w, full))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior, err := s0.Summarize(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	steps := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(extendConfig(w, full))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, err := s.Extend(ctx, full, prior.Groups)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = len(sum.Steps) - sum.ExtendedFrom
+	}
+	b.ReportMetric(float64(steps), "merge-steps")
+}
+
+// TestSummarizeExtendWarmStart pins the streaming acceptance bound the
+// benchmark pair measures: on the ~7%-extended workload, warm-starting
+// from the base partition must need at most half the merge steps of the
+// from-scratch run, and both must reach the TARGET-SIZE bound.
+func TestSummarizeExtendWarmStart(t *testing.T) {
+	w, base, full := extendWorkload(t)
+	s0, err := core.New(extendConfig(w, full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := s0.Summarize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := core.New(extendConfig(w, full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s1.Summarize(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.New(extendConfig(w, full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s2.Extend(context.Background(), full, prior.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := len(warm.Steps) - warm.ExtendedFrom
+	if own <= 0 || warm.ExtendedFrom <= 0 {
+		t.Fatalf("warm run did no seeded work: %d steps, %d seeded", len(warm.Steps), warm.ExtendedFrom)
+	}
+	if 2*own > len(cold.Steps) {
+		t.Fatalf("warm start took %d own steps vs %d cold steps, want at least 2x fewer", own, len(cold.Steps))
+	}
+	target := full.Size() / 2
+	if cold.Expr.Size() > target || warm.Expr.Size() > target {
+		t.Fatalf("summaries missed TARGET-SIZE %d: cold %d, warm %d", target, cold.Expr.Size(), warm.Expr.Size())
 	}
 }
 

@@ -24,6 +24,16 @@
 // -cache-entries and -cache-bytes; entries older than -cache-ttl expire
 // (0 means never). -cache-entries 0 disables caching.
 //
+// Sessions are streaming: POST /api/ingest appends tensors to a
+// session's provenance (journaled under -data-dir, so a restart
+// replays the appends), each completed summarization becomes a version
+// in the session's chain (GET /api/sessions/{id}/versions, structural
+// diffs via GET /api/versions/{a}/diff/{b}), and POST /api/extend
+// warm-starts Algorithm 1 from a prior version instead of re-running
+// from scratch. A summarize request whose expression grew since its
+// last cached summary is warm-started automatically (X-Prox-Cache:
+// warm).
+//
 // Every request is traced (W3C traceparent in, X-Prox-Trace out;
 // browse via GET /api/traces). With -trace-dir set, finished spans are
 // journaled to DIR/spans.jsonl — replayed on startup, so a trace spans

@@ -12,7 +12,7 @@
 //	               [-scoring delta|batch|seq] [-legacy-eval]
 //	               [-block-eval on|off]
 //	               [-save bundle.json] [-load bundle.json] [-json out.json]
-//	               [-trace steps.jsonl]
+//	               [-extend-from summary.json] [-trace steps.jsonl]
 //
 // -scoring selects the candidate scoring engine: "delta" (default) probes
 // candidates incrementally on the shared current expression, "batch"
@@ -30,9 +30,16 @@
 // file as one JSON object per line (score, distance, size ratio,
 // candidate count, probe wall time) while the algorithm runs — the same
 // quantities the evaluation chapter aggregates, observable per step.
+//
+// With -extend-from, the run warm-starts from a previously exported
+// summary (-json output): the prior partition's groups enter already
+// merged and the search only looks for the merges the (typically
+// extended) expression still needs. The printed trace shows the seed
+// prefix followed by the run's own steps.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -72,6 +79,7 @@ func main() {
 	saveBundle := flag.String("save", "", "write the generated workload as a JSON bundle to this file")
 	loadBundle := flag.String("load", "", "summarize a saved JSON bundle instead of generating a dataset")
 	jsonOut := flag.String("json", "", "write the summary trace as JSON to this file (- for stdout)")
+	extendFrom := flag.String("extend-from", "", "warm-start from a summary previously exported with -json: its groups seed the partition")
 	traceOut := flag.String("trace", "", "stream per-step trace events as JSONL to this file (- for stdout)")
 	flag.Parse()
 
@@ -179,16 +187,38 @@ func main() {
 			fatal("trace: %v", err)
 		}
 	}
+	var prior provenance.Groups
+	if *extendFrom != "" {
+		f, err := os.Open(*extendFrom)
+		if err != nil {
+			fatal("extend-from: %v", err)
+		}
+		prior, err = codec.ReadSummaryGroups(f)
+		f.Close()
+		if err != nil {
+			fatal("extend-from: %v", err)
+		}
+		fmt.Printf("warm-start: %d seed groups from %s\n", len(prior), *extendFrom)
+	}
 	s, err := core.New(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
-	sum, err := s.Summarize(w.Prov)
+	var sum *core.Summary
+	if prior != nil {
+		sum, err = s.Extend(context.Background(), w.Prov, prior)
+	} else {
+		sum, err = s.Summarize(w.Prov)
+	}
 	if traceClose != nil {
 		traceClose()
 	}
 	if err != nil {
 		fatal("%v", err)
+	}
+	if sum.ExtendedFrom > 0 {
+		fmt.Printf("extended  : %d seed merges replayed, %d new steps\n",
+			sum.ExtendedFrom, len(sum.Steps)-sum.ExtendedFrom)
 	}
 	if *traceOut != "" && *traceOut != "-" {
 		fmt.Printf("step trace written to %s\n", *traceOut)

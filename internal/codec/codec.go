@@ -420,3 +420,27 @@ func WriteSummary(w io.Writer, s *core.Summary) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
+
+// ReadSummaryGroups reads the non-singleton partition out of a summary
+// exported by WriteSummary — the prior a later core.Summarizer.Extend
+// run warm-starts from. Each group's members come back sorted, matching
+// the canonical seed-trace ordering.
+func ReadSummaryGroups(r io.Reader) (provenance.Groups, error) {
+	var in summaryJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("codec: reading summary: %w", err)
+	}
+	groups := make(provenance.Groups, len(in.Groups))
+	for name, members := range in.Groups {
+		if len(members) < 2 {
+			return nil, fmt.Errorf("codec: summary group %q has %d members, need at least 2", name, len(members))
+		}
+		ms := make([]provenance.Annotation, len(members))
+		for i, m := range members {
+			ms[i] = provenance.Annotation(m)
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		groups[provenance.Annotation(name)] = ms
+	}
+	return groups, nil
+}

@@ -1,0 +1,239 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/constraints"
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/provenance"
+	"repro/internal/valuation"
+)
+
+// streamRecords covers the streaming record variants added for
+// incremental ingest and versioned summaries, plus the extend fields
+// threaded through the pre-existing variants.
+func streamRecords(t *testing.T) []*Record {
+	t.Helper()
+	added := provenance.NewAgg(provenance.AggSum,
+		provenance.Tensor{Prov: provenance.P("U4", "M3"), Value: 6, Count: 1, Group: "M3"},
+		provenance.Tensor{
+			Prov:  provenance.Cmp{Inner: provenance.V("U4"), Value: 1, Op: provenance.OpGE, Bound: 0},
+			Value: 2, Count: 1, Group: "M1",
+		},
+	)
+	randState := uint64(0x1234)
+	return []*Record{
+		{Seq: 1, Ingest: &IngestRecord{
+			SessionID: "s1",
+			Added:     added,
+			Universe: []UniverseEntry{
+				{Ann: "U4", Table: "users", Attrs: map[string]string{"gender": "M"}},
+				{Ann: "M3", Table: "movies"},
+			},
+		}},
+		{Seq: 2, SummaryVersion: &SummaryVersionRecord{
+			SessionID: "s1", Version: 2, Parent: 1, Class: "cancel-single",
+			Steps: []StepRecord{{
+				Members: []string{"U1", "U2", "U4"}, New: "users:gender",
+				Score: 0.42, Dist: 0.1, Size: 3,
+			}},
+			ExtendedFrom: 1, Dist: 0.1, StopReason: "max-steps", CreatedMS: 1722800002000,
+		}},
+		{Seq: 3, Job: &JobRecord{
+			ID: "j2", SessionID: "s1", State: "queued",
+			Params: JobParams{
+				WDist: 0.7, WSize: 0.3, Steps: 6, Class: "cancel-single",
+				ExtendFromVersion: 1,
+			},
+			SubmittedMS: 1722800000000,
+		}},
+		{Seq: 4, Summary: &SummaryRecord{
+			SessionID: "s1", Class: "cancel-single",
+			Steps: []StepRecord{
+				{Members: []string{"U1", "U2"}, New: "users:gender", Dist: 0.05, Size: 4},
+				{Members: []string{"U1", "U2", "U4"}, New: "users:gender#1", Dist: 0.1, Size: 3},
+			},
+			Dist: 0.1, StopReason: "max-steps", ExtendedFrom: 1,
+		}},
+		{Seq: 5, Checkpoint: &CheckpointRecord{
+			JobID: "j2",
+			Checkpoint: &core.Checkpoint{
+				Step: 2,
+				Steps: []core.Step{
+					{A: "U1", B: "U2", Members: []provenance.Annotation{"U1", "U2"}, New: "users:gender", Dist: 0.05, Size: 4},
+					{A: "users:gender", B: "U4", Members: []provenance.Annotation{"U1", "U2", "U4"}, New: "users:gender#1", Dist: 0.1, Size: 3},
+				},
+				InitDist:   0.02,
+				RandState:  &randState,
+				ExtendFrom: 1,
+			},
+		}},
+	}
+}
+
+// TestStreamRecordRoundTrip pins encode/decode stability for the
+// streaming variants, plus the decoded field values that pass through
+// custom marshalers (the ingest expression and checkpoint extend mark).
+func TestStreamRecordRoundTrip(t *testing.T) {
+	for _, rec := range streamRecords(t) {
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("encode seq %d: %v", rec.Seq, err)
+		}
+		got, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatalf("decode seq %d: %v", rec.Seq, err)
+		}
+		data2, err := EncodeRecord(got)
+		if err != nil {
+			t.Fatalf("re-encode seq %d: %v", rec.Seq, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("seq %d not stable under round-trip:\n%s\n%s", rec.Seq, data, data2)
+		}
+
+		switch {
+		case rec.Ingest != nil:
+			in, out := rec.Ingest, got.Ingest
+			if out.SessionID != in.SessionID || len(out.Universe) != len(in.Universe) {
+				t.Fatalf("ingest changed: %+v -> %+v", in, out)
+			}
+			if out.Added.String() != in.Added.String() {
+				t.Fatalf("ingest expression changed: %s -> %s", in.Added, out.Added)
+			}
+			if out.Universe[0].Attrs["gender"] != "M" {
+				t.Fatalf("ingest universe attrs lost: %+v", out.Universe)
+			}
+		case rec.SummaryVersion != nil:
+			in, out := rec.SummaryVersion, got.SummaryVersion
+			if out.Version != in.Version || out.Parent != in.Parent || out.ExtendedFrom != in.ExtendedFrom {
+				t.Fatalf("version chain fields changed: %+v -> %+v", in, out)
+			}
+		case rec.Job != nil:
+			if got.Job.Params.ExtendFromVersion != rec.Job.Params.ExtendFromVersion {
+				t.Fatalf("job params changed: %+v -> %+v", rec.Job.Params, got.Job.Params)
+			}
+		case rec.Summary != nil:
+			if got.Summary.ExtendedFrom != rec.Summary.ExtendedFrom {
+				t.Fatalf("summary extendedFrom changed: %+v -> %+v", rec.Summary, got.Summary)
+			}
+		case rec.Checkpoint != nil:
+			if got.Checkpoint.Checkpoint.ExtendFrom != rec.Checkpoint.Checkpoint.ExtendFrom {
+				t.Fatalf("checkpoint extendFrom changed: %+v -> %+v",
+					rec.Checkpoint.Checkpoint, got.Checkpoint.Checkpoint)
+			}
+		}
+	}
+}
+
+// TestIngestRecordValidation pins that tensor-less ingest records are
+// rejected in both directions.
+func TestIngestRecordValidation(t *testing.T) {
+	if _, err := EncodeRecord(&Record{Seq: 1, Ingest: &IngestRecord{SessionID: "s1"}}); err == nil {
+		t.Fatal("ingest record without tensors must not encode")
+	}
+	if _, err := DecodeRecord([]byte(`{"seq":1,"ingest":{"sessionId":"s1"}}`)); err == nil {
+		t.Fatal("ingest payload without tensors must not decode")
+	}
+}
+
+// TestCheckpointExtendFromValidation pins that a checkpoint claiming a
+// seeded prefix longer than its trace is rejected.
+func TestCheckpointExtendFromValidation(t *testing.T) {
+	for _, payload := range []string{
+		`{"seq":1,"checkpoint":{"jobId":"j","step":1,"steps":[{"members":["a","b"],"new":"x"}],"initDist":0,"extendFrom":2}}`,
+		`{"seq":1,"checkpoint":{"jobId":"j","step":1,"steps":[{"members":["a","b"],"new":"x"}],"initDist":0,"extendFrom":-1}}`,
+	} {
+		if _, err := DecodeRecord([]byte(payload)); err == nil {
+			t.Fatalf("out-of-range extendFrom must not decode: %s", payload)
+		}
+	}
+	// The boundary (extendFrom == len(steps), a just-seeded checkpoint)
+	// is valid.
+	rec, err := DecodeRecord([]byte(`{"seq":1,"checkpoint":{"jobId":"j","step":1,"steps":[{"members":["a","b"],"new":"x"}],"initDist":0,"extendFrom":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint.Checkpoint.ExtendFrom != 1 {
+		t.Fatalf("extendFrom = %d, want 1", rec.Checkpoint.Checkpoint.ExtendFrom)
+	}
+}
+
+// TestReadSummaryGroups pins the WriteSummary inverse used by the CLI's
+// -extend-from flag: the non-singleton partition comes back with sorted
+// members, and malformed exports are rejected.
+func TestReadSummaryGroups(t *testing.T) {
+	p := provenance.NewAgg(provenance.AggMax,
+		provenance.Tensor{Prov: provenance.V("U1"), Value: 3, Count: 1, Group: "MP"},
+		provenance.Tensor{Prov: provenance.V("U2"), Value: 5, Count: 1, Group: "MP"},
+	)
+	u := provenance.NewUniverse()
+	u.Add("U1", "users", provenance.Attrs{"g": "x"})
+	u.Add("U2", "users", provenance.Attrs{"g": "x"})
+	u.Add("MP", "movies", nil)
+	pol := constraints.NewPolicy(u, constraints.SameTable(), constraints.SharedAttr("g"))
+	est := &distance.Estimator{
+		Class: valuation.NewCancelSingleAnnotation([]provenance.Annotation{"U1", "U2"}),
+		Phi:   provenance.CombineOr,
+		VF:    distance.Euclidean(),
+	}
+	s, err := core.New(core.Config{Policy: pol, Estimator: est, WSize: 1, MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Summarize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := ReadSummaryGroups(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for name, members := range sum.Groups {
+		if len(members) < 2 {
+			continue
+		}
+		want++
+		got, ok := groups[name]
+		if !ok {
+			t.Fatalf("group %q missing from round-trip: %v", name, groups)
+		}
+		if len(got) != len(members) {
+			t.Fatalf("group %q has %d members, want %d", name, len(got), len(members))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("group %q members not sorted: %v", name, got)
+			}
+		}
+	}
+	if want == 0 || len(groups) != want {
+		t.Fatalf("round-trip kept %d groups, want %d non-singleton groups", len(groups), want)
+	}
+
+	// Member ordering is canonicalized even if the export was not.
+	groups, err = ReadSummaryGroups(strings.NewReader(`{"groups":{"g":["b","a","c"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := groups["g"]; len(g) != 3 || g[0] != "a" || g[1] != "b" || g[2] != "c" {
+		t.Fatalf("members not sorted: %v", groups["g"])
+	}
+
+	// Degenerate exports are rejected.
+	if _, err := ReadSummaryGroups(strings.NewReader(`{"groups":{"g":["a"]}}`)); err == nil {
+		t.Fatal("single-member group must be rejected")
+	}
+	if _, err := ReadSummaryGroups(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed export must be rejected")
+	}
+}

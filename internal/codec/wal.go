@@ -76,6 +76,53 @@ type SessionDropRecord struct {
 	ID string `json:"id"`
 }
 
+// IngestRecord persists one streaming ingest batch appended to a
+// session: the added tensors (as an aggregated expression of the
+// session's kind) and the universe entries of any new annotations.
+// Replaying a session's ingest records in order over its base
+// expression rebuilds the live expression after a crash.
+type IngestRecord struct {
+	SessionID string
+	Added     *provenance.Agg
+	Universe  []UniverseEntry
+}
+
+type ingestRecordJSON struct {
+	SessionID string          `json:"sessionId"`
+	Agg       *aggJSON        `json:"agg"`
+	Universe  []UniverseEntry `json:"universe,omitempty"`
+}
+
+// MarshalJSON encodes the added tensors through the tagged-union AST
+// encoding shared with bundles and session records.
+func (r IngestRecord) MarshalJSON() ([]byte, error) {
+	if r.Added == nil {
+		return nil, fmt.Errorf("codec: ingest record for session %q has no tensors", r.SessionID)
+	}
+	agg, err := encodeAgg(r.Added)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(ingestRecordJSON{SessionID: r.SessionID, Agg: agg, Universe: r.Universe})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (r *IngestRecord) UnmarshalJSON(data []byte) error {
+	var in ingestRecordJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Agg == nil {
+		return fmt.Errorf("codec: ingest record for session %q has no tensors", in.SessionID)
+	}
+	agg, err := decodeAgg(in.Agg)
+	if err != nil {
+		return err
+	}
+	r.SessionID, r.Added, r.Universe = in.SessionID, agg, in.Universe
+	return nil
+}
+
 // StepRecord is the serialized form of one merge step, shared by
 // summary records and checkpoints.
 type StepRecord struct {
@@ -132,6 +179,27 @@ type SummaryRecord struct {
 	Steps      []StepRecord `json:"steps"`
 	Dist       float64      `json:"dist"`
 	StopReason string       `json:"stopReason"`
+	// ExtendedFrom is the seeded-prefix length of Steps when the summary
+	// came from a warm-started Extend run (core.Summary.ExtendedFrom);
+	// 0 for from-scratch summaries.
+	ExtendedFrom int `json:"extendedFrom,omitempty"`
+}
+
+// SummaryVersionRecord persists one entry of a session's summary
+// version chain: version numbers are 1-based and dense per session,
+// Parent is the version this one was extended from (0 for a
+// from-scratch root), and the merge trace replays the version's
+// summary exactly as a SummaryRecord's does.
+type SummaryVersionRecord struct {
+	SessionID    string       `json:"sessionId"`
+	Version      int          `json:"version"`
+	Parent       int          `json:"parent,omitempty"`
+	Class        string       `json:"class"`
+	Steps        []StepRecord `json:"steps"`
+	ExtendedFrom int          `json:"extendedFrom,omitempty"`
+	Dist         float64      `json:"dist"`
+	StopReason   string       `json:"stopReason"`
+	CreatedMS    int64        `json:"createdMs,omitempty"`
 }
 
 // JobParams are the summarization parameters a job was submitted with —
@@ -144,6 +212,10 @@ type JobParams struct {
 	Steps      int     `json:"steps"`
 	Class      string  `json:"class"`
 	TimeoutMS  int64   `json:"timeoutMs,omitempty"`
+	// ExtendFromVersion, when > 0, makes the job a warm-started Extend of
+	// the session's given summary version (1-based) instead of a
+	// from-scratch summarize.
+	ExtendFromVersion int `json:"extendFromVersion,omitempty"`
 }
 
 // JobRecord persists a job's latest state transition. Replay keeps the
@@ -178,6 +250,7 @@ type checkpointRecordJSON struct {
 	RandState    *uint64      `json:"randState,omitempty"`
 	EstRandState *uint64      `json:"estRandState,omitempty"`
 	TraceParent  string       `json:"traceParent,omitempty"`
+	ExtendFrom   int          `json:"extendFrom,omitempty"`
 }
 
 // MarshalJSON flattens the core checkpoint into the record.
@@ -193,6 +266,7 @@ func (r CheckpointRecord) MarshalJSON() ([]byte, error) {
 		RandState:    r.Checkpoint.RandState,
 		EstRandState: r.Checkpoint.EstRandState,
 		TraceParent:  r.Checkpoint.TraceParent,
+		ExtendFrom:   r.Checkpoint.ExtendFrom,
 	})
 }
 
@@ -209,6 +283,9 @@ func (r *CheckpointRecord) UnmarshalJSON(data []byte) error {
 	if in.Step != len(steps) {
 		return fmt.Errorf("codec: checkpoint for job %q claims step %d but carries %d steps", in.JobID, in.Step, len(steps))
 	}
+	if in.ExtendFrom < 0 || in.ExtendFrom > len(steps) {
+		return fmt.Errorf("codec: checkpoint for job %q claims extendFrom %d with %d steps", in.JobID, in.ExtendFrom, len(steps))
+	}
 	r.JobID = in.JobID
 	r.Checkpoint = &core.Checkpoint{
 		Step:         in.Step,
@@ -217,6 +294,7 @@ func (r *CheckpointRecord) UnmarshalJSON(data []byte) error {
 		RandState:    in.RandState,
 		EstRandState: in.EstRandState,
 		TraceParent:  in.TraceParent,
+		ExtendFrom:   in.ExtendFrom,
 	}
 	return nil
 }
@@ -251,14 +329,16 @@ type Record struct {
 	// ordering checks; replay does not require it to be contiguous.
 	Seq uint64 `json:"seq"`
 
-	Session     *SessionRecord     `json:"session,omitempty"`
-	SessionDrop *SessionDropRecord `json:"sessionDrop,omitempty"`
-	Summary     *SummaryRecord     `json:"summary,omitempty"`
-	Job         *JobRecord         `json:"job,omitempty"`
-	Checkpoint  *CheckpointRecord  `json:"checkpoint,omitempty"`
-	CacheEntry  *CacheEntryRecord  `json:"cacheEntry,omitempty"`
-	CacheDrop   *CacheDropRecord   `json:"cacheDrop,omitempty"`
-	CacheFlush  *CacheFlushRecord  `json:"cacheFlush,omitempty"`
+	Session        *SessionRecord        `json:"session,omitempty"`
+	SessionDrop    *SessionDropRecord    `json:"sessionDrop,omitempty"`
+	Ingest         *IngestRecord         `json:"ingest,omitempty"`
+	Summary        *SummaryRecord        `json:"summary,omitempty"`
+	SummaryVersion *SummaryVersionRecord `json:"summaryVersion,omitempty"`
+	Job            *JobRecord            `json:"job,omitempty"`
+	Checkpoint     *CheckpointRecord     `json:"checkpoint,omitempty"`
+	CacheEntry     *CacheEntryRecord     `json:"cacheEntry,omitempty"`
+	CacheDrop      *CacheDropRecord      `json:"cacheDrop,omitempty"`
+	CacheFlush     *CacheFlushRecord     `json:"cacheFlush,omitempty"`
 }
 
 func (r *Record) variants() int {
@@ -269,7 +349,13 @@ func (r *Record) variants() int {
 	if r.SessionDrop != nil {
 		n++
 	}
+	if r.Ingest != nil {
+		n++
+	}
 	if r.Summary != nil {
+		n++
+	}
+	if r.SummaryVersion != nil {
 		n++
 	}
 	if r.Job != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/provenance"
 )
@@ -42,6 +43,14 @@ type Checkpoint struct {
 	// Config.TraceParent. It plays no part in the computation; it lets a
 	// resumed run rejoin the distributed trace of the original request.
 	TraceParent string
+	// ExtendFrom is the number of leading Steps entries that are a seeded
+	// prior partition (Summarizer.Extend) rather than merges chosen by
+	// the run. Seed steps replay without merge-name validation (their
+	// names were registered by an earlier run under a registry state that
+	// cannot be replayed), the step budget and the TARGET-DIST rollback
+	// count only the steps after them, and the Prop. 4.2.1 pre-step is
+	// skipped for the whole run. 0 for ordinary runs.
+	ExtendFrom int
 }
 
 // clone deep-copies a checkpoint so the caller and the summarizer never
@@ -104,6 +113,7 @@ func (s *Summarizer) emitCheckpoint(res *Summary, initDist float64) error {
 		Steps:       cloneSteps(res.Steps),
 		InitDist:    initDist,
 		TraceParent: cfg.TraceParent,
+		ExtendFrom:  res.ExtendedFrom,
 	}
 	if cfg.RandSrc != nil {
 		state := cfg.RandSrc.State()
@@ -130,38 +140,66 @@ type restoredState struct {
 // state (cur, cum), re-registering each step's summary annotation via
 // Policy.MergeName — the same registrations the original run performed,
 // so subsequent merge naming (attribute-name disambiguation, LCA
-// lookups) behaves identically. It fills res.Steps with the restored
-// trace and returns the rebuilt loop state, including the
-// one-step-back rollback state.
+// lookups) behaves identically. The leading cp.ExtendFrom seed steps
+// are an exception: their names were chosen by an earlier run whose
+// registry state cannot be replayed, so they register directly under
+// the recorded name with the members' shared attributes — the same
+// entry Universe.Merge (or the LCA branch of MergeName) wrote when the
+// group was first formed. It fills res.Steps with the restored trace
+// and returns the rebuilt loop state, including the one-step-back
+// rollback state.
 func (s *Summarizer) restore(cp *Checkpoint, cur provenance.Expression, cum provenance.Mapping, res *Summary) (restoredState, error) {
 	cfg := s.cfg
+	if cp.ExtendFrom < 0 || cp.ExtendFrom > len(cp.Steps) {
+		return restoredState{}, fmt.Errorf("core: corrupt checkpoint: ExtendFrom = %d with %d steps", cp.ExtendFrom, len(cp.Steps))
+	}
 	st := restoredState{
 		cur: cur, prev: cur,
 		cum: cum, prevCum: cum,
 		curDist: cp.InitDist, prevDist: cp.InitDist,
 	}
+	res.Steps = cloneSteps(cp.Steps)
 	for i, rec := range cp.Steps {
 		if len(rec.Members) < 2 {
 			return restoredState{}, fmt.Errorf("core: corrupt checkpoint: step %d has %d members", i+1, len(rec.Members))
 		}
-		name := cfg.Policy.MergeName(rec.Members)
-		if name != rec.New {
-			return restoredState{}, fmt.Errorf("core: checkpoint replay diverged at step %d: merge of %v named %q, recorded %q (was the run configured differently?)", i+1, rec.Members, name, rec.New)
+		if i < cp.ExtendFrom {
+			u := cfg.Policy.Universe
+			attrSets := make([]provenance.Attrs, 0, len(rec.Members))
+			for _, m := range rec.Members {
+				if a := u.AttrsOf(m); a != nil {
+					attrSets = append(attrSets, a)
+				}
+			}
+			u.Add(rec.New, u.Table(rec.Members[0]), provenance.Shared(attrSets))
+		} else {
+			name := cfg.Policy.MergeName(rec.Members)
+			if name != rec.New {
+				return restoredState{}, fmt.Errorf("core: checkpoint replay diverged at step %d: merge of %v named %q, recorded %q (was the run configured differently?)", i+1, rec.Members, name, rec.New)
+			}
 		}
 		step := provenance.MergeMapping(rec.New, rec.Members...)
 		st.prev, st.prevCum, st.prevDist = st.cur, st.cum, st.curDist
 		st.cur = st.cur.Apply(step)
 		st.cum = st.cum.Compose(step)
 		st.curDist = rec.Dist
+		if i < cp.ExtendFrom && res.Steps[i].Size == 0 {
+			res.Steps[i].Size = st.cur.Size()
+		}
 	}
-	res.Steps = cloneSteps(cp.Steps)
 
+	// A fresh Extend builds its synthetic seed checkpoint from the live
+	// Config, so absent RNG states there mean "this run has none", not "a
+	// differently-configured run emitted this"; the strict two-way checks
+	// apply only to deserialized checkpoints (which always measured
+	// InitDist).
+	freshExtend := math.IsNaN(cp.InitDist)
 	if cp.RandState != nil {
 		if cfg.RandSrc == nil {
 			return restoredState{}, fmt.Errorf("core: checkpoint carries a candidate-sampling RNG state but Config.RandSrc is unset")
 		}
 		cfg.RandSrc.Restore(*cp.RandState)
-	} else if cfg.Rand != nil {
+	} else if cfg.Rand != nil && !freshExtend {
 		return restoredState{}, fmt.Errorf("core: Config.Rand is set but the checkpoint has no candidate-sampling RNG state; resuming would diverge")
 	}
 	if cp.EstRandState != nil {
@@ -169,7 +207,7 @@ func (s *Summarizer) restore(cp *Checkpoint, cur provenance.Expression, cum prov
 			return restoredState{}, fmt.Errorf("core: checkpoint carries an estimator RNG state but Estimator.RandSrc is unset")
 		}
 		cfg.Estimator.RandSrc.Restore(*cp.EstRandState)
-	} else if cfg.Estimator.Samples > 0 {
+	} else if cfg.Estimator.Samples > 0 && !freshExtend {
 		return restoredState{}, fmt.Errorf("core: Estimator.Samples > 0 but the checkpoint has no estimator RNG state; resuming would diverge")
 	}
 	return st, nil

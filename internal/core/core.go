@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -189,6 +190,11 @@ type Summary struct {
 	// regardless of which bound ended the loop — the retraction, not the
 	// loop's exit test, decided the returned expression.
 	StopReason string
+	// ExtendedFrom is the number of leading Steps entries seeded from a
+	// prior partition (Summarizer.Extend) rather than chosen by this run;
+	// len(Steps) - ExtendedFrom is the number of merges the run actually
+	// performed. 0 for from-scratch runs.
+	ExtendedFrom int
 
 	// CandidatesEvaluated counts candidate (pair, distance) evaluations;
 	// CandidateTime is the total time spent evaluating them. Both feed
@@ -299,11 +305,22 @@ func (s *Summarizer) run(ctx context.Context, p0 provenance.Expression, cp *Chec
 		return res, nil
 	}
 
+	extendFrom := 0
+	if cp != nil {
+		extendFrom = cp.ExtendFrom
+	}
+	res.ExtendedFrom = extendFrom
+
 	// Free pre-step: group annotations equivalent under every valuation
 	// of the class (Prop. 4.2.1). Distance is unchanged (0-cost merges).
 	// On resume this replays deterministically, so the restored state
-	// matches the state the checkpoint was taken from.
-	cur, cum = s.groupEquivalent(cur, cum)
+	// matches the state the checkpoint was taken from. Extend-seeded runs
+	// skip it entirely (fresh and crash-resumed alike): the prior
+	// partition already reflects the class's equivalences, and an
+	// equivalence merge would race the seed replay for the same members.
+	if extendFrom == 0 {
+		cur, cum = s.groupEquivalent(cur, cum)
+	}
 
 	// prev tracks the state before the latest merge, for the post-loop
 	// TARGET-DIST rollback (lines 11–13 of Algorithm 1). A checkpoint
@@ -325,7 +342,25 @@ func (s *Summarizer) run(ctx context.Context, p0 provenance.Expression, cp *Chec
 		cur, cum, curDist = st.cur, st.cum, st.curDist
 		prev, prevCum, prevDist = st.prev, st.prevCum, st.prevDist
 		initDist = cp.InitDist
-		steps = len(cp.Steps)
+		// The step budget counts this run's own merges; a seeded prior
+		// partition rides along for free.
+		steps = len(cp.Steps) - extendFrom
+		if math.IsNaN(initDist) {
+			// Fresh Extend: the synthetic seed checkpoint carries no
+			// measured distances. Measure once after the seed replay —
+			// this is the run's baseline, exactly like the cp == nil
+			// branch — and backfill the seed trace so emitted
+			// checkpoints and the final summary never carry the NaN
+			// sentinel.
+			curDist = s.timedDistance(p0, cur, cum, origAnns, res)
+			initDist, prevDist = curDist, curDist
+			for i := range res.Steps[:extendFrom] {
+				res.Steps[i].Dist = curDist
+			}
+			if err := s.emitCheckpoint(res, initDist); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	res.StopReason = "no-candidates"
@@ -394,7 +429,7 @@ func (s *Summarizer) run(ctx context.Context, p0 provenance.Expression, cp *Chec
 	// even when the loop stopped for another reason (e.g. the retracted
 	// merge was the one that reached TARGET-SIZE), so StopReason must
 	// follow it — otherwise StopReason, Expr.Size() and Dist disagree.
-	if cfg.TargetDist < 1 && curDist >= cfg.TargetDist && len(res.Steps) > 0 {
+	if cfg.TargetDist < 1 && curDist >= cfg.TargetDist && len(res.Steps) > extendFrom {
 		cur, cum, curDist = prev, prevCum, prevDist
 		res.Steps = res.Steps[:len(res.Steps)-1]
 		res.StopReason = "target-dist"

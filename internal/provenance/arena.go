@@ -374,9 +374,9 @@ func (a *Arena) GetScratch() *ArenaScratch {
 	if !ok {
 		return a.NewScratch()
 	}
-	// Group count can change across ApplyMerge patches; node count is
-	// stable for the arena's lifetime but pooled entries may predate a
-	// patch, so re-fit everything.
+	// Group, node and annotation counts can all change across in-place
+	// patches (ApplyMerge renames, AppendSpan grows the node arrays), and
+	// pooled entries may predate a patch, so re-fit everything.
 	s.vals = fitInts(s.vals, len(a.kind))
 	s.sub = fitInts(s.sub, len(a.kind))
 	s.contributed = fitBools(s.contributed, len(a.groupKeys))
@@ -450,6 +450,16 @@ func (a *Arena) ApplyMerge(memberIDs []int32, newAnn Annotation, roots []int32, 
 			}
 		}
 	}
+	a.SetTensors(roots, values, groups, liveNodes)
+	return newID
+}
+
+// SetTensors rebuilds the tensor fold table and group-key slots from the
+// given fold order (parallel roots/values/groups; every root an existing
+// node id), updates the garbage count from liveNodes, and re-derives the
+// numeric cone. It is the shared tail of the in-place patches
+// (ApplyMerge and Plan.ApplyAppend).
+func (a *Arena) SetTensors(roots []int32, values []float64, groups []Annotation, liveNodes int) {
 	a.tensors = a.tensors[:0]
 	a.groupKeys = a.groupKeys[:0]
 	slots := make(map[Annotation]int32, len(groups))
@@ -467,7 +477,52 @@ func (a *Arena) ApplyMerge(memberIDs []int32, newAnn Annotation, roots []int32, 
 	}
 	a.deadNodes = len(a.kind) - liveNodes
 	a.computeCone()
-	return newID
+}
+
+// Appendable reports whether e consists solely of node types the arena
+// can compile (Var/Const/Sum/Prod/Cmp). AppendSpan callers must check it
+// first: compile marks the whole arena bad on an unknown node type,
+// which would poison the live expression.
+func (a *Arena) Appendable(e Expr) bool {
+	switch n := e.(type) {
+	case Var, Const:
+		return true
+	case Sum:
+		for _, t := range n.Terms {
+			if !a.Appendable(t) {
+				return false
+			}
+		}
+		return true
+	case Prod:
+		for _, f := range n.Factors {
+			if !a.Appendable(f) {
+				return false
+			}
+		}
+		return true
+	case Cmp:
+		return a.Appendable(n.Inner)
+	default:
+		return false
+	}
+}
+
+// AppendSpan compiles e onto the live arena as a new contiguous span
+// [lo, root] after every existing node. Post-order is preserved (the new
+// span's children all precede its root and no existing node gains a
+// child or parent), existing node ids stay stable, and new annotations
+// intern onto the append-only dense id space — but truth bitsets created
+// before the append are too small for the new ids, so callers must
+// rebuild cached truths (and re-fit pooled scratches, which GetScratch /
+// GetBlockScratch do) after patching. The caller is responsible for
+// installing the new tensor through SetTensors; until then the span is
+// unreferenced garbage, which a failed patch simply leaves behind for
+// the next recompile to drop.
+func (a *Arena) AppendSpan(e Expr) (lo, root int32) {
+	lo = int32(len(a.kind))
+	root = a.compile(e)
+	return lo, root
 }
 
 // DeadNodes returns the number of garbage nodes accumulated by in-place

@@ -355,6 +355,136 @@ func (p *Plan) ApplyMerge(next *Agg, members []Annotation, newAnn Annotation) bo
 	return true
 }
 
+// ApplyAppend patches an append-only extension into the live plan and
+// its arena in place, instead of recompiling both: added are the tensors
+// appended to the planned expression, and next the extended expression
+// (NewAgg over the current tensors plus added, which the caller has
+// already materialized). Added polynomials whose Simplify key matches an
+// existing tensor merge into it (combining values and adding counts in
+// Simplify's existing-then-added order); genuinely new tensors compile
+// as fresh arena spans appended after every existing node, so node ids
+// stay stable and pooled scratches re-fit.
+//
+// The patch is self-verifying like ApplyMerge: the merged tensor list is
+// matched one-to-one against next.Tensors (key, value, count, group)
+// before any mutation, so a successful ApplyAppend leaves the plan
+// observationally identical to NewPlan(next) up to garbage spans. On any
+// mismatch, a non-compilable added polynomial, or a garbage fraction
+// above one half of the arena, it returns false without mutating
+// anything and the caller must recompile.
+func (p *Plan) ApplyAppend(next *Agg, added []Tensor) bool {
+	if next == nil || len(added) == 0 {
+		return false
+	}
+	// Replay Simplify over the current tensors (already simplified and
+	// key-deduplicated) followed by the added ones. apTensor.tid is the
+	// existing plan tensor whose span backs the entry, or -1 for a fresh
+	// polynomial that needs a new span.
+	type apTensor struct {
+		prov  Expr
+		value float64
+		count int
+		group Annotation
+		key   string
+		tid   int32
+	}
+	merged := make([]apTensor, 0, len(p.tensors)+len(added))
+	idx := make(map[string]int, len(p.tensors)+len(added))
+	for tid := range p.tensors {
+		t := &p.tensors[tid]
+		idx[t.key] = len(merged)
+		merged = append(merged, apTensor{
+			prov: t.prov, value: t.value, count: t.count,
+			group: t.group, key: t.key, tid: int32(tid),
+		})
+	}
+	for i := range added {
+		t := &added[i]
+		prov := SimplifyExpr(t.Prov)
+		if c, ok := prov.(Const); ok && c.N == 0 {
+			continue
+		}
+		key := prov.Key() + "|" + string(t.Group)
+		if j, ok := idx[key]; ok {
+			merged[j].value = p.agg.Agg.Combine(merged[j].value, t.Value)
+			merged[j].count += t.Count
+		} else {
+			if !p.ar.Appendable(prov) {
+				return false
+			}
+			idx[key] = len(merged)
+			merged = append(merged, apTensor{
+				prov: prov, value: t.Value, count: t.Count,
+				group: t.Group, key: key, tid: -1,
+			})
+		}
+	}
+	if len(next.Tensors) != len(merged) {
+		return false
+	}
+
+	// Match next's (sorted, simplified) tensor list against the merged
+	// entries, building the new plan tensors in next's fold order. Every
+	// entry must be consumed exactly once with identical value, count and
+	// group, or the patch is unsound and we bail untouched. Fresh spans
+	// compile only after verification (and the garbage check, over the
+	// pre-append node count — appended nodes are all live, so the
+	// fraction only improves), keeping the bail paths mutation-free.
+	newTensors := make([]planTensor, len(next.Tensors))
+	var fresh []int32
+	liveNodes := 0
+	for i := range next.Tensors {
+		nt := &next.Tensors[i]
+		key := nt.Prov.Key() + "|" + string(nt.Group)
+		j, ok := idx[key]
+		if !ok {
+			return false
+		}
+		m := &merged[j]
+		if m.value != nt.Value || m.count != nt.Count || m.group != nt.Group {
+			return false
+		}
+		delete(idx, key)
+		if m.tid >= 0 {
+			src := &p.tensors[m.tid]
+			newTensors[i] = planTensor{
+				root: src.root, lo: src.lo, prov: nt.Prov, value: nt.Value,
+				count: nt.Count, group: nt.Group, key: key, size: src.size,
+			}
+			liveNodes += int(src.root - src.lo + 1)
+		} else {
+			newTensors[i] = planTensor{
+				root: -1, lo: -1, prov: nt.Prov, value: nt.Value,
+				count: nt.Count, group: nt.Group, key: key, size: nt.Prov.Size(),
+			}
+			fresh = append(fresh, int32(i))
+		}
+	}
+	if dead := p.ar.NumNodes() - liveNodes; dead*2 > p.ar.NumNodes() {
+		return false
+	}
+
+	for _, i := range fresh {
+		lo, root := p.ar.AppendSpan(newTensors[i].prov)
+		newTensors[i].lo, newTensors[i].root = lo, root
+		liveNodes += int(root - lo + 1)
+	}
+	roots := make([]int32, len(newTensors))
+	values := make([]float64, len(newTensors))
+	groups := make([]Annotation, len(newTensors))
+	for i := range newTensors {
+		roots[i] = newTensors[i].root
+		values[i] = newTensors[i].value
+		groups[i] = newTensors[i].group
+	}
+	p.ar.SetTensors(roots, values, groups, liveNodes)
+	p.agg = next
+	p.tensors = newTensors
+	p.size = next.Size()
+	p.reindex()
+	return true
+}
+
 // tensorsOfAnn returns the ascending tensor ids whose polynomial
 // mentions a.
 func (p *Plan) tensorsOfAnn(a Annotation) []int32 {

@@ -19,26 +19,36 @@ import (
 
 // cacheKeyFor computes the content address of one summarization
 // request: (expression fingerprint, config fingerprint, constraint-set
-// fingerprint, annotation-metadata fingerprint). Two requests with
-// equal keys run Algorithm 1 to the same summary, so one's journaled
-// merge trace can stand in for the other's run. The annotation
-// metadata fingerprint guards persisted entries across restarts: the
-// same expression over differently-attributed annotations (another
-// seed, another workload sharing the store directory) must not share
-// entries.
-func (s *Server) cacheKeyFor(sess *session, params codec.JobParams) summarycache.Key {
+// fingerprint, annotation-metadata fingerprint — plus the seed
+// fingerprint for warm-started Extend runs). Two requests with equal
+// keys run Algorithm 1 to the same summary, so one's journaled merge
+// trace can stand in for the other's run. The annotation metadata
+// fingerprint guards persisted entries across restarts: the same
+// expression over differently-attributed annotations (another seed,
+// another workload sharing the store directory) must not share
+// entries. The seed fingerprint keeps seeded and unseeded runs apart:
+// a seeded summary carries its seed prefix, so it is not the summary a
+// from-scratch run of the same expression produces.
+func (s *Server) cacheKeyFor(sess *session, params codec.JobParams, seed provenance.Groups) summarycache.Key {
+	s.mu.Lock()
+	prov := sess.prov
+	s.mu.Unlock()
 	kind := classKind(params.Class)
 	cfg := core.Config{
-		Estimator:  s.estimatorFor(sess.prov, kind),
+		Estimator:  s.estimatorFor(prov, kind),
 		WDist:      params.WDist,
 		WSize:      params.WSize,
 		TargetSize: params.TargetSize,
 		TargetDist: params.TargetDist,
 		MaxSteps:   params.Steps,
 	}
-	exprFP := provenance.Fingerprint(sess.prov)
+	exprFP := provenance.Fingerprint(prov)
 	cfgFP := cfg.Fingerprint()
-	annFP := provenance.UniverseFingerprint(s.workload.Universe, sess.prov.Annotations())
+	annFP := provenance.UniverseFingerprint(s.workload.Universe, prov.Annotations())
+	if len(seed) > 0 {
+		seedFP := seedFingerprint(seed)
+		return summarycache.KeyFrom(exprFP[:], cfgFP[:], s.policyFP[:], annFP[:], seedFP[:])
+	}
 	return summarycache.KeyFrom(exprFP[:], cfgFP[:], s.policyFP[:], annFP[:])
 }
 
@@ -73,8 +83,11 @@ func (s *Server) serveFromCache(sess *session, entry *codec.CacheEntryRecord) (*
 
 // publishToCache stores a completed run's merge trace under its content
 // address and journals it, so identical future requests — including
-// ones after a restart — replay the trace instead of re-running.
-func (s *Server) publishToCache(key summarycache.Key, params codec.JobParams, sum *core.Summary) {
+// ones after a restart — replay the trace instead of re-running. The
+// entry is also registered under the session's warm-start prefix, so a
+// request made after the expression grows by ingest (exact key miss)
+// can still find it as an Extend seed.
+func (s *Server) publishToCache(sess *session, key summarycache.Key, params codec.JobParams, sum *core.Summary) {
 	rec := &codec.CacheEntryRecord{
 		Key:        key.String(),
 		Class:      params.Class,
@@ -83,7 +96,7 @@ func (s *Server) publishToCache(key summarycache.Key, params codec.JobParams, su
 		StopReason: sum.StopReason,
 		CreatedMS:  time.Now().UnixMilli(),
 	}
-	if !s.cache.Put(key, rec) {
+	if !s.cache.PutWithPrefix(key, s.warmPrefixFor(sess, params), rec) {
 		// Journaling a rejected entry would resurrect it on replay (or
 		// grow the WAL for an entry the cache never held): count it and
 		// skip the store.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/store"
+	"repro/internal/stream"
 	"repro/internal/summarycache"
 )
 
@@ -66,11 +67,15 @@ type summarizeOutcome struct {
 // submitSummarize validates a summarize request and resolves it
 // against the summary cache: a hit replays the cached trace, a miss
 // enqueues a job under the request's content address so identical
-// concurrent submissions coalesce onto it. The request's trace context
-// (from ctx) rides along with the job so worker-side spans land in the
+// concurrent submissions coalesce onto it. extendFrom > 0 makes the
+// run a warm-started Extend seeded from that summary version; for a
+// from-scratch request whose exact key misses, the cache's warm-start
+// index is probed and a matching prior version of the session becomes
+// the seed (cacheState "warm"). The request's trace context (from ctx)
+// rides along with the job so worker-side spans land in the
 // submitter's trace. The returned int is the HTTP status for the
 // error, if any.
-func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest) (*summarizeOutcome, int, error) {
+func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, extendFrom int) (*summarizeOutcome, int, error) {
 	sess, ok := s.session(req.SessionID)
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", req.SessionID)
@@ -79,19 +84,29 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest) (*s
 		req.WDist, req.WSize = 0.5, 0.5
 	}
 	params := codec.JobParams{
-		WDist:      req.WDist,
-		WSize:      req.WSize,
-		TargetDist: req.TargetDist,
-		TargetSize: req.TargetSize,
-		Steps:      req.Steps,
-		Class:      req.ValuationClass,
-		TimeoutMS:  req.TimeoutMS,
+		WDist:             req.WDist,
+		WSize:             req.WSize,
+		TargetDist:        req.TargetDist,
+		TargetSize:        req.TargetSize,
+		Steps:             req.Steps,
+		Class:             req.ValuationClass,
+		TimeoutMS:         req.TimeoutMS,
+		ExtendFromVersion: extendFrom,
 	}
 	out := &summarizeOutcome{sess: sess, params: params}
 
+	var seed provenance.Groups
+	if extendFrom > 0 {
+		var err error
+		seed, err = s.seedForVersion(sess, extendFrom)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+
 	var key *summarycache.Key
 	if s.cache != nil {
-		k := s.cacheKeyFor(sess, params)
+		k := s.cacheKeyFor(sess, params, seed)
 		key = &k
 		if entry, ok := s.cache.Get(k); ok {
 			sum, err := s.serveFromCache(sess, entry)
@@ -109,6 +124,36 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest) (*s
 				}
 			}
 		}
+		// The exact address missed. A from-scratch request can still
+		// warm-start: the prefix index remembers the summaries this session
+		// published under the same parameters before its expression grew by
+		// ingest; the freshest one that maps back to a version becomes the
+		// seed of an Extend run.
+		if seed == nil {
+			if entry, ok := s.cache.GetWarm(s.warmPrefixFor(sess, params)); ok {
+				if v := s.versionForEntry(sess, entry); v > 0 {
+					if warmSeed, err := s.seedForVersion(sess, v); err == nil && len(warmSeed) > 0 {
+						params.ExtendFromVersion = v
+						out.params = params
+						seed = warmSeed
+						k2 := s.cacheKeyFor(sess, params, seed)
+						key = &k2
+						out.cacheState = "warm"
+						s.met.cacheWarmHits.Inc()
+						s.log.Info("warm-starting summarize from prior version",
+							"session", sess.id, "version", v)
+						if entry2, ok := s.cache.Get(k2); ok {
+							// The seeded run itself has already been computed.
+							if sum, err := s.serveFromCache(sess, entry2); err == nil {
+								out.cached, out.cacheState = sum, "hit"
+								return out, 0, nil
+							}
+							s.cache.Drop(k2)
+						}
+					}
+				}
+			}
+		}
 		s.updateCacheGauges()
 	}
 
@@ -116,7 +161,7 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest) (*s
 	if sc := obs.SpanContextFromContext(ctx); sc.Valid() {
 		trace = sc.Traceparent()
 	}
-	job, coalesced, err := s.submitJob(sess, "", trace, params, nil, key)
+	job, coalesced, err := s.submitJob(sess, "", trace, params, nil, key, seed)
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
@@ -148,13 +193,17 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest) (*s
 		s.tracer.AddSpan(ctx, "job.enqueue", now, now, obs.KV("job", job.ID))
 	}
 	if s.cache != nil {
-		if coalesced {
+		switch {
+		case coalesced:
 			out.cacheState = "inflight"
 			s.met.cacheCoalesced.Inc()
-		} else {
+		case out.cacheState == "": // not warm-started
 			out.cacheState = "miss"
 			s.met.cacheMisses.Inc()
 		}
+	}
+	if len(seed) > 0 && !coalesced {
+		s.met.streamExtends.Inc()
 	}
 	return out, 0, nil
 }
@@ -168,8 +217,11 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest) (*s
 // original trace. A non-nil cache key makes the submission
 // coalescible: when an identical job is already in flight, no new job
 // starts — the session attaches to the running one (coalesced=true)
-// and receives its summary when it completes.
-func (s *Server) submitJob(sess *session, id, trace string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key) (*jobs.Job, bool, error) {
+// and receives its summary when it completes. A non-empty seed makes
+// the run a warm-started Extend from that partition (ignored when a
+// checkpoint is resumed — the checkpoint's trace already carries the
+// seed prefix).
+func (s *Server) submitJob(sess *session, id, trace string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key, seed provenance.Groups) (*jobs.Job, bool, error) {
 	s.mu.Lock()
 	if id == "" {
 		s.jobSeq++
@@ -182,13 +234,17 @@ func (s *Server) submitJob(sess *session, id, trace string, params codec.JobPara
 	}
 	s.jobMeta[id] = meta
 	sess.active++
+	// Snapshot the expression under the lock: a concurrent ingest swaps
+	// sess.prov, and the job must run on the expression its cache key was
+	// computed from.
+	prov := sess.prov
 	s.mu.Unlock()
 
 	dedupKey := ""
 	if key != nil {
 		dedupKey = "c:" + key.String()
 	}
-	job, coalesced, err := s.jm.SubmitTraced(id, dedupKey, trace, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, id, params, cp, key))
+	job, coalesced, err := s.jm.SubmitTraced(id, dedupKey, trace, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, prov, id, params, cp, key, seed))
 	if err != nil {
 		s.mu.Lock()
 		delete(s.jobMeta, id)
@@ -225,12 +281,15 @@ func (s *Server) submitJob(sess *session, id, trace string, params codec.JobPara
 
 // summarizeTask builds the worker-pool task for one job: construct the
 // summarizer (with a checkpoint sink when a store is attached), run —
-// resuming from cp if the job was interrupted before a restart — and
-// publish the summary on the session and (with a key) in the summary
-// cache. The cache publish happens before the job goes terminal, so a
-// submission never observes a finished job it cannot coalesce onto
-// without also finding the entry it would have computed.
-func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key) jobs.Task {
+// resuming from cp if the job was interrupted before a restart, or
+// warm-starting from seed when one is given — and publish the summary
+// on the session and (with a key) in the summary cache. The cache
+// publish happens before the job goes terminal, so a submission never
+// observes a finished job it cannot coalesce onto without also finding
+// the entry it would have computed. prov is the expression snapshot the
+// submission keyed on; the task must not read sess.prov, which a
+// concurrent ingest may have advanced.
+func (s *Server) summarizeTask(sess *session, prov *provenance.Agg, jobID string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key, seed provenance.Groups) jobs.Task {
 	return func(ctx context.Context) (any, error) {
 		// Rejoin the submitter's trace: the job carries the original
 		// traceparent (or, after a restart, the pre-kill run's job span),
@@ -241,8 +300,11 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 			ctx = obs.ContextWithSpanContext(ctx, sc)
 		}
 		name := "job.run"
-		if cp != nil {
+		switch {
+		case cp != nil:
 			name = "job.resume"
+		case len(seed) > 0:
+			name = "job.extend"
 		}
 		ctx, span := s.tracer.StartSpan(ctx, name,
 			obs.KV("job", jobID), obs.KV("session", sess.id))
@@ -253,10 +315,13 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 			if cp != nil {
 				span.SetAttr("fromStep", cp.Step)
 			}
+			if params.ExtendFromVersion > 0 {
+				span.SetAttr("extendFrom", params.ExtendFromVersion)
+			}
 		}
 
 		kind := classKind(params.Class)
-		est := s.estimatorFor(sess.prov, kind)
+		est := s.estimatorFor(prov, kind)
 		stepStart := time.Now()
 		cfg := core.Config{
 			Policy:     s.workload.Policy,
@@ -299,7 +364,12 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 			span.SetAttr("error", err)
 			return nil, err
 		}
-		sum, err := summarizer.Resume(ctx, sess.prov, cp)
+		var sum *core.Summary
+		if cp == nil && len(seed) > 0 {
+			sum, err = summarizer.Extend(ctx, prov, seed)
+		} else {
+			sum, err = summarizer.Resume(ctx, prov, cp)
+		}
 		if err != nil {
 			span.SetAttr("error", err)
 			return nil, err
@@ -311,7 +381,7 @@ func (s *Server) summarizeTask(sess *session, jobID string, params codec.JobPara
 		sess.class = kind
 		s.mu.Unlock()
 		if s.cache != nil && key != nil {
-			s.publishToCache(*key, params, sum)
+			s.publishToCache(sess, *key, params, sum)
 		}
 		s.recordSummarize(sum, est)
 		jlog.Info("summarized",
@@ -357,6 +427,14 @@ func (s *Server) onJobTransition(tr jobs.Transition) {
 				as.class = kind
 			}
 			s.mu.Unlock()
+		}
+	}
+
+	// Every completed run appends a version to the primary session's
+	// chain (with or without a store; the chain drives /api/extend).
+	if tr.To == jobs.Done && meta != nil {
+		if sum, ok := tr.Job.Status().Result.(*core.Summary); ok {
+			s.appendVersion(meta, sum)
 		}
 	}
 
@@ -420,11 +498,12 @@ func (s *Server) onJobTransition(tr jobs.Transition) {
 			}
 			for _, sid := range sessionIDs {
 				rec := &codec.SummaryRecord{
-					SessionID:  sid,
-					Class:      meta.params.Class,
-					Steps:      codec.StepsFromCore(sum.Steps),
-					Dist:       sum.Dist,
-					StopReason: sum.StopReason,
+					SessionID:    sid,
+					Class:        meta.params.Class,
+					Steps:        codec.StepsFromCore(sum.Steps),
+					Dist:         sum.Dist,
+					StopReason:   sum.StopReason,
+					ExtendedFrom: sum.ExtendedFrom,
 				}
 				if err := s.st.PutSummary(rec); err != nil {
 					s.log.Error("journaling summary failed", "job", id, "session", sid, "err", err)
@@ -512,7 +591,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	out, status, err := s.submitSummarize(r.Context(), &req)
+	out, status, err := s.submitSummarize(r.Context(), &req, 0)
 	if err != nil {
 		writeErr(w, status, "%v", err)
 		return
@@ -624,10 +703,10 @@ func (s *Server) writeJobOutcome(w http.ResponseWriter, st jobs.Status) {
 }
 
 // restoreFromStore replays the store's state into the server: sessions
-// (with their custom universe entries and completed summaries) come
-// back under their original ids, and jobs whose last journaled state is
-// queued or running are resubmitted, resuming from their latest
-// checkpoint.
+// (with their custom universe entries, replayed ingest batches,
+// summary version chains and completed summaries) come back under
+// their original ids, and jobs whose last journaled state is queued or
+// running are resubmitted, resuming from their latest checkpoint.
 func (s *Server) restoreFromStore() error {
 	state := s.st.State()
 	for _, rec := range state.Sessions {
@@ -635,6 +714,26 @@ func (s *Server) restoreFromStore() error {
 			s.workload.Universe.Add(provenance.Annotation(e.Ann), e.Table, provenance.Attrs(e.Attrs))
 		}
 		sess := &session{id: rec.ID, prov: rec.Prov, universe: rec.Universe}
+		// Replay the session's ingest log in append order: the same
+		// Append calls the live server made rebuild the same expression
+		// snapshots and plan state.
+		for _, ing := range state.Ingests[rec.ID] {
+			for _, e := range ing.Universe {
+				s.workload.Universe.Add(provenance.Annotation(e.Ann), e.Table, provenance.Attrs(e.Attrs))
+			}
+			if sess.stream == nil {
+				sess.stream = stream.NewSession(sess.prov)
+			}
+			next, patched, err := sess.stream.Append(ing.Added.Tensors)
+			if err != nil {
+				return fmt.Errorf("server: replaying ingest for session %s: %w", rec.ID, err)
+			}
+			sess.prov = next
+			s.recordIngest(len(ing.Added.Tensors), patched)
+		}
+		// Version chains come back before jobs are requeued below: a
+		// requeued extend job rebuilds its seed from its parent version.
+		sess.versions = append([]*codec.SummaryVersionRecord(nil), state.Versions[rec.ID]...)
 		if sumRec, ok := state.Summaries[rec.ID]; ok {
 			sum, err := s.rebuildSummary(sess, sumRec)
 			if err != nil {
@@ -694,9 +793,19 @@ func (s *Server) restoreFromStore() error {
 		if cp != nil {
 			step = cp.Step
 		}
+		var seed provenance.Groups
+		if rec.Params.ExtendFromVersion > 0 {
+			var err error
+			seed, err = s.seedForVersion(sess, rec.Params.ExtendFromVersion)
+			if err != nil {
+				s.log.Error("interrupted extend job references unknown version; dropping",
+					"job", rec.ID, "session", rec.SessionID, "version", rec.Params.ExtendFromVersion, "err", err)
+				continue
+			}
+		}
 		var key *summarycache.Key
 		if s.cache != nil {
-			k := s.cacheKeyFor(sess, rec.Params)
+			k := s.cacheKeyFor(sess, rec.Params, seed)
 			key = &k
 		}
 		// Resume under the interrupted run's trace: prefer the
@@ -707,7 +816,7 @@ func (s *Server) restoreFromStore() error {
 		if cp != nil && cp.TraceParent != "" {
 			trace = cp.TraceParent
 		}
-		job, coalesced, err := s.submitJob(sess, rec.ID, trace, rec.Params, cp, key)
+		job, coalesced, err := s.submitJob(sess, rec.ID, trace, rec.Params, cp, key, seed)
 		if err != nil {
 			return fmt.Errorf("server: requeueing interrupted job %s: %w", rec.ID, err)
 		}

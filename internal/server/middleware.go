@@ -20,6 +20,7 @@ type metrics struct {
 	// job engine instrumentation.
 	jobsQueued   *obs.Gauge
 	jobsRunning  *obs.Gauge
+	queueDepth   *obs.Gauge
 	jobDur       *obs.Histogram
 	jobsFinished map[string]*obs.Counter // by terminal state
 	checkpoints  *obs.Counter
@@ -27,11 +28,20 @@ type metrics struct {
 	// summary-cache instrumentation.
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
+	cacheWarmHits  *obs.Counter
 	cacheEvictions *obs.Counter
 	cacheRejected  *obs.Counter
 	cacheCoalesced *obs.Counter
 	cacheBytes     *obs.Gauge
 	cacheEntries   *obs.Gauge
+
+	// streaming ingest and versioning instrumentation.
+	streamIngests    *obs.Counter
+	streamTensors    *obs.Counter
+	streamPatches    *obs.Counter
+	streamRecompiles *obs.Counter
+	streamExtends    *obs.Counter
+	versions         *obs.Counter
 
 	// estimator instrumentation, accumulated from per-request estimators
 	// after each summarization (see recordSummarize).
@@ -67,6 +77,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 
 		jobsQueued:  reg.Gauge("prox_jobs_queued", "Summarization jobs waiting in the queue.", nil),
 		jobsRunning: reg.Gauge("prox_jobs_running", "Summarization jobs currently running on workers.", nil),
+		queueDepth:  reg.Gauge("prox_jobs_queue_depth", "Jobs sitting in the manager's queue channel, sampled at scrape time.", nil),
 		jobDur:      reg.Histogram("prox_job_duration_seconds", "Submit-to-terminal latency of summarization jobs.", nil, nil),
 		jobsFinished: map[string]*obs.Counter{
 			"done":     reg.Counter("prox_jobs_finished_total", "Jobs reaching a terminal state.", obs.Labels{"state": "done"}),
@@ -77,11 +88,19 @@ func newMetrics(reg *obs.Registry) *metrics {
 
 		cacheHits:      reg.Counter("prox_cache_hits_total", "Summarize requests served from the summary cache.", nil),
 		cacheMisses:    reg.Counter("prox_cache_misses_total", "Summarize requests that missed the summary cache.", nil),
+		cacheWarmHits:  reg.Counter("prox_cache_warm_hits_total", "Exact-miss summarize requests warm-started from a prior version found in the cache's prefix index.", nil),
 		cacheEvictions: reg.Counter("prox_cache_evictions_total", "Summary-cache entries displaced by the LRU/TTL bounds.", nil),
 		cacheRejected:  reg.Counter("prox_cache_rejected_total", "Summary-cache puts rejected (oversized entry or marshal failure).", nil),
 		cacheCoalesced: reg.Counter("prox_cache_inflight_coalesced_total", "Submissions coalesced onto an in-flight identical job.", nil),
 		cacheBytes:     reg.Gauge("prox_cache_bytes", "Bytes held by the summary cache.", nil),
 		cacheEntries:   reg.Gauge("prox_cache_entries", "Entries held by the summary cache.", nil),
+
+		streamIngests:    reg.Counter("prox_stream_ingests_total", "Ingest batches appended to streaming sessions.", nil),
+		streamTensors:    reg.Counter("prox_stream_ingest_tensors_total", "Tensors appended by ingest batches.", nil),
+		streamPatches:    reg.Counter("prox_stream_plan_patches_total", "Ingest batches folded into the compiled evaluation plan in place (Plan.ApplyAppend).", nil),
+		streamRecompiles: reg.Counter("prox_stream_plan_recompiles_total", "Ingest batches that forced a full evaluation-plan recompile.", nil),
+		streamExtends:    reg.Counter("prox_stream_extends_total", "Warm-started Extend jobs submitted (explicit /api/extend or cache warm-starts).", nil),
+		versions:         reg.Counter("prox_summary_versions_total", "Summary versions appended to session chains.", nil),
 
 		estEvals:      reg.Counter("prox_estimator_evaluations_total", "VAL-FUNC summands evaluated by the distance estimator.", nil),
 		estHits:       reg.Counter("prox_estimator_cache_hits_total", "Original-expression evaluation cache hits.", nil),

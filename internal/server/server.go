@@ -36,6 +36,7 @@ import (
 	"repro/internal/parse"
 	"repro/internal/provenance"
 	"repro/internal/store"
+	"repro/internal/stream"
 	"repro/internal/summarycache"
 	"repro/internal/valuation"
 )
@@ -83,7 +84,13 @@ type Server struct {
 	cacheEntries int
 	cacheBytes   int64
 	cacheTTL     time.Duration
-	policyFP     [32]byte
+	// cacheSweep is the period of the background TTL sweeper (0 picks
+	// TTL/2 when a TTL is set; sweeping is off without one). The sweeper
+	// goroutine stops on Shutdown via sweepStop/sweepDone.
+	cacheSweep time.Duration
+	sweepStop  chan struct{}
+	sweepDone  chan struct{}
+	policyFP   [32]byte
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -106,6 +113,13 @@ type session struct {
 	// universe carries the custom annotations registered by this session
 	// (for persistence; selections over the workload leave it empty).
 	universe []codec.UniverseEntry
+	// stream holds the session's streaming ingest state (expression
+	// snapshots plus the incrementally patched evaluation plan); nil
+	// until the first POST /api/ingest.
+	stream *stream.Session
+	// versions is the session's summary version chain, oldest first
+	// (1-based version numbers; see appendVersion).
+	versions []*codec.SummaryVersionRecord
 	// active counts this session's queued+running jobs; a session with
 	// active > 0 is pinned and never evicted.
 	active int
@@ -220,6 +234,20 @@ func WithCache(entries int, bytes int64, ttl time.Duration) Option {
 	}
 }
 
+// WithCacheSweep sets the period of the background sweep that evicts
+// TTL-expired cache entries eagerly (journaling the drops), instead of
+// leaving them to lazy eviction on the next lookup. every <= 0 keeps
+// the default of half the cache TTL; the sweeper only runs when a TTL
+// is configured. Expired entries are also swept on every /metrics
+// scrape so the prox_cache_* gauges never report dead entries.
+func WithCacheSweep(every time.Duration) Option {
+	return func(s *Server) {
+		if every > 0 {
+			s.cacheSweep = every
+		}
+	}
+}
+
 // New builds a PROX server over the given MovieLens workload. With a
 // store attached it also replays persisted sessions and requeues
 // interrupted jobs, which can fail if the store's contents do not match
@@ -282,7 +310,38 @@ func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 			return nil, err
 		}
 	}
+	if s.cache != nil && s.cacheTTL > 0 {
+		if s.cacheSweep <= 0 {
+			s.cacheSweep = s.cacheTTL / 2
+		}
+		if s.cacheSweep <= 0 {
+			s.cacheSweep = time.Second
+		}
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop()
+	}
 	return s, nil
+}
+
+// sweepLoop periodically evicts TTL-expired cache entries so their
+// bytes are released (and their store records dropped, via OnEvict)
+// without waiting for a lookup to trip over them.
+func (s *Server) sweepLoop() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.cacheSweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+			if n := s.cache.Sweep(); n > 0 {
+				s.updateCacheGauges()
+				s.log.Debug("cache sweep evicted expired entries", "entries", n)
+			}
+		}
+	}
 }
 
 // Shutdown stops the worker pool, interrupting running jobs. With a
@@ -290,6 +349,11 @@ func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 // state (queued/running) and requeue from their latest checkpoint on the
 // next start.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+		s.sweepStop = nil
+	}
 	return s.jm.Shutdown(ctx)
 }
 
@@ -305,7 +369,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/movies", s.instrument("/api/movies", s.handleMovies))
 	mux.HandleFunc("POST /api/select", s.instrument("/api/select", s.handleSelect))
 	mux.HandleFunc("POST /api/custom", s.instrument("/api/custom", s.handleCustom))
+	mux.HandleFunc("POST /api/ingest", s.instrument("/api/ingest", s.handleIngest))
 	mux.HandleFunc("POST /api/summarize", s.instrument("/api/summarize", s.handleSummarize))
+	mux.HandleFunc("POST /api/extend", s.instrument("/api/extend", s.handleExtend))
+	mux.HandleFunc("GET /api/sessions/{id}/versions", s.instrument("/api/sessions/{id}/versions", s.handleVersions))
+	mux.HandleFunc("GET /api/versions/{a}/diff/{b}", s.instrument("/api/versions/{a}/diff/{b}", s.handleVersionDiff))
 	mux.HandleFunc("POST /api/jobs", s.instrument("/api/jobs", s.handleJobSubmit))
 	mux.HandleFunc("GET /api/jobs/{id}", s.instrument("/api/jobs/{id}", s.handleJobGet))
 	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.instrument("/api/jobs/{id}/cancel", s.handleJobCancel))
@@ -323,10 +391,18 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// scrape refreshes sampled series (runtime gauges, SLO burn rates)
-// immediately before a /metrics exposition.
+// scrape refreshes sampled series (runtime gauges, queue depth, SLO
+// burn rates) immediately before a /metrics exposition.
 func (s *Server) scrape() {
 	s.runtime.Collect()
+	s.met.queueDepth.Set(float64(s.jm.QueueDepth()))
+	if s.cache != nil {
+		// Evict TTL-expired entries before exposing the cache gauges, so
+		// prox_cache_entries/_bytes never report dead entries between
+		// background sweeps.
+		s.cache.Sweep()
+		s.updateCacheGauges()
+	}
 	s.sloMu.Lock()
 	slos := append([]*obs.SLO(nil), s.sloAll...)
 	s.sloMu.Unlock()
@@ -693,7 +769,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	out, status, err := s.submitSummarize(r.Context(), &req)
+	out, status, err := s.submitSummarize(r.Context(), &req, 0)
 	if err != nil {
 		writeErr(w, status, "%v", err)
 		return

@@ -81,7 +81,9 @@ type Store struct {
 
 	sessions     map[string]*codec.SessionRecord
 	sessionOrder []string
+	ingests      map[string][]*codec.IngestRecord // per session, append order
 	summaries    map[string]*codec.SummaryRecord
+	versions     map[string][]*codec.SummaryVersionRecord // per session, version order
 	jobs         map[string]*codec.JobRecord
 	jobOrder     []string
 	checkpoints  map[string]*codec.CheckpointRecord
@@ -95,10 +97,12 @@ type Store struct {
 // and requeue interrupted jobs fairly.
 type State struct {
 	Sessions     []*codec.SessionRecord
-	Summaries    map[string]*codec.SummaryRecord    // by session id
-	Jobs         []*codec.JobRecord                 // latest record per job
-	Checkpoints  map[string]*codec.CheckpointRecord // latest per job id
-	CacheEntries []*codec.CacheEntryRecord          // latest record per key
+	Ingests      map[string][]*codec.IngestRecord         // by session id, append order
+	Summaries    map[string]*codec.SummaryRecord          // by session id
+	Versions     map[string][]*codec.SummaryVersionRecord // by session id, version order
+	Jobs         []*codec.JobRecord                       // latest record per job
+	Checkpoints  map[string]*codec.CheckpointRecord       // latest per job id
+	CacheEntries []*codec.CacheEntryRecord                // latest record per key
 }
 
 // Open replays dir's snapshot and log, truncates any torn log tail, and
@@ -111,7 +115,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:          dir,
 		opts:         opts,
 		sessions:     make(map[string]*codec.SessionRecord),
+		ingests:      make(map[string][]*codec.IngestRecord),
 		summaries:    make(map[string]*codec.SummaryRecord),
+		versions:     make(map[string][]*codec.SummaryVersionRecord),
 		jobs:         make(map[string]*codec.JobRecord),
 		checkpoints:  make(map[string]*codec.CheckpointRecord),
 		cacheEntries: make(map[string]*codec.CacheEntryRecord),
@@ -193,7 +199,9 @@ func (s *Store) apply(rec *codec.Record) {
 			delete(s.sessions, id)
 			s.sessionOrder = removeString(s.sessionOrder, id)
 		}
+		delete(s.ingests, id)
 		delete(s.summaries, id)
+		delete(s.versions, id)
 		for jobID, job := range s.jobs {
 			if job.SessionID == id {
 				delete(s.jobs, jobID)
@@ -201,8 +209,22 @@ func (s *Store) apply(rec *codec.Record) {
 				s.jobOrder = removeString(s.jobOrder, jobID)
 			}
 		}
+	case rec.Ingest != nil:
+		id := rec.Ingest.SessionID
+		s.ingests[id] = append(s.ingests[id], rec.Ingest)
 	case rec.Summary != nil:
 		s.summaries[rec.Summary.SessionID] = rec.Summary
+	case rec.SummaryVersion != nil:
+		// Versions are dense and 1-based per session; a re-put of the
+		// same version number (compaction replay) replaces it.
+		id := rec.SummaryVersion.SessionID
+		chain := s.versions[id]
+		if n := rec.SummaryVersion.Version; n >= 1 && n <= len(chain) {
+			chain[n-1] = rec.SummaryVersion
+		} else {
+			chain = append(chain, rec.SummaryVersion)
+		}
+		s.versions[id] = chain
 	case rec.Job != nil:
 		id := rec.Job.ID
 		if _, ok := s.jobs[id]; !ok {
@@ -246,14 +268,22 @@ func (s *Store) State() *State {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := &State{
+		Ingests:     make(map[string][]*codec.IngestRecord, len(s.ingests)),
 		Summaries:   make(map[string]*codec.SummaryRecord, len(s.summaries)),
+		Versions:    make(map[string][]*codec.SummaryVersionRecord, len(s.versions)),
 		Checkpoints: make(map[string]*codec.CheckpointRecord, len(s.checkpoints)),
 	}
 	for _, id := range s.sessionOrder {
 		st.Sessions = append(st.Sessions, s.sessions[id])
 	}
+	for id, ing := range s.ingests {
+		st.Ingests[id] = append([]*codec.IngestRecord(nil), ing...)
+	}
 	for id, sum := range s.summaries {
 		st.Summaries[id] = sum
+	}
+	for id, chain := range s.versions {
+		st.Versions[id] = append([]*codec.SummaryVersionRecord(nil), chain...)
 	}
 	for _, id := range s.jobOrder {
 		st.Jobs = append(st.Jobs, s.jobs[id])
@@ -314,9 +344,20 @@ func (s *Store) DropSession(id string) error {
 	return s.append(&codec.Record{SessionDrop: &codec.SessionDropRecord{ID: id}})
 }
 
+// PutIngest journals one streaming ingest batch appended to a session.
+func (s *Store) PutIngest(rec *codec.IngestRecord) error {
+	return s.append(&codec.Record{Ingest: rec})
+}
+
 // PutSummary journals a session's completed summarization.
 func (s *Store) PutSummary(rec *codec.SummaryRecord) error {
 	return s.append(&codec.Record{Summary: rec})
+}
+
+// PutSummaryVersion journals one entry of a session's summary version
+// chain.
+func (s *Store) PutSummaryVersion(rec *codec.SummaryVersionRecord) error {
+	return s.append(&codec.Record{SummaryVersion: rec})
 }
 
 // PutJob journals a job state transition. A terminal state drops the
@@ -370,8 +411,20 @@ func (s *Store) Compact() error {
 		if err := write(&codec.Record{Session: s.sessions[id]}); err != nil {
 			return fmt.Errorf("store: compact: %w", err)
 		}
+		for _, ing := range s.ingests[id] {
+			if err := write(&codec.Record{Ingest: ing}); err != nil {
+				return fmt.Errorf("store: compact: %w", err)
+			}
+		}
 		if sum, ok := s.summaries[id]; ok {
 			if err := write(&codec.Record{Summary: sum}); err != nil {
+				return fmt.Errorf("store: compact: %w", err)
+			}
+		}
+		// Version chains precede the job records below: a requeued
+		// extend job needs its parent version restored first.
+		for _, v := range s.versions[id] {
+			if err := write(&codec.Record{SummaryVersion: v}); err != nil {
 				return fmt.Errorf("store: compact: %w", err)
 			}
 		}

@@ -1,0 +1,127 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/provenance"
+)
+
+func ingestRec(sessionID, ann, group string) *codec.IngestRecord {
+	return &codec.IngestRecord{
+		SessionID: sessionID,
+		Added: provenance.NewAgg(provenance.AggSum,
+			provenance.Tensor{Prov: provenance.V(provenance.Annotation(ann)), Value: 1, Count: 1, Group: provenance.Annotation(group)}),
+		Universe: []codec.UniverseEntry{{Ann: ann, Table: "t"}},
+	}
+}
+
+func versionRec(sessionID string, version, parent, extendedFrom int) *codec.SummaryVersionRecord {
+	return &codec.SummaryVersionRecord{
+		SessionID: sessionID, Version: version, Parent: parent,
+		Class: "cancel-single",
+		Steps: []codec.StepRecord{{
+			Members: []string{"a", "b"}, New: "ab", Dist: 0.1, Size: 2,
+		}},
+		ExtendedFrom: extendedFrom, Dist: 0.1, StopReason: "max-steps",
+	}
+}
+
+// TestReopenRestoresStreamState pins durability of the streaming
+// records: ingest batches replay per session in append order, version
+// chains replay in version order with a re-put of an existing version
+// number replacing in place, and both survive compaction.
+func TestReopenRestoresStreamState(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	v2 := versionRec("s1", 2, 1, 1)
+	for _, err := range []error{
+		s.PutSession(sessionRec("s1")),
+		s.PutSession(sessionRec("s2")),
+		s.PutIngest(ingestRec("s1", "x1", "g1")),
+		s.PutIngest(ingestRec("s1", "x2", "g2")),
+		s.PutIngest(ingestRec("s2", "y1", "g1")),
+		s.PutSummaryVersion(versionRec("s1", 1, 0, 0)),
+		s.PutSummaryVersion(v2),
+		s.PutSummaryVersion(versionRec("s2", 1, 0, 0)),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.State()
+	if got := st.Ingests["s1"]; len(got) != 2 ||
+		got[0].Added.String() == got[1].Added.String() ||
+		got[0].Universe[0].Ann != "x1" || got[1].Universe[0].Ann != "x2" {
+		t.Fatalf("s1 ingests = %+v, want x1 then x2", got)
+	}
+	if got := st.Ingests["s2"]; len(got) != 1 || got[0].Universe[0].Ann != "y1" {
+		t.Fatalf("s2 ingests = %+v", got)
+	}
+	chain := st.Versions["s1"]
+	if len(chain) != 2 || chain[0].Version != 1 || chain[1].Version != 2 {
+		t.Fatalf("s1 versions = %+v, want dense chain 1,2", chain)
+	}
+	if chain[1].Parent != 1 || chain[1].ExtendedFrom != 1 {
+		t.Fatalf("s1 v2 = %+v, want parent 1 extendedFrom 1", chain[1])
+	}
+	if got := st.Versions["s2"]; len(got) != 1 || got[0].Parent != 0 {
+		t.Fatalf("s2 versions = %+v", got)
+	}
+
+	// A re-put of an existing version number replaces it in place
+	// (compaction replays do this) instead of growing the chain.
+	v2b := versionRec("s1", 2, 1, 1)
+	v2b.Dist = 0.05
+	if err := s2.PutSummaryVersion(v2b); err != nil {
+		t.Fatal(err)
+	}
+	if chain := s2.State().Versions["s1"]; len(chain) != 2 || chain[1].Dist != 0.05 {
+		t.Fatalf("re-put version chain = %+v, want v2 replaced", chain)
+	}
+
+	// Compaction moves everything into the snapshot and preserves it.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	st = mustOpen(t, dir, Options{}).State()
+	if len(st.Ingests["s1"]) != 2 || len(st.Ingests["s2"]) != 1 {
+		t.Fatalf("post-compact ingests = %+v", st.Ingests)
+	}
+	if len(st.Versions["s1"]) != 2 || st.Versions["s1"][1].Dist != 0.05 {
+		t.Fatalf("post-compact versions = %+v", st.Versions)
+	}
+}
+
+// TestDropSessionCascadesStreamState pins that evicting a session also
+// drops its ingest log and version chain on replay.
+func TestDropSessionCascadesStreamState(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for _, err := range []error{
+		s.PutSession(sessionRec("s1")),
+		s.PutSession(sessionRec("s2")),
+		s.PutIngest(ingestRec("s1", "x1", "g1")),
+		s.PutIngest(ingestRec("s2", "y1", "g1")),
+		s.PutSummaryVersion(versionRec("s1", 1, 0, 0)),
+		s.PutSummaryVersion(versionRec("s2", 1, 0, 0)),
+		s.DropSession("s1"),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	st := mustOpen(t, dir, Options{}).State()
+	if len(st.Ingests["s1"]) != 0 || len(st.Versions["s1"]) != 0 {
+		t.Fatalf("drop did not cascade stream state: %+v %+v", st.Ingests, st.Versions)
+	}
+	if len(st.Ingests["s2"]) != 1 || len(st.Versions["s2"]) != 1 {
+		t.Fatalf("drop clobbered the surviving session: %+v %+v", st.Ingests, st.Versions)
+	}
+}

@@ -107,6 +107,9 @@ type entry struct {
 	key  Key
 	rec  *codec.CacheEntryRecord
 	size int64
+	// prefix, when non-nil, is the warm-start content address the entry
+	// is additionally registered under (see PutWithPrefix).
+	prefix *Key
 }
 
 // Cache is the LRU store. All methods are safe for concurrent use.
@@ -116,8 +119,11 @@ type Cache struct {
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used; values are *entry
 	items map[Key]*list.Element
-	bytes int64
-	stats Stats
+	// prefixes is the warm-start index: prefix address → keys of the
+	// entries registered under it, oldest first.
+	prefixes map[Key][]Key
+	bytes    int64
+	stats    Stats
 }
 
 // New builds a cache with the given bounds.
@@ -132,9 +138,10 @@ func New(cfg Config) *Cache {
 		cfg.Now = time.Now
 	}
 	return &Cache{
-		cfg:   cfg,
-		ll:    list.New(),
-		items: make(map[Key]*list.Element),
+		cfg:      cfg,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		prefixes: make(map[Key][]Key),
 	}
 }
 
@@ -167,6 +174,21 @@ func (c *Cache) Get(k Key) (*codec.CacheEntryRecord, bool) {
 // reported false so callers do not journal an entry the cache never
 // held. Re-putting a key replaces its entry.
 func (c *Cache) Put(k Key, rec *codec.CacheEntryRecord) bool {
+	return c.put(k, nil, rec)
+}
+
+// PutWithPrefix stores rec under k like Put and additionally registers
+// it under the warm-start address prefix, so GetWarm(prefix) can find
+// it. The prefix identifies a coarser equivalence than the exact key —
+// e.g. a session lineage under one config, ignoring the expression's
+// ingest state — letting an extended expression whose exact key misses
+// recover the prior version's summary as a warm-start seed. Re-putting
+// a key updates its prefix registration.
+func (c *Cache) PutWithPrefix(k, prefix Key, rec *codec.CacheEntryRecord) bool {
+	return c.put(k, &prefix, rec)
+}
+
+func (c *Cache) put(k Key, prefix *Key, rec *codec.CacheEntryRecord) bool {
 	enc, err := json.Marshal(rec)
 	if err != nil {
 		c.reject()
@@ -184,11 +206,14 @@ func (c *Cache) Put(k Key, rec *codec.CacheEntryRecord) bool {
 		e := el.Value.(*entry)
 		c.bytes += size - e.size
 		e.rec, e.size = rec, size
+		c.setPrefix(e, prefix)
 		c.ll.MoveToFront(el)
 	} else {
-		el := c.ll.PushFront(&entry{key: k, rec: rec, size: size})
+		e := &entry{key: k, rec: rec, size: size}
+		el := c.ll.PushFront(e)
 		c.items[k] = el
 		c.bytes += size
+		c.setPrefix(e, prefix)
 	}
 	for c.ll.Len() > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes {
 		back := c.ll.Back()
@@ -199,6 +224,66 @@ func (c *Cache) Put(k Key, rec *codec.CacheEntryRecord) bool {
 		c.stats.Evictions++
 	}
 	return true
+}
+
+// GetWarm returns the most recently stored live entry registered under
+// the warm-start address prefix, bumping its recency. Expired
+// candidates are evicted on the way, like Get. It does not count
+// toward Hits/Misses — a warm probe is a fallback after an exact miss,
+// which was already counted.
+func (c *Cache) GetWarm(prefix Key) (*codec.CacheEntryRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := c.prefixes[prefix]
+	for i := len(keys) - 1; i >= 0; i-- {
+		el, ok := c.items[keys[i]]
+		if !ok {
+			continue
+		}
+		e := el.Value.(*entry)
+		if c.expired(e.rec) {
+			c.remove(el, EvictTTL)
+			c.stats.Expirations++
+			continue
+		}
+		c.ll.MoveToFront(el)
+		return e.rec, true
+	}
+	return nil, false
+}
+
+// setPrefix moves e's warm-start registration to prefix (possibly nil).
+// Caller holds c.mu.
+func (c *Cache) setPrefix(e *entry, prefix *Key) {
+	if e.prefix != nil {
+		c.dropPrefix(e)
+	}
+	if prefix == nil {
+		return
+	}
+	p := *prefix
+	e.prefix = &p
+	c.prefixes[p] = append(c.prefixes[p], e.key)
+}
+
+// dropPrefix unregisters e from the warm-start index. Caller holds c.mu.
+func (c *Cache) dropPrefix(e *entry) {
+	if e.prefix == nil {
+		return
+	}
+	keys := c.prefixes[*e.prefix]
+	out := make([]Key, 0, len(keys))
+	for _, k := range keys {
+		if k != e.key {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		delete(c.prefixes, *e.prefix)
+	} else {
+		c.prefixes[*e.prefix] = out
+	}
+	e.prefix = nil
 }
 
 // reject counts a refused Put.
@@ -222,6 +307,7 @@ func (c *Cache) Drop(k Key) bool {
 	c.ll.Remove(el)
 	delete(c.items, e.key)
 	c.bytes -= e.size
+	c.dropPrefix(e)
 	return true
 }
 
@@ -234,7 +320,34 @@ func (c *Cache) Flush() int {
 	n := c.ll.Len()
 	c.ll.Init()
 	c.items = make(map[Key]*list.Element)
+	c.prefixes = make(map[Key][]Key)
 	c.bytes = 0
+	return n
+}
+
+// Sweep evicts every expired entry now instead of waiting for a Get to
+// touch it — without a sweep, lazily-expired entries keep counting
+// toward Stats.Entries/Bytes (and hold memory) indefinitely. Evictions
+// fire OnEvict with EvictTTL and count as Expirations, exactly like a
+// lazy expiry. Returns the number of entries removed. Callers run it
+// periodically; it is cheap (one pass under the lock) and a no-op
+// without a TTL.
+func (c *Cache) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.TTL <= 0 {
+		return 0
+	}
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if c.expired(el.Value.(*entry).rec) {
+			c.remove(el, EvictTTL)
+			c.stats.Expirations++
+			n++
+		}
+		el = next
+	}
 	return n
 }
 
@@ -276,6 +389,7 @@ func (c *Cache) remove(el *list.Element, reason EvictReason) {
 	c.ll.Remove(el)
 	delete(c.items, e.key)
 	c.bytes -= e.size
+	c.dropPrefix(e)
 	if c.cfg.OnEvict != nil {
 		c.cfg.OnEvict(e.key, e.rec, reason)
 	}

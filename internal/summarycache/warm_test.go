@@ -1,0 +1,215 @@
+package summarycache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// sweepClock is a settable fake clock shared with the cache under test.
+type sweepClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *sweepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *sweepClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// recAt is rec with an explicit CreatedMS stamp (TTL expiry is measured
+// from the record's creation time, not the insertion time).
+func recAt(dist float64, createdMS int64) *codec.CacheEntryRecord {
+	r := rec(dist)
+	r.CreatedMS = createdMS
+	return r
+}
+
+// TestSweepEvictsExpired is the regression test for the eager TTL
+// sweep: expired entries leave the cache (entry count, byte
+// accounting, OnEvict notifications, Expirations stat) without any
+// lookup touching them — the behaviour the server's gauge refresh and
+// background sweeper rely on.
+func TestSweepEvictsExpired(t *testing.T) {
+	clk := &sweepClock{now: time.UnixMilli(1000)}
+	var evicted []Key
+	c := New(Config{
+		TTL: 500 * time.Millisecond,
+		Now: clk.Now,
+		OnEvict: func(k Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+			if reason != EvictTTL {
+				t.Errorf("reason = %q, want ttl", reason)
+			}
+			evicted = append(evicted, k)
+		},
+	})
+	c.Put(key("a"), recAt(0.1, 1000))
+	c.Put(key("b"), recAt(0.2, 1000))
+	clk.Set(time.UnixMilli(1300))
+	c.Put(key("c"), recAt(0.3, 1300))
+	bytesBefore := c.Bytes()
+
+	if n := c.Sweep(); n != 0 {
+		t.Fatalf("Sweep before expiry evicted %d entries", n)
+	}
+
+	// a and b expire at 1500; c lives until 1800.
+	clk.Set(time.UnixMilli(1600))
+	if n := c.Sweep(); n != 2 {
+		t.Fatalf("Sweep = %d, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after sweep, want 1", c.Len())
+	}
+	if c.Bytes() >= bytesBefore {
+		t.Fatalf("bytes did not drop: %d >= %d", c.Bytes(), bytesBefore)
+	}
+	if len(evicted) != 2 {
+		t.Fatalf("OnEvict fired %d times, want 2", len(evicted))
+	}
+	if got, ok := c.Get(key("c")); !ok || got.Dist != 0.3 {
+		t.Fatal("live entry c must survive the sweep")
+	}
+	st := c.Stats()
+	if st.Expirations != 2 {
+		t.Fatalf("stats = %+v, want 2 expirations", st)
+	}
+
+	// Idempotent once drained.
+	if n := c.Sweep(); n != 0 {
+		t.Fatalf("second Sweep = %d, want 0", n)
+	}
+}
+
+// TestSweepWithoutTTL pins that sweeping a TTL-less cache is a no-op.
+func TestSweepWithoutTTL(t *testing.T) {
+	c := New(Config{})
+	c.Put(key("a"), rec(0.1))
+	if n := c.Sweep(); n != 0 {
+		t.Fatalf("Sweep = %d on a TTL-less cache", n)
+	}
+	if c.Len() != 1 {
+		t.Fatal("Sweep dropped an entry without a TTL")
+	}
+}
+
+// TestGetWarmMostRecentlyStored pins warm-candidate selection: GetWarm
+// returns the most recently *stored* live entry under the prefix (not
+// the most recently accessed), does not count toward hit/miss stats,
+// and tracks Drop/Flush and prefix re-assignment.
+func TestGetWarmMostRecentlyStored(t *testing.T) {
+	p1, p2 := key("prefix-1"), key("prefix-2")
+	c := New(Config{})
+
+	if _, ok := c.GetWarm(p1); ok {
+		t.Fatal("empty prefix must miss")
+	}
+	c.PutWithPrefix(key("a"), p1, rec(0.1))
+	c.PutWithPrefix(key("b"), p1, rec(0.2))
+	c.Put(key("x"), rec(0.9)) // prefix-less entry is never a warm candidate
+
+	// Touch a: recency changes, storage order does not.
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a must hit")
+	}
+	if got, ok := c.GetWarm(p1); !ok || got.Dist != 0.2 {
+		t.Fatalf("GetWarm = %+v, %v; want the most recently stored entry b", got, ok)
+	}
+	if _, ok := c.GetWarm(p2); ok {
+		t.Fatal("unrelated prefix must miss")
+	}
+
+	// Dropping b falls back to a; dropping a empties the prefix.
+	c.Drop(key("b"))
+	if got, ok := c.GetWarm(p1); !ok || got.Dist != 0.1 {
+		t.Fatalf("GetWarm after Drop(b) = %+v, %v; want a", got, ok)
+	}
+	c.Drop(key("a"))
+	if _, ok := c.GetWarm(p1); ok {
+		t.Fatal("prefix must be empty after dropping both entries")
+	}
+
+	// Re-putting a key under a new prefix moves it.
+	c.PutWithPrefix(key("m"), p1, rec(0.3))
+	c.PutWithPrefix(key("m"), p2, rec(0.4))
+	if _, ok := c.GetWarm(p1); ok {
+		t.Fatal("re-put under p2 must drop m from p1")
+	}
+	if got, ok := c.GetWarm(p2); !ok || got.Dist != 0.4 {
+		t.Fatalf("GetWarm(p2) = %+v, %v; want m", got, ok)
+	}
+
+	// GetWarm is not a request-path lookup: stats count only Get traffic.
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want exactly the one Get hit", st)
+	}
+
+	if c.Flush() == 0 {
+		t.Fatal("flush found nothing")
+	}
+	if _, ok := c.GetWarm(p2); ok {
+		t.Fatal("Flush must clear the prefix index")
+	}
+}
+
+// TestGetWarmSkipsExpiredAndEvicted pins the index's liveness handling:
+// LRU-evicted entries silently leave the prefix index, and expired
+// entries are evicted (with TTL accounting) as GetWarm walks past them.
+func TestGetWarmSkipsExpiredAndEvicted(t *testing.T) {
+	p := key("prefix")
+
+	// LRU eviction: a two-entry cache keeps only the newest two.
+	c := New(Config{MaxEntries: 2})
+	c.PutWithPrefix(key("a"), p, rec(0.1))
+	c.PutWithPrefix(key("b"), p, rec(0.2))
+	c.PutWithPrefix(key("c"), p, rec(0.3))
+	if got, ok := c.GetWarm(p); !ok || got.Dist != 0.3 {
+		t.Fatalf("GetWarm = %+v, %v; want c", got, ok)
+	}
+	c.Drop(key("c"))
+	if got, ok := c.GetWarm(p); !ok || got.Dist != 0.2 {
+		t.Fatalf("GetWarm = %+v, %v; want b (a was LRU-evicted)", got, ok)
+	}
+
+	// TTL expiry: the newest entry expired, the older one is still live
+	// (stored later clock-wise), so GetWarm must evict the dead entry en
+	// route and land on the live one.
+	clk := &sweepClock{now: time.UnixMilli(1000)}
+	expired := 0
+	ct := New(Config{
+		TTL: 500 * time.Millisecond,
+		Now: clk.Now,
+		OnEvict: func(_ Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+			if reason == EvictTTL {
+				expired++
+			}
+		},
+	})
+	ct.PutWithPrefix(key("old"), p, recAt(0.1, 1000))
+	clk.Set(time.UnixMilli(1400))
+	ct.PutWithPrefix(key("new"), p, recAt(0.2, 1400))
+	clk.Set(time.UnixMilli(1600)) // old expired at 1500, new lives to 1900
+	if got, ok := ct.GetWarm(p); !ok || got.Dist != 0.2 {
+		t.Fatalf("GetWarm = %+v, %v; want the live entry", got, ok)
+	}
+	clk.Set(time.UnixMilli(2000)) // both expired
+	if _, ok := ct.GetWarm(p); ok {
+		t.Fatal("all-expired prefix must miss")
+	}
+	if expired != 2 || ct.Len() != 0 {
+		t.Fatalf("expired=%d len=%d, want GetWarm to evict dead entries", expired, ct.Len())
+	}
+	if st := ct.Stats(); st.Expirations != 2 {
+		t.Fatalf("stats = %+v, want 2 expirations", st)
+	}
+}

@@ -34,6 +34,7 @@ run_bench() { # $1 = -bench regexp, $2 = -benchtime, $3 = package
 run_bench 'ArenaEval|AggEval|EvalBlock' 20000x ./internal/provenance/
 run_bench 'SummarizeStepScoring' 50x ./internal/distance/
 run_bench 'SummarizeScoring(Sequential|Batch|Delta)$' 5x .
+run_bench 'SummarizeExtend(Cold|Warm)$' 10x .
 run_bench 'ServerSummarizeCache' 100x ./internal/server/
 
 status=0
