@@ -13,7 +13,8 @@
 //	prox-server [-addr :8080] [-users 24] [-movies 8] [-seed 1]
 //	            [-max-sessions 1024] [-log-level info] [-pprof]
 //	            [-shutdown-timeout 10s]
-//	            [-workers 2] [-queue 32]
+//	            [-workers 2] [-queue 32] [-bulk-queue 32] [-bulk-every 4]
+//	            [-tenants FILE] [-admission-max-cost 0]
 //	            [-data-dir DIR] [-checkpoint-every 8]
 //	            [-cache-entries 256] [-cache-bytes 67108864] [-cache-ttl 0]
 //	            [-trace-dir DIR] [-trace-capacity 256]
@@ -43,6 +44,17 @@
 // -slo-summarize-p99 enable latency SLOs whose good/bad counters and
 // burn-rate gauges appear on /metrics as prox_slo_*.
 //
+// Multi-tenant mode: -tenants FILE loads a JSON tenant registry (ids,
+// SHA-256 key hashes, per-tenant rate limits and quotas); every /api
+// route then requires "Authorization: Bearer KEY" or X-Prox-Key.
+// Interactive routes (/api/summarize, /api/extend) and async bulk
+// submissions (/api/jobs) run in separate priority lanes — interactive
+// work preempts queued bulk work, with -bulk-queue bounding the bulk
+// backlog and -bulk-every letting every n-th dequeue prefer bulk so it
+// is never starved. -admission-max-cost sheds jobs whose estimated
+// cost (universe size x valuation count) exceeds the budget with 429
+// before they occupy a worker.
+//
 // Flag values are validated at startup: nonsensical settings (a zero
 // worker pool, a negative queue or cache bound, an SLO objective
 // outside (0,1)) fail fast with exit code 2 instead of misbehaving
@@ -67,6 +79,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // settings are the runtime flags that can be nonsensical in ways the
@@ -80,6 +93,9 @@ type settings struct {
 	maxSessions     int
 	workers         int
 	queue           int
+	bulkQueue       int
+	bulkEvery       int
+	admissionCost   float64
 	checkpointEvery int
 	cacheEntries    int
 	cacheBytes      int64
@@ -103,6 +119,12 @@ func (c settings) validate() error {
 		return fmt.Errorf("-workers must be positive, got %d", c.workers)
 	case c.queue < 0:
 		return fmt.Errorf("-queue must be non-negative, got %d", c.queue)
+	case c.bulkQueue < 0:
+		return fmt.Errorf("-bulk-queue must be non-negative (0 mirrors -queue), got %d", c.bulkQueue)
+	case c.bulkEvery < 0:
+		return fmt.Errorf("-bulk-every must be non-negative (0 keeps the default), got %d", c.bulkEvery)
+	case c.admissionCost < 0:
+		return fmt.Errorf("-admission-max-cost must be non-negative (0 disables), got %v", c.admissionCost)
 	case c.checkpointEvery < 0:
 		return fmt.Errorf("-checkpoint-every must be non-negative, got %d", c.checkpointEvery)
 	case c.cacheEntries < 0:
@@ -135,7 +157,11 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers on /debug/pprof")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 	workers := flag.Int("workers", 2, "summarization worker-pool size")
-	queue := flag.Int("queue", 32, "job queue capacity (excess submissions get 429)")
+	queue := flag.Int("queue", 32, "interactive job queue capacity (excess submissions get 429)")
+	bulkQueue := flag.Int("bulk-queue", 0, "bulk job queue capacity (0 mirrors -queue)")
+	bulkEvery := flag.Int("bulk-every", 0, "let every n-th dequeue prefer the bulk lane (0 keeps the default of 4)")
+	tenantsFile := flag.String("tenants", "", "tenant registry JSON (empty: single-tenant mode, no auth)")
+	admissionCost := flag.Float64("admission-max-cost", 0, "admission-control cost budget per job, universe size x valuations (0 disables)")
 	dataDir := flag.String("data-dir", "", "durability directory (empty: in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", 8, "checkpoint running jobs every K merge steps (needs -data-dir)")
 	cacheEntries := flag.Int("cache-entries", 256, "summary-cache entry cap (0 disables caching)")
@@ -155,6 +181,9 @@ func main() {
 		maxSessions:     *maxSessions,
 		workers:         *workers,
 		queue:           *queue,
+		bulkQueue:       *bulkQueue,
+		bulkEvery:       *bulkEvery,
+		admissionCost:   *admissionCost,
 		checkpointEvery: *checkpointEvery,
 		cacheEntries:    *cacheEntries,
 		cacheBytes:      *cacheBytes,
@@ -223,6 +252,9 @@ func main() {
 		server.WithMaxSessions(*maxSessions),
 		server.WithWorkers(*workers),
 		server.WithQueueSize(*queue),
+		server.WithBulkQueueSize(*bulkQueue),
+		server.WithBulkEvery(*bulkEvery),
+		server.WithAdmissionMaxCost(*admissionCost),
 		server.WithCheckpointEvery(*checkpointEvery),
 		server.WithCache(*cacheEntries, *cacheBytes, *cacheTTL),
 		server.WithTracer(tracer),
@@ -244,6 +276,15 @@ func main() {
 		opts = append(opts, server.WithFlightRecorder(fr))
 		log.Info("tracing enabled", "dir", *traceDir,
 			"capacity", *traceCapacity, "flight_profile", *flightProfile)
+	}
+	if *tenantsFile != "" {
+		tenants, terr := tenant.Load(*tenantsFile)
+		if terr != nil {
+			log.Error("loading tenant registry failed", "file", *tenantsFile, "err", terr)
+			os.Exit(1)
+		}
+		opts = append(opts, server.WithTenants(tenants))
+		log.Info("multi-tenant mode enabled", "file", *tenantsFile, "tenants", len(tenants.All()))
 	}
 	var st *store.Store
 	if *dataDir != "" {

@@ -28,15 +28,19 @@ type UniverseEntry struct {
 }
 
 // SessionRecord persists one selection session: its aggregated
-// provenance expression and the universe entries of its annotations.
+// provenance expression, the universe entries of its annotations, and
+// the tenant that owns it (empty for sessions created without
+// authentication).
 type SessionRecord struct {
 	ID       string
+	Tenant   string
 	Prov     *provenance.Agg
 	Universe []UniverseEntry
 }
 
 type sessionRecordJSON struct {
 	ID       string          `json:"id"`
+	Tenant   string          `json:"tenant,omitempty"`
 	Agg      *aggJSON        `json:"agg"`
 	Universe []UniverseEntry `json:"universe,omitempty"`
 }
@@ -51,7 +55,7 @@ func (r SessionRecord) MarshalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(sessionRecordJSON{ID: r.ID, Agg: agg, Universe: r.Universe})
+	return json.Marshal(sessionRecordJSON{ID: r.ID, Tenant: r.Tenant, Agg: agg, Universe: r.Universe})
 }
 
 // UnmarshalJSON is the inverse of MarshalJSON.
@@ -67,7 +71,7 @@ func (r *SessionRecord) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	r.ID, r.Prov, r.Universe = in.ID, agg, in.Universe
+	r.ID, r.Tenant, r.Prov, r.Universe = in.ID, in.Tenant, agg, in.Universe
 	return nil
 }
 
@@ -233,6 +237,13 @@ type JobRecord struct {
 	// request that submitted the job, so a requeued job resumes under
 	// its original trace id.
 	Trace string `json:"trace,omitempty"`
+	// Tenant owns the job (empty without authentication); a requeued
+	// job re-reserves the tenant's concurrent-job quota slot.
+	Tenant string `json:"tenant,omitempty"`
+	// Lane is the priority lane ("interactive" or "bulk") the job was
+	// submitted on; a requeued job keeps its lane. Empty records from
+	// before lanes existed requeue as interactive.
+	Lane string `json:"lane,omitempty"`
 }
 
 // CheckpointRecord persists the latest resumable snapshot of a running
@@ -310,6 +321,10 @@ type CacheEntryRecord struct {
 	Dist       float64      `json:"dist"`
 	StopReason string       `json:"stopReason"`
 	CreatedMS  int64        `json:"createdMs"`
+	// Tenant is the id of the tenant whose run published the entry
+	// (first-writer attribution for the cache-bytes quota); empty in
+	// single-tenant mode.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // CacheDropRecord removes a single cache entry (LRU or TTL eviction) so

@@ -7,6 +7,15 @@
 // distinguishable by the context cause, which is what lets the server
 // journal a user cancelation as terminal while leaving a
 // shutdown-interrupted job requeueable after restart.
+//
+// The queue has two priority lanes. Interactive submissions (the
+// latency-sensitive request path) and bulk submissions (batch work that
+// tolerates waiting) park in separate bounded backlogs, and workers
+// drain them with a weighted preference: an idle worker always takes
+// interactive work first, so queued bulk jobs never delay an
+// interactive one, but every BulkEvery-th dequeue offers the bulk lane
+// first so a sustained interactive stream cannot starve bulk work
+// forever.
 package jobs
 
 import (
@@ -49,6 +58,35 @@ func (s State) String() string {
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
 
+// Lane is a submission's priority class.
+type Lane int
+
+const (
+	// LaneInteractive is the latency-sensitive lane: workers prefer it.
+	LaneInteractive Lane = iota
+	// LaneBulk is the batch lane: drained only when the interactive lane
+	// is empty, except for the periodic anti-starvation pick.
+	LaneBulk
+)
+
+// String returns the lane's metric/journal label.
+func (l Lane) String() string {
+	if l == LaneBulk {
+		return "bulk"
+	}
+	return "interactive"
+}
+
+// ParseLane is String's inverse; unknown spellings fall back to
+// interactive (the safe default for records written before lanes
+// existed).
+func ParseLane(s string) Lane {
+	if s == "bulk" {
+		return LaneBulk
+	}
+	return LaneInteractive
+}
+
 var (
 	// ErrQueueFull rejects a submission when the queue is at capacity.
 	ErrQueueFull = errors.New("jobs: queue full")
@@ -86,17 +124,25 @@ type Transition struct {
 type Config struct {
 	// Workers is the number of concurrent jobs (default 1).
 	Workers int
-	// Queue is the backlog capacity beyond running jobs (default 16).
+	// Queue is the interactive-lane backlog capacity beyond running jobs
+	// (default 16).
 	Queue int
+	// BulkQueue is the bulk-lane backlog capacity (default: Queue). Bulk
+	// work tolerates waiting, so it typically gets the deeper backlog.
+	BulkQueue int
+	// BulkEvery makes every BulkEvery-th dequeue per worker offer the
+	// bulk lane first, so a sustained interactive stream cannot starve
+	// bulk work forever (default 4; values < 2 keep the default).
+	BulkEvery int
 	// OnTransition, when set, observes every state change — the server
 	// uses it to journal job records and update metrics.
 	OnTransition func(Transition)
 }
 
-// Manager owns the queue and the worker pool.
+// Manager owns the two-lane queue and the worker pool.
 type Manager struct {
 	cfg    Config
-	queue  chan *Job
+	lanes  [2]chan *Job // indexed by Lane
 	base   context.Context
 	cancel context.CancelCauseFunc
 	wg     sync.WaitGroup
@@ -115,6 +161,7 @@ type Job struct {
 	m       *Manager
 	key     string // dedup key, "" when not coalescible
 	trace   string // opaque trace context (W3C traceparent), "" when untraced
+	lane    Lane
 	task    Task
 	timeout time.Duration
 	done    chan struct{}
@@ -142,15 +189,22 @@ func New(cfg Config) *Manager {
 	if cfg.Queue <= 0 {
 		cfg.Queue = 16
 	}
+	if cfg.BulkQueue <= 0 {
+		cfg.BulkQueue = cfg.Queue
+	}
+	if cfg.BulkEvery < 2 {
+		cfg.BulkEvery = 4
+	}
 	base, cancel := context.WithCancelCause(context.Background())
 	m := &Manager{
 		cfg:    cfg,
-		queue:  make(chan *Job, cfg.Queue),
 		base:   base,
 		cancel: cancel,
 		jobs:   make(map[string]*Job),
 		keyed:  make(map[string]*Job),
 	}
+	m.lanes[LaneInteractive] = make(chan *Job, cfg.Queue)
+	m.lanes[LaneBulk] = make(chan *Job, cfg.BulkQueue)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -182,10 +236,23 @@ func (m *Manager) SubmitCoalesced(id, key string, timeout time.Duration, task Ta
 // under the trace of the request that submitted it, across queueing and
 // even across a restart when the trace is persisted with the job
 // record. Coalesced submissions keep the live job's original trace;
-// callers can read it back with Trace.
+// callers can read it back with Trace. The job queues on the
+// interactive lane; use SubmitLane for bulk work.
 func (m *Manager) SubmitTraced(id, key, trace string, timeout time.Duration, task Task) (*Job, bool, error) {
+	return m.SubmitLane(id, key, trace, LaneInteractive, timeout, task)
+}
+
+// SubmitLane is SubmitTraced with an explicit priority lane. Each lane
+// has its own backlog capacity; ErrQueueFull reports the submitted
+// lane's backlog being at capacity (the other lane may still have
+// room). A coalesced submission joins the live job wherever it is
+// queued — the live job keeps its original lane.
+func (m *Manager) SubmitLane(id, key, trace string, lane Lane, timeout time.Duration, task Task) (*Job, bool, error) {
+	if lane != LaneBulk {
+		lane = LaneInteractive
+	}
 	j := &Job{
-		ID: id, m: m, key: key, trace: trace, task: task, timeout: timeout,
+		ID: id, m: m, key: key, trace: trace, lane: lane, task: task, timeout: timeout,
 		done: make(chan struct{}), enqueued: make(chan struct{}),
 		state: Queued, waiters: 1, submitted: time.Now(),
 	}
@@ -204,15 +271,16 @@ func (m *Manager) SubmitTraced(id, key, trace string, timeout time.Duration, tas
 		m.mu.Unlock()
 		return nil, false, fmt.Errorf("%w: %s", ErrDuplicate, id)
 	}
-	// Reserve the queue slot before the job becomes discoverable. The
-	// send cannot block (default branch), and ordering it before the map
-	// registration closes a rollback race: were the job published first
-	// and then rolled back on a full queue, a concurrent SubmitCoalesced
-	// could join it via m.keyed in the window and wait forever on a job
-	// no worker will ever run. The worker parks on j.enqueued, so taking
-	// the slot under m.mu does not let the job start early.
+	// Reserve the lane's queue slot before the job becomes discoverable.
+	// The send cannot block (default branch), and ordering it before the
+	// map registration closes a rollback race: were the job published
+	// first and then rolled back on a full queue, a concurrent
+	// SubmitCoalesced could join it via m.keyed in the window and wait
+	// forever on a job no worker will ever run. The worker parks on
+	// j.enqueued, so taking the slot under m.mu does not let the job
+	// start early.
 	select {
-	case m.queue <- j:
+	case m.lanes[lane] <- j:
 	default:
 		m.mu.Unlock()
 		return nil, false, ErrQueueFull
@@ -344,9 +412,19 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// QueueDepth reports the current backlog length (excluding running
-// jobs).
-func (m *Manager) QueueDepth() int { return len(m.queue) }
+// QueueDepth reports the current backlog length across both lanes
+// (excluding running jobs).
+func (m *Manager) QueueDepth() int {
+	return len(m.lanes[LaneInteractive]) + len(m.lanes[LaneBulk])
+}
+
+// LaneDepth reports one lane's current backlog length.
+func (m *Manager) LaneDepth(lane Lane) int {
+	if lane != LaneBulk {
+		lane = LaneInteractive
+	}
+	return len(m.lanes[lane])
+}
 
 func (m *Manager) observe(tr Transition) {
 	if m.cfg.OnTransition != nil {
@@ -356,6 +434,7 @@ func (m *Manager) observe(tr Transition) {
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
+	picks := 0
 	for {
 		// Prefer exit over draining the backlog: queued jobs survive
 		// shutdown un-run (and, journaled as queued, requeue on restart).
@@ -364,12 +443,38 @@ func (m *Manager) worker() {
 			return
 		default:
 		}
-		select {
-		case <-m.base.Done():
+		picks++
+		j := m.dequeue(picks)
+		if j == nil {
 			return
-		case j := <-m.queue:
-			m.run(j)
 		}
+		m.run(j)
+	}
+}
+
+// dequeue takes the next job with a weighted lane preference: the
+// preferred lane is drained first whenever it has work, and the
+// blocking select below only gets a say when it is empty at the moment
+// of the pick. Interactive is preferred on all but every BulkEvery-th
+// pick, when bulk goes first — the anti-starvation valve. Returns nil
+// on shutdown.
+func (m *Manager) dequeue(pick int) *Job {
+	preferred, other := m.lanes[LaneInteractive], m.lanes[LaneBulk]
+	if pick%m.cfg.BulkEvery == 0 {
+		preferred, other = other, preferred
+	}
+	select {
+	case j := <-preferred:
+		return j
+	default:
+	}
+	select {
+	case <-m.base.Done():
+		return nil
+	case j := <-preferred:
+		return j
+	case j := <-other:
+		return j
 	}
 }
 
@@ -480,6 +585,10 @@ func (j *Job) Status() Status {
 // Trace returns the opaque trace context the job was submitted with
 // ("" when untraced). Immutable after submission, so no lock is needed.
 func (j *Job) Trace() string { return j.trace }
+
+// Lane returns the priority lane the job was submitted on. Immutable
+// after submission, so no lock is needed.
+func (j *Job) Lane() Lane { return j.lane }
 
 // traceKey carries a job's trace context into its task.
 type traceKey struct{}

@@ -95,11 +95,20 @@ func (s *Server) publishToCache(sess *session, key summarycache.Key, params code
 		Dist:       sum.Dist,
 		StopReason: sum.StopReason,
 		CreatedMS:  time.Now().UnixMilli(),
+		Tenant:     sess.tenant,
+	}
+	// The publishing tenant owns the entry's bytes until eviction; a
+	// tenant past its MaxCacheBytes quota keeps its result but stops
+	// consuming shared cache space.
+	if !s.acquireCacheQuota(sess.tenant, cacheRecSize(rec)) {
+		s.log.Warn("cache publish denied by tenant quota", "tenant", sess.tenant, "key", rec.Key)
+		return
 	}
 	if !s.cache.PutWithPrefix(key, s.warmPrefixFor(sess, params), rec) {
 		// Journaling a rejected entry would resurrect it on replay (or
 		// grow the WAL for an entry the cache never held): count it and
 		// skip the store.
+		s.releaseCacheQuota(sess.tenant, cacheRecSize(rec))
 		s.met.cacheRejected.Inc()
 		s.log.Warn("cache rejected summary entry", "key", rec.Key, "steps", len(rec.Steps))
 		s.updateCacheGauges()
@@ -116,8 +125,9 @@ func (s *Server) publishToCache(sess *session, key summarycache.Key, params code
 // onCacheEvict journals LRU/TTL evictions so replay does not resurrect
 // them. Called with the cache lock held; it must not call back into the
 // cache (gauges are refreshed at the Put/Get call sites instead).
-func (s *Server) onCacheEvict(k summarycache.Key, _ *codec.CacheEntryRecord, _ summarycache.EvictReason) {
+func (s *Server) onCacheEvict(k summarycache.Key, rec *codec.CacheEntryRecord, _ summarycache.EvictReason) {
 	s.met.cacheEvictions.Inc()
+	s.releaseCacheQuota(rec.Tenant, cacheRecSize(rec))
 	if s.st != nil {
 		if err := s.st.DropCacheEntry(k.String()); err != nil {
 			s.log.Error("journaling cache eviction failed", "key", k.String(), "err", err)
@@ -140,6 +150,13 @@ func (s *Server) handleCacheFlush(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	n := s.cache.Flush()
+	// Flush skips OnEvict (it journals as one record), so the per-tenant
+	// byte attribution is zeroed here instead.
+	if s.tenants != nil {
+		for _, t := range s.tenants.All() {
+			t.ReleaseCacheBytes(t.CacheBytes())
+		}
+	}
 	if s.st != nil {
 		if err := s.st.FlushCache(); err != nil {
 			s.log.Error("journaling cache flush failed", "err", err)

@@ -35,6 +35,9 @@ type jobMeta struct {
 	sessionID   string
 	params      codec.JobParams
 	submittedMS int64
+	// tenant owns the job's concurrent-job quota slot ("" when
+	// anonymous); the terminal transition releases it.
+	tenant string
 	// attached are the sessions of coalesced submissions (possibly
 	// repeating the primary session); each is pinned until the job ends.
 	attached []*session
@@ -75,8 +78,8 @@ type summarizeOutcome struct {
 // rides along with the job so worker-side spans land in the
 // submitter's trace. The returned int is the HTTP status for the
 // error, if any.
-func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, extendFrom int) (*summarizeOutcome, int, error) {
-	sess, ok := s.session(req.SessionID)
+func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, extendFrom int, lane jobs.Lane) (*summarizeOutcome, int, error) {
+	sess, ok := s.sessionFor(ctx, req.SessionID)
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown session %q", req.SessionID)
 	}
@@ -157,20 +160,43 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, ext
 		s.updateCacheGauges()
 	}
 
+	// Admission control and the tenant's concurrent-job quota gate the
+	// enqueue: both run after the cache lookups (a cached summary costs
+	// nothing and should never be shed) and before any queue slot or
+	// worker is claimed.
+	t := tenantFrom(ctx)
+	if err := s.admitJob(t, s.estimateJobCost(s.provOf(sess), params.Class)); err != nil {
+		return nil, http.StatusTooManyRequests, err
+	}
+	if err := s.acquireJobQuota(t); err != nil {
+		return nil, http.StatusTooManyRequests, err
+	}
+
 	trace := ""
 	if sc := obs.SpanContextFromContext(ctx); sc.Valid() {
 		trace = sc.Traceparent()
 	}
-	job, coalesced, err := s.submitJob(sess, "", trace, params, nil, key, seed)
+	job, coalesced, err := s.submitJob(sess, "", trace, tenantID(t), lane, params, nil, key, seed)
 	if err != nil {
+		s.releaseJobQuota(tenantID(t))
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
-			return nil, http.StatusTooManyRequests, fmt.Errorf("job queue full (capacity %d): retry later", s.queueSize)
+			capacity := s.queueSize
+			if lane == jobs.LaneBulk && s.bulkQueueSize > 0 {
+				capacity = s.bulkQueueSize
+			}
+			return nil, http.StatusTooManyRequests,
+				s.reject(t, rejectQueueFull, time.Second, "%s job queue full (capacity %d): retry later", lane, capacity)
 		case errors.Is(err, jobs.ErrShutdown):
 			return nil, http.StatusServiceUnavailable, err
 		default:
 			return nil, http.StatusBadRequest, err
 		}
+	}
+	if coalesced {
+		// The submission rides on an existing job, which already holds its
+		// own submitter's quota slot; this waiter occupies no worker.
+		s.releaseJobQuota(tenantID(t))
 	}
 	out.job = job
 	now := time.Now()
@@ -190,7 +216,7 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, ext
 			s.tracer.AddSpanUnder(lsc, "job.coalesced-waiter", now, now, attrs...)
 		}
 	} else {
-		s.tracer.AddSpan(ctx, "job.enqueue", now, now, obs.KV("job", job.ID))
+		s.tracer.AddSpan(ctx, "job.enqueue", now, now, obs.KV("job", job.ID), obs.KV("lane", lane.String()))
 	}
 	if s.cache != nil {
 		switch {
@@ -221,7 +247,7 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, ext
 // the run a warm-started Extend from that partition (ignored when a
 // checkpoint is resumed — the checkpoint's trace already carries the
 // seed prefix).
-func (s *Server) submitJob(sess *session, id, trace string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key, seed provenance.Groups) (*jobs.Job, bool, error) {
+func (s *Server) submitJob(sess *session, id, trace, tenantID string, lane jobs.Lane, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key, seed provenance.Groups) (*jobs.Job, bool, error) {
 	s.mu.Lock()
 	if id == "" {
 		s.jobSeq++
@@ -231,6 +257,7 @@ func (s *Server) submitJob(sess *session, id, trace string, params codec.JobPara
 		sessionID:   sess.id,
 		params:      params,
 		submittedMS: time.Now().UnixMilli(),
+		tenant:      tenantID,
 	}
 	s.jobMeta[id] = meta
 	sess.active++
@@ -244,7 +271,7 @@ func (s *Server) submitJob(sess *session, id, trace string, params codec.JobPara
 	if key != nil {
 		dedupKey = "c:" + key.String()
 	}
-	job, coalesced, err := s.jm.SubmitTraced(id, dedupKey, trace, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, prov, id, params, cp, key, seed))
+	job, coalesced, err := s.jm.SubmitLane(id, dedupKey, trace, lane, time.Duration(params.TimeoutMS)*time.Millisecond, s.summarizeTask(sess, prov, id, lane, params, cp, key, seed))
 	if err != nil {
 		s.mu.Lock()
 		delete(s.jobMeta, id)
@@ -289,7 +316,7 @@ func (s *Server) submitJob(sess *session, id, trace string, params codec.JobPara
 // the entry it would have computed. prov is the expression snapshot the
 // submission keyed on; the task must not read sess.prov, which a
 // concurrent ingest may have advanced.
-func (s *Server) summarizeTask(sess *session, prov *provenance.Agg, jobID string, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key, seed provenance.Groups) jobs.Task {
+func (s *Server) summarizeTask(sess *session, prov *provenance.Agg, jobID string, lane jobs.Lane, params codec.JobParams, cp *core.Checkpoint, key *summarycache.Key, seed provenance.Groups) jobs.Task {
 	return func(ctx context.Context) (any, error) {
 		// Rejoin the submitter's trace: the job carries the original
 		// traceparent (or, after a restart, the pre-kill run's job span),
@@ -307,7 +334,7 @@ func (s *Server) summarizeTask(sess *session, prov *provenance.Agg, jobID string
 			name = "job.extend"
 		}
 		ctx, span := s.tracer.StartSpan(ctx, name,
-			obs.KV("job", jobID), obs.KV("session", sess.id))
+			obs.KV("job", jobID), obs.KV("session", sess.id), obs.KV("lane", lane.String()))
 		defer span.End()
 		jlog := s.log.With("job", jobID)
 		if span != nil {
@@ -438,16 +465,20 @@ func (s *Server) onJobTransition(tr jobs.Transition) {
 		}
 	}
 
+	lane := tr.Job.Lane().String()
 	switch {
 	case tr.From == jobs.Queued && tr.To == jobs.Queued:
-		s.met.jobsQueued.Inc()
+		s.met.jobsQueued[lane].Inc()
 	case tr.From == jobs.Queued && tr.To == jobs.Running:
-		s.met.jobsQueued.Dec()
-		s.met.jobsRunning.Inc()
+		s.met.jobsQueued[lane].Dec()
+		s.met.jobsRunning[lane].Inc()
 	case tr.From == jobs.Queued && tr.To.Terminal():
-		s.met.jobsQueued.Dec()
+		s.met.jobsQueued[lane].Dec()
 	case tr.From == jobs.Running && tr.To.Terminal():
-		s.met.jobsRunning.Dec()
+		s.met.jobsRunning[lane].Dec()
+	}
+	if tr.To.Terminal() && meta != nil {
+		s.releaseJobQuota(meta.tenant)
 	}
 	if tr.To.Terminal() {
 		trace := tr.Job.Trace()
@@ -518,6 +549,8 @@ func (s *Server) onJobTransition(tr jobs.Transition) {
 		Params:      meta.params,
 		SubmittedMS: meta.submittedMS,
 		Trace:       tr.Job.Trace(),
+		Tenant:      meta.tenant,
+		Lane:        lane,
 	}
 	if tr.Err != nil {
 		rec.Error = tr.Err.Error()
@@ -591,9 +624,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	out, status, err := s.submitSummarize(r.Context(), &req, 0)
+	out, status, err := s.submitSummarize(r.Context(), &req, 0, jobs.LaneBulk)
 	if err != nil {
-		writeErr(w, status, "%v", err)
+		writeReject(w, status, err)
 		return
 	}
 	if out.cacheState != "" {
@@ -620,6 +653,7 @@ func (s *Server) cachedJobResponse(out *summarizeOutcome) jobResponse {
 		State:       store.JobStateDone,
 		Params:      out.params,
 		SubmittedMS: now.UnixMilli(),
+		Tenant:      out.sess.tenant,
 	}
 	s.finished[id] = rec
 	s.mu.Unlock()
@@ -713,7 +747,15 @@ func (s *Server) restoreFromStore() error {
 		for _, e := range rec.Universe {
 			s.workload.Universe.Add(provenance.Annotation(e.Ann), e.Table, provenance.Attrs(e.Attrs))
 		}
-		sess := &session{id: rec.ID, prov: rec.Prov, universe: rec.Universe}
+		sess := &session{id: rec.ID, prov: rec.Prov, universe: rec.Universe, tenant: rec.Tenant}
+		// Re-occupy the owner's session quota; ForceAcquire because a
+		// restart must never fail to restore journaled state over a
+		// since-shrunk quota.
+		if s.tenants != nil && rec.Tenant != "" {
+			if t, ok := s.tenants.Get(rec.Tenant); ok {
+				t.ForceAcquireSession()
+			}
+		}
 		// Replay the session's ingest log in append order: the same
 		// Append calls the live server made rebuild the same expression
 		// snapshots and plan state.
@@ -763,6 +805,13 @@ func (s *Server) restoreFromStore() error {
 			if !s.cache.Put(k, rec) {
 				s.met.cacheRejected.Inc()
 				s.log.Warn("cache rejected journaled entry on restore", "key", rec.Key)
+			} else if s.tenants != nil && rec.Tenant != "" {
+				// Journaled entries come back regardless of what the
+				// quota says today (mirrors ForceAcquireJob/Session);
+				// eviction returns the bytes through onCacheEvict.
+				if t, ok := s.tenants.Get(rec.Tenant); ok {
+					t.ForceAcquireCacheBytes(cacheRecSize(rec))
+				}
 			}
 		}
 		s.updateCacheGauges()
@@ -816,14 +865,23 @@ func (s *Server) restoreFromStore() error {
 		if cp != nil && cp.TraceParent != "" {
 			trace = cp.TraceParent
 		}
-		job, coalesced, err := s.submitJob(sess, rec.ID, trace, rec.Params, cp, key, seed)
+		// Requeued jobs force-acquire their owner's quota slot: a restart
+		// must not drop journaled work because the tenant is at its limit.
+		if s.tenants != nil && rec.Tenant != "" {
+			if t, ok := s.tenants.Get(rec.Tenant); ok {
+				t.ForceAcquireJob()
+			}
+		}
+		job, coalesced, err := s.submitJob(sess, rec.ID, trace, rec.Tenant, jobs.ParseLane(rec.Lane), rec.Params, cp, key, seed)
 		if err != nil {
+			s.releaseJobQuota(rec.Tenant)
 			return fmt.Errorf("server: requeueing interrupted job %s: %w", rec.ID, err)
 		}
 		if coalesced {
 			// Two interrupted jobs with the same content address: this one
 			// rides on the first's run. Retire its journaled record so it is
-			// not requeued forever.
+			// not requeued forever, and hand back the quota slot it never used.
+			s.releaseJobQuota(rec.Tenant)
 			done := &codec.JobRecord{
 				ID:          rec.ID,
 				SessionID:   rec.SessionID,

@@ -178,12 +178,16 @@ func TestJobQueueFullAPI(t *testing.T) {
 
 	release := occupyWorker(t, s, "blocker-running")
 	defer close(release)
-	// the worker took blocker-running off the channel, so this one fills
-	// the single backlog slot.
+	// the worker took blocker-running off the channel, so these fill the
+	// single backlog slot of each lane (/api/summarize is interactive,
+	// /api/jobs is bulk).
 	fill := make(chan struct{})
 	defer close(fill)
 	if _, err := s.jm.Submit("blocker-queued", 0, blockTask(fill)); err != nil {
-		t.Fatalf("filling queue: %v", err)
+		t.Fatalf("filling interactive queue: %v", err)
+	}
+	if _, _, err := s.jm.SubmitLane("blocker-bulk", "", "", jobs.LaneBulk, 0, blockTask(fill)); err != nil {
+		t.Fatalf("filling bulk queue: %v", err)
 	}
 
 	for _, ep := range []string{"/api/jobs", "/api/summarize"} {

@@ -17,13 +17,18 @@ type metrics struct {
 	summarizes *obs.Histogram
 	steps      *obs.Counter
 
-	// job engine instrumentation.
-	jobsQueued   *obs.Gauge
-	jobsRunning  *obs.Gauge
-	queueDepth   *obs.Gauge
+	// job engine instrumentation, by priority lane.
+	jobsQueued   map[string]*obs.Gauge // by lane
+	jobsRunning  map[string]*obs.Gauge // by lane
+	queueDepth   map[string]*obs.Gauge // by lane, sampled at scrape
 	jobDur       *obs.Histogram
 	jobsFinished map[string]*obs.Counter // by terminal state
 	checkpoints  *obs.Counter
+
+	// traffic-hardening instrumentation: 429 causes and admission
+	// control (see rejectError; per-tenant series live in tenantMetrics).
+	rejected map[string]*obs.Counter // by rejection cause
+	authFail *obs.Counter
 
 	// summary-cache instrumentation.
 	cacheHits      *obs.Counter
@@ -75,10 +80,28 @@ func newMetrics(reg *obs.Registry) *metrics {
 		summarizes: reg.Histogram("prox_summarize_duration_seconds", "Wall time of full summarization runs.", nil, nil),
 		steps:      reg.Counter("prox_summarize_steps_total", "Merge steps committed by Algorithm 1.", nil),
 
-		jobsQueued:  reg.Gauge("prox_jobs_queued", "Summarization jobs waiting in the queue.", nil),
-		jobsRunning: reg.Gauge("prox_jobs_running", "Summarization jobs currently running on workers.", nil),
-		queueDepth:  reg.Gauge("prox_jobs_queue_depth", "Jobs sitting in the manager's queue channel, sampled at scrape time.", nil),
-		jobDur:      reg.Histogram("prox_job_duration_seconds", "Submit-to-terminal latency of summarization jobs.", nil, nil),
+		jobsQueued: map[string]*obs.Gauge{
+			"interactive": reg.Gauge("prox_jobs_queued", "Summarization jobs waiting in the queue.", obs.Labels{"lane": "interactive"}),
+			"bulk":        reg.Gauge("prox_jobs_queued", "Summarization jobs waiting in the queue.", obs.Labels{"lane": "bulk"}),
+		},
+		jobsRunning: map[string]*obs.Gauge{
+			"interactive": reg.Gauge("prox_jobs_running", "Summarization jobs currently running on workers.", obs.Labels{"lane": "interactive"}),
+			"bulk":        reg.Gauge("prox_jobs_running", "Summarization jobs currently running on workers.", obs.Labels{"lane": "bulk"}),
+		},
+		queueDepth: map[string]*obs.Gauge{
+			"interactive": reg.Gauge("prox_jobs_queue_depth", "Jobs sitting in the manager's queue channels, sampled at scrape time.", obs.Labels{"lane": "interactive"}),
+			"bulk":        reg.Gauge("prox_jobs_queue_depth", "Jobs sitting in the manager's queue channels, sampled at scrape time.", obs.Labels{"lane": "bulk"}),
+		},
+		jobDur: reg.Histogram("prox_job_duration_seconds", "Submit-to-terminal latency of summarization jobs.", nil, nil),
+
+		rejected: map[string]*obs.Counter{
+			rejectQueueFull:     reg.Counter("prox_http_rejected_total", "Requests rejected with 429, by cause.", obs.Labels{"cause": rejectQueueFull}),
+			rejectRateLimit:     reg.Counter("prox_http_rejected_total", "Requests rejected with 429, by cause.", obs.Labels{"cause": rejectRateLimit}),
+			rejectQuotaJobs:     reg.Counter("prox_http_rejected_total", "Requests rejected with 429, by cause.", obs.Labels{"cause": rejectQuotaJobs}),
+			rejectQuotaSessions: reg.Counter("prox_http_rejected_total", "Requests rejected with 429, by cause.", obs.Labels{"cause": rejectQuotaSessions}),
+			rejectCost:          reg.Counter("prox_http_rejected_total", "Requests rejected with 429, by cause.", obs.Labels{"cause": rejectCost}),
+		},
+		authFail: reg.Counter("prox_auth_failures_total", "Requests refused for a missing or unknown API key.", nil),
 		jobsFinished: map[string]*obs.Counter{
 			"done":     reg.Counter("prox_jobs_finished_total", "Jobs reaching a terminal state.", obs.Labels{"state": "done"}),
 			"failed":   reg.Counter("prox_jobs_finished_total", "Jobs reaching a terminal state.", obs.Labels{"state": "failed"}),

@@ -38,6 +38,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/summarycache"
+	"repro/internal/tenant"
 	"repro/internal/valuation"
 )
 
@@ -60,9 +61,19 @@ type Server struct {
 	maxSessions     int
 	workers         int
 	queueSize       int
+	bulkQueueSize   int
+	bulkEvery       int
 	checkpointEvery int
 	st              *store.Store
 	jm              *jobs.Manager
+
+	// Multi-tenant traffic hardening: nil tenants means single-tenant
+	// mode (no auth, no quotas). admissionMaxCost is the server-wide
+	// cost budget for admission control (0 disables; per-tenant
+	// MaxCostPerJob overrides it).
+	tenants          *tenant.Registry
+	tmet             map[string]*tenantMetrics
+	admissionMaxCost float64
 
 	// Tracing, SLOs and post-mortem capture.
 	tracer  *obs.Tracer
@@ -123,6 +134,9 @@ type session struct {
 	// active counts this session's queued+running jobs; a session with
 	// active > 0 is pinned and never evicted.
 	active int
+	// tenant is the owning tenant's id ("" in single-tenant mode or for
+	// sessions restored from a pre-tenancy journal).
+	tenant string
 }
 
 // Option configures a Server.
@@ -161,6 +175,45 @@ func WithQueueSize(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
 			s.queueSize = n
+		}
+	}
+}
+
+// WithBulkQueueSize sets the bulk lane's backlog capacity (default:
+// same as the interactive queue size). Bulk submissions beyond it are
+// rejected with 429 without touching the interactive lane.
+func WithBulkQueueSize(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.bulkQueueSize = n
+		}
+	}
+}
+
+// WithBulkEvery sets the anti-starvation valve of the two-lane queue:
+// every n-th dequeue prefers the bulk lane even when interactive work
+// is waiting (default 4; n < 2 keeps the default).
+func WithBulkEvery(n int) Option {
+	return func(s *Server) {
+		if n > 1 {
+			s.bulkEvery = n
+		}
+	}
+}
+
+// WithTenants enables multi-tenant mode: every /api route requires an
+// API key from the registry, and per-tenant rate limits and quotas are
+// enforced. nil keeps single-tenant mode.
+func WithTenants(reg *tenant.Registry) Option { return func(s *Server) { s.tenants = reg } }
+
+// WithAdmissionMaxCost sets the server-wide admission-control budget:
+// job submissions whose estimated cost (universe size x valuation
+// count) exceeds it are shed with 429 before they occupy a queue slot.
+// A tenant's MaxCostPerJob overrides it; 0 disables the check.
+func WithAdmissionMaxCost(c float64) Option {
+	return func(s *Server) {
+		if c > 0 {
+			s.admissionMaxCost = c
 		}
 	}
 }
@@ -291,6 +344,12 @@ func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 		s.sloAll = append(s.sloAll, s.sloJob)
 	}
 	s.met = newMetrics(s.reg)
+	s.tmet = make(map[string]*tenantMetrics)
+	if s.tenants != nil {
+		for _, t := range s.tenants.All() {
+			s.tmet[t.ID()] = newTenantMetrics(s.reg, t.ID())
+		}
+	}
 	s.policyFP = w.Policy.Fingerprint()
 	if s.cacheEntries > 0 {
 		s.cache = summarycache.New(summarycache.Config{
@@ -303,6 +362,8 @@ func New(w *datasets.Workload, opts ...Option) (*Server, error) {
 	s.jm = jobs.New(jobs.Config{
 		Workers:      s.workers,
 		Queue:        s.queueSize,
+		BulkQueue:    s.bulkQueueSize,
+		BulkEvery:    s.bulkEvery,
 		OnTransition: s.onJobTransition,
 	})
 	if s.st != nil {
@@ -366,22 +427,28 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 // observability middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/movies", s.instrument("/api/movies", s.handleMovies))
-	mux.HandleFunc("POST /api/select", s.instrument("/api/select", s.handleSelect))
-	mux.HandleFunc("POST /api/custom", s.instrument("/api/custom", s.handleCustom))
-	mux.HandleFunc("POST /api/ingest", s.instrument("/api/ingest", s.handleIngest))
-	mux.HandleFunc("POST /api/summarize", s.instrument("/api/summarize", s.handleSummarize))
-	mux.HandleFunc("POST /api/extend", s.instrument("/api/extend", s.handleExtend))
-	mux.HandleFunc("GET /api/sessions/{id}/versions", s.instrument("/api/sessions/{id}/versions", s.handleVersions))
-	mux.HandleFunc("GET /api/versions/{a}/diff/{b}", s.instrument("/api/versions/{a}/diff/{b}", s.handleVersionDiff))
-	mux.HandleFunc("POST /api/jobs", s.instrument("/api/jobs", s.handleJobSubmit))
-	mux.HandleFunc("GET /api/jobs/{id}", s.instrument("/api/jobs/{id}", s.handleJobGet))
-	mux.HandleFunc("POST /api/jobs/{id}/cancel", s.instrument("/api/jobs/{id}/cancel", s.handleJobCancel))
-	mux.HandleFunc("POST /api/cache/flush", s.instrument("/api/cache/flush", s.handleCacheFlush))
-	mux.HandleFunc("GET /api/step", s.instrument("/api/step", s.handleStep))
-	mux.HandleFunc("POST /api/evaluate", s.instrument("/api/evaluate", s.handleEvaluate))
-	mux.HandleFunc("GET /api/traces", s.instrument("/api/traces", s.handleTraces))
-	mux.HandleFunc("GET /api/traces/{id}", s.instrument("/api/traces/{id}", s.handleTraceGet))
+	// API routes require a tenant key (and pay the tenant's rate limit)
+	// when a tenant registry is configured; the UI and /metrics stay
+	// open — dashboards and scrapers are not tenant traffic.
+	api := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(route, s.withAuth(h))
+	}
+	mux.HandleFunc("GET /api/movies", api("/api/movies", s.handleMovies))
+	mux.HandleFunc("POST /api/select", api("/api/select", s.handleSelect))
+	mux.HandleFunc("POST /api/custom", api("/api/custom", s.handleCustom))
+	mux.HandleFunc("POST /api/ingest", api("/api/ingest", s.handleIngest))
+	mux.HandleFunc("POST /api/summarize", api("/api/summarize", s.handleSummarize))
+	mux.HandleFunc("POST /api/extend", api("/api/extend", s.handleExtend))
+	mux.HandleFunc("GET /api/sessions/{id}/versions", api("/api/sessions/{id}/versions", s.handleVersions))
+	mux.HandleFunc("GET /api/versions/{a}/diff/{b}", api("/api/versions/{a}/diff/{b}", s.handleVersionDiff))
+	mux.HandleFunc("POST /api/jobs", api("/api/jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /api/jobs/{id}", api("/api/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("POST /api/jobs/{id}/cancel", api("/api/jobs/{id}/cancel", s.handleJobCancel))
+	mux.HandleFunc("POST /api/cache/flush", api("/api/cache/flush", s.handleCacheFlush))
+	mux.HandleFunc("GET /api/step", api("/api/step", s.handleStep))
+	mux.HandleFunc("POST /api/evaluate", api("/api/evaluate", s.handleEvaluate))
+	mux.HandleFunc("GET /api/traces", api("/api/traces", s.handleTraces))
+	mux.HandleFunc("GET /api/traces/{id}", api("/api/traces/{id}", s.handleTraceGet))
 	metricsH := s.reg.Handler()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.scrape()
@@ -395,7 +462,10 @@ func (s *Server) Handler() http.Handler {
 // burn rates) immediately before a /metrics exposition.
 func (s *Server) scrape() {
 	s.runtime.Collect()
-	s.met.queueDepth.Set(float64(s.jm.QueueDepth()))
+	for lane, g := range s.met.queueDepth {
+		g.Set(float64(s.jm.LaneDepth(jobs.ParseLane(lane))))
+	}
+	s.scrapeTenants()
 	if s.cache != nil {
 		// Evict TTL-expired entries before exposing the cache gauges, so
 		// prox_cache_entries/_bytes never report dead entries between
@@ -572,7 +642,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sel := provenance.NewAgg(kind, tensors...)
-	id := s.addSession(&session{prov: sel})
+	t := tenantFrom(r.Context())
+	if err := s.acquireSessionQuota(t); err != nil {
+		writeReject(w, http.StatusTooManyRequests, err)
+		return
+	}
+	id := s.addSession(&session{prov: sel, tenant: tenantID(t)})
 
 	writeJSON(w, http.StatusOK, selectResponse{
 		SessionID:  id,
@@ -580,6 +655,15 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		Size:       sel.Size(),
 		Tensors:    len(sel.Tensors),
 	})
+}
+
+// tenantID is the owning id of a session created by t ("" when
+// anonymous).
+func tenantID(t *tenant.Tenant) string {
+	if t == nil {
+		return ""
+	}
+	return t.ID()
 }
 
 // addSession stores a new session, evicting the oldest *idle* sessions
@@ -601,16 +685,17 @@ func (s *Server) addSession(sess *session) string {
 
 	s.met.sessions.Set(float64(count))
 	if s.st != nil {
-		if err := s.st.PutSession(&codec.SessionRecord{ID: id, Prov: sess.prov, Universe: sess.universe}); err != nil {
+		if err := s.st.PutSession(&codec.SessionRecord{ID: id, Prov: sess.prov, Universe: sess.universe, Tenant: sess.tenant}); err != nil {
 			s.log.Error("journaling session failed", "session", id, "err", err)
 		}
 	}
 	for _, old := range evicted {
 		s.met.evictions.Inc()
-		s.log.Info("session evicted", "session", old, "cap", s.maxSessions)
+		s.releaseSessionQuota(old.tenant)
+		s.log.Info("session evicted", "session", old.id, "cap", s.maxSessions)
 		if s.st != nil {
-			if err := s.st.DropSession(old); err != nil {
-				s.log.Error("journaling eviction failed", "session", old, "err", err)
+			if err := s.st.DropSession(old.id); err != nil {
+				s.log.Error("journaling eviction failed", "session", old.id, "err", err)
 			}
 		}
 	}
@@ -618,9 +703,11 @@ func (s *Server) addSession(sess *session) string {
 }
 
 // evictIdleLocked evicts oldest-first among idle sessions until the cap
-// is met (or only pinned sessions remain). Callers hold s.mu.
-func (s *Server) evictIdleLocked() []string {
-	var evicted []string
+// is met (or only pinned sessions remain). Callers hold s.mu. The
+// evicted sessions are returned so their tenants' quota slots can be
+// released outside the lock.
+func (s *Server) evictIdleLocked() []*session {
+	var evicted []*session
 	for len(s.sessions) > s.maxSessions {
 		victim := -1
 		for i, id := range s.order {
@@ -634,8 +721,8 @@ func (s *Server) evictIdleLocked() []string {
 		}
 		id := s.order[victim]
 		s.order = append(s.order[:victim], s.order[victim+1:]...)
+		evicted = append(evicted, s.sessions[id])
 		delete(s.sessions, id)
-		evicted = append(evicted, id)
 	}
 	return evicted
 }
@@ -680,12 +767,17 @@ func (s *Server) handleCustom(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "expression has no tensors")
 		return
 	}
+	t := tenantFrom(r.Context())
+	if err := s.acquireSessionQuota(t); err != nil {
+		writeReject(w, http.StatusTooManyRequests, err)
+		return
+	}
 	entries := make([]codec.UniverseEntry, 0, len(req.Universe))
 	for _, a := range req.Universe {
 		s.workload.Universe.Add(provenance.Annotation(a.Ann), a.Table, provenance.Attrs(a.Attrs))
 		entries = append(entries, codec.UniverseEntry{Ann: a.Ann, Table: a.Table, Attrs: a.Attrs})
 	}
-	id := s.addSession(&session{prov: expr, universe: entries})
+	id := s.addSession(&session{prov: expr, universe: entries, tenant: tenantID(t)})
 
 	writeJSON(w, http.StatusOK, selectResponse{
 		SessionID:  id,
@@ -708,6 +800,14 @@ func (s *Server) summaryOf(sess *session) *core.Summary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return sess.summary
+}
+
+// provOf snapshots a session's expression under the server lock (a
+// concurrent ingest may swap it).
+func (s *Server) provOf(sess *session) *provenance.Agg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sess.prov
 }
 
 // summarizeRequest carries the Algorithm 1 parameters of the
@@ -769,9 +869,9 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	out, status, err := s.submitSummarize(r.Context(), &req, 0)
+	out, status, err := s.submitSummarize(r.Context(), &req, 0, jobs.LaneInteractive)
 	if err != nil {
-		writeErr(w, status, "%v", err)
+		writeReject(w, status, err)
 		return
 	}
 	if out.cacheState != "" {
@@ -898,7 +998,7 @@ type stepResponse struct {
 // (0 ≤ n ≤ len(steps); 0 is the original selection) and returns the
 // intermediate expression.
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.URL.Query().Get("sessionId"))
+	sess, ok := s.sessionFor(r.Context(), r.URL.Query().Get("sessionId"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown session %q", r.URL.Query().Get("sessionId"))
 		return
@@ -954,7 +1054,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	sess, ok := s.session(req.SessionID)
+	sess, ok := s.sessionFor(r.Context(), req.SessionID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
 		return

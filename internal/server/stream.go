@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/provenance"
@@ -62,7 +63,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	sess, ok := s.session(req.SessionID)
+	sess, ok := s.sessionFor(r.Context(), req.SessionID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
 		return
@@ -160,7 +161,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	sess, ok := s.session(req.SessionID)
+	sess, ok := s.sessionFor(r.Context(), req.SessionID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown session %q", req.SessionID)
 		return
@@ -177,9 +178,9 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, status, err := s.submitSummarize(r.Context(), &req.summarizeRequest, n)
+	out, status, err := s.submitSummarize(r.Context(), &req.summarizeRequest, n, jobs.LaneInteractive)
 	if err != nil {
-		writeErr(w, status, "%v", err)
+		writeReject(w, status, err)
 		return
 	}
 	if out.cacheState != "" {
@@ -345,7 +346,7 @@ type versionsResponse struct {
 // session's summary version chain, oldest first.
 func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sess, ok := s.session(id)
+	sess, ok := s.sessionFor(r.Context(), id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown session %q", id)
 		return
@@ -457,7 +458,7 @@ func (s *Server) handleVersionDiff(w http.ResponseWriter, r *http.Request) {
 			"versions %s and %s belong to different sessions", r.PathValue("a"), r.PathValue("b"))
 		return
 	}
-	sess, ok := s.session(aSess)
+	sess, ok := s.sessionFor(r.Context(), aSess)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown session %q", aSess)
 		return

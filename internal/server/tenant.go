@@ -1,0 +1,351 @@
+// tenant.go is the traffic-hardening layer of the server: API-key
+// authentication against a tenant registry, per-tenant token-bucket
+// rate limiting and quotas (concurrent jobs, stored sessions, summary-
+// cache bytes), and cost-based admission control that sheds bulk work
+// before it occupies a worker. Every refusal is a 429 with a Retry-After header and its
+// own cause counter (prox_http_rejected_total{cause=...}), so clients
+// can back off intelligently and operators can tell a full queue from
+// a rate-limited tenant at a glance.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/datasets"
+	"repro/internal/obs"
+	"repro/internal/provenance"
+	"repro/internal/tenant"
+	"repro/internal/valuation"
+)
+
+// Rejection causes — the label values of prox_http_rejected_total and
+// the "cause" field of 429 bodies.
+const (
+	rejectQueueFull     = "queue-full"
+	rejectRateLimit     = "rate-limit"
+	rejectQuotaJobs     = "quota-jobs"
+	rejectQuotaSessions = "quota-sessions"
+	rejectCost          = "cost"
+)
+
+// rejectError is a refusal the server answers with 429 + Retry-After.
+// It carries its cause so the handler-side writer can keep the cause
+// counters and the response body consistent.
+type rejectError struct {
+	cause      string
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *rejectError) Error() string { return e.msg }
+
+// reject builds a rejectError and bumps its cause counter (and, when a
+// tenant is attached, the tenant-scoped counter) at the refusal site,
+// so every path that constructs one — waited on or not — is counted
+// exactly once.
+func (s *Server) reject(t *tenant.Tenant, cause string, retryAfter time.Duration, format string, args ...any) *rejectError {
+	if c, ok := s.met.rejected[cause]; ok {
+		c.Inc()
+	}
+	if tm := s.tenantMetricsFor(t); tm != nil {
+		switch cause {
+		case rejectRateLimit:
+			tm.throttled.Inc()
+		case rejectQuotaJobs:
+			tm.quotaJobs.Inc()
+		case rejectQuotaSessions:
+			tm.quotaSessions.Inc()
+		case rejectCost:
+			tm.shed.Inc()
+		}
+	}
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return &rejectError{cause: cause, retryAfter: retryAfter, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeReject renders an error as HTTP: rejectErrors become 429 with
+// Retry-After (whole seconds, rounded up) and a JSON body naming the
+// cause; anything else falls back to writeErr with the given status.
+func writeReject(w http.ResponseWriter, status int, err error) {
+	var rej *rejectError
+	if errors.As(err, &rej) {
+		secs := int64(math.Ceil(rej.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": rej.msg,
+			"cause": rej.cause,
+		})
+		return
+	}
+	writeErr(w, status, "%v", err)
+}
+
+// tenantMetrics are one tenant's metric handles, registered at startup
+// (the registry is immutable, so cardinality is bounded by the config).
+type tenantMetrics struct {
+	requests      *obs.Counter
+	throttled     *obs.Counter
+	quotaJobs     *obs.Counter
+	quotaSessions *obs.Counter
+	quotaCache    *obs.Counter
+	shed          *obs.Counter
+	activeJobs    *obs.Gauge
+	sessions      *obs.Gauge
+	cacheBytes    *obs.Gauge
+}
+
+func newTenantMetrics(reg *obs.Registry, id string) *tenantMetrics {
+	l := obs.Labels{"tenant": id}
+	quota := func(q string) *obs.Counter {
+		return reg.Counter("prox_tenant_quota_denied_total", "Requests denied by a per-tenant quota.", obs.Labels{"tenant": id, "quota": q})
+	}
+	return &tenantMetrics{
+		requests:      reg.Counter("prox_tenant_requests_total", "Authenticated API requests, by tenant.", l),
+		throttled:     reg.Counter("prox_tenant_throttled_total", "Requests refused by the tenant's rate limiter.", l),
+		quotaJobs:     quota("jobs"),
+		quotaSessions: quota("sessions"),
+		quotaCache:    quota("cache-bytes"),
+		shed:          reg.Counter("prox_tenant_cost_shed_total", "Job submissions shed by cost-based admission control.", l),
+		activeJobs:    reg.Gauge("prox_tenant_active_jobs", "Queued+running jobs holding the tenant's quota slots.", l),
+		sessions:      reg.Gauge("prox_tenant_sessions", "Live sessions owned by the tenant.", l),
+		cacheBytes:    reg.Gauge("prox_tenant_cache_bytes", "Summary-cache bytes attributed to the tenant (first writer).", l),
+	}
+}
+
+// tenantMetricsFor returns the metric handles for t (nil for anonymous
+// traffic or an unregistered tenant).
+func (s *Server) tenantMetricsFor(t *tenant.Tenant) *tenantMetrics {
+	if t == nil {
+		return nil
+	}
+	return s.tmet[t.ID()]
+}
+
+// tenantKey carries the authenticated tenant through the request
+// context.
+type tenantKey struct{}
+
+// tenantFrom returns the request's authenticated tenant (nil when the
+// server runs without a tenant registry).
+func tenantFrom(ctx context.Context) *tenant.Tenant {
+	t, _ := ctx.Value(tenantKey{}).(*tenant.Tenant)
+	return t
+}
+
+// apiKeyOf extracts the presented API key: "Authorization: Bearer KEY"
+// or the X-Prox-Key header.
+func apiKeyOf(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return strings.TrimSpace(r.Header.Get("X-Prox-Key"))
+}
+
+// withAuth wraps an API handler with authentication and rate limiting.
+// Without a registry it is a passthrough (single-tenant mode). With
+// one, a missing or unknown key is a 401, and a key over its token
+// bucket is a 429 with Retry-After. The resolved tenant rides the
+// request context for the quota and admission checks downstream.
+func (s *Server) withAuth(h http.HandlerFunc) http.HandlerFunc {
+	if s.tenants == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.tenants.Authenticate(apiKeyOf(r))
+		if !ok {
+			s.met.authFail.Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="prox"`)
+			writeErr(w, http.StatusUnauthorized, "missing or unknown API key")
+			return
+		}
+		tm := s.tenantMetricsFor(t)
+		if tm != nil {
+			tm.requests.Inc()
+		}
+		if allowed, wait := t.Allow(time.Now()); !allowed {
+			err := s.reject(t, rejectRateLimit, wait,
+				"tenant %s over its rate limit (%.3g req/s): retry later", t.ID(), t.Limits().RatePerSec)
+			writeReject(w, http.StatusTooManyRequests, err)
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, t)))
+	}
+}
+
+// ownsSession reports whether the request's tenant may touch the
+// session. Anonymous mode (no registry) owns everything; with tenants,
+// a session belongs to the tenant recorded at creation, and sessions
+// restored from a pre-tenancy journal (empty tenant) are server-global.
+func ownsSession(t *tenant.Tenant, sess *session) bool {
+	if t == nil || sess.tenant == "" {
+		return true
+	}
+	return sess.tenant == t.ID()
+}
+
+// sessionFor resolves a session id for the request, enforcing tenant
+// ownership: another tenant's session is indistinguishable from a
+// missing one (404, not 403 — existence is not leaked).
+func (s *Server) sessionFor(ctx context.Context, id string) (*session, bool) {
+	sess, ok := s.session(id)
+	if !ok || !ownsSession(tenantFrom(ctx), sess) {
+		return nil, false
+	}
+	return sess, true
+}
+
+// acquireSessionQuota reserves a session slot for the tenant before a
+// session is created; the returned release must be called if creation
+// fails. Returns a rejectError when the quota is exhausted.
+func (s *Server) acquireSessionQuota(t *tenant.Tenant) error {
+	if t == nil {
+		return nil
+	}
+	if !t.AcquireSession() {
+		return s.reject(t, rejectQuotaSessions, 5*time.Second,
+			"tenant %s at its session quota (%d): drop a session or retry later", t.ID(), t.Limits().MaxSessions)
+	}
+	return nil
+}
+
+// releaseSessionQuota returns the slot of a dropped or evicted session
+// by owner id (the session may outlive the request that created it).
+func (s *Server) releaseSessionQuota(tenantID string) {
+	if s.tenants == nil || tenantID == "" {
+		return
+	}
+	if t, ok := s.tenants.Get(tenantID); ok {
+		t.ReleaseSession()
+	}
+}
+
+// estimateJobCost is the admission-control cost model: universe size x
+// valuation count, both known before the job runs. For the annotation
+// class the valuation count equals the universe size; for the
+// attribute class it is the number of distinct (attribute, value)
+// cancellation sets over the session's annotations.
+func (s *Server) estimateJobCost(prov *provenance.Agg, class string) float64 {
+	anns := prov.Annotations()
+	n := len(anns)
+	vals := n
+	if classKind(class) == datasets.CancelSingleAttribute {
+		vals = valuation.NewCancelSingleAttribute(s.workload.Universe, anns, s.workload.AttrNames...).Len()
+	}
+	return float64(n) * float64(vals)
+}
+
+// admitJob applies cost-based admission control: the estimated cost is
+// checked against the tenant's MaxCostPerJob (falling back to the
+// server-wide budget); over-budget work is shed with a 429 before it
+// occupies a queue slot or a worker. A zero budget admits everything.
+func (s *Server) admitJob(t *tenant.Tenant, cost float64) error {
+	budget := s.admissionMaxCost
+	if t != nil && t.Limits().MaxCostPerJob > 0 {
+		budget = t.Limits().MaxCostPerJob
+	}
+	if budget <= 0 || cost <= budget {
+		return nil
+	}
+	who := "request"
+	if t != nil {
+		who = "tenant " + t.ID()
+	}
+	return s.reject(t, rejectCost, 10*time.Second,
+		"%s job shed by admission control: estimated cost %.0f exceeds budget %.0f (universe x valuations); narrow the selection", who, cost, budget)
+}
+
+// acquireJobQuota reserves a concurrent-job slot for the tenant.
+func (s *Server) acquireJobQuota(t *tenant.Tenant) error {
+	if t == nil {
+		return nil
+	}
+	if !t.AcquireJob() {
+		return s.reject(t, rejectQuotaJobs, time.Second,
+			"tenant %s at its concurrent-job quota (%d): retry when a job finishes", t.ID(), t.Limits().MaxConcurrentJobs)
+	}
+	return nil
+}
+
+// releaseJobQuota returns a concurrent-job slot by owner id (job
+// terminal transitions run outside any request context).
+func (s *Server) releaseJobQuota(tenantID string) {
+	if s.tenants == nil || tenantID == "" {
+		return
+	}
+	if t, ok := s.tenants.Get(tenantID); ok {
+		t.ReleaseJob()
+	}
+}
+
+// scrapeTenants refreshes the per-tenant gauges before a /metrics
+// exposition.
+func (s *Server) scrapeTenants() {
+	if s.tenants == nil {
+		return
+	}
+	for _, t := range s.tenants.All() {
+		if tm := s.tmet[t.ID()]; tm != nil {
+			tm.activeJobs.Set(float64(t.ActiveJobs()))
+			tm.sessions.Set(float64(t.Sessions()))
+			tm.cacheBytes.Set(float64(t.CacheBytes()))
+		}
+	}
+}
+
+// cacheRecSize prices a cache entry the same way the cache itself
+// accounts it: the length of its JSON encoding.
+func cacheRecSize(rec *codec.CacheEntryRecord) int64 {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
+// acquireCacheQuota attributes a to-be-published entry's bytes to its
+// tenant. A false return means the tenant's MaxCacheBytes quota is
+// exhausted and the entry must not be cached (the run itself already
+// succeeded — the quota only bounds shared cache space).
+func (s *Server) acquireCacheQuota(tenantID string, size int64) bool {
+	if s.tenants == nil || tenantID == "" {
+		return true
+	}
+	t, ok := s.tenants.Get(tenantID)
+	if !ok {
+		return true
+	}
+	if !t.AcquireCacheBytes(size) {
+		if tm := s.tmet[tenantID]; tm != nil {
+			tm.quotaCache.Inc()
+		}
+		return false
+	}
+	return true
+}
+
+// releaseCacheQuota returns an evicted or dropped entry's bytes to its
+// publishing tenant.
+func (s *Server) releaseCacheQuota(tenantID string, size int64) {
+	if s.tenants == nil || tenantID == "" {
+		return
+	}
+	if t, ok := s.tenants.Get(tenantID); ok {
+		t.ReleaseCacheBytes(size)
+	}
+}

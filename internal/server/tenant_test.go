@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/tenant"
+)
+
+// testTenants builds a two-tenant registry: "alice" with generous
+// limits and "bob" whose limits each test overrides as needed.
+func testTenants(t *testing.T, cfgs ...tenant.Config) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.NewRegistry(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func generous(id, key string) tenant.Config {
+	return tenant.Config{
+		ID:                id,
+		KeySHA256:         tenant.HashKey(key),
+		RatePerSec:        1000,
+		Burst:             1000,
+		MaxConcurrentJobs: 100,
+		MaxSessions:       100,
+	}
+}
+
+// postAs is post with a tenant API key attached.
+func postAs(t *testing.T, key, url string, body, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+key)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return res
+}
+
+// selectAs opens a session as the given tenant and returns its id.
+func selectAs(t *testing.T, ts *httptest.Server, key string) string {
+	t.Helper()
+	var sel selectResponse
+	res := postAs(t, key, ts.URL+"/api/select", selectRequest{}, &sel)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("select status = %d", res.StatusCode)
+	}
+	return sel.SessionID
+}
+
+// TestAuthRequired: with a tenant registry every /api route demands a
+// key; missing and unknown keys are 401 (counted), a valid key passes,
+// and the open endpoints (/ and /metrics) stay keyless.
+func TestAuthRequired(t *testing.T) {
+	reg := testTenants(t, generous("alice", "alice-key"))
+	s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+
+	// No key.
+	res, err := http.Get(ts.URL + "/api/movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("keyless status = %d, want 401", res.StatusCode)
+	}
+	if h := res.Header.Get("WWW-Authenticate"); h == "" {
+		t.Fatal("401 without WWW-Authenticate")
+	}
+	// Wrong key.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/movies", nil)
+	req.Header.Set("X-Prox-Key", "not-a-key")
+	res2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad-key status = %d, want 401", res2.StatusCode)
+	}
+	if got := s.met.authFail.Value(); got != 2 {
+		t.Fatalf("prox_auth_failures_total = %v, want 2", got)
+	}
+	// Valid key via both header forms.
+	req3, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/movies", nil)
+	req3.Header.Set("Authorization", "Bearer alice-key")
+	res3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3.Body.Close()
+	if res3.StatusCode != http.StatusOK {
+		t.Fatalf("bearer-key status = %d, want 200", res3.StatusCode)
+	}
+	req4, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/movies", nil)
+	req4.Header.Set("X-Prox-Key", "alice-key")
+	res4, err := http.DefaultClient.Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res4.Body.Close()
+	if res4.StatusCode != http.StatusOK {
+		t.Fatalf("x-prox-key status = %d, want 200", res4.StatusCode)
+	}
+	// Open endpoints need no key.
+	for _, path := range []string{"/", "/metrics"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s without key = %d, want 200", path, r.StatusCode)
+		}
+	}
+}
+
+// TestTenantSessionIsolation: another tenant's session id answers 404 —
+// indistinguishable from a missing session — on every session-scoped
+// route.
+func TestTenantSessionIsolation(t *testing.T) {
+	reg := testTenants(t, generous("alice", "alice-key"), generous("bob", "bob-key"))
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+
+	sid := selectAs(t, ts, "alice-key")
+
+	// Owner can use it.
+	var ok summarizeResponse
+	if res := postAs(t, "alice-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: sid, Steps: 1}, &ok); res.StatusCode != http.StatusOK {
+		t.Fatalf("owner summarize status = %d", res.StatusCode)
+	}
+	// The other tenant cannot, and cannot tell the session exists.
+	var errResp map[string]string
+	if res := postAs(t, "bob-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: sid, Steps: 1}, &errResp); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("foreign summarize status = %d, want 404", res.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/step?sessionId="+sid+"&n=0", nil)
+	req.Header.Set("X-Prox-Key", "bob-key")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("foreign step status = %d, want 404", res.StatusCode)
+	}
+}
+
+// retryAfterOf parses a response's Retry-After header, failing the test
+// when it is absent or malformed.
+func retryAfterOf(t *testing.T, res *http.Response, ctx string) int {
+	t.Helper()
+	h := res.Header.Get("Retry-After")
+	if h == "" {
+		t.Fatalf("%s: 429 without Retry-After", ctx)
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil {
+		t.Fatalf("%s: Retry-After %q is not an integer: %v", ctx, h, err)
+	}
+	return secs
+}
+
+// TestRejectionSemantics is the 429 contract, as a table over the
+// rejection causes: every refusal carries a Retry-After header with a
+// sane (1s..1h) value, names its cause in the body, and increments its
+// own prox_http_rejected_total{cause} counter — and only its own.
+func TestRejectionSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		cause string
+		// build returns a server and a request func expected to be
+		// rejected with the case's cause.
+		build func(t *testing.T) (*Server, func() *http.Response)
+	}{
+		{
+			name:  "queue full",
+			cause: rejectQueueFull,
+			build: func(t *testing.T) (*Server, func() *http.Response) {
+				reg := testTenants(t, generous("alice", "alice-key"))
+				s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg), WithWorkers(1), WithQueueSize(1))
+				sid := selectAs(t, ts, "alice-key")
+				release := occupyWorker(t, s, "blocker-running")
+				t.Cleanup(func() { close(release) })
+				fill := make(chan struct{})
+				t.Cleanup(func() { close(fill) })
+				if _, _, err := s.jm.SubmitLane("blocker-bulk", "", "", jobs.LaneBulk, 0, blockTask(fill)); err != nil {
+					t.Fatal(err)
+				}
+				return s, func() *http.Response {
+					return postAs(t, "alice-key", ts.URL+"/api/jobs", summarizeRequest{SessionID: sid, Steps: 2}, nil)
+				}
+			},
+		},
+		{
+			name:  "rate limit",
+			cause: rejectRateLimit,
+			build: func(t *testing.T) (*Server, func() *http.Response) {
+				cfg := generous("alice", "alice-key")
+				cfg.RatePerSec, cfg.Burst = 0.01, 1
+				reg := testTenants(t, cfg)
+				s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+				// Drain the single burst token.
+				res, err := http.NewRequest(http.MethodGet, ts.URL+"/api/movies", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.Header.Set("X-Prox-Key", "alice-key")
+				r, err := http.DefaultClient.Do(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					t.Fatalf("burst request status = %d", r.StatusCode)
+				}
+				return s, func() *http.Response {
+					return postAs(t, "alice-key", ts.URL+"/api/select", selectRequest{}, nil)
+				}
+			},
+		},
+		{
+			name:  "job quota",
+			cause: rejectQuotaJobs,
+			build: func(t *testing.T) (*Server, func() *http.Response) {
+				cfg := generous("alice", "alice-key")
+				cfg.MaxConcurrentJobs = 1
+				reg := testTenants(t, cfg)
+				s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg), WithWorkers(1), WithQueueSize(8))
+				sid := selectAs(t, ts, "alice-key")
+				release := occupyWorker(t, s, "blocker-running")
+				t.Cleanup(func() { close(release) })
+				// This submission queues and holds the tenant's single slot.
+				var jr jobResponse
+				if res := postAs(t, "alice-key", ts.URL+"/api/jobs", summarizeRequest{SessionID: sid, Steps: 2}, &jr); res.StatusCode != http.StatusAccepted {
+					t.Fatalf("first submit status = %d, want 202", res.StatusCode)
+				}
+				return s, func() *http.Response {
+					// Different parameters, so it cannot coalesce onto the first.
+					return postAs(t, "alice-key", ts.URL+"/api/jobs", summarizeRequest{SessionID: sid, Steps: 3}, nil)
+				}
+			},
+		},
+		{
+			name:  "session quota",
+			cause: rejectQuotaSessions,
+			build: func(t *testing.T) (*Server, func() *http.Response) {
+				cfg := generous("alice", "alice-key")
+				cfg.MaxSessions = 1
+				reg := testTenants(t, cfg)
+				s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+				selectAs(t, ts, "alice-key")
+				return s, func() *http.Response {
+					return postAs(t, "alice-key", ts.URL+"/api/select", selectRequest{}, nil)
+				}
+			},
+		},
+		{
+			name:  "admission cost",
+			cause: rejectCost,
+			build: func(t *testing.T) (*Server, func() *http.Response) {
+				reg := testTenants(t, generous("alice", "alice-key"))
+				s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg), WithAdmissionMaxCost(0.5))
+				sid := selectAs(t, ts, "alice-key")
+				return s, func() *http.Response {
+					return postAs(t, "alice-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: sid, Steps: 2}, nil)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, fire := tc.build(t)
+			before := map[string]float64{}
+			for cause, c := range s.met.rejected {
+				before[cause] = c.Value()
+			}
+			res := fire()
+			if res.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("status = %d, want 429", res.StatusCode)
+			}
+			secs := retryAfterOf(t, res, tc.name)
+			if secs < 1 || secs > 3600 {
+				t.Fatalf("Retry-After = %ds, want within [1s, 1h]", secs)
+			}
+			for cause, c := range s.met.rejected {
+				want := before[cause]
+				if cause == tc.cause {
+					want++
+				}
+				if got := c.Value(); got != want {
+					t.Fatalf("prox_http_rejected_total{cause=%q} = %v, want %v", cause, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRejectionBodyNamesCause pins the 429 body shape: a JSON object
+// with "error" and "cause" fields (clients branch on cause).
+func TestRejectionBodyNamesCause(t *testing.T) {
+	cfg := generous("alice", "alice-key")
+	cfg.MaxSessions = 1
+	reg := testTenants(t, cfg)
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+	selectAs(t, ts, "alice-key")
+
+	var body map[string]string
+	res := postAs(t, "alice-key", ts.URL+"/api/select", selectRequest{}, &body)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", res.StatusCode)
+	}
+	if body["cause"] != rejectQuotaSessions {
+		t.Fatalf("cause = %q, want %q", body["cause"], rejectQuotaSessions)
+	}
+	if body["error"] == "" {
+		t.Fatal("429 body without error message")
+	}
+}
+
+// TestJobQuotaReleased: finishing a job returns its quota slot, so a
+// tenant at MaxConcurrentJobs=1 can run jobs serially forever.
+func TestJobQuotaReleased(t *testing.T) {
+	cfg := generous("alice", "alice-key")
+	cfg.MaxConcurrentJobs = 1
+	reg := testTenants(t, cfg)
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+	sid := selectAs(t, ts, "alice-key")
+
+	for steps := 1; steps <= 3; steps++ {
+		var out summarizeResponse
+		res := postAs(t, "alice-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: sid, Steps: steps}, &out)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("run %d status = %d, want 200 (quota slot not released?)", steps, res.StatusCode)
+		}
+	}
+}
+
+// TestPerTenantCostOverride: a tenant's MaxCostPerJob overrides the
+// server-wide admission budget in both directions.
+func TestPerTenantCostOverride(t *testing.T) {
+	rich := generous("rich", "rich-key")
+	rich.MaxCostPerJob = 1e12
+	poor := generous("poor", "poor-key")
+	poor.MaxCostPerJob = 0.5
+	reg := testTenants(t, rich, poor)
+	// Server-wide budget sheds everything; rich's override admits. The
+	// cache is off: a hit on rich's identical run would (correctly) serve
+	// poor for free, which is not what this test is about.
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg), WithAdmissionMaxCost(0.5), WithCache(0, 0, 0))
+
+	richSID := selectAs(t, ts, "rich-key")
+	if res := postAs(t, "rich-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: richSID, Steps: 1}, nil); res.StatusCode != http.StatusOK {
+		t.Fatalf("rich tenant status = %d, want 200 despite tiny server budget", res.StatusCode)
+	}
+	poorSID := selectAs(t, ts, "poor-key")
+	res := postAs(t, "poor-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: poorSID, Steps: 1}, nil)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("poor tenant status = %d, want 429", res.StatusCode)
+	}
+}
+
+// TestTenantMetricsExposed: the per-tenant series appear on /metrics
+// with their tenant labels once traffic flows.
+func TestTenantMetricsExposed(t *testing.T) {
+	reg := testTenants(t, generous("alice", "alice-key"))
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+	selectAs(t, ts, "alice-key")
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		`prox_tenant_requests_total{tenant="alice"}`,
+		`prox_tenant_sessions{tenant="alice"}`,
+		`prox_jobs_queue_depth{lane="interactive"}`,
+		`prox_jobs_queue_depth{lane="bulk"}`,
+		`prox_http_rejected_total{cause="rate-limit"}`,
+	} {
+		if !bytes.Contains([]byte(page), []byte(want)) {
+			t.Fatalf("/metrics missing %s\n%s", want, page[:min(len(page), 2000)])
+		}
+	}
+}
+
+// TestRateLimitRetryAfterSane: the Retry-After of a rate-limit 429
+// approximates the bucket's actual refill time.
+func TestRateLimitRetryAfterSane(t *testing.T) {
+	cfg := generous("alice", "alice-key")
+	cfg.RatePerSec, cfg.Burst = 0.1, 1 // one token per 10s
+	reg := testTenants(t, cfg)
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+
+	selectAs(t, ts, "alice-key") // drains the burst token
+	res := postAs(t, "alice-key", ts.URL+"/api/select", selectRequest{}, nil)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", res.StatusCode)
+	}
+	secs := retryAfterOf(t, res, "rate limit")
+	if secs < 1 || secs > 11 {
+		t.Fatalf("Retry-After = %ds, want ~10s for a 0.1/s bucket", secs)
+	}
+}
+
+// TestSessionQuotaReleasedOnEviction: an evicted session returns its
+// owner's quota slot, so the tenant can keep opening sessions under a
+// small server-wide session cap.
+func TestSessionQuotaReleasedOnEviction(t *testing.T) {
+	cfg := generous("alice", "alice-key")
+	cfg.MaxSessions = 2
+	reg := testTenants(t, cfg)
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg), WithMaxSessions(1))
+
+	// Each new session evicts the idle previous one; the quota slot must
+	// follow, or the third select would trip the MaxSessions=2 quota.
+	for i := 0; i < 4; i++ {
+		var sel selectResponse
+		res := postAs(t, "alice-key", ts.URL+"/api/select", selectRequest{}, &sel)
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("select %d status = %d (quota slot not released on eviction?)", i, res.StatusCode)
+		}
+	}
+}
+
+// TestSingleTenantModeUnchanged: without a registry nothing requires a
+// key and no tenant series exist — the pre-tenancy behavior.
+func TestSingleTenantModeUnchanged(t *testing.T) {
+	_, ts := jobsServer(t, jobsWorkload())
+	sid := selectAll(t, ts)
+	var out summarizeResponse
+	if res := post(t, ts.URL+"/api/summarize", summarizeRequest{SessionID: sid, Steps: 1}, &out); res.StatusCode != http.StatusOK {
+		t.Fatalf("summarize status = %d", res.StatusCode)
+	}
+}
+
+// TestLaneMetricsMoveWithJobs: queued/running gauges carry lane labels
+// that actually track job flow.
+func TestLaneMetricsMoveWithJobs(t *testing.T) {
+	s, ts := jobsServer(t, jobsWorkload(), WithWorkers(1), WithQueueSize(4))
+	sid := selectAll(t, ts)
+
+	release := occupyWorker(t, s, "blocker")
+	var jr jobResponse
+	if res := post(t, ts.URL+"/api/jobs", summarizeRequest{SessionID: sid, Steps: 2}, &jr); res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", res.StatusCode)
+	}
+	if got := s.met.jobsQueued["bulk"].Value(); got != 1 {
+		t.Fatalf("prox_jobs_queued{lane=bulk} = %v, want 1", got)
+	}
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.met.jobsQueued["bulk"].Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("bulk queued gauge never drained")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	pollJob(t, ts, jr.ID)
+}
+
+// TestTenantCacheBytesQuota: a tenant past its MaxCacheBytes quota
+// keeps its results but publishes nothing to the shared summary cache;
+// a tenant within quota publishes normally, surfaces its attributed
+// bytes on the per-tenant gauge, and gets them back on a cache flush.
+func TestTenantCacheBytesQuota(t *testing.T) {
+	tiny := generous("tiny", "tiny-key")
+	tiny.MaxCacheBytes = 1
+	reg := testTenants(t, tiny, generous("rich", "rich-key"))
+	s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+
+	sid := selectAs(t, ts, "tiny-key")
+	var rerun summarizeResponse
+	postAs(t, "tiny-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: sid, Steps: 2}, nil)
+	postAs(t, "tiny-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: sid, Steps: 2}, &rerun)
+	if rerun.Cached {
+		t.Fatal("identical request hit the cache despite the tenant's cache-bytes quota")
+	}
+	if got := s.tmet["tiny"].quotaCache.Value(); got < 1 {
+		t.Fatalf("quota_denied{quota=cache-bytes} = %v, want >= 1", got)
+	}
+
+	rid := selectAs(t, ts, "rich-key")
+	var hit summarizeResponse
+	postAs(t, "rich-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: rid, Steps: 3}, nil)
+	postAs(t, "rich-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: rid, Steps: 3}, &hit)
+	if !hit.Cached {
+		t.Fatal("expected the within-quota tenant's identical rerun to hit the cache")
+	}
+	s.scrapeTenants()
+	if got := s.tmet["rich"].cacheBytes.Value(); got <= 0 {
+		t.Fatalf("prox_tenant_cache_bytes = %v, want > 0", got)
+	}
+
+	// Flush bypasses OnEvict (it journals as one record), so the
+	// handler must zero the per-tenant attribution itself.
+	postAs(t, "rich-key", ts.URL+"/api/cache/flush", struct{}{}, nil)
+	s.scrapeTenants()
+	if got := s.tmet["rich"].cacheBytes.Value(); got != 0 {
+		t.Fatalf("prox_tenant_cache_bytes after flush = %v, want 0", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/datasets"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -223,13 +224,14 @@ func TestJobTraceContiguityAcrossRestart(t *testing.T) {
 		WithStore(st1), WithWorkers(1), WithQueueSize(1), WithCheckpointEvery(1), WithTracer(tr1))
 	sid := selectAll(t, ts1)
 
-	// Occupy the single worker and the single queue slot with jobs that
-	// park until released, so the queue is deterministically full.
+	// Occupy the single worker and the single bulk-lane slot with jobs
+	// that park until released, so the queue /api/jobs submits into is
+	// deterministically full.
 	release := make(chan struct{})
 	if _, err := s1.jm.Submit("block-worker", 0, blockTask(release)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s1.jm.Submit("block-queue", 0, blockTask(release)); err != nil {
+	if _, _, err := s1.jm.SubmitLane("block-queue", "", "", jobs.LaneBulk, 0, blockTask(release)); err != nil {
 		t.Fatal(err)
 	}
 

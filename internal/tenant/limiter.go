@@ -1,0 +1,76 @@
+// limiter.go is a minimal token-bucket rate limiter (stdlib only — the
+// module deliberately has no dependencies, so x/time/rate is out).
+// Tokens refill continuously at rate/sec up to the burst depth; Allow
+// consumes one token or reports how long until one is available, which
+// the server surfaces as Retry-After.
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a continuously-refilling token bucket. Safe for concurrent
+// use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a full bucket refilling at rate tokens/second with
+// the given depth. rate must be positive; burst < 1 is clamped to 1.
+func NewBucket(rate float64, burst int) *Bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// Allow consumes one token at time now. When the bucket is empty it
+// returns false and the wait until the next token accrues. Passing now
+// explicitly keeps the bucket deterministic under test; callers pass
+// time.Now().
+func (b *Bucket) Allow(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	wait := time.Duration(math.Ceil(need / b.rate * float64(time.Second)))
+	return false, wait
+}
+
+// Tokens reports the current token count at time now (for tests and
+// introspection).
+func (b *Bucket) Tokens(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	return b.tokens
+}
+
+// refill accrues tokens for the elapsed time; callers hold b.mu. A
+// clock that goes backwards (now before last) accrues nothing rather
+// than draining the bucket.
+func (b *Bucket) refill(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	elapsed := now.Sub(b.last)
+	if elapsed <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += elapsed.Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}

@@ -1,0 +1,83 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBurstThenRefill(t *testing.T) {
+	start := time.Unix(1000, 0)
+	b := NewBucket(10, 5) // 10 tokens/s, depth 5
+
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Allow(start); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, wait := b.Allow(start)
+	if ok {
+		t.Fatal("6th immediate request allowed past burst")
+	}
+	if wait <= 0 || wait > 150*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~100ms", wait)
+	}
+
+	// After the hinted wait one token has accrued.
+	if ok, _ := b.Allow(start.Add(wait)); !ok {
+		t.Fatal("request refused after waiting the hinted duration")
+	}
+	// And only one: the next immediate request is refused again.
+	if ok, _ := b.Allow(start.Add(wait)); ok {
+		t.Fatal("second request allowed without a second token")
+	}
+}
+
+func TestBucketCapsAtBurst(t *testing.T) {
+	start := time.Unix(1000, 0)
+	b := NewBucket(100, 3)
+	for i := 0; i < 3; i++ {
+		b.Allow(start)
+	}
+	// An hour idle must not bank more than the burst depth.
+	later := start.Add(time.Hour)
+	if got := b.Tokens(later); got != 3 {
+		t.Fatalf("Tokens after idle = %v, want 3", got)
+	}
+}
+
+func TestBucketClockBackwards(t *testing.T) {
+	start := time.Unix(1000, 0)
+	b := NewBucket(1, 1)
+	b.Allow(start)
+	if got := b.Tokens(start.Add(-time.Hour)); got != 0 {
+		t.Fatalf("backwards clock changed tokens: %v", got)
+	}
+}
+
+// Concurrent Allow calls must never hand out more tokens than burst +
+// accrual; the CI race step runs this under -race.
+func TestBucketConcurrent(t *testing.T) {
+	b := NewBucket(1, 50)
+	now := time.Unix(2000, 0)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	allowed := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if ok, _ := b.Allow(now); ok {
+					mu.Lock()
+					allowed++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if allowed != 50 {
+		t.Fatalf("allowed %d requests at a fixed instant, want exactly burst (50)", allowed)
+	}
+}

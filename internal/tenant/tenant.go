@@ -1,0 +1,335 @@
+// Package tenant is the multi-tenant traffic-hardening layer in front
+// of the PROX server: API-key authentication (keys stored hashed, never
+// in plaintext), per-tenant token-bucket rate limiting, and per-tenant
+// quotas on the resources a client can pin — concurrent jobs and stored
+// sessions. The server consults a Registry on every request; every
+// refusal maps to a 429 with a Retry-After so well-behaved clients back
+// off instead of hammering.
+//
+// The registry is loaded once from a JSON config file and immutable
+// afterwards: per-tenant metric series stay bounded by the config, and
+// the hot path (Authenticate + Allow) takes no registry-wide lock.
+package tenant
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config declares one tenant in the -tenants file. Zero limits mean
+// "unlimited" so a config can opt into only the controls it needs.
+type Config struct {
+	// ID is the tenant's stable identifier; it labels metrics, owns
+	// sessions and jobs in the journal, and appears in logs.
+	ID string `json:"id"`
+	// KeySHA256 is the lowercase hex SHA-256 of the tenant's API key.
+	// Only the hash is ever stored; compute it with
+	//   printf '%s' "$KEY" | sha256sum
+	// or tenant.HashKey.
+	KeySHA256 string `json:"keySha256"`
+	// RatePerSec refills the tenant's token bucket (requests/second);
+	// 0 disables rate limiting for the tenant.
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
+	// Burst is the bucket depth (default: ceil(RatePerSec), min 1).
+	Burst int `json:"burst,omitempty"`
+	// MaxConcurrentJobs caps the tenant's queued+running jobs; 0 is
+	// unlimited.
+	MaxConcurrentJobs int `json:"maxConcurrentJobs,omitempty"`
+	// MaxSessions caps the tenant's live sessions; 0 is unlimited.
+	MaxSessions int `json:"maxSessions,omitempty"`
+	// MaxCostPerJob overrides the server's admission budget (estimated
+	// job cost = universe size x valuation count) for this tenant;
+	// 0 keeps the server default.
+	MaxCostPerJob float64 `json:"maxCostPerJob,omitempty"`
+	// MaxCacheBytes caps the summary-cache bytes attributed to the
+	// tenant (first-writer attribution: the tenant whose run published
+	// the entry owns its bytes until eviction); 0 is unlimited.
+	MaxCacheBytes int64 `json:"maxCacheBytes,omitempty"`
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.ID == "":
+		return fmt.Errorf("tenant: config entry without an id")
+	case len(c.KeySHA256) != sha256.Size*2:
+		return fmt.Errorf("tenant %s: keySha256 must be %d hex chars, got %d", c.ID, sha256.Size*2, len(c.KeySHA256))
+	case c.RatePerSec < 0:
+		return fmt.Errorf("tenant %s: ratePerSec must be non-negative", c.ID)
+	case c.Burst < 0:
+		return fmt.Errorf("tenant %s: burst must be non-negative", c.ID)
+	case c.MaxConcurrentJobs < 0:
+		return fmt.Errorf("tenant %s: maxConcurrentJobs must be non-negative", c.ID)
+	case c.MaxSessions < 0:
+		return fmt.Errorf("tenant %s: maxSessions must be non-negative", c.ID)
+	case c.MaxCostPerJob < 0:
+		return fmt.Errorf("tenant %s: maxCostPerJob must be non-negative", c.ID)
+	case c.MaxCacheBytes < 0:
+		return fmt.Errorf("tenant %s: maxCacheBytes must be non-negative", c.ID)
+	}
+	if _, err := hex.DecodeString(c.KeySHA256); err != nil {
+		return fmt.Errorf("tenant %s: keySha256 is not hex: %v", c.ID, err)
+	}
+	return nil
+}
+
+// HashKey returns the lowercase hex SHA-256 of an API key — the form
+// keys take in the config file.
+func HashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Tenant is one authenticated client with its limiter and quota state.
+// All methods are safe for concurrent use.
+type Tenant struct {
+	cfg    Config
+	bucket *Bucket // nil when rate limiting is disabled
+
+	mu         sync.Mutex
+	jobs       int
+	sessions   int
+	cacheBytes int64
+}
+
+// ID returns the tenant's identifier.
+func (t *Tenant) ID() string { return t.cfg.ID }
+
+// Limits returns the tenant's configured limits.
+func (t *Tenant) Limits() Config { return t.cfg }
+
+// Allow consumes one rate-limit token. When the bucket is empty it
+// returns false and the duration until the next token.
+func (t *Tenant) Allow(now time.Time) (bool, time.Duration) {
+	if t.bucket == nil {
+		return true, 0
+	}
+	return t.bucket.Allow(now)
+}
+
+// AcquireJob reserves one concurrent-job slot, failing when the
+// tenant's MaxConcurrentJobs quota is exhausted.
+func (t *Tenant) AcquireJob() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.MaxConcurrentJobs > 0 && t.jobs >= t.cfg.MaxConcurrentJobs {
+		return false
+	}
+	t.jobs++
+	return true
+}
+
+// ForceAcquireJob reserves a concurrent-job slot even past the quota.
+// The restore path uses it: a journaled job must requeue after a
+// restart no matter what the quota says today.
+func (t *Tenant) ForceAcquireJob() {
+	t.mu.Lock()
+	t.jobs++
+	t.mu.Unlock()
+}
+
+// ReleaseJob returns a concurrent-job slot.
+func (t *Tenant) ReleaseJob() {
+	t.mu.Lock()
+	if t.jobs > 0 {
+		t.jobs--
+	}
+	t.mu.Unlock()
+}
+
+// ActiveJobs reports the tenant's reserved job slots.
+func (t *Tenant) ActiveJobs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.jobs
+}
+
+// AcquireSession reserves one stored-session slot, failing when the
+// tenant's MaxSessions quota is exhausted.
+func (t *Tenant) AcquireSession() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.MaxSessions > 0 && t.sessions >= t.cfg.MaxSessions {
+		return false
+	}
+	t.sessions++
+	return true
+}
+
+// ForceAcquireSession reserves a session slot even past the quota
+// (restore path: journaled sessions come back regardless).
+func (t *Tenant) ForceAcquireSession() {
+	t.mu.Lock()
+	t.sessions++
+	t.mu.Unlock()
+}
+
+// ReleaseSession returns a stored-session slot (session dropped or
+// evicted).
+func (t *Tenant) ReleaseSession() {
+	t.mu.Lock()
+	if t.sessions > 0 {
+		t.sessions--
+	}
+	t.mu.Unlock()
+}
+
+// AcquireCacheBytes attributes n summary-cache bytes to the tenant,
+// failing when that would exceed its MaxCacheBytes quota. Bytes are
+// tracked even for unlimited tenants so the gauge stays truthful.
+func (t *Tenant) AcquireCacheBytes(n int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.MaxCacheBytes > 0 && t.cacheBytes+n > t.cfg.MaxCacheBytes {
+		return false
+	}
+	t.cacheBytes += n
+	return true
+}
+
+// ForceAcquireCacheBytes attributes cache bytes even past the quota
+// (restore path: journaled entries come back regardless).
+func (t *Tenant) ForceAcquireCacheBytes(n int64) {
+	t.mu.Lock()
+	t.cacheBytes += n
+	t.mu.Unlock()
+}
+
+// ReleaseCacheBytes returns attributed cache bytes (entry evicted or
+// dropped), clamping at zero.
+func (t *Tenant) ReleaseCacheBytes(n int64) {
+	t.mu.Lock()
+	t.cacheBytes -= n
+	if t.cacheBytes < 0 {
+		t.cacheBytes = 0
+	}
+	t.mu.Unlock()
+}
+
+// CacheBytes reports the summary-cache bytes attributed to the tenant.
+func (t *Tenant) CacheBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cacheBytes
+}
+
+// Sessions reports the tenant's reserved session slots.
+func (t *Tenant) Sessions() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sessions
+}
+
+// Registry resolves API keys to tenants. Immutable after construction;
+// Authenticate takes no lock.
+type Registry struct {
+	byHash map[string]*Tenant
+	byID   map[string]*Tenant
+	order  []*Tenant // config order, for deterministic All()
+}
+
+// NewRegistry builds a registry from validated configs.
+func NewRegistry(cfgs []Config) (*Registry, error) {
+	r := &Registry{
+		byHash: make(map[string]*Tenant, len(cfgs)),
+		byID:   make(map[string]*Tenant, len(cfgs)),
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
+		cfg.KeySHA256 = strings.ToLower(cfg.KeySHA256)
+		if _, dup := r.byID[cfg.ID]; dup {
+			return nil, fmt.Errorf("tenant: duplicate id %q", cfg.ID)
+		}
+		if _, dup := r.byHash[cfg.KeySHA256]; dup {
+			return nil, fmt.Errorf("tenant %s: key hash collides with another tenant", cfg.ID)
+		}
+		t := &Tenant{cfg: cfg}
+		if cfg.RatePerSec > 0 {
+			burst := cfg.Burst
+			if burst == 0 {
+				burst = int(cfg.RatePerSec)
+				if float64(burst) < cfg.RatePerSec {
+					burst++
+				}
+				if burst < 1 {
+					burst = 1
+				}
+			}
+			t.bucket = NewBucket(cfg.RatePerSec, burst)
+		}
+		r.byHash[cfg.KeySHA256] = t
+		r.byID[cfg.ID] = t
+		r.order = append(r.order, t)
+	}
+	if len(r.order) == 0 {
+		return nil, fmt.Errorf("tenant: config declares no tenants")
+	}
+	return r, nil
+}
+
+// Load reads a registry from a JSON config file: either a bare array of
+// Config or an object {"tenants": [...]}.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: reading config: %w", err)
+	}
+	var wrapped struct {
+		Tenants []Config `json:"tenants"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err != nil || wrapped.Tenants == nil {
+		var bare []Config
+		if berr := json.Unmarshal(data, &bare); berr != nil {
+			return nil, fmt.Errorf("tenant: parsing %s: %w", path, cmpErr(err, berr))
+		}
+		wrapped.Tenants = bare
+	}
+	return NewRegistry(wrapped.Tenants)
+}
+
+// cmpErr picks the more informative of the two parse errors.
+func cmpErr(obj, arr error) error {
+	if obj != nil {
+		return obj
+	}
+	return arr
+}
+
+// Authenticate resolves an API key to its tenant. The lookup hashes
+// the presented key and compares hashes in constant time, so the
+// registry never holds or compares plaintext keys.
+func (r *Registry) Authenticate(key string) (*Tenant, bool) {
+	if key == "" {
+		return nil, false
+	}
+	h := HashKey(key)
+	t, ok := r.byHash[h]
+	if !ok {
+		return nil, false
+	}
+	// The map hit already implies equality; the constant-time compare
+	// keeps the final accept independent of matching-prefix timing.
+	if subtle.ConstantTimeCompare([]byte(h), []byte(t.cfg.KeySHA256)) != 1 {
+		return nil, false
+	}
+	return t, true
+}
+
+// Get returns a tenant by id.
+func (r *Registry) Get(id string) (*Tenant, bool) {
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// All returns every tenant in config order.
+func (r *Registry) All() []*Tenant {
+	return append([]*Tenant(nil), r.order...)
+}

@@ -1,0 +1,210 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func validConfig(id, key string) Config {
+	return Config{ID: id, KeySHA256: HashKey(key)}
+}
+
+func TestRegistryAuthenticate(t *testing.T) {
+	reg, err := NewRegistry([]Config{
+		validConfig("alpha", "alpha-key"),
+		validConfig("beta", "beta-key"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn, ok := reg.Authenticate("alpha-key"); !ok || tn.ID() != "alpha" {
+		t.Fatalf("alpha-key resolved to %v, %v", tn, ok)
+	}
+	if tn, ok := reg.Authenticate("beta-key"); !ok || tn.ID() != "beta" {
+		t.Fatalf("beta-key resolved to %v, %v", tn, ok)
+	}
+	for _, bad := range []string{"", "wrong", "alpha-key "} {
+		if _, ok := reg.Authenticate(bad); ok {
+			t.Fatalf("key %q authenticated", bad)
+		}
+	}
+	if _, ok := reg.Get("alpha"); !ok {
+		t.Fatal("Get(alpha) missed")
+	}
+	if got := len(reg.All()); got != 2 {
+		t.Fatalf("All() = %d tenants, want 2", got)
+	}
+}
+
+// Uppercase hashes in the config must still authenticate: the file may
+// come from tools that emit uppercase hex.
+func TestRegistryUppercaseHash(t *testing.T) {
+	cfg := validConfig("up", "some-key")
+	cfg.KeySHA256 = strings.ToUpper(cfg.KeySHA256)
+	reg, err := NewRegistry([]Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Authenticate("some-key"); !ok {
+		t.Fatal("uppercase hash did not authenticate")
+	}
+}
+
+func TestRegistryRejectsBadConfigs(t *testing.T) {
+	cases := map[string][]Config{
+		"empty":        {},
+		"no id":        {{KeySHA256: HashKey("k")}},
+		"short hash":   {{ID: "x", KeySHA256: "abcd"}},
+		"not hex":      {{ID: "x", KeySHA256: strings.Repeat("zz", 32)}},
+		"neg rate":     {{ID: "x", KeySHA256: HashKey("k"), RatePerSec: -1}},
+		"neg sessions": {{ID: "x", KeySHA256: HashKey("k"), MaxSessions: -1}},
+		"dup id":       {validConfig("x", "k1"), validConfig("x", "k2")},
+		"dup key":      {validConfig("x", "k"), validConfig("y", "k")},
+	}
+	for name, cfgs := range cases {
+		if _, err := NewRegistry(cfgs); err == nil {
+			t.Errorf("%s: NewRegistry accepted bad config", name)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+
+	wrapped := filepath.Join(dir, "wrapped.json")
+	if err := os.WriteFile(wrapped, []byte(`{"tenants": [{"id": "a", "keySha256": "`+HashKey("ka")+`", "ratePerSec": 5, "maxSessions": 2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Load(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, ok := reg.Authenticate("ka")
+	if !ok {
+		t.Fatal("loaded tenant did not authenticate")
+	}
+	if lim := tn.Limits(); lim.RatePerSec != 5 || lim.MaxSessions != 2 {
+		t.Fatalf("limits = %+v", lim)
+	}
+
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(bare, []byte(`[{"id": "b", "keySha256": "`+HashKey("kb")+`"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bare); err != nil {
+		t.Fatalf("bare-array config: %v", err)
+	}
+
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("Load(absent) succeeded")
+	}
+	broken := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(broken, []byte(`{nope`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(broken); err == nil {
+		t.Fatal("Load(broken) succeeded")
+	}
+}
+
+func TestJobQuota(t *testing.T) {
+	reg, err := NewRegistry([]Config{{ID: "q", KeySHA256: HashKey("k"), MaxConcurrentJobs: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Get("q")
+	if !tn.AcquireJob() || !tn.AcquireJob() {
+		t.Fatal("first two acquires must succeed")
+	}
+	if tn.AcquireJob() {
+		t.Fatal("third acquire exceeded quota")
+	}
+	tn.ReleaseJob()
+	if !tn.AcquireJob() {
+		t.Fatal("acquire after release failed")
+	}
+	tn.ForceAcquireJob() // restore path ignores the quota
+	if got := tn.ActiveJobs(); got != 3 {
+		t.Fatalf("ActiveJobs = %d, want 3", got)
+	}
+}
+
+func TestSessionQuota(t *testing.T) {
+	reg, err := NewRegistry([]Config{{ID: "q", KeySHA256: HashKey("k"), MaxSessions: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Get("q")
+	if !tn.AcquireSession() {
+		t.Fatal("first acquire failed")
+	}
+	if tn.AcquireSession() {
+		t.Fatal("second acquire exceeded quota")
+	}
+	tn.ReleaseSession()
+	if !tn.AcquireSession() {
+		t.Fatal("acquire after release failed")
+	}
+	if got := tn.Sessions(); got != 1 {
+		t.Fatalf("Sessions = %d, want 1", got)
+	}
+}
+
+// Unlimited quotas (zero limits) never refuse.
+func TestZeroLimitsUnlimited(t *testing.T) {
+	reg, err := NewRegistry([]Config{validConfig("u", "k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Get("u")
+	for i := 0; i < 100; i++ {
+		if !tn.AcquireJob() || !tn.AcquireSession() {
+			t.Fatal("unlimited tenant refused")
+		}
+	}
+	if ok, wait := tn.Allow(time.Now()); !ok || wait != 0 {
+		t.Fatalf("unlimited tenant rate-limited (wait %v)", wait)
+	}
+}
+
+// Quota accounting must hold under concurrent acquire/release — this is
+// the test the CI race step targets.
+func TestQuotaConcurrent(t *testing.T) {
+	const limit, workers, rounds = 8, 16, 200
+	reg, err := NewRegistry([]Config{{ID: "c", KeySHA256: HashKey("k"), MaxConcurrentJobs: limit}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Get("c")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxSeen := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if tn.AcquireJob() {
+					n := tn.ActiveJobs()
+					mu.Lock()
+					if n > maxSeen {
+						maxSeen = n
+					}
+					mu.Unlock()
+					tn.ReleaseJob()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > limit {
+		t.Fatalf("observed %d concurrent slots, limit %d", maxSeen, limit)
+	}
+	if got := tn.ActiveJobs(); got != 0 {
+		t.Fatalf("leaked %d job slots", got)
+	}
+}

@@ -17,6 +17,18 @@ FACTOR="${FACTOR:-2.0}"
 BENCH_OUT="${BENCH_OUT:-bench_gate_output.txt}"
 BASELINE="BENCH_core.json"
 
+# Under `set -e` a benchmark that dies mid-pipe exits silently; point
+# at the partial output so the failure is diagnosable from CI logs
+# (the gate's own FAIL lines exit through here too, already explained).
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ] && [ -s "$BENCH_OUT" ]; then
+    echo "bench_gate: exited $status; raw benchmark output in $BENCH_OUT" >&2
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
 command -v jq >/dev/null || { echo "bench_gate: jq is required" >&2; exit 1; }
 
 : >"$BENCH_OUT"

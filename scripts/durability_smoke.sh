@@ -36,7 +36,7 @@ cleanup() {
       cat "$log" >&2
     done
   fi
-  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  if [ -n "$PID" ]; then kill "$PID" 2>/dev/null || true; fi
   rm -rf "$DIR"
   exit "$status"
 }

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Load smoke gate: boot prox-server in multi-tenant mode (API keys,
+# rate limits, quotas, admission control, priority lanes), replay a
+# short mixed workload with prox-loadgen — summarize/ingest/extend on
+# the interactive lane, job submissions on the bulk lane, two tenants,
+# a 50% summary-cache hit ratio — and fail when the interactive
+# summarize route breaches its p99 or shed-rate SLO. The JSON report
+# lands in $LOAD_REPORT (default load_smoke_report.json, uploaded as a
+# CI artifact) so a breach is diagnosable from the job output alone.
+#
+# Environment:
+#   PORT           server port            (default 18092)
+#   LOAD_DURATION  load phase length      (default 8s)
+#   LOAD_RATE      open-loop arrivals/sec (default 20)
+#   LOAD_P99_MS    summarize p99 SLO, ms  (default 5000 — CI runners
+#                  are noisy; the gate is for a lane or limiter change
+#                  that starves interactive traffic, not 10% wobble)
+#   LOAD_REPORT    report path            (default load_smoke_report.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DIR=$(mktemp -d)
+PORT="${PORT:-18092}"
+BASE="http://127.0.0.1:$PORT"
+LOAD_DURATION="${LOAD_DURATION:-8s}"
+LOAD_RATE="${LOAD_RATE:-12}"
+LOAD_P99_MS="${LOAD_P99_MS:-5000}"
+LOAD_REPORT="${LOAD_REPORT:-load_smoke_report.json}"
+PID=""
+
+cleanup() {
+  status=$?
+  # Under `set -e` a failing step exits silently; dump the server log
+  # and the report so a CI failure is diagnosable from the job output.
+  if [ "$status" -ne 0 ]; then
+    echo "load smoke FAILED (exit $status)" >&2
+    if [ -f "$LOAD_REPORT" ]; then
+      echo "--- $LOAD_REPORT ---" >&2
+      cat "$LOAD_REPORT" >&2
+    fi
+    if [ -f "$DIR/server.log" ]; then
+      echo "--- server.log (tail) ---" >&2
+      tail -50 "$DIR/server.log" >&2
+    fi
+  fi
+  if [ -n "$PID" ]; then kill "$PID" 2>/dev/null || true; fi
+  rm -rf "$DIR"
+  exit "$status"
+}
+trap cleanup EXIT
+
+go build -o "$DIR/prox-server" ./cmd/prox-server
+go build -o "$DIR/prox-loadgen" ./cmd/prox-loadgen
+
+# API keys exist only in this script; the server config stores hashes.
+ALICE_KEY="smoke-alice-$$"
+BULK_KEY="smoke-bulk-$$"
+hash_key() { printf '%s' "$1" | sha256sum | cut -d' ' -f1; }
+
+cat >"$DIR/tenants.json" <<EOF
+{"tenants": [
+  {"id": "alice", "keySha256": "$(hash_key "$ALICE_KEY")",
+   "ratePerSec": 500, "burst": 500},
+  {"id": "bulkster", "keySha256": "$(hash_key "$BULK_KEY")",
+   "ratePerSec": 500, "burst": 500}
+]}
+EOF
+
+cat >"$DIR/load.json" <<EOF
+{
+  "tenants": [
+    {"id": "alice", "key": "$ALICE_KEY", "weight": 2},
+    {"id": "bulkster", "key": "$BULK_KEY", "weight": 1}
+  ],
+  "mix": {"summarize": 0.45, "bulk": 0.25, "ingest": 0.2, "extend": 0.1},
+  "cacheHitRatio": 0.5,
+  "slo": {
+    "/api/summarize": {"p99Ms": $LOAD_P99_MS, "maxShedRate": 0.01, "minRequests": 20}
+  }
+}
+EOF
+
+# The universe is kept small (24 users) so an uncached summarize run
+# costs tens of milliseconds, not seconds — the gate measures queueing
+# and lane behavior, not raw merge throughput (bench_gate.sh does that).
+"$DIR/prox-server" -addr ":$PORT" -workers 4 -users 24 -movies 8 \
+  -tenants "$DIR/tenants.json" -bulk-queue 32 -log-level info \
+  >"$DIR/server.log" 2>&1 &
+PID=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/metrics" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "$BASE/metrics" >/dev/null || { echo "server did not come up" >&2; exit 1; }
+
+"$DIR/prox-loadgen" -config "$DIR/load.json" -target "$BASE" \
+  -duration "$LOAD_DURATION" -rate "$LOAD_RATE" -report "$LOAD_REPORT"
+
+echo "load smoke OK (report: $LOAD_REPORT)"
