@@ -99,8 +99,10 @@ func (s *Server) publishToCache(sess *session, key summarycache.Key, params code
 	}
 	// The publishing tenant owns the entry's bytes until eviction; a
 	// tenant past its MaxCacheBytes quota keeps its result but stops
-	// consuming shared cache space.
-	if !s.acquireCacheQuota(sess.tenant, cacheRecSize(rec)) {
+	// consuming shared cache space. The size is computed once here —
+	// eviction and drop paths get it back from the cache's own account.
+	size := cacheRecSize(rec)
+	if !s.acquireCacheQuota(sess.tenant, size) {
 		s.log.Warn("cache publish denied by tenant quota", "tenant", sess.tenant, "key", rec.Key)
 		return
 	}
@@ -108,7 +110,7 @@ func (s *Server) publishToCache(sess *session, key summarycache.Key, params code
 		// Journaling a rejected entry would resurrect it on replay (or
 		// grow the WAL for an entry the cache never held): count it and
 		// skip the store.
-		s.releaseCacheQuota(sess.tenant, cacheRecSize(rec))
+		s.releaseCacheQuota(sess.tenant, size)
 		s.met.cacheRejected.Inc()
 		s.log.Warn("cache rejected summary entry", "key", rec.Key, "steps", len(rec.Steps))
 		s.updateCacheGauges()
@@ -125,9 +127,9 @@ func (s *Server) publishToCache(sess *session, key summarycache.Key, params code
 // onCacheEvict journals LRU/TTL evictions so replay does not resurrect
 // them. Called with the cache lock held; it must not call back into the
 // cache (gauges are refreshed at the Put/Get call sites instead).
-func (s *Server) onCacheEvict(k summarycache.Key, rec *codec.CacheEntryRecord, _ summarycache.EvictReason) {
+func (s *Server) onCacheEvict(k summarycache.Key, rec *codec.CacheEntryRecord, size int64, _ summarycache.EvictReason) {
 	s.met.cacheEvictions.Inc()
-	s.releaseCacheQuota(rec.Tenant, cacheRecSize(rec))
+	s.releaseCacheQuota(rec.Tenant, size)
 	if s.st != nil {
 		if err := s.st.DropCacheEntry(k.String()); err != nil {
 			s.log.Error("journaling cache eviction failed", "key", k.String(), "err", err)
@@ -141,22 +143,41 @@ func (s *Server) updateCacheGauges() {
 	s.met.cacheEntries.Set(float64(st.Entries))
 }
 
-// handleCacheFlush implements POST /api/cache/flush: drop every cached
-// summary (admin operation, e.g. after a constraint or dataset change
-// that fingerprints alone cannot see).
-func (s *Server) handleCacheFlush(w http.ResponseWriter, _ *http.Request) {
+// handleCacheFlush implements POST /api/cache/flush. In single-tenant
+// mode (no registry) it drops every cached summary — the admin
+// operation for a constraint or dataset change that fingerprints alone
+// cannot see. With a tenant registry the flush is scoped to the
+// caller: only entries the tenant itself published are dropped, so one
+// tenant cannot destroy another's warm entries, and the dropped
+// entries' bytes — exactly the set removed, as accounted by the cache —
+// are returned to the tenant's quota without racing a concurrent
+// publish.
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
 	if s.cache == nil {
 		writeErr(w, http.StatusConflict, "summary cache is disabled")
 		return
 	}
-	n := s.cache.Flush()
-	// Flush skips OnEvict (it journals as one record), so the per-tenant
-	// byte attribution is zeroed here instead.
 	if s.tenants != nil {
-		for _, t := range s.tenants.All() {
-			t.ReleaseCacheBytes(t.CacheBytes())
+		t := tenantFrom(r.Context())
+		if t == nil {
+			writeErr(w, http.StatusForbidden, "cache flush requires an authenticated tenant")
+			return
 		}
+		flushed := s.cache.FlushOwned(t.ID())
+		for _, f := range flushed {
+			s.releaseCacheQuota(t.ID(), f.Size)
+			if s.st != nil {
+				if err := s.st.DropCacheEntry(f.Rec.Key); err != nil {
+					s.log.Error("journaling cache flush drop failed", "key", f.Rec.Key, "err", err)
+				}
+			}
+		}
+		s.updateCacheGauges()
+		s.log.Info("tenant cache entries flushed", "tenant", t.ID(), "entries", len(flushed))
+		writeJSON(w, http.StatusOK, map[string]int{"flushed": len(flushed)})
+		return
 	}
+	n := s.cache.Flush()
 	if s.st != nil {
 		if err := s.st.FlushCache(); err != nil {
 			s.log.Error("journaling cache flush failed", "err", err)

@@ -119,8 +119,12 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, ext
 			}
 			// A trace that no longer replays (e.g. the session's expression
 			// changed out from under a stale entry) is dropped and recomputed.
+			// Drop bypasses OnEvict, so the publisher's byte attribution is
+			// released here, at the cache's accounted size.
 			s.log.Error("cached summary replay failed; recomputing", "key", entry.Key, "err", err)
-			s.cache.Drop(k)
+			if size, ok := s.cache.Drop(k); ok {
+				s.releaseCacheQuota(entry.Tenant, size)
+			}
 			if s.st != nil {
 				if derr := s.st.DropCacheEntry(entry.Key); derr != nil {
 					s.log.Error("journaling cache drop failed", "key", entry.Key, "err", derr)
@@ -151,7 +155,14 @@ func (s *Server) submitSummarize(ctx context.Context, req *summarizeRequest, ext
 								out.cached, out.cacheState = sum, "hit"
 								return out, 0, nil
 							}
-							s.cache.Drop(k2)
+							if size, ok := s.cache.Drop(k2); ok {
+								s.releaseCacheQuota(entry2.Tenant, size)
+							}
+							if s.st != nil {
+								if derr := s.st.DropCacheEntry(entry2.Key); derr != nil {
+									s.log.Error("journaling cache drop failed", "key", entry2.Key, "err", derr)
+								}
+							}
 						}
 					}
 				}
@@ -675,17 +686,26 @@ func (s *Server) cachedJobResponse(out *summarizeOutcome) jobResponse {
 	}
 }
 
+// jobNotFound renders the exact 404 an unknown job id produces, so a
+// cross-tenant probe cannot distinguish "not yours" from "not there".
+func jobNotFound(w http.ResponseWriter, id string) {
+	writeErr(w, http.StatusNotFound, "%v", fmt.Errorf("%w: %s", jobs.ErrNotFound, id))
+}
+
 // handleJobGet implements GET /api/jobs/{id}. Jobs that finished before
-// a restart are answered from their journaled record.
+// a restart are answered from their journaled record. Ownership mirrors
+// sessionFor: another tenant's job is indistinguishable from a missing
+// one.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	t := tenantFrom(r.Context())
 	job, err := s.jm.Get(id)
 	if err != nil {
 		s.mu.Lock()
 		rec := s.finished[id]
 		s.mu.Unlock()
-		if rec == nil {
-			writeErr(w, http.StatusNotFound, "%v", err)
+		if rec == nil || !ownsJob(t, rec.Tenant) {
+			jobNotFound(w, id)
 			return
 		}
 		writeJSON(w, http.StatusOK, jobResponse{
@@ -693,6 +713,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			SubmittedAt: rfc3339OrEmpty(time.UnixMilli(rec.SubmittedMS)),
 			Trace:       traceIDOf(rec.Trace),
 		})
+		return
+	}
+	s.mu.Lock()
+	meta := s.jobMeta[id]
+	s.mu.Unlock()
+	if meta != nil && !ownsJob(t, meta.tenant) {
+		jobNotFound(w, id)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobResponseFor(job))
@@ -704,6 +731,16 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 // cancels the computation.
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Ownership is checked before Leave: detaching a waiter (let alone
+	// canceling the run) must not be possible against another tenant's
+	// job, and the refusal must look exactly like an unknown id.
+	s.mu.Lock()
+	meta := s.jobMeta[id]
+	s.mu.Unlock()
+	if meta != nil && !ownsJob(tenantFrom(r.Context()), meta.tenant) {
+		jobNotFound(w, id)
+		return
+	}
 	if _, err := s.jm.Leave(id); err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return

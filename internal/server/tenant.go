@@ -199,6 +199,17 @@ func ownsSession(t *tenant.Tenant, sess *session) bool {
 	return sess.tenant == t.ID()
 }
 
+// ownsJob reports whether the request's tenant may touch a job whose
+// recorded owner is tenantID. Same rules as ownsSession: anonymous
+// mode owns everything, and jobs journaled before tenancy (empty
+// owner) are server-global.
+func ownsJob(t *tenant.Tenant, tenantID string) bool {
+	if t == nil || tenantID == "" {
+		return true
+	}
+	return tenantID == t.ID()
+}
+
 // sessionFor resolves a session id for the request, enforcing tenant
 // ownership: another tenant's session is indistinguishable from a
 // missing one (404, not 403 — existence is not leaked).
@@ -309,7 +320,9 @@ func (s *Server) scrapeTenants() {
 }
 
 // cacheRecSize prices a cache entry the same way the cache itself
-// accounts it: the length of its JSON encoding.
+// accounts it: the length of its JSON encoding. It is called once per
+// entry, at publish or restore time — eviction, drop, and flush paths
+// reuse the size the cache already holds instead of re-encoding.
 func cacheRecSize(rec *codec.CacheEntryRecord) int64 {
 	b, err := json.Marshal(rec)
 	if err != nil {

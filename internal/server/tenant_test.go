@@ -3,9 +3,11 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -523,11 +525,125 @@ func TestTenantCacheBytesQuota(t *testing.T) {
 		t.Fatalf("prox_tenant_cache_bytes = %v, want > 0", got)
 	}
 
-	// Flush bypasses OnEvict (it journals as one record), so the
-	// handler must zero the per-tenant attribution itself.
+	// A tenant-scoped flush drops exactly the caller's entries and
+	// returns their bytes to its attribution.
 	postAs(t, "rich-key", ts.URL+"/api/cache/flush", struct{}{}, nil)
 	s.scrapeTenants()
 	if got := s.tmet["rich"].cacheBytes.Value(); got != 0 {
 		t.Fatalf("prox_tenant_cache_bytes after flush = %v, want 0", got)
+	}
+}
+
+// getAs issues an authenticated GET and returns the status code and
+// raw body.
+func getAs(t *testing.T, key, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Prox-Key", key)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(b)
+}
+
+// TestTenantJobIsolation: another tenant's job id answers 404 on both
+// get and cancel — byte-identical (modulo the echoed id) to a missing
+// job — and a foreign cancel must not detach or kill the owner's work.
+func TestTenantJobIsolation(t *testing.T) {
+	reg := testTenants(t, generous("alice", "alice-key"), generous("bob", "bob-key"))
+	_, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+
+	sid := selectAs(t, ts, "alice-key")
+	var jr jobResponse
+	if res := postAs(t, "alice-key", ts.URL+"/api/jobs", summarizeRequest{SessionID: sid, Steps: 2}, &jr); res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", res.StatusCode)
+	}
+
+	status, foreign := getAs(t, "bob-key", ts.URL+"/api/jobs/"+jr.ID)
+	if status != http.StatusNotFound {
+		t.Fatalf("foreign job get status = %d, want 404", status)
+	}
+	status, missing := getAs(t, "bob-key", ts.URL+"/api/jobs/j999")
+	if status != http.StatusNotFound {
+		t.Fatalf("missing job get status = %d, want 404", status)
+	}
+	if strings.ReplaceAll(foreign, jr.ID, "?") != strings.ReplaceAll(missing, "j999", "?") {
+		t.Fatalf("foreign 404 body %q must be indistinguishable from missing 404 body %q", foreign, missing)
+	}
+
+	if res := postAs(t, "bob-key", ts.URL+"/api/jobs/"+jr.ID+"/cancel", struct{}{}, nil); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("foreign cancel status = %d, want 404", res.StatusCode)
+	}
+
+	// The owner still sees the job, and the foreign cancel detached
+	// nothing: it runs to Done, not Canceled.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body := getAs(t, "alice-key", ts.URL+"/api/jobs/"+jr.ID)
+		if status != http.StatusOK {
+			t.Fatalf("owner job get status = %d, want 200", status)
+		}
+		var got jobResponse
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.State == jobs.Done.String() {
+			break
+		}
+		if got.State == jobs.Canceled.String() || got.State == jobs.Failed.String() {
+			t.Fatalf("owner job state = %s after foreign cancel, want done", got.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished, state = %s", got.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestTenantCacheFlushScoped: with a registry, /api/cache/flush drops
+// only the calling tenant's entries — another tenant's warm entries and
+// byte attribution survive.
+func TestTenantCacheFlushScoped(t *testing.T) {
+	reg := testTenants(t, generous("alice", "alice-key"), generous("bob", "bob-key"))
+	s, ts := jobsServer(t, jobsWorkload(), WithTenants(reg))
+
+	aid := selectAs(t, ts, "alice-key")
+	bid := selectAs(t, ts, "bob-key")
+	postAs(t, "alice-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: aid, Steps: 2}, nil)
+	postAs(t, "bob-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: bid, Steps: 3}, nil)
+	s.scrapeTenants()
+	aliceBytes := s.tmet["alice"].cacheBytes.Value()
+	if aliceBytes <= 0 {
+		t.Fatalf("prox_tenant_cache_bytes{tenant=alice} = %v, want > 0", aliceBytes)
+	}
+
+	var out map[string]int
+	postAs(t, "bob-key", ts.URL+"/api/cache/flush", struct{}{}, &out)
+	if out["flushed"] != 1 {
+		t.Fatalf("bob's flush removed %d entries, want exactly his own 1", out["flushed"])
+	}
+
+	// Alice's entry survived bob's flush: her identical rerun hits, and
+	// her attribution is untouched while bob's is zero.
+	var hit summarizeResponse
+	postAs(t, "alice-key", ts.URL+"/api/summarize", summarizeRequest{SessionID: aid, Steps: 2}, &hit)
+	if !hit.Cached {
+		t.Fatal("alice's cache entry must survive bob's flush")
+	}
+	s.scrapeTenants()
+	if got := s.tmet["alice"].cacheBytes.Value(); got != aliceBytes {
+		t.Fatalf("prox_tenant_cache_bytes{tenant=alice} = %v after bob's flush, want %v", got, aliceBytes)
+	}
+	if got := s.tmet["bob"].cacheBytes.Value(); got != 0 {
+		t.Fatalf("prox_tenant_cache_bytes{tenant=bob} = %v after his flush, want 0", got)
 	}
 }

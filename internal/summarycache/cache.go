@@ -87,9 +87,11 @@ type Config struct {
 	// time.Now.
 	Now func() time.Time
 	// OnEvict, when set, observes every eviction (LRU and TTL, not
-	// Flush). It is called with the cache lock held and must not call
-	// back into the cache.
-	OnEvict func(Key, *codec.CacheEntryRecord, EvictReason)
+	// Flush). It receives the entry's accounted size so observers can
+	// settle byte attribution without re-encoding the record. It is
+	// called with the cache lock held and must not call back into the
+	// cache.
+	OnEvict func(Key, *codec.CacheEntryRecord, int64, EvictReason)
 }
 
 // Stats is a point-in-time counter snapshot.
@@ -294,21 +296,22 @@ func (c *Cache) reject() {
 }
 
 // Drop removes the entry under k without invoking OnEvict, returning
-// whether it was present. Use it when the caller owns the removal's
-// side effects (e.g. it is already journaling the drop).
-func (c *Cache) Drop(k Key) bool {
+// the entry's accounted size and whether it was present. Use it when
+// the caller owns the removal's side effects (journaling the drop,
+// releasing quota attribution).
+func (c *Cache) Drop(k Key) (int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
-		return false
+		return 0, false
 	}
 	e := el.Value.(*entry)
 	c.ll.Remove(el)
 	delete(c.items, e.key)
 	c.bytes -= e.size
 	c.dropPrefix(e)
-	return true
+	return e.size, true
 }
 
 // Flush empties the cache and returns how many entries were removed.
@@ -323,6 +326,40 @@ func (c *Cache) Flush() int {
 	c.prefixes = make(map[Key][]Key)
 	c.bytes = 0
 	return n
+}
+
+// Flushed is one entry removed by FlushOwned: its key, record, and the
+// size the cache had accounted it at.
+type Flushed struct {
+	Key  Key
+	Rec  *codec.CacheEntryRecord
+	Size int64
+}
+
+// FlushOwned removes every entry whose record names owner as its
+// publishing tenant and returns exactly the removed set. OnEvict is not
+// called: the caller owns the side effects, and because the removal and
+// the snapshot happen under one lock acquisition, releasing the
+// returned sizes settles the owner's byte attribution without racing a
+// concurrent Put (an entry published after the flush is not in the
+// returned set, so its bytes are never released by mistake).
+func (c *Cache) FlushOwned(owner string) []Flushed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Flushed
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.rec.Tenant == owner {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.size
+			c.dropPrefix(e)
+			out = append(out, Flushed{Key: e.key, Rec: e.rec, Size: e.size})
+		}
+		el = next
+	}
+	return out
 }
 
 // Sweep evicts every expired entry now instead of waiting for a Get to
@@ -391,6 +428,6 @@ func (c *Cache) remove(el *list.Element, reason EvictReason) {
 	c.bytes -= e.size
 	c.dropPrefix(e)
 	if c.cfg.OnEvict != nil {
-		c.cfg.OnEvict(e.key, e.rec, reason)
+		c.cfg.OnEvict(e.key, e.rec, e.size, reason)
 	}
 }

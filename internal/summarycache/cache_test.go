@@ -47,9 +47,12 @@ func TestGetPutLRU(t *testing.T) {
 	var evicted []Key
 	c := New(Config{
 		MaxEntries: 2,
-		OnEvict: func(k Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+		OnEvict: func(k Key, _ *codec.CacheEntryRecord, size int64, reason EvictReason) {
 			if reason != EvictLRU {
 				t.Errorf("reason = %q, want lru", reason)
+			}
+			if size <= 0 {
+				t.Errorf("OnEvict size = %d, want > 0", size)
 			}
 			evicted = append(evicted, k)
 		},
@@ -124,7 +127,7 @@ func TestTTLExpiry(t *testing.T) {
 	c := New(Config{
 		TTL: 500 * time.Millisecond,
 		Now: func() time.Time { mu.Lock(); defer mu.Unlock(); return now },
-		OnEvict: func(_ Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+		OnEvict: func(_ Key, _ *codec.CacheEntryRecord, _ int64, reason EvictReason) {
 			if reason == EvictTTL {
 				expired++
 			}
@@ -151,14 +154,14 @@ func TestTTLExpiry(t *testing.T) {
 
 func TestFlushAndDrop(t *testing.T) {
 	evictions := 0
-	c := New(Config{OnEvict: func(Key, *codec.CacheEntryRecord, EvictReason) { evictions++ }})
+	c := New(Config{OnEvict: func(Key, *codec.CacheEntryRecord, int64, EvictReason) { evictions++ }})
 	c.Put(key("a"), rec(0.1))
 	c.Put(key("b"), rec(0.2))
 
-	if !c.Drop(key("a")) {
-		t.Fatal("Drop(a) should report presence")
+	if size, ok := c.Drop(key("a")); !ok || size <= 0 {
+		t.Fatalf("Drop(a) = %d, %v, want accounted size and presence", size, ok)
 	}
-	if c.Drop(key("a")) {
+	if _, ok := c.Drop(key("a")); ok {
 		t.Fatal("second Drop(a) should report absence")
 	}
 
@@ -170,6 +173,36 @@ func TestFlushAndDrop(t *testing.T) {
 	}
 	if evictions != 0 {
 		t.Fatalf("Drop/Flush must not invoke OnEvict, got %d calls", evictions)
+	}
+}
+
+func TestFlushOwned(t *testing.T) {
+	evictions := 0
+	c := New(Config{OnEvict: func(Key, *codec.CacheEntryRecord, int64, EvictReason) { evictions++ }})
+	mine, other := rec(0.1), rec(0.2)
+	mine.Tenant, other.Tenant = "acme", "rival"
+	c.Put(key("a"), mine)
+	c.Put(key("b"), other)
+	before := c.Bytes()
+
+	flushed := c.FlushOwned("acme")
+	if len(flushed) != 1 || flushed[0].Key != key("a") || flushed[0].Rec != mine {
+		t.Fatalf("FlushOwned = %+v, want exactly acme's entry", flushed)
+	}
+	if flushed[0].Size <= 0 || c.Bytes() != before-flushed[0].Size {
+		t.Fatalf("size=%d bytes %d -> %d: flushed sizes must match the byte account", flushed[0].Size, before, c.Bytes())
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("acme's entry should be gone")
+	}
+	if _, ok := c.Get(key("b")); !ok {
+		t.Fatal("the other tenant's entry must survive")
+	}
+	if got := c.FlushOwned("acme"); len(got) != 0 {
+		t.Fatalf("second FlushOwned = %+v, want empty", got)
+	}
+	if evictions != 0 {
+		t.Fatalf("FlushOwned must not invoke OnEvict, got %d calls", evictions)
 	}
 }
 

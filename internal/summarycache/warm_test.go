@@ -45,7 +45,7 @@ func TestSweepEvictsExpired(t *testing.T) {
 	c := New(Config{
 		TTL: 500 * time.Millisecond,
 		Now: clk.Now,
-		OnEvict: func(k Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+		OnEvict: func(k Key, _ *codec.CacheEntryRecord, _ int64, reason EvictReason) {
 			if reason != EvictTTL {
 				t.Errorf("reason = %q, want ttl", reason)
 			}
@@ -189,7 +189,7 @@ func TestGetWarmSkipsExpiredAndEvicted(t *testing.T) {
 	ct := New(Config{
 		TTL: 500 * time.Millisecond,
 		Now: clk.Now,
-		OnEvict: func(_ Key, _ *codec.CacheEntryRecord, reason EvictReason) {
+		OnEvict: func(_ Key, _ *codec.CacheEntryRecord, _ int64, reason EvictReason) {
 			if reason == EvictTTL {
 				expired++
 			}
